@@ -1,0 +1,29 @@
+//! Regenerates the conclusion's 20-cluster, 80 %-redundant scenario and
+//! times a large-N run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::conclusion;
+use rbr::grid::{GridConfig, GridSim, Scheme};
+use rbr::sim::{Duration, SeedSequence};
+use rbr_bench::{bench_scale, print_artifact};
+
+fn bench(c: &mut Criterion) {
+    let rows = conclusion::run(&conclusion::Config::at_scale(bench_scale()));
+    print_artifact(
+        "Conclusion scenario — N = 20, 80% of jobs redundant",
+        &conclusion::render(&rows),
+    );
+
+    let mut group = c.benchmark_group("conclusion");
+    group.sample_size(10);
+    let mut cfg = GridConfig::homogeneous(20, Scheme::All);
+    cfg.redundant_fraction = 0.8;
+    cfg.window = Duration::from_secs(900.0);
+    group.bench_function("grid_n20_all_p80_15min", |b| {
+        b.iter(|| GridSim::execute(cfg.clone(), SeedSequence::new(11)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates the beyond-the-paper extension studies (statistical
+//! forecasting, moldable shape redundancy, dual-queue racing) and times
+//! their kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::{dual_queue, forecast, moldable};
+use rbr::forecast::QuantilePredictor;
+use rbr::sim::SeedSequence;
+use rbr_bench::{bench_scale, print_artifact};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    print_artifact(
+        "Extension — statistical wait forecasting under redundancy",
+        &forecast::render(&forecast::run(&forecast::Config::at_scale(scale))),
+    );
+    print_artifact(
+        "Extension — option (iv): moldable shape redundancy",
+        &moldable::render(&moldable::run(&moldable::Config::at_scale(scale))),
+    );
+    print_artifact(
+        "Extension — option (iii): dual-queue racing",
+        &dual_queue::render(&dual_queue::run(&dual_queue::Config::at_scale(scale))),
+    );
+
+    let mut group = c.benchmark_group("extensions");
+    // Kernel: one binomial quantile-bound prediction over a full window.
+    let mut predictor = QuantilePredictor::qbets_default();
+    let mut rng_state = 0x9E3779B97F4A7C15u64;
+    for _ in 0..512 {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        predictor.observe((rng_state >> 40) as f64);
+    }
+    group.bench_function("binomial_bound_512_obs", |b| b.iter(|| predictor.predict()));
+
+    // Kernel: one 20-minute moldable run.
+    group.sample_size(10);
+    let mut cfg = rbr::grid::moldable::MoldableConfig::new(
+        rbr::grid::moldable::ShapePolicy::AllShapes,
+    );
+    cfg.window = rbr::sim::Duration::from_secs(1_200.0);
+    group.bench_function("moldable_all_shapes_20min", |b| {
+        b.iter(|| rbr::grid::moldable::run(&cfg, SeedSequence::new(14)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

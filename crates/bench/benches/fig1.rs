@@ -1,0 +1,30 @@
+//! Regenerates Figure 1 (relative average stretch vs number of clusters)
+//! and times the underlying grid-simulation kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::fig1;
+use rbr::grid::{GridConfig, GridSim, Scheme};
+use rbr::sim::{Duration, SeedSequence};
+use rbr_bench::{bench_scale, print_artifact};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig1::run(&fig1::Config::at_scale(bench_scale()));
+    print_artifact(
+        "Figure 1 — relative average stretch vs number of clusters",
+        &fig1::render(&rows),
+    );
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    for scheme in [Scheme::None, Scheme::All] {
+        let mut cfg = GridConfig::homogeneous(5, scheme);
+        cfg.window = Duration::from_secs(1_800.0);
+        group.bench_function(format!("grid_n5_{scheme}_30min"), |b| {
+            b.iter(|| GridSim::execute(cfg.clone(), SeedSequence::new(1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

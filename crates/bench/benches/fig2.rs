@@ -1,0 +1,45 @@
+//! Regenerates Figure 2 (relative coefficient of variation of stretches —
+//! the fairness metric — vs number of clusters). The sweep is shared
+//! with Figure 1; this target renders the CV series and times the metric
+//! pipeline on a completed run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::fig1;
+use rbr::grid::record::JobClass;
+use rbr::grid::{GridConfig, GridSim, Scheme};
+use rbr::report::Table;
+use rbr::sim::{Duration, SeedSequence};
+use rbr_bench::{bench_scale, print_artifact};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig1::run(&fig1::Config::at_scale(bench_scale()));
+    let mut t = Table::new(vec!["N", "scheme", "rel CV of stretches"]);
+    for r in &rows {
+        t.push(vec![
+            r.n.to_string(),
+            r.scheme.to_string(),
+            format!("{:.3}", r.rel_cv),
+        ]);
+    }
+    print_artifact(
+        "Figure 2 — relative CV of stretches vs number of clusters",
+        &t.render(),
+    );
+
+    // Kernel: computing the stretch summary + CV over a finished run.
+    let mut cfg = GridConfig::homogeneous(4, Scheme::Half);
+    cfg.window = Duration::from_secs(1_800.0);
+    let run = GridSim::execute(cfg, SeedSequence::new(2));
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(20);
+    group.bench_function("stretch_cv_metric", |b| {
+        b.iter(|| {
+            let s = run.stretch(JobClass::All);
+            (s.mean(), s.cv())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

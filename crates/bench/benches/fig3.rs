@@ -1,0 +1,37 @@
+//! Regenerates Figure 3 (relative average stretch vs job interarrival
+//! time) and times workload generation across the arrival-rate sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::fig3;
+use rbr::sim::{Duration, SeedSequence};
+use rbr::workload::{EstimateModel, LublinConfig, LublinModel};
+use rbr_bench::{bench_scale, print_artifact};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig3::run(&fig3::Config::at_scale(bench_scale()));
+    print_artifact(
+        "Figure 3 — relative average stretch vs mean job interarrival time",
+        &fig3::render(&rows),
+    );
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(20);
+    for alpha in [4.0, 10.23, 20.0] {
+        let model = LublinModel::new(
+            LublinConfig::paper_2006().with_interarrival_shape(alpha),
+        );
+        group.bench_function(format!("lublin_generate_1h_alpha{alpha}"), |b| {
+            b.iter(|| {
+                model.generate(
+                    &mut SeedSequence::new(3).rng(),
+                    Duration::from_hours(1),
+                    &EstimateModel::Exact,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

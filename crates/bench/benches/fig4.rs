@@ -1,0 +1,29 @@
+//! Regenerates Figure 4 (stretch of r-jobs vs n-r jobs vs the fraction
+//! of jobs using redundancy) and times a mixed-population run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::fig4;
+use rbr::grid::{GridConfig, GridSim, Scheme};
+use rbr::sim::{Duration, SeedSequence};
+use rbr_bench::{bench_scale, print_artifact};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig4::run(&fig4::Config::at_scale(bench_scale()));
+    print_artifact(
+        "Figure 4 — average stretch of r-jobs and n-r jobs vs percentage using redundancy",
+        &fig4::render(&rows),
+    );
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    let mut cfg = GridConfig::homogeneous(5, Scheme::All);
+    cfg.redundant_fraction = 0.4;
+    cfg.window = Duration::from_secs(1_800.0);
+    group.bench_function("grid_n5_all_p40_30min", |b| {
+        b.iter(|| GridSim::execute(cfg.clone(), SeedSequence::new(4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

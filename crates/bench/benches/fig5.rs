@@ -1,0 +1,86 @@
+//! Regenerates Figure 5 (batch-scheduler submit/cancel throughput vs
+//! queue size) — both the calibrated OpenPBS/Maui churn simulation and a
+//! native measurement of this crate's own schedulers — and times the
+//! submit+cancel pair operation criterion-style.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::fig5;
+use rbr::report::Table;
+use rbr::sched::{Algorithm, Request, RequestId};
+use rbr::sim::{Duration, SimTime};
+use rbr_bench::{bench_scale, print_artifact};
+
+fn native_sweep() -> String {
+    let sizes = [0usize, 1_000, 5_000, 10_000, 20_000];
+    let mut t = Table::new(vec!["queue size", "EASY pairs/s", "CBF pairs/s", "FCFS pairs/s"]);
+    for &q in &sizes {
+        let mut row = vec![q.to_string()];
+        for alg in [Algorithm::Easy, Algorithm::Cbf, Algorithm::Fcfs] {
+            let pairs = if q >= 10_000 { 300 } else { 1_000 };
+            row.push(format!("{:.0}", fig5::native_throughput(alg, q, pairs, 5)));
+        }
+        t.push(row);
+    }
+    t.render()
+}
+
+fn bench(c: &mut Criterion) {
+    let rows = fig5::run(&fig5::Config::at_scale(bench_scale()));
+    print_artifact(
+        "Figure 5 — OpenPBS/Maui (calibrated model) throughput vs queue size",
+        &fig5::render(&rows),
+    );
+    print_artifact(
+        "Figure 5 (native) — this crate's schedulers, wall-clock submit/cancel pairs per second",
+        &native_sweep(),
+    );
+
+    // Criterion kernel: one submit+cancel pair on a pre-seeded EASY
+    // scheduler at two queue depths.
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(30);
+    for q in [100usize, 5_000] {
+        let nodes = 16u32;
+        let mut sched = Algorithm::Easy.build(nodes);
+        let mut starts = Vec::new();
+        let mut now = SimTime::ZERO;
+        let tick = Duration::from_micros(1);
+        // Blocker on all but one node, then the standing queue.
+        sched.submit(
+            SimTime::ZERO,
+            Request::new(RequestId(u64::MAX), nodes - 1, Duration::from_hours(10_000), now),
+            &mut starts,
+        );
+        starts.clear();
+        let mut next = 0u64;
+        for _ in 0..q {
+            now += tick;
+            sched.submit(
+                now,
+                Request::new(RequestId(next), 2, Duration::from_secs(3_600.0), now),
+                &mut starts,
+            );
+            next += 1;
+        }
+        let mut oldest = 0u64;
+        group.bench_function(format!("easy_pair_q{q}"), |b| {
+            b.iter(|| {
+                now += tick;
+                sched.submit(
+                    now,
+                    Request::new(RequestId(next), 2, Duration::from_secs(3_600.0), now),
+                    &mut starts,
+                );
+                next += 1;
+                now += tick;
+                sched.cancel(now, RequestId(oldest), &mut starts);
+                oldest += 1;
+                starts.clear();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

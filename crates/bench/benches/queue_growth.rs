@@ -1,0 +1,31 @@
+//! Regenerates the §4.1 queue-size comparison (ALL vs NONE maximum queue
+//! lengths) and times queue-length tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::queue_growth;
+use rbr::grid::{GridConfig, GridSim, Scheme};
+use rbr::sim::{Duration, SeedSequence};
+use rbr_bench::{bench_scale, print_artifact};
+
+fn bench(c: &mut Criterion) {
+    let out = queue_growth::run(&queue_growth::Config::at_scale(bench_scale()));
+    print_artifact(
+        "§4.1 — maximum queue size, ALL vs NONE",
+        &queue_growth::render(&out),
+    );
+
+    let mut group = c.benchmark_group("queue_growth");
+    group.sample_size(10);
+    let mut cfg = GridConfig::homogeneous(4, Scheme::All);
+    cfg.window = Duration::from_secs(1_800.0);
+    group.bench_function("grid_n4_all_30min_queue_tracking", |b| {
+        b.iter(|| {
+            let run = GridSim::execute(cfg.clone(), SeedSequence::new(10));
+            run.max_queue_len.iter().sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Table 1 (EASY / CBF / FCFS × exact / real estimates) and
+//! times one run of each scheduling algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::table1;
+use rbr::grid::{GridConfig, GridSim, Scheme};
+use rbr::sched::Algorithm;
+use rbr::sim::{Duration, SeedSequence};
+use rbr_bench::{bench_scale, print_artifact};
+
+fn bench(c: &mut Criterion) {
+    let rows = table1::run(&table1::Config::at_scale(bench_scale()));
+    print_artifact(
+        "Table 1 — three scheduling algorithms × exact/real estimates (relative to NONE)",
+        &table1::render(&rows),
+    );
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for alg in Algorithm::all() {
+        let mut cfg = GridConfig::homogeneous(4, Scheme::Half);
+        cfg.algorithm = alg;
+        cfg.window = Duration::from_secs(900.0);
+        group.bench_function(format!("grid_n4_half_{alg}_15min"), |b| {
+            b.iter(|| GridSim::execute(cfg.clone(), SeedSequence::new(6)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates Table 2 (geometrically biased target selection) and times
+//! the weighted selection kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::table2;
+use rbr::grid::SelectionPolicy;
+use rbr::sim::SeedSequence;
+use rbr_bench::{bench_scale, print_artifact};
+
+fn bench(c: &mut Criterion) {
+    let rows = table2::run(&table2::Config::at_scale(bench_scale()));
+    print_artifact(
+        "Table 2 — non-uniformly distributed redundant requests (relative to NONE)",
+        &table2::render(&rows),
+    );
+
+    let mut group = c.benchmark_group("table2");
+    let eligible: Vec<usize> = (0..19).collect();
+    let queue_lens = vec![0usize; 20];
+    for (name, policy) in [
+        ("uniform", SelectionPolicy::Uniform),
+        ("biased", SelectionPolicy::Biased { ratio: 2.0 }),
+        ("least_loaded", SelectionPolicy::LeastLoaded),
+    ] {
+        let mut rng = SeedSequence::new(7).rng();
+        group.bench_function(format!("choose_10_of_19_{name}"), |b| {
+            b.iter(|| policy.choose(&mut rng, &eligible, 10, &queue_lens))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

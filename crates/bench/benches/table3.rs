@@ -1,0 +1,37 @@
+//! Regenerates Table 3 (heterogeneous platforms) and times a
+//! heterogeneous grid run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::table3;
+use rbr::grid::{ClusterSpec, GridConfig, GridSim, Scheme};
+use rbr::sim::{Duration, SeedSequence};
+use rbr::workload::LublinConfig;
+use rbr_bench::{bench_scale, print_artifact};
+
+fn bench(c: &mut Criterion) {
+    let rows = table3::run(&table3::Config::at_scale(bench_scale()));
+    print_artifact(
+        "Table 3 — heterogeneous platforms (relative to NONE)",
+        &table3::render(&rows),
+    );
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    let cfg = GridConfig {
+        clusters: vec![
+            ClusterSpec::new(16, LublinConfig::paper_2006().with_mean_interarrival(18.0)),
+            ClusterSpec::new(64, LublinConfig::paper_2006().with_mean_interarrival(9.0)),
+            ClusterSpec::new(128, LublinConfig::paper_2006().with_mean_interarrival(5.0)),
+            ClusterSpec::new(256, LublinConfig::paper_2006().with_mean_interarrival(3.0)),
+        ],
+        window: Duration::from_secs(1_800.0),
+        ..GridConfig::homogeneous(4, Scheme::All)
+    };
+    group.bench_function("heterogeneous_n4_all_30min", |b| {
+        b.iter(|| GridSim::execute(cfg.clone(), SeedSequence::new(8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates Table 4 (queue-wait over-prediction under CBF) and times
+//! a prediction-collecting CBF run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::table4;
+use rbr::grid::{GridConfig, GridSim, Scheme};
+use rbr::sched::Algorithm;
+use rbr::sim::{Duration, SeedSequence};
+use rbr::workload::EstimateModel;
+use rbr_bench::{bench_scale, print_artifact};
+
+fn bench(c: &mut Criterion) {
+    let rows = table4::run(&table4::Config::at_scale(bench_scale()));
+    print_artifact(
+        "Table 4 — queue waiting time over-prediction (predicted / effective)",
+        &table4::render(&rows),
+    );
+
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    let mut cfg = GridConfig::homogeneous(3, Scheme::All);
+    cfg.algorithm = Algorithm::Cbf;
+    cfg.estimates = EstimateModel::paper_real();
+    cfg.collect_predictions = true;
+    cfg.redundant_fraction = 0.4;
+    cfg.window = Duration::from_secs(900.0);
+    group.bench_function("cbf_predictions_n3_15min", |b| {
+        b.iter(|| GridSim::execute(cfg.clone(), SeedSequence::new(9)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

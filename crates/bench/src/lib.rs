@@ -1,0 +1,20 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target regenerates its figure/table once (printing the
+//! rows the paper reports — scale controlled by `RBR_SCALE`) and then
+//! lets criterion time a representative simulation kernel, so `cargo
+//! bench` doubles as the reproduction harness.
+
+use rbr::Scale;
+
+/// The scale benches regenerate tables at (`RBR_SCALE`; default smoke so
+/// `cargo bench --workspace` stays fast on one core).
+pub fn bench_scale() -> Scale {
+    Scale::from_env(Scale::Smoke)
+}
+
+/// Prints a regenerated artifact with a banner.
+pub fn print_artifact(name: &str, body: &str) {
+    println!("\n================ {name} ================");
+    println!("{body}");
+}

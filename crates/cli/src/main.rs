@@ -1,0 +1,313 @@
+//! `rbr` — the command-line interface to the reproduction.
+//!
+//! ```text
+//! rbr list                          list every experiment
+//! rbr run <name> [--scale S]       run one experiment (fig1 … table4,
+//!                                   queue-growth, conclusion, ablations,
+//!                                   forecast, moldable, all)
+//! rbr capacity [--iat SECS]        the Section 4 capacity arithmetic
+//! rbr swf-export <path> [--hours H] export a synthetic SWF trace
+//! rbr throughput                   native scheduler submit/cancel rates
+//! ```
+//!
+//! `--scale` accepts `smoke`, `quick` (default), or `paper`.
+
+use std::process::ExitCode;
+
+use rbr::experiments::{
+    ablation, conclusion, dual_queue, fig1, fig3, fig4, fig5, forecast, moldable, queue_growth,
+    table1, table2, table3, table4, trace_check,
+};
+use rbr::grid::Scheme;
+use rbr::middleware::{max_redundancy, steady_state_load, SystemCapacity};
+use rbr::report::Table;
+use rbr::sched::Algorithm;
+use rbr::sim::{Duration, SeedSequence};
+use rbr::workload::{EstimateModel, LublinConfig, LublinModel, SwfTrace};
+use rbr::Scale;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig1", "Figure 1: relative average stretch vs number of clusters"),
+    ("fig2", "Figure 2: relative CV of stretches vs number of clusters"),
+    ("fig3", "Figure 3: relative stretch vs job interarrival time"),
+    ("fig4", "Figure 4: r-jobs vs n-r jobs vs fraction using redundancy"),
+    ("fig5", "Figure 5: scheduler throughput vs queue size"),
+    ("table1", "Table 1: EASY/CBF/FCFS x exact/real estimates"),
+    ("table2", "Table 2: non-uniform redundant request distribution"),
+    ("table3", "Table 3: heterogeneous platforms"),
+    ("table4", "Table 4: queue-wait over-prediction"),
+    ("queue-growth", "§4.1: maximum queue size, ALL vs NONE"),
+    ("conclusion", "Conclusion scenario: N=20, 80% redundant"),
+    ("ablations", "Beyond the paper: load regime, CBF cycle, selection, inflation"),
+    ("forecast", "Beyond the paper: statistical wait forecasting under redundancy"),
+    ("moldable", "Beyond the paper: option (iv) moldable shape redundancy"),
+    ("dual-queue", "Beyond the paper: option (iii) premium/standard queue racing"),
+    ("trace-check", "§3.1.1 cross-check: replay an SWF trace split across clusters"),
+    ("all", "Everything above, in paper order"),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("list") => {
+            let mut t = Table::new(vec!["name", "description"]);
+            for (name, desc) in EXPERIMENTS {
+                t.push(vec![name.to_string(), desc.to_string()]);
+            }
+            print!("{}", t.render());
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(name) = it.next() else {
+                eprintln!("usage: rbr run <experiment> [--scale smoke|quick|paper]");
+                return ExitCode::FAILURE;
+            };
+            let scale = match parse_scale(&args) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_experiment(name, scale)
+        }
+        Some("capacity") => {
+            let iat = parse_flag_value(&args, "--iat").unwrap_or(5.0);
+            capacity(iat);
+            ExitCode::SUCCESS
+        }
+        Some("swf-export") => {
+            let Some(path) = it.next() else {
+                eprintln!("usage: rbr swf-export <path> [--hours H]");
+                return ExitCode::FAILURE;
+            };
+            let hours = parse_flag_value(&args, "--hours").unwrap_or(1.0);
+            swf_export(path, hours)
+        }
+        Some("throughput") => {
+            throughput();
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            println!(
+                "rbr — reproduction of 'On the Harmfulness of Redundant Batch Requests' (HPDC'06)\n\n\
+                 commands:\n  \
+                 list                           list experiments\n  \
+                 run <name> [--scale S]         run an experiment (S: smoke|quick|paper)\n  \
+                 capacity [--iat SECS]          Section 4 capacity arithmetic\n  \
+                 swf-export <path> [--hours H]  export a synthetic SWF trace\n  \
+                 throughput                     native scheduler throughput sweep"
+            );
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}; try `rbr --help`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_scale(args: &[String]) -> Result<Scale, String> {
+    match flag_value(args, "--scale") {
+        None => Ok(Scale::from_env(Scale::Quick)),
+        Some("smoke") => Ok(Scale::Smoke),
+        Some("quick") => Ok(Scale::Quick),
+        Some("paper") => Ok(Scale::Paper),
+        Some(other) => Err(format!("unknown scale {other:?} (smoke|quick|paper)")),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_flag_value(args: &[String], flag: &str) -> Option<f64> {
+    flag_value(args, flag).and_then(|v| v.parse().ok())
+}
+
+fn run_experiment(name: &str, scale: Scale) -> ExitCode {
+    eprintln!("running {name} at {scale:?} scale...");
+    match name {
+        "fig1" => print!("{}", fig1::render(&fig1::run(&fig1::Config::at_scale(scale)))),
+        "fig2" => {
+            let rows = fig1::run(&fig1::Config::at_scale(scale));
+            let mut t = Table::new(vec!["N", "scheme", "rel CV"]);
+            for r in &rows {
+                t.push(vec![r.n.to_string(), r.scheme.to_string(), format!("{:.3}", r.rel_cv)]);
+            }
+            print!("{}", t.render());
+        }
+        "fig3" => print!("{}", fig3::render(&fig3::run(&fig3::Config::at_scale(scale)))),
+        "fig4" => print!("{}", fig4::render(&fig4::run(&fig4::Config::at_scale(scale)))),
+        "fig5" => print!("{}", fig5::render(&fig5::run(&fig5::Config::at_scale(scale)))),
+        "table1" => print!("{}", table1::render(&table1::run(&table1::Config::at_scale(scale)))),
+        "table2" => print!("{}", table2::render(&table2::run(&table2::Config::at_scale(scale)))),
+        "table3" => print!("{}", table3::render(&table3::run(&table3::Config::at_scale(scale)))),
+        "table4" => print!("{}", table4::render(&table4::run(&table4::Config::at_scale(scale)))),
+        "queue-growth" => print!(
+            "{}",
+            queue_growth::render(&queue_growth::run(&queue_growth::Config::at_scale(scale)))
+        ),
+        "conclusion" => print!(
+            "{}",
+            conclusion::render(&conclusion::run(&conclusion::Config::at_scale(scale)))
+        ),
+        "ablations" => {
+            print!(
+                "{}",
+                ablation::render(
+                    "load",
+                    &ablation::load_sweep(scale, Scheme::All, &[0.9, 1.0, 1.1, 1.2]),
+                )
+            );
+            print!(
+                "{}",
+                ablation::render("cycle", &ablation::cbf_cycle_sweep(scale, &[0.0, 30.0, 300.0]))
+            );
+            print!(
+                "{}",
+                ablation::render("policy", &ablation::selection_sweep(scale, Scheme::R(2)))
+            );
+            print!(
+                "{}",
+                ablation::render("inflation", &ablation::inflation_sweep(scale, Scheme::Half))
+            );
+        }
+        "forecast" => print!(
+            "{}",
+            forecast::render(&forecast::run(&forecast::Config::at_scale(scale)))
+        ),
+        "moldable" => print!(
+            "{}",
+            moldable::render(&moldable::run(&moldable::Config::at_scale(scale)))
+        ),
+        "dual-queue" => print!(
+            "{}",
+            dual_queue::render(&dual_queue::run(&dual_queue::Config::at_scale(scale)))
+        ),
+        "trace-check" => print!(
+            "{}",
+            trace_check::render(&trace_check::run(&trace_check::Config::at_scale(scale)))
+        ),
+        "all" => {
+            for (name, _) in EXPERIMENTS.iter().filter(|(n, _)| *n != "all") {
+                println!("\n=== {name} ===");
+                run_experiment(name, scale);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; try `rbr list`");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn capacity(iat: f64) {
+    let sys = SystemCapacity::paper_2006();
+    println!("interarrival time: {iat} s per cluster\n");
+    let mut t = Table::new(vec!["component", "max sustainable redundancy r"]);
+    for (component, r) in sys.max_redundancy_per_component(iat) {
+        t.push(vec![format!("{component:?}"), format!("{r:.1}")]);
+    }
+    print!("{}", t.render());
+    let (bottleneck, rate) = sys.bottleneck();
+    println!("\nbottleneck: {bottleneck:?} ({rate:.2} submissions/s)");
+    println!("system-wide: r < {:.1}", sys.max_redundancy(iat));
+    println!();
+    for r in [1.0, 3.0, 30.0] {
+        let load = steady_state_load(r, iat);
+        println!(
+            "r = {r:2.0}: {:.2} submissions/s + {:.2} cancellations/s per cluster",
+            load.submissions_per_sec, load.cancellations_per_sec
+        );
+    }
+    let _ = max_redundancy(iat, 6.0);
+}
+
+fn swf_export(path: &str, hours: f64) -> ExitCode {
+    let model = LublinModel::new(LublinConfig::paper_2006());
+    let jobs = model.generate(
+        &mut SeedSequence::new(2006).rng(),
+        Duration::from_secs(hours * 3600.0),
+        &EstimateModel::paper_real(),
+    );
+    let trace = SwfTrace::from_jobs(
+        &jobs,
+        vec![
+            "Synthetic trace from the calibrated Lublin model".to_string(),
+            "Computer: rbr 128-node cluster".to_string(),
+            format!("Hours: {hours}"),
+        ],
+    );
+    match std::fs::write(path, trace.to_swf()) {
+        Ok(()) => {
+            println!("wrote {} jobs to {path}", jobs.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn throughput() {
+    let mut t = Table::new(vec!["queue size", "EASY pairs/s", "CBF pairs/s", "FCFS pairs/s"]);
+    for q in [0usize, 1_000, 5_000, 10_000] {
+        let mut row = vec![q.to_string()];
+        for alg in [Algorithm::Easy, Algorithm::Cbf, Algorithm::Fcfs] {
+            row.push(format!("{:.0}", fig5::native_throughput(alg, q, 500, 7)));
+        }
+        t.push(row);
+    }
+    print!("{}", t.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_finds_following_token() {
+        let a = args(&["run", "fig1", "--scale", "paper"]);
+        assert_eq!(flag_value(&a, "--scale"), Some("paper"));
+        assert_eq!(flag_value(&a, "--iat"), None);
+        // Flag at the end with no value.
+        let b = args(&["capacity", "--iat"]);
+        assert_eq!(flag_value(&b, "--iat"), None);
+    }
+
+    #[test]
+    fn parse_scale_accepts_all_levels() {
+        assert_eq!(parse_scale(&args(&["--scale", "smoke"])).unwrap(), Scale::Smoke);
+        assert_eq!(parse_scale(&args(&["--scale", "quick"])).unwrap(), Scale::Quick);
+        assert_eq!(parse_scale(&args(&["--scale", "paper"])).unwrap(), Scale::Paper);
+        assert!(parse_scale(&args(&["--scale", "huge"])).is_err());
+    }
+
+    #[test]
+    fn parse_flag_value_parses_numbers() {
+        assert_eq!(parse_flag_value(&args(&["--iat", "2.5"]), "--iat"), Some(2.5));
+        assert_eq!(parse_flag_value(&args(&["--iat", "x"]), "--iat"), None);
+    }
+
+    #[test]
+    fn experiment_registry_is_complete() {
+        // Every named experiment should be unique.
+        let mut names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert!(names.contains(&"all"));
+    }
+}

@@ -1,0 +1,144 @@
+//! The conclusion's quantified scenario: "When 80 % of jobs send
+//! redundant requests to all clusters in a 20-cluster platform, the
+//! average stretch of jobs not using redundant requests is 75 % higher
+//! than when there are no redundant requests in the system. In this case
+//! jobs using redundant requests experience stretches that are on
+//! average half of those experienced by jobs not using redundant
+//! requests. If the jobs using redundant requests send them to only 20 %
+//! of the clusters, then the stretches of jobs not using redundant
+//! requests are only increased by roughly 20 %."
+
+use rbr_grid::{GridConfig, Scheme};
+use rbr_simcore::{Duration, SeedSequence};
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+use super::{run_reps, RunMetrics};
+
+/// Parameters of the conclusion scenario.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of clusters (paper: 20).
+    pub n: usize,
+    /// Fraction of jobs using redundancy (paper: 0.8).
+    pub fraction: f64,
+    /// Schemes to compare: ALL ("all clusters") and R(n/5) ("20 % of the
+    /// clusters").
+    pub schemes: Vec<Scheme>,
+    /// Replications.
+    pub reps: usize,
+    /// Submission window.
+    pub window: Duration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// The paper's scenario.
+    pub fn paper() -> Self {
+        Config::at_scale(Scale::Paper)
+    }
+
+    /// Reduced fidelity.
+    pub fn at_scale(scale: Scale) -> Self {
+        Config {
+            n: 20,
+            fraction: 0.8,
+            schemes: vec![Scheme::All, Scheme::R(4)], // 4 = 20 % of 20
+            reps: scale.reps(),
+            window: scale.window(),
+            seed: 51,
+        }
+    }
+}
+
+/// The scenario's outcome for one scheme.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Scheme used by the redundant 80 %.
+    pub scheme: Scheme,
+    /// Baseline average stretch with no redundancy anywhere.
+    pub baseline_stretch: f64,
+    /// Average stretch of the non-redundant jobs in the mixed system.
+    pub stretch_nr: f64,
+    /// Average stretch of the redundant jobs in the mixed system.
+    pub stretch_r: f64,
+    /// `stretch_nr / baseline` — the paper quotes +75 % for ALL.
+    pub nr_vs_baseline: f64,
+    /// `stretch_r / stretch_nr` — the paper quotes ≈ 0.5 for ALL.
+    pub r_vs_nr: f64,
+}
+
+/// Runs the scenario.
+pub fn run(config: &Config) -> Vec<Row> {
+    let seed = SeedSequence::new(config.seed);
+    let mut base = GridConfig::homogeneous(config.n, Scheme::None);
+    base.window = config.window;
+    let b = run_reps(&base, config.reps, seed, RunMetrics::from_run);
+    let baseline = b.iter().map(|m| m.stretch_mean).sum::<f64>() / b.len() as f64;
+
+    config
+        .schemes
+        .iter()
+        .map(|&scheme| {
+            let mut cfg = base.clone();
+            cfg.scheme = scheme;
+            cfg.redundant_fraction = config.fraction;
+            let t = run_reps(&cfg, config.reps, seed, RunMetrics::from_run);
+            let nr = t.iter().map(|m| m.stretch_non_redundant).sum::<f64>() / t.len() as f64;
+            let r = t.iter().map(|m| m.stretch_redundant).sum::<f64>() / t.len() as f64;
+            Row {
+                scheme,
+                baseline_stretch: baseline,
+                stretch_nr: nr,
+                stretch_r: r,
+                nr_vs_baseline: nr / baseline,
+                r_vs_nr: r / nr,
+            }
+        })
+        .collect()
+}
+
+/// Renders the scenario.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "scheme",
+        "baseline",
+        "n-r stretch",
+        "r stretch",
+        "n-r vs baseline",
+        "r vs n-r",
+    ]);
+    for r in rows {
+        t.push(vec![
+            r.scheme.to_string(),
+            format!("{:.2}", r.baseline_stretch),
+            format!("{:.2}", r.stretch_nr),
+            format!("{:.2}", r.stretch_r),
+            format!("{:.2}", r.nr_vs_baseline),
+            format!("{:.2}", r.r_vs_nr),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run() {
+        let mut cfg = Config::at_scale(Scale::Smoke);
+        cfg.n = 5;
+        cfg.schemes = vec![Scheme::All];
+        cfg.window = Duration::from_secs(1_200.0);
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.baseline_stretch >= 1.0);
+        // Redundant jobs beat non-redundant jobs in the same system.
+        assert!(r.r_vs_nr < 1.0, "r_vs_nr {}", r.r_vs_nr);
+        assert!(render(&rows).contains("n-r vs baseline"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Beyond the paper: option (iii) of Section 2 — redundant requests to
+//! multiple queues (premium + standard) of a single resource.
+//!
+//! The sweep varies the fraction of users racing both queues and reports
+//! what they gain, what the single-queue users lose, and how often the
+//! expensive queue ends up billed.
+
+use rbr_grid::dual_queue::{self, DualQueueConfig};
+use rbr_simcore::SeedSequence;
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Parameters of the dual-queue experiment.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Fractions of dual-queue users to sweep.
+    pub fractions: Vec<f64>,
+    /// Base single-cluster setup.
+    pub base: DualQueueConfig,
+    /// Replications.
+    pub reps: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Default protocol at the given scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        let mut base = DualQueueConfig::new(0.0);
+        base.window = scale.window();
+        Config {
+            fractions: match scale {
+                Scale::Smoke => vec![0.0, 0.4],
+                _ => vec![0.0, 0.1, 0.3, 0.5, 0.8],
+            },
+            base,
+            reps: scale.reps().min(8),
+            seed: 58,
+        }
+    }
+}
+
+/// One point of the sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Fraction of users racing both queues.
+    pub fraction: f64,
+    /// Mean stretch of dual-queue users (NaN at fraction 0).
+    pub dual_stretch: f64,
+    /// Mean stretch of standard-only users.
+    pub single_stretch: f64,
+    /// Fraction of dual jobs won by the premium queue.
+    pub premium_win_fraction: f64,
+    /// Mean price multiplier paid by dual users.
+    pub dual_mean_price: f64,
+}
+
+/// Runs the sweep.
+pub fn run(config: &Config) -> Vec<Row> {
+    config
+        .fractions
+        .iter()
+        .map(|&fraction| {
+            let mut dual = 0.0;
+            let mut dual_n = 0usize;
+            let mut single = 0.0;
+            let mut single_n = 0usize;
+            let mut wins = 0.0;
+            let mut price = 0.0;
+            for rep in 0..config.reps {
+                let mut cfg = config.base.clone();
+                cfg.dual_fraction = fraction;
+                let result =
+                    dual_queue::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
+                if result.dual_stretch.n() > 0 {
+                    dual += result.dual_stretch.mean();
+                    wins += result.premium_win_fraction;
+                    price += result.dual_mean_price;
+                    dual_n += 1;
+                }
+                if result.single_stretch.n() > 0 {
+                    single += result.single_stretch.mean();
+                    single_n += 1;
+                }
+            }
+            Row {
+                fraction,
+                dual_stretch: if dual_n > 0 { dual / dual_n as f64 } else { f64::NAN },
+                single_stretch: if single_n > 0 {
+                    single / single_n as f64
+                } else {
+                    f64::NAN
+                },
+                premium_win_fraction: if dual_n > 0 { wins / dual_n as f64 } else { f64::NAN },
+                dual_mean_price: if dual_n > 0 { price / dual_n as f64 } else { f64::NAN },
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn render(rows: &[Row]) -> String {
+    let fmt = |x: f64| {
+        if x.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{x:.2}")
+        }
+    };
+    let mut t = Table::new(vec![
+        "dual fraction",
+        "dual stretch",
+        "single stretch",
+        "premium wins",
+        "mean price",
+    ]);
+    for r in rows {
+        t.push(vec![
+            format!("{:.0}%", r.fraction * 100.0),
+            fmt(r.dual_stretch),
+            fmt(r.single_stretch),
+            if r.premium_win_fraction.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.0}%", r.premium_win_fraction * 100.0)
+            },
+            fmt(r.dual_mean_price),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_simcore::Duration;
+
+    #[test]
+    fn smoke_run() {
+        let mut cfg = Config::at_scale(Scale::Smoke);
+        cfg.base.window = Duration::from_secs(1_800.0);
+        cfg.reps = 2;
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].dual_stretch.is_nan());
+        assert!(rows[1].dual_stretch.is_finite());
+        // Dual users should not do worse than single users in the same runs.
+        assert!(rows[1].dual_stretch <= rows[1].single_stretch * 1.1);
+        assert!(render(&rows).contains("premium wins"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Figures 1 and 2: relative average stretch and relative coefficient of
+//! variation of stretches, versus the number of clusters.
+//!
+//! Paper setup: N ∈ {2, 3, 4, 5, 10, 20} identical 128-node clusters,
+//! EASY scheduling, exact estimates, schemes R2/R3/R4/HALF/ALL, 50
+//! replications. Paper findings: worst case ≈ +10 % (small N); all
+//! schemes beneficial for N > 5, improving stretch by 15–25 % and
+//! fairness (CV) by 10–25 %; max stretch improves 10–60 %.
+
+use rbr_grid::{GridConfig, Scheme};
+use rbr_simcore::{Duration, SeedSequence};
+use rbr_stats::RelativeSeries;
+
+use crate::plot::AsciiPlot;
+use crate::report::Table;
+use crate::scale::Scale;
+
+use super::{run_reps, RunMetrics};
+
+/// Parameters of the Figure 1/2 sweep.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Cluster counts to sweep.
+    pub ns: Vec<usize>,
+    /// Redundancy schemes to evaluate (the baseline NONE is implicit).
+    pub schemes: Vec<Scheme>,
+    /// Replications per (N, scheme).
+    pub reps: usize,
+    /// Submission window.
+    pub window: Duration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// The paper's exact protocol.
+    pub fn paper() -> Self {
+        Config::at_scale(Scale::Paper)
+    }
+
+    /// The protocol at reduced fidelity.
+    pub fn at_scale(scale: Scale) -> Self {
+        let ns = match scale {
+            Scale::Smoke => vec![2, 5],
+            Scale::Quick => vec![2, 5, 10, 20],
+            Scale::Paper => vec![2, 3, 4, 5, 10, 20],
+        };
+        Config {
+            ns,
+            schemes: Scheme::paper_schemes().to_vec(),
+            reps: scale.reps(),
+            window: scale.window(),
+            seed: 42,
+        }
+    }
+}
+
+/// One point of the figures: a `(N, scheme)` pair with every relative
+/// metric the paper plots.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Number of clusters.
+    pub n: usize,
+    /// Redundancy scheme.
+    pub scheme: Scheme,
+    /// Figure 1's y-axis: mean over replications of
+    /// `avg_stretch(scheme) / avg_stretch(NONE)`.
+    pub rel_stretch: f64,
+    /// Figure 2's y-axis: the same ratio for the CV of stretches.
+    pub rel_cv: f64,
+    /// Relative maximum stretch (quoted in §3.3 as improving 10–60 %).
+    pub rel_max_stretch: f64,
+    /// Relative mean turnaround (§3.3: always beneficial by this metric).
+    pub rel_turnaround: f64,
+    /// Fraction of replications where the scheme strictly improved the
+    /// average stretch (§3.3 quotes >85–95 % for N ≥ 10).
+    pub win_fraction: f64,
+    /// Worst (largest) per-replication stretch ratio.
+    pub worst: f64,
+    /// Absolute baseline average stretch, for context.
+    pub baseline_stretch: f64,
+}
+
+/// Runs the sweep.
+pub fn run(config: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in &config.ns {
+        let seed = SeedSequence::new(config.seed).child(n as u64);
+        let mut base_cfg = GridConfig::homogeneous(n, Scheme::None);
+        base_cfg.window = config.window;
+        let baseline = run_reps(&base_cfg, config.reps, seed, RunMetrics::from_run);
+        let base_stretch: Vec<f64> = baseline.iter().map(|m| m.stretch_mean).collect();
+        let base_cv: Vec<f64> = baseline.iter().map(|m| m.stretch_cv).collect();
+        let base_max: Vec<f64> = baseline.iter().map(|m| m.stretch_max).collect();
+        let base_tat: Vec<f64> = baseline.iter().map(|m| m.turnaround_mean).collect();
+
+        for &scheme in &config.schemes {
+            let mut cfg = GridConfig::homogeneous(n, scheme);
+            cfg.window = config.window;
+            let metrics = run_reps(&cfg, config.reps, seed, RunMetrics::from_run);
+            let stretch: Vec<f64> = metrics.iter().map(|m| m.stretch_mean).collect();
+            let ratios: Vec<f64> = stretch
+                .iter()
+                .zip(&base_stretch)
+                .map(|(a, b)| a / b)
+                .collect();
+            let series = RelativeSeries::from_ratios(ratios);
+            rows.push(Row {
+                n,
+                scheme,
+                rel_stretch: series.summary().mean(),
+                rel_cv: super::mean_ratio(
+                    &metrics.iter().map(|m| m.stretch_cv).collect::<Vec<_>>(),
+                    &base_cv,
+                ),
+                rel_max_stretch: super::mean_ratio(
+                    &metrics.iter().map(|m| m.stretch_max).collect::<Vec<_>>(),
+                    &base_max,
+                ),
+                rel_turnaround: super::mean_ratio(
+                    &metrics.iter().map(|m| m.turnaround_mean).collect::<Vec<_>>(),
+                    &base_tat,
+                ),
+                win_fraction: series.win_fraction(),
+                worst: series.worst(),
+                baseline_stretch: base_stretch.iter().sum::<f64>() / base_stretch.len() as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the rows the way the paper's figures read.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "N", "scheme", "rel stretch", "rel CV", "rel max", "rel TAT", "wins", "worst",
+        "base stretch",
+    ]);
+    for r in rows {
+        t.push(vec![
+            r.n.to_string(),
+            r.scheme.to_string(),
+            format!("{:.3}", r.rel_stretch),
+            format!("{:.3}", r.rel_cv),
+            format!("{:.3}", r.rel_max_stretch),
+            format!("{:.3}", r.rel_turnaround),
+            format!("{:.0}%", r.win_fraction * 100.0),
+            format!("{:.3}", r.worst),
+            format!("{:.1}", r.baseline_stretch),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the rows as the paper's Figure 1 plot (one series per
+/// scheme, x = number of clusters, y = relative average stretch).
+pub fn render_plot(rows: &[Row]) -> String {
+    let mut plot = AsciiPlot::new(
+        "Figure 1: average stretch relative to NONE",
+        "number of clusters",
+        "relative stretch",
+    );
+    let mut schemes: Vec<Scheme> = rows.iter().map(|r| r.scheme).collect();
+    schemes.dedup();
+    for scheme in schemes {
+        let pts: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r.scheme == scheme)
+            .map(|r| (r.n as f64, r.rel_stretch))
+            .collect();
+        plot = plot.series(&scheme.to_string(), &pts);
+    }
+    plot.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_all_rows() {
+        let cfg = Config::at_scale(Scale::Smoke);
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), cfg.ns.len() * cfg.schemes.len());
+        for r in &rows {
+            assert!(r.rel_stretch > 0.0 && r.rel_stretch.is_finite());
+            assert!(r.rel_cv > 0.0 && r.rel_cv.is_finite());
+            assert!(r.baseline_stretch >= 1.0);
+        }
+        let text = render(&rows);
+        assert!(text.contains("rel stretch"));
+        assert!(text.contains("ALL"));
+        let plot = render_plot(&rows);
+        assert!(plot.contains("Figure 1"));
+        assert!(plot.contains("legend"));
+    }
+
+    #[test]
+    fn paper_config_matches_protocol() {
+        let cfg = Config::paper();
+        assert_eq!(cfg.ns, vec![2, 3, 4, 5, 10, 20]);
+        assert_eq!(cfg.reps, 50);
+        assert_eq!(cfg.schemes.len(), 5);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let mut cfg = Config::at_scale(Scale::Smoke);
+        cfg.ns = vec![2];
+        cfg.schemes = vec![Scheme::R(2)];
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a[0].rel_stretch, b[0].rel_stretch);
+        assert_eq!(a[0].rel_cv, b[0].rel_cv);
+    }
+}

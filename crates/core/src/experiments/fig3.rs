@@ -1,0 +1,162 @@
+//! Figure 3: relative average stretch versus the job interarrival time.
+//!
+//! The paper varies the Gamma shape α from 4 to 20 (β fixed at 0.49),
+//! giving mean interarrival times between ≈2 s and ≈10 s on N = 10
+//! clusters, and finds redundancy beneficial at every load level (and
+//! likewise for the CV of stretches, "not shown").
+
+use rbr_grid::{GridConfig, Scheme};
+use rbr_simcore::{Duration, SeedSequence};
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+use super::{mean_ratio, run_reps, RunMetrics};
+
+/// Parameters of the Figure 3 sweep.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of clusters (paper: 10).
+    pub n: usize,
+    /// Gamma shape values α to sweep (paper: 4 → 20).
+    pub alphas: Vec<f64>,
+    /// Schemes to evaluate.
+    pub schemes: Vec<Scheme>,
+    /// Replications per point.
+    pub reps: usize,
+    /// Submission window.
+    pub window: Duration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// The paper's exact protocol.
+    pub fn paper() -> Self {
+        Config::at_scale(Scale::Paper)
+    }
+
+    /// The protocol at reduced fidelity.
+    pub fn at_scale(scale: Scale) -> Self {
+        let alphas = match scale {
+            Scale::Smoke => vec![8.0, 16.0],
+            Scale::Quick => vec![6.0, 10.23, 16.0, 20.0],
+            Scale::Paper => vec![4.0, 6.0, 8.0, 10.23, 12.0, 14.0, 16.0, 18.0, 20.0],
+        };
+        Config {
+            n: 10,
+            alphas,
+            schemes: Scheme::paper_schemes().to_vec(),
+            reps: scale.reps(),
+            window: scale.window(),
+            seed: 45,
+        }
+    }
+}
+
+/// One point of the figure.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Gamma shape α.
+    pub alpha: f64,
+    /// Mean interarrival time α·β in seconds (the figure's x-axis).
+    pub mean_interarrival: f64,
+    /// Redundancy scheme.
+    pub scheme: Scheme,
+    /// Relative average stretch vs NONE.
+    pub rel_stretch: f64,
+    /// Relative CV of stretches vs NONE (the paper reports this improves
+    /// too, without plotting it).
+    pub rel_cv: f64,
+    /// Absolute baseline stretch, for context.
+    pub baseline_stretch: f64,
+}
+
+/// Runs the sweep.
+pub fn run(config: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (a_idx, &alpha) in config.alphas.iter().enumerate() {
+        let seed = SeedSequence::new(config.seed).child(a_idx as u64);
+        let mut base = GridConfig::homogeneous(config.n, Scheme::None);
+        base.window = config.window;
+        for c in &mut base.clusters {
+            c.workload = c.workload.with_interarrival_shape(alpha);
+        }
+        let mean_iat = base.clusters[0].workload.mean_interarrival();
+        let b = run_reps(&base, config.reps, seed, RunMetrics::from_run);
+        let bs: Vec<f64> = b.iter().map(|m| m.stretch_mean).collect();
+        let bcv: Vec<f64> = b.iter().map(|m| m.stretch_cv).collect();
+
+        for &scheme in &config.schemes {
+            let mut cfg = base.clone();
+            cfg.scheme = scheme;
+            let t = run_reps(&cfg, config.reps, seed, RunMetrics::from_run);
+            rows.push(Row {
+                alpha,
+                mean_interarrival: mean_iat,
+                scheme,
+                rel_stretch: mean_ratio(
+                    &t.iter().map(|m| m.stretch_mean).collect::<Vec<_>>(),
+                    &bs,
+                ),
+                rel_cv: mean_ratio(
+                    &t.iter().map(|m| m.stretch_cv).collect::<Vec<_>>(),
+                    &bcv,
+                ),
+                baseline_stretch: bs.iter().sum::<f64>() / bs.len() as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the sweep.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "alpha",
+        "mean iat (s)",
+        "scheme",
+        "rel stretch",
+        "rel CV",
+        "base stretch",
+    ]);
+    for r in rows {
+        t.push(vec![
+            format!("{:.2}", r.alpha),
+            format!("{:.2}", r.mean_interarrival),
+            r.scheme.to_string(),
+            format!("{:.3}", r.rel_stretch),
+            format!("{:.3}", r.rel_cv),
+            format!("{:.1}", r.baseline_stretch),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run() {
+        let mut cfg = Config::at_scale(Scale::Smoke);
+        cfg.n = 3;
+        cfg.schemes = vec![Scheme::All];
+        cfg.window = Duration::from_secs(900.0);
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 2);
+        // x-axis values follow α·β.
+        assert!((rows[0].mean_interarrival - 8.0 * 0.49).abs() < 1e-9);
+        assert!(render(&rows).contains("mean iat"));
+    }
+
+    #[test]
+    fn paper_sweep_spans_two_to_ten_seconds() {
+        let cfg = Config::paper();
+        let lo = 4.0 * 0.49;
+        let hi = 20.0 * 0.49;
+        assert!((1.9..2.1).contains(&lo));
+        assert!((9.7..9.9).contains(&hi));
+        assert!(cfg.alphas.contains(&10.23)); // the base model point
+    }
+}

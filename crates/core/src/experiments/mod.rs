@@ -1,0 +1,162 @@
+//! One reproducible runner per figure and table of the paper, plus
+//! ablations beyond it.
+//!
+//! | module | reproduces |
+//! |--------|------------|
+//! | [`fig1`] | Figure 1 (relative average stretch vs N) and Figure 2 (relative CV of stretches vs N) |
+//! | [`table1`] | Table 1 (EASY / CBF / FCFS × exact / real estimates) |
+//! | [`table2`] | Table 2 (non-uniformly distributed redundant requests) |
+//! | [`fig3`] | Figure 3 (relative stretch vs job interarrival time) |
+//! | [`table3`] | Table 3 (heterogeneous platforms) |
+//! | [`fig4`] | Figure 4 (r-jobs vs n-r jobs vs fraction p) |
+//! | [`fig5`] | Figure 5 (scheduler submit/cancel throughput vs queue size) |
+//! | [`table4`] | Table 4 (queue-wait over-prediction) |
+//! | [`queue_growth`] | §4.1's "<2 % larger max queue size" check |
+//! | [`conclusion`] | the N = 20, 80 %-ALL scenario quoted in the conclusion |
+//! | [`ablation`] | beyond the paper: load-regime, CBF-cycle, and selection-policy sensitivity |
+//! | [`forecast`] | beyond the paper: redundancy's effect on statistical (binomial quantile-bound) wait forecasting |
+//! | [`moldable`] | beyond the paper: option (iv) — redundant shape requests for moldable jobs |
+//! | [`dual_queue`] | beyond the paper: option (iii) — redundant requests across premium/standard queues |
+//! | [`trace_check`] | §3.1.1's trace cross-check: replay an SWF trace split across the clusters |
+//!
+//! Every runner is a pure function of its `Config` (seeds included), so
+//! results are bit-reproducible across machines.
+
+pub mod ablation;
+pub mod conclusion;
+pub mod dual_queue;
+pub mod fig1;
+pub mod forecast;
+pub mod moldable;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod queue_growth;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod trace_check;
+
+use rayon::prelude::*;
+use rbr_grid::record::JobClass;
+use rbr_grid::{GridConfig, GridSim, RunResult};
+use rbr_simcore::SeedSequence;
+
+/// The per-run metrics the figures and tables are built from. Reducing
+/// each run to this immediately keeps memory flat when replications run
+/// in parallel.
+#[derive(Clone, Copy, Debug)]
+pub struct RunMetrics {
+    /// Mean job stretch.
+    pub stretch_mean: f64,
+    /// Coefficient of variation of job stretches (the fairness metric).
+    pub stretch_cv: f64,
+    /// Largest job stretch.
+    pub stretch_max: f64,
+    /// Mean turnaround time in seconds.
+    pub turnaround_mean: f64,
+    /// Mean stretch over redundant jobs only (NaN if none).
+    pub stretch_redundant: f64,
+    /// Mean stretch over non-redundant jobs only (NaN if none).
+    pub stretch_non_redundant: f64,
+    /// Average over clusters of the maximum queue length.
+    pub max_queue_avg: f64,
+}
+
+impl RunMetrics {
+    /// Reduces a completed run.
+    pub fn from_run(run: &RunResult) -> Self {
+        let all = run.stretch(JobClass::All);
+        let r = run.stretch(JobClass::Redundant);
+        let nr = run.stretch(JobClass::NonRedundant);
+        RunMetrics {
+            stretch_mean: all.mean(),
+            stretch_cv: all.cv(),
+            stretch_max: all.max(),
+            turnaround_mean: run.turnaround(JobClass::All).mean(),
+            stretch_redundant: if r.is_empty() { f64::NAN } else { r.mean() },
+            stretch_non_redundant: if nr.is_empty() { f64::NAN } else { nr.mean() },
+            max_queue_avg: run.max_queue_len.iter().sum::<usize>() as f64
+                / run.max_queue_len.len() as f64,
+        }
+    }
+}
+
+/// Runs `reps` replications of a configuration, reducing each run with
+/// `reduce`. Replication `k` always uses `seed.child(k)`, so two calls
+/// with the same seed but different schemes see identical job streams —
+/// the paper's paired design.
+pub(crate) fn run_reps<T, F>(config: &GridConfig, reps: usize, seed: SeedSequence, reduce: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&RunResult) -> T + Sync,
+{
+    (0..reps)
+        .into_par_iter()
+        .map(|rep| {
+            let run = GridSim::execute(config.clone(), seed.child(rep as u64));
+            reduce(&run)
+        })
+        .collect()
+}
+
+/// Like [`run_reps`] but the configuration itself may depend on the
+/// replication index (heterogeneous platforms are redrawn per
+/// replication in Table 3).
+pub(crate) fn run_reps_with<T, F, C>(
+    reps: usize,
+    seed: SeedSequence,
+    make_config: C,
+    reduce: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&RunResult) -> T + Sync,
+    C: Fn(usize) -> GridConfig + Sync,
+{
+    (0..reps)
+        .into_par_iter()
+        .map(|rep| {
+            let run = GridSim::execute(make_config(rep), seed.child(rep as u64));
+            reduce(&run)
+        })
+        .collect()
+}
+
+/// Mean of per-replication ratios `treatment[k] / baseline[k]`.
+pub(crate) fn mean_ratio(treatment: &[f64], baseline: &[f64]) -> f64 {
+    rbr_stats::mean_relative(treatment, baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_grid::Scheme;
+    use rbr_simcore::Duration;
+
+    fn tiny(scheme: Scheme) -> GridConfig {
+        let mut cfg = GridConfig::homogeneous(2, scheme);
+        cfg.window = Duration::from_secs(900.0);
+        cfg
+    }
+
+    #[test]
+    fn paired_runs_share_streams() {
+        let seed = SeedSequence::new(7);
+        let a = run_reps(&tiny(Scheme::None), 2, seed, |r| r.records.len());
+        let b = run_reps(&tiny(Scheme::All), 2, seed, |r| r.records.len());
+        assert_eq!(a, b, "same seeds must yield identical job populations");
+    }
+
+    #[test]
+    fn metrics_are_finite_for_mixed_population() {
+        let mut cfg = tiny(Scheme::All);
+        cfg.redundant_fraction = 0.5;
+        let m = run_reps(&cfg, 1, SeedSequence::new(8), RunMetrics::from_run);
+        assert!(m[0].stretch_mean >= 1.0);
+        assert!(m[0].stretch_redundant.is_finite());
+        assert!(m[0].stretch_non_redundant.is_finite());
+        assert!(m[0].max_queue_avg >= 0.0);
+    }
+}

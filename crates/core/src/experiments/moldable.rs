@@ -1,0 +1,130 @@
+//! Beyond the paper: option (iv) of Section 2 — redundant requests for
+//! *different node counts* (moldable jobs) in a single batch queue.
+//!
+//! The paper's conundrum: "should one wait possibly a long time for a
+//! larger number of nodes?" A fixed shape either waits too long (wide)
+//! or runs too long (narrow); redundant shape requests let the queue
+//! decide. This experiment compares every fixed-shape policy against the
+//! all-shapes redundant policy on identical workloads.
+
+use rbr_grid::moldable::{self, MoldableConfig, ShapePolicy};
+use rbr_simcore::SeedSequence;
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Parameters of the moldable experiment.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Base single-cluster setup (shapes, machine size, algorithm).
+    pub base: MoldableConfig,
+    /// Replications.
+    pub reps: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Default protocol at the given scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        let mut base = MoldableConfig::new(ShapePolicy::AllShapes);
+        base.window = scale.window();
+        Config {
+            base,
+            reps: scale.reps().min(8),
+            seed: 57,
+        }
+    }
+}
+
+/// One policy's outcome.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Policy label.
+    pub policy: String,
+    /// Mean turnaround (seconds).
+    pub turnaround: f64,
+    /// Mean normalized stretch (turnaround ÷ best achievable runtime).
+    pub normalized_stretch: f64,
+    /// Mean nodes actually used.
+    pub mean_nodes: f64,
+}
+
+/// Runs the comparison: each fixed shape, then all-shapes redundancy.
+pub fn run(config: &Config) -> Vec<Row> {
+    let mut policies: Vec<(String, ShapePolicy)> = config
+        .base
+        .shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (format!("fixed {s} nodes"), ShapePolicy::Fixed(i)))
+        .collect();
+    policies.push(("all shapes (redundant)".to_string(), ShapePolicy::AllShapes));
+
+    policies
+        .into_iter()
+        .map(|(label, policy)| {
+            let mut turnaround = 0.0;
+            let mut stretch = 0.0;
+            let mut nodes = 0.0;
+            for rep in 0..config.reps {
+                let mut cfg = config.base.clone();
+                cfg.policy = policy;
+                let result =
+                    moldable::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
+                turnaround += result.turnaround().mean() / config.reps as f64;
+                stretch += result.normalized_stretch().mean() / config.reps as f64;
+                nodes += result.mean_nodes() / config.reps as f64;
+            }
+            Row {
+                policy: label,
+                turnaround,
+                normalized_stretch: stretch,
+                mean_nodes: nodes,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparison.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "policy",
+        "mean turnaround (s)",
+        "norm. stretch",
+        "mean nodes",
+    ]);
+    for r in rows {
+        t.push(vec![
+            r.policy.clone(),
+            format!("{:.0}", r.turnaround),
+            format!("{:.2}", r.normalized_stretch),
+            format!("{:.1}", r.mean_nodes),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_simcore::Duration;
+
+    #[test]
+    fn smoke_run_compares_policies() {
+        let mut cfg = Config::at_scale(Scale::Smoke);
+        cfg.base.window = Duration::from_secs(1_200.0);
+        cfg.reps = 2;
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), cfg.base.shapes.len() + 1);
+        assert!(rows.iter().all(|r| r.turnaround > 0.0));
+        // The redundant policy should not lose to the WORST fixed choice.
+        let worst_fixed = rows[..rows.len() - 1]
+            .iter()
+            .map(|r| r.turnaround)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let redundant = rows.last().unwrap().turnaround;
+        assert!(redundant <= worst_fixed * 1.05);
+        assert!(render(&rows).contains("all shapes"));
+    }
+}

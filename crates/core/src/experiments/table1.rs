@@ -1,0 +1,181 @@
+//! Table 1: the HALF scheme on N = 10 clusters under three scheduling
+//! algorithms (EASY, CBF, FCFS) and two estimate models (exact and
+//! "real" — the φ-model overestimates with mean factor 2.16).
+//!
+//! Paper values (relative to NONE on the same streams):
+//!
+//! |      | rel. avg stretch (exact / real) | rel. CV (exact / real) |
+//! |------|--------------------------------|------------------------|
+//! | EASY | 0.88 / 0.83 | 0.83 / 0.83 |
+//! | CBF  | 0.90 / 0.83 | 0.86 / 0.83 |
+//! | FCFS | 0.93 / 0.93 | 0.93 / 0.93 |
+//!
+//! The headline: **all entries below 1** — redundancy helps under every
+//! algorithm and estimate model.
+
+use rbr_grid::{GridConfig, Scheme};
+use rbr_sched::Algorithm;
+use rbr_simcore::{Duration, SeedSequence};
+use rbr_workload::EstimateModel;
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+use super::{mean_ratio, run_reps, RunMetrics};
+
+/// Parameters of the Table 1 experiment.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of clusters (paper: 10).
+    pub n: usize,
+    /// Scheme used by all jobs (paper: HALF).
+    pub scheme: Scheme,
+    /// Algorithms to evaluate.
+    pub algorithms: Vec<Algorithm>,
+    /// Estimate models to evaluate (exact and real).
+    pub estimates: Vec<EstimateModel>,
+    /// Replications per cell for the cheap algorithms (EASY, FCFS).
+    pub reps: usize,
+    /// Replications per cell for CBF (schedule compression is ~30×
+    /// slower, so reduced scales use fewer).
+    pub cbf_reps: usize,
+    /// Submission window.
+    pub window: Duration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// The paper's exact protocol.
+    pub fn paper() -> Self {
+        Config::at_scale(Scale::Paper)
+    }
+
+    /// The protocol at reduced fidelity (CBF pays the schedule-compression
+    /// cost, so replications follow `Scale::cbf_reps`).
+    pub fn at_scale(scale: Scale) -> Self {
+        Config {
+            n: 10,
+            scheme: Scheme::Half,
+            algorithms: vec![Algorithm::Easy, Algorithm::Cbf, Algorithm::Fcfs],
+            estimates: vec![EstimateModel::Exact, EstimateModel::paper_real()],
+            reps: scale.reps(),
+            cbf_reps: scale.cbf_reps(),
+            window: scale.window(),
+            seed: 43,
+        }
+    }
+}
+
+/// One cell pair of Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Scheduling algorithm.
+    pub algorithm: Algorithm,
+    /// Estimate model used.
+    pub estimates: EstimateModel,
+    /// Relative average stretch vs NONE.
+    pub rel_stretch: f64,
+    /// Relative CV of stretches vs NONE.
+    pub rel_cv: f64,
+    /// Absolute baseline stretch, for context.
+    pub baseline_stretch: f64,
+}
+
+/// Runs the experiment.
+pub fn run(config: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &alg in &config.algorithms {
+        for (e_idx, &est) in config.estimates.iter().enumerate() {
+            let seed = SeedSequence::new(config.seed)
+                .child(alg as u64)
+                .child(e_idx as u64);
+            let mut base = GridConfig::homogeneous(config.n, Scheme::None);
+            base.algorithm = alg;
+            base.estimates = est;
+            base.window = config.window;
+            let mut treat = base.clone();
+            treat.scheme = config.scheme;
+
+            let reps = if alg == Algorithm::Cbf {
+                config.cbf_reps
+            } else {
+                config.reps
+            };
+            let b = run_reps(&base, reps, seed, RunMetrics::from_run);
+            let t = run_reps(&treat, reps, seed, RunMetrics::from_run);
+            let bs: Vec<f64> = b.iter().map(|m| m.stretch_mean).collect();
+            rows.push(Row {
+                algorithm: alg,
+                estimates: est,
+                rel_stretch: mean_ratio(
+                    &t.iter().map(|m| m.stretch_mean).collect::<Vec<_>>(),
+                    &bs,
+                ),
+                rel_cv: mean_ratio(
+                    &t.iter().map(|m| m.stretch_cv).collect::<Vec<_>>(),
+                    &b.iter().map(|m| m.stretch_cv).collect::<Vec<_>>(),
+                ),
+                baseline_stretch: bs.iter().sum::<f64>() / bs.len() as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the rows in the paper's Table 1 layout.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "algorithm",
+        "estimates",
+        "rel stretch",
+        "rel CV",
+        "base stretch",
+    ]);
+    for r in rows {
+        let est = match r.estimates {
+            EstimateModel::Exact => "exact".to_string(),
+            _ => "real".to_string(),
+        };
+        t.push(vec![
+            r.algorithm.to_string(),
+            est,
+            format!("{:.3}", r.rel_stretch),
+            format!("{:.3}", r.rel_cv),
+            format!("{:.1}", r.baseline_stretch),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_covers_all_cells() {
+        let mut cfg = Config::at_scale(Scale::Smoke);
+        cfg.n = 3;
+        cfg.window = Duration::from_secs(900.0);
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 6); // 3 algorithms × 2 estimate models
+        for r in &rows {
+            assert!(r.rel_stretch.is_finite() && r.rel_stretch > 0.0);
+            assert!(r.rel_cv.is_finite() && r.rel_cv > 0.0);
+        }
+        let text = render(&rows);
+        assert!(text.contains("EASY"));
+        assert!(text.contains("CBF"));
+        assert!(text.contains("FCFS"));
+        assert!(text.contains("real"));
+    }
+
+    #[test]
+    fn paper_config_matches_table() {
+        let cfg = Config::paper();
+        assert_eq!(cfg.n, 10);
+        assert_eq!(cfg.scheme, Scheme::Half);
+        assert_eq!(cfg.algorithms.len(), 3);
+        assert_eq!(cfg.estimates.len(), 2);
+    }
+}

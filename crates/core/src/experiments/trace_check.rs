@@ -1,0 +1,195 @@
+//! The paper's trace cross-check (§3.1.1): "We conducted some simulations
+//! using real-world traces made available in the Parallel Workloads
+//! Archive but, expectedly, did not observe significantly different
+//! results."
+//!
+//! This experiment replays an SWF trace — a user-supplied one, or a
+//! synthetic trace exported from the workload model — split round-robin
+//! into N per-cluster streams, and reruns the headline comparison
+//! (relative average stretch and CV of the ALL scheme vs NONE) on it.
+
+use rbr_grid::{GridConfig, GridSim, Scheme};
+use rbr_simcore::{Duration, SeedSequence, SimTime};
+use rbr_workload::{EstimateModel, JobSpec, LublinConfig, LublinModel, SwfTrace};
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+use super::RunMetrics;
+
+/// Parameters of the trace cross-check.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of clusters the trace is split across.
+    pub n: usize,
+    /// Scheme to compare against NONE.
+    pub scheme: Scheme,
+    /// SWF text to replay; `None` generates a synthetic trace from the
+    /// calibrated model (demonstrating the full SWF round trip).
+    pub swf: Option<String>,
+    /// Window used when generating the synthetic trace.
+    pub window: Duration,
+    /// Replications (the split/seed varies; the trace itself is fixed).
+    pub reps: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Default protocol at the given scale: synthetic trace, N = 10, ALL.
+    pub fn at_scale(scale: Scale) -> Self {
+        Config {
+            n: 10,
+            scheme: Scheme::All,
+            swf: None,
+            window: scale.window(),
+            reps: scale.reps().min(4),
+            seed: 59,
+        }
+    }
+
+    /// Materializes the trace: parse the provided SWF or synthesize one.
+    fn trace(&self) -> SwfTrace {
+        match &self.swf {
+            Some(text) => SwfTrace::parse(text).expect("invalid SWF trace"),
+            None => {
+                let model = LublinModel::new(LublinConfig::paper_2006());
+                let mut rng = SeedSequence::new(self.seed).child(999).rng();
+                // One long stream, later split N ways; generate N× the
+                // window so each split stream spans the full window.
+                let jobs = model.generate(
+                    &mut rng,
+                    Duration::from_secs(self.window.as_secs() * self.n as f64),
+                    &EstimateModel::paper_real(),
+                );
+                SwfTrace::from_jobs(&jobs, vec!["synthetic cross-check trace".to_string()])
+            }
+        }
+    }
+}
+
+/// The cross-check outcome.
+#[derive(Clone, Debug)]
+pub struct Output {
+    /// Jobs replayed per replication.
+    pub jobs: usize,
+    /// Mean relative average stretch (scheme vs NONE) across replications.
+    pub rel_stretch: f64,
+    /// Mean relative CV of stretches.
+    pub rel_cv: f64,
+}
+
+/// Splits a trace's jobs round-robin into `n` streams, compressing each
+/// stream's arrivals by `n` so every cluster sees the original arrival
+/// *rate* (the standard methodology for deriving multi-site workloads
+/// from a single-site log).
+fn split(jobs: &[JobSpec], n: usize) -> Vec<(JobSpec, usize)> {
+    jobs.iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let home = i % n;
+            let scaled = JobSpec::new(
+                SimTime::from_secs(j.arrival.as_secs() / n as f64),
+                j.nodes,
+                j.runtime,
+                j.estimate,
+            );
+            (scaled, home)
+        })
+        .collect()
+}
+
+/// Runs the cross-check.
+pub fn run(config: &Config) -> Output {
+    let trace = config.trace();
+    let jobs = trace.to_jobs(128);
+    let streams = split(&jobs, config.n);
+
+    let mut rel_stretch = 0.0;
+    let mut rel_cv = 0.0;
+    for rep in 0..config.reps {
+        let seed = SeedSequence::new(config.seed).child(rep as u64);
+        let base_cfg = GridConfig::homogeneous(config.n, Scheme::None);
+        let mut treat_cfg = base_cfg.clone();
+        treat_cfg.scheme = config.scheme;
+        let base = RunMetrics::from_run(&GridSim::with_jobs(base_cfg, streams.clone(), seed).run());
+        let treat =
+            RunMetrics::from_run(&GridSim::with_jobs(treat_cfg, streams.clone(), seed).run());
+        rel_stretch += treat.stretch_mean / base.stretch_mean / config.reps as f64;
+        rel_cv += treat.stretch_cv / base.stretch_cv / config.reps as f64;
+    }
+    Output {
+        jobs: streams.len(),
+        rel_stretch,
+        rel_cv,
+    }
+}
+
+/// Renders the outcome.
+pub fn render(out: &Output) -> String {
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.push(vec!["jobs replayed".to_string(), out.jobs.to_string()]);
+    t.push(vec![
+        "rel stretch (trace)".to_string(),
+        format!("{:.3}", out.rel_stretch),
+    ]);
+    t.push(vec![
+        "rel CV (trace)".to_string(),
+        format!("{:.3}", out.rel_cv),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_preserves_rate_and_jobs() {
+        let jobs: Vec<JobSpec> = (0..10)
+            .map(|i| {
+                JobSpec::new(
+                    SimTime::from_secs(i as f64 * 10.0),
+                    1,
+                    Duration::from_secs(5.0),
+                    Duration::from_secs(5.0),
+                )
+            })
+            .collect();
+        let streams = split(&jobs, 2);
+        assert_eq!(streams.len(), 10);
+        // Round-robin homes.
+        assert_eq!(streams[0].1, 0);
+        assert_eq!(streams[1].1, 1);
+        // Arrivals compressed by N: job 2 originally at 20 s → 10 s.
+        assert_eq!(streams[2].0.arrival, SimTime::from_secs(10.0));
+    }
+
+    #[test]
+    fn smoke_cross_check() {
+        let mut cfg = Config::at_scale(Scale::Smoke);
+        cfg.n = 3;
+        cfg.reps = 1;
+        cfg.window = Duration::from_secs(900.0);
+        let out = run(&cfg);
+        assert!(out.jobs > 100);
+        assert!(out.rel_stretch.is_finite() && out.rel_stretch > 0.0);
+        assert!(render(&out).contains("trace"));
+    }
+
+    #[test]
+    fn explicit_swf_is_used() {
+        let swf = "\
+1 0 0 60 2 -1 -1 2 120 -1 1 1 1 -1 1 -1 -1 -1
+2 5 0 60 2 -1 -1 2 120 -1 1 1 1 -1 1 -1 -1 -1
+3 9 0 60 2 -1 -1 2 120 -1 1 1 1 -1 1 -1 -1 -1
+4 12 0 60 2 -1 -1 2 120 -1 1 1 1 -1 1 -1 -1 -1
+";
+        let mut cfg = Config::at_scale(Scale::Smoke);
+        cfg.n = 2;
+        cfg.reps = 1;
+        cfg.swf = Some(swf.to_string());
+        let out = run(&cfg);
+        assert_eq!(out.jobs, 4);
+    }
+}

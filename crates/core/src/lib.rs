@@ -1,0 +1,47 @@
+//! # rbr — *On the Harmfulness of Redundant Batch Requests*, reproduced
+//!
+//! This crate is the top of the workspace reproducing Casanova's HPDC 2006
+//! study of **redundant batch requests**: users who submit the same job to
+//! several batch-scheduled clusters at once and cancel the losing copies
+//! the moment one starts.
+//!
+//! The substrates live in their own crates and are re-exported here:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`sim`] | `rbr-simcore` | deterministic DES kernel |
+//! | [`dist`] | `rbr-dist` | Gamma / hyper-Gamma / two-stage samplers |
+//! | [`stats`] | `rbr-stats` | summaries, CV, paired relative metrics |
+//! | [`workload`] | `rbr-workload` | Lublin model, estimate models, SWF |
+//! | [`sched`] | `rbr-sched` | FCFS, EASY, Conservative Backfilling |
+//! | [`grid`] | `rbr-grid` | the multi-cluster redundant-request sim |
+//! | [`middleware`] | `rbr-middleware` | Section 4 load models |
+//!
+//! The [`experiments`] module contains one parameterized, reproducible
+//! runner per figure and table of the paper (and several ablations beyond
+//! it); [`scale`] selects how much fidelity to spend, and [`report`]
+//! renders results as aligned text or CSV.
+//!
+//! ```no_run
+//! use rbr::experiments::fig1;
+//! use rbr::scale::Scale;
+//!
+//! let rows = fig1::run(&fig1::Config::at_scale(Scale::Smoke));
+//! println!("{}", fig1::render(&rows));
+//! ```
+
+pub mod experiments;
+pub mod plot;
+pub mod report;
+pub mod scale;
+
+pub use rbr_dist as dist;
+pub use rbr_forecast as forecast;
+pub use rbr_grid as grid;
+pub use rbr_middleware as middleware;
+pub use rbr_sched as sched;
+pub use rbr_simcore as sim;
+pub use rbr_stats as stats;
+pub use rbr_workload as workload;
+
+pub use scale::Scale;

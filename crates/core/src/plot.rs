@@ -1,0 +1,192 @@
+//! ASCII line plots for the figure reproductions.
+//!
+//! The paper's results are figures; the harness reproduces them as data
+//! series, and this module renders those series as monospace plots so a
+//! terminal diff against the paper's curves is possible at a glance.
+
+/// A scatter/line plot with one marker character per series.
+#[derive(Clone, Debug)]
+pub struct AsciiPlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    series: Vec<(String, char, Vec<(f64, f64)>)>,
+}
+
+/// Marker characters assigned to series in order.
+const MARKERS: [char; 8] = ['o', '+', 'x', '*', '#', '@', '%', '&'];
+
+impl AsciiPlot {
+    /// Creates an empty plot with the given labels.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        AsciiPlot {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            width: 64,
+            height: 20,
+            series: Vec::new(),
+        }
+    }
+
+    /// Overrides the canvas size (characters).
+    ///
+    /// # Panics
+    /// Panics on degenerate sizes (needs at least 8×4).
+    pub fn with_size(mut self, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 4, "canvas too small: {width}x{height}");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Adds one series; markers are assigned in insertion order. Points
+    /// with non-finite coordinates are dropped.
+    pub fn series(mut self, label: &str, points: &[(f64, f64)]) -> Self {
+        let marker = MARKERS[self.series.len() % MARKERS.len()];
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .copied()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        self.series.push((label.to_string(), marker, pts));
+        self
+    }
+
+    /// Renders the plot.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, _, pts)| pts.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return format!("{} (no data)\n", self.title);
+        }
+        let (mut x_min, mut x_max) = bounds(all.iter().map(|p| p.0));
+        let (mut y_min, mut y_max) = bounds(all.iter().map(|p| p.1));
+        if x_min == x_max {
+            x_min -= 0.5;
+            x_max += 0.5;
+        }
+        if y_min == y_max {
+            y_min -= 0.5;
+            y_max += 0.5;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (_, marker, pts) in &self.series {
+            for &(x, y) in pts {
+                let col = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
+                    as usize;
+                let row = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
+                    as usize;
+                let row = self.height - 1 - row; // y grows upward
+                let cell = &mut grid[row][col.min(self.width - 1)];
+                // Overlapping series show the later marker.
+                *cell = *marker;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        out.push_str(&format!("{} ({})\n", self.y_label, compact(y_max)));
+        for row in &grid {
+            out.push_str("  |");
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("  ({})", compact(y_min)));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width.saturating_sub(2)));
+        out.push('\n');
+        out.push_str(&format!(
+            "   {} .. {}  ({})\n",
+            compact(x_min),
+            compact(x_max),
+            self.x_label
+        ));
+        out.push_str("  legend:");
+        for (label, marker, _) in &self.series {
+            out.push_str(&format!(" {marker}={label}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn compact(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_within_canvas() {
+        let plot = AsciiPlot::new("test", "x", "y")
+            .with_size(32, 8)
+            .series("a", &[(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]);
+        let s = plot.render();
+        assert!(s.contains("test"));
+        assert!(s.contains('o'));
+        assert!(s.contains("legend: o=a"));
+        // 8 canvas rows between title/labels.
+        let canvas_rows = s.lines().filter(|l| l.starts_with("  |")).count();
+        assert_eq!(canvas_rows, 8);
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_markers() {
+        let plot = AsciiPlot::new("t", "x", "y")
+            .series("first", &[(0.0, 1.0)])
+            .series("second", &[(1.0, 2.0)]);
+        let s = plot.render();
+        assert!(s.contains("o=first"));
+        assert!(s.contains("+=second"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let plot = AsciiPlot::new("flat", "x", "y").series("a", &[(1.0, 5.0), (2.0, 5.0)]);
+        let s = plot.render();
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped() {
+        let plot =
+            AsciiPlot::new("nan", "x", "y").series("a", &[(0.0, f64::NAN), (1.0, 2.0)]);
+        let s = plot.render();
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn empty_plot_says_so() {
+        let plot = AsciiPlot::new("void", "x", "y");
+        assert!(plot.render().contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn degenerate_canvas_rejected() {
+        let _ = AsciiPlot::new("t", "x", "y").with_size(2, 2);
+    }
+}

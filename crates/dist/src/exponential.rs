@@ -1,0 +1,79 @@
+//! Exponential distribution via inverse transform sampling.
+
+use rand::Rng;
+
+use crate::{u01_open, Sample};
+
+/// Exponential distribution with the given rate λ (mean `1/λ`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `rate`.
+    ///
+    /// # Panics
+    /// Panics unless `rate` is finite and strictly positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive, got {rate}"
+        );
+        Exponential { rate }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// The rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -u01_open(rng).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_simcore::SeedSequence;
+
+    #[test]
+    fn samples_are_positive() {
+        let d = Exponential::new(0.2);
+        let mut rng = SeedSequence::new(6).rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches() {
+        let d = Exponential::with_mean(5.0);
+        let mut rng = SeedSequence::new(7).rng();
+        let n = 200_000;
+        let m: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = Exponential::new(0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Gamma distribution via the Marsaglia–Tsang (2000) squeeze method.
+//!
+//! The workload model uses Gamma variates in two places: job interarrival
+//! times (the paper's peak-hour model, α = 10.23, β = 0.49, mean
+//! α·β = 5.01 s) and the hyper-Gamma runtime mixture.
+
+use rand::Rng;
+
+use crate::normal::Normal;
+use crate::{u01_open, Sample};
+
+/// Gamma distribution with shape `α` and scale `θ` (mean `α·θ`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a Gamma distribution with the given shape and scale.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are finite and strictly positive.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "gamma shape must be positive, got {shape}"
+        );
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "gamma scale must be positive, got {scale}"
+        );
+        Gamma { shape, scale }
+    }
+
+    /// The shape parameter α.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter θ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The analytic variance `α·θ²`.
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// Marsaglia–Tsang sampler for shape ≥ 1, unit scale.
+    fn sample_large_shape<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        debug_assert!(shape >= 1.0);
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            // Reject x with 1 + c·x ≤ 0 (v must be positive).
+            let (x, v) = loop {
+                let x = Normal::standard_sample(rng);
+                let t = 1.0 + c * x;
+                if t > 0.0 {
+                    break (x, t * t * t);
+                }
+            };
+            let u = u01_open(rng);
+            // Cheap squeeze first, exact log test second.
+            if u < 1.0 - 0.0331 * x * x * x * x {
+                return d * v;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Sample for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z = if self.shape >= 1.0 {
+            Self::sample_large_shape(self.shape, rng)
+        } else {
+            // Boost: Gamma(α) = Gamma(α + 1) · U^{1/α} for α < 1.
+            let g = Self::sample_large_shape(self.shape + 1.0, rng);
+            g * u01_open(rng).powf(1.0 / self.shape)
+        };
+        z * self.scale
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_simcore::SeedSequence;
+
+    fn empirical_moments(d: &Gamma, seed: u64, n: usize) -> (f64, f64) {
+        let mut rng = SeedSequence::new(seed).rng();
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+        (m, var)
+    }
+
+    #[test]
+    fn paper_interarrival_parameters() {
+        // α = 10.23, β = 0.49 → mean 5.01 s (paper, Section 3.3).
+        let d = Gamma::new(10.23, 0.49);
+        assert!((d.mean() - 5.0127).abs() < 1e-9);
+        let (m, _) = empirical_moments(&d, 11, 200_000);
+        assert!((m - 5.0127).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn moments_match_for_large_shape() {
+        let d = Gamma::new(4.2, 0.94);
+        let (m, v) = empirical_moments(&d, 12, 200_000);
+        assert!((m - d.mean()).abs() < 0.03, "mean {m} vs {}", d.mean());
+        assert!(
+            (v - d.variance()).abs() / d.variance() < 0.03,
+            "var {v} vs {}",
+            d.variance()
+        );
+    }
+
+    #[test]
+    fn moments_match_for_small_shape() {
+        let d = Gamma::new(0.45, 2.0);
+        let (m, v) = empirical_moments(&d, 13, 400_000);
+        assert!((m - d.mean()).abs() < 0.02, "mean {m} vs {}", d.mean());
+        assert!(
+            (v - d.variance()).abs() / d.variance() < 0.05,
+            "var {v} vs {}",
+            d.variance()
+        );
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        for &shape in &[0.3, 1.0, 2.5, 10.23, 312.0] {
+            let d = Gamma::new(shape, 1.0);
+            let mut rng = SeedSequence::new(14).rng();
+            for _ in 0..5_000 {
+                assert!(d.sample(&mut rng) > 0.0, "shape {shape}");
+            }
+        }
+    }
+
+    /// Cross-validation against the `rand_distr` oracle: compare empirical
+    /// CDFs on a common grid (two-sample Kolmogorov–Smirnov style check).
+    #[test]
+    fn matches_rand_distr_oracle() {
+        use rand_distr::Distribution as _;
+        for &(shape, scale) in &[(0.5, 1.0), (2.0, 3.0), (10.23, 0.49)] {
+            let ours = Gamma::new(shape, scale);
+            let oracle = rand_distr::Gamma::new(shape, scale).unwrap();
+            let n = 60_000;
+            let mut rng_a = SeedSequence::new(15).rng();
+            let mut rng_b = SeedSequence::new(16).rng();
+            let mut a: Vec<f64> = (0..n).map(|_| ours.sample(&mut rng_a)).collect();
+            let mut b: Vec<f64> = (0..n).map(|_| oracle.sample(&mut rng_b)).collect();
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            // KS statistic over the merged sample grid.
+            let mut d_max: f64 = 0.0;
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < n && j < n {
+                if a[i] <= b[j] {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+                d_max = d_max.max((i as f64 - j as f64).abs() / n as f64);
+            }
+            // Critical value at α = 0.001 for two samples of size n:
+            // c(α)·sqrt(2/n), c(0.001) ≈ 1.949.
+            let crit = 1.949 * (2.0 / n as f64).sqrt();
+            assert!(
+                d_max < crit,
+                "KS statistic {d_max} ≥ {crit} for shape {shape}, scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_shape_rejected() {
+        let _ = Gamma::new(-1.0, 1.0);
+    }
+}

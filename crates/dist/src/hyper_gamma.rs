@@ -1,0 +1,125 @@
+//! Hyper-Gamma distribution: a two-component Gamma mixture.
+//!
+//! The Lublin–Feitelson model draws job runtimes from a hyper-Gamma
+//! distribution whose mixture weight `p` (the probability of the *first*
+//! component) depends linearly on the job's node count — larger jobs lean
+//! towards the long-running component.
+
+use rand::Rng;
+
+use crate::gamma::Gamma;
+use crate::{u01, Sample};
+
+/// Mixture `p·Gamma(a₁, b₁) + (1 − p)·Gamma(a₂, b₂)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HyperGamma {
+    first: Gamma,
+    second: Gamma,
+    p: f64,
+}
+
+impl HyperGamma {
+    /// Creates a hyper-Gamma distribution.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ [0, 1]` (component parameters are validated by
+    /// [`Gamma::new`]).
+    pub fn new(a1: f64, b1: f64, a2: f64, b2: f64, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "mixture probability must be in [0, 1], got {p}"
+        );
+        HyperGamma {
+            first: Gamma::new(a1, b1),
+            second: Gamma::new(a2, b2),
+            p,
+        }
+    }
+
+    /// The probability of sampling from the first component.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The first Gamma component.
+    pub fn first(&self) -> Gamma {
+        self.first
+    }
+
+    /// The second Gamma component.
+    pub fn second(&self) -> Gamma {
+        self.second
+    }
+
+    /// Returns a copy with a different mixture probability — this is how
+    /// the workload model applies the per-job `p(n) = pa·n + pb` rule
+    /// without rebuilding the components.
+    pub fn with_p(&self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "mixture probability must be in [0, 1], got {p}"
+        );
+        HyperGamma { p, ..*self }
+    }
+}
+
+impl Sample for HyperGamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if u01(rng) < self.p {
+            self.first.sample(rng)
+        } else {
+            self.second.sample(rng)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.p * self.first.mean() + (1.0 - self.p) * self.second.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_simcore::SeedSequence;
+
+    #[test]
+    fn degenerate_p_selects_single_component() {
+        let mut rng = SeedSequence::new(17).rng();
+        let hg = HyperGamma::new(2.0, 1.0, 200.0, 1.0, 1.0);
+        // With p = 1 every sample comes from Gamma(2, 1): mean 2, so values
+        // above 50 are (astronomically) improbable.
+        for _ in 0..20_000 {
+            assert!(hg.sample(&mut rng) < 50.0);
+        }
+        let hg0 = hg.with_p(0.0);
+        // With p = 0 every sample comes from Gamma(200, 1): tightly
+        // concentrated near 200.
+        for _ in 0..20_000 {
+            assert!(hg0.sample(&mut rng) > 100.0);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_mixture() {
+        let hg = HyperGamma::new(4.2, 0.94, 312.0, 0.03, 0.7);
+        let mut rng = SeedSequence::new(18).rng();
+        let n = 300_000;
+        let m: f64 = (0..n).map(|_| hg.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((m - hg.mean()).abs() / hg.mean() < 0.01, "mean {m} vs {}", hg.mean());
+    }
+
+    #[test]
+    fn with_p_keeps_components() {
+        let hg = HyperGamma::new(1.0, 2.0, 3.0, 4.0, 0.5);
+        let hg2 = hg.with_p(0.25);
+        assert_eq!(hg2.first(), hg.first());
+        assert_eq!(hg2.second(), hg.second());
+        assert_eq!(hg2.p(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn invalid_p_rejected() {
+        let _ = HyperGamma::new(1.0, 1.0, 1.0, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,87 @@
+//! # rbr-dist
+//!
+//! The continuous distributions needed by the Lublin–Feitelson batch
+//! workload model, implemented from scratch so the simulator has no
+//! statistical dependencies:
+//!
+//! * [`Gamma`] — Marsaglia–Tsang squeeze sampler (with the `U^{1/α}` boost
+//!   for shape < 1).
+//! * [`HyperGamma`] — a two-component Gamma mixture; the paper's runtime
+//!   model draws the mixture weight from the job's node count.
+//! * [`TwoStageUniform`] — uniform over `[lo, med]` with probability
+//!   `prob`, else uniform over `[med, hi]`; the paper's node-count model in
+//!   log₂ space.
+//! * [`Exponential`], [`Normal`], [`UniformRange`] — building blocks.
+//!
+//! Every sampler implements the [`Sample`] trait and is a plain value —
+//! no interior state — so samplers can be shared freely across threads and
+//! the sequence of variates is a pure function of the generator.
+
+pub mod exponential;
+pub mod gamma;
+pub mod hyper_gamma;
+pub mod normal;
+pub mod two_stage;
+pub mod uniform;
+
+pub use exponential::Exponential;
+pub use gamma::Gamma;
+pub use hyper_gamma::HyperGamma;
+pub use normal::Normal;
+pub use two_stage::TwoStageUniform;
+pub use uniform::UniformRange;
+
+use rand::Rng;
+
+/// A distribution over `f64` that can be sampled with any RNG.
+pub trait Sample {
+    /// Draws one variate.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// The analytic mean of the distribution, used in calibration and
+    /// tests.
+    fn mean(&self) -> f64;
+}
+
+/// Draws a `f64` uniform in `[0, 1)`.
+#[inline]
+pub(crate) fn u01<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits; the standard open-right unit uniform.
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Draws a `f64` uniform in `(0, 1)` (both endpoints excluded), which is
+/// required wherever a logarithm of the variate is taken.
+#[inline]
+pub(crate) fn u01_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = u01(rng);
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_simcore::SeedSequence;
+
+    #[test]
+    fn u01_is_in_unit_interval() {
+        let mut rng = SeedSequence::new(1).rng();
+        for _ in 0..10_000 {
+            let u = u01(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn u01_open_never_returns_zero() {
+        let mut rng = SeedSequence::new(2).rng();
+        for _ in 0..10_000 {
+            let u = u01_open(&mut rng);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+}

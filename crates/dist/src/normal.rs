@@ -1,0 +1,96 @@
+//! Normal distribution via the Marsaglia polar method.
+
+use rand::Rng;
+
+use crate::{u01, Sample};
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Panics
+    /// Panics unless `sd` is finite and non-negative and `mean` is finite.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(mean.is_finite(), "normal mean must be finite, got {mean}");
+        assert!(
+            sd.is_finite() && sd >= 0.0,
+            "normal sd must be non-negative, got {sd}"
+        );
+        Normal { mean, sd }
+    }
+
+    /// The standard normal N(0, 1).
+    pub fn standard() -> Self {
+        Normal { mean: 0.0, sd: 1.0 }
+    }
+
+    /// Draws one standard-normal variate.
+    ///
+    /// The polar method produces variates in pairs; the second is
+    /// discarded to keep the sampler stateless, trading a little
+    /// efficiency for reproducibility that does not depend on call
+    /// pairing.
+    pub fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            let u = 2.0 * u01(rng) - 1.0;
+            let v = 2.0 * u01(rng) - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Sample for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * Self::standard_sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_simcore::SeedSequence;
+
+    #[test]
+    fn empirical_moments_match() {
+        let d = Normal::new(3.0, 2.0);
+        let mut rng = SeedSequence::new(8).rng();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+        assert!((m - 3.0).abs() < 0.02, "mean {m}");
+        assert!((var - 4.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn zero_sd_is_constant() {
+        let d = Normal::new(1.5, 0.0);
+        let mut rng = SeedSequence::new(9).rng();
+        assert_eq!(d.sample(&mut rng), 1.5);
+    }
+
+    #[test]
+    fn standard_is_roughly_symmetric() {
+        let mut rng = SeedSequence::new(10).rng();
+        let n = 100_000;
+        let positives = (0..n)
+            .filter(|_| Normal::standard_sample(&mut rng) > 0.0)
+            .count();
+        let frac = positives as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "fraction positive {frac}");
+    }
+}

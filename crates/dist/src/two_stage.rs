@@ -1,0 +1,108 @@
+//! Two-stage uniform distribution.
+//!
+//! The Lublin–Feitelson node-count model works in log₂ space: with
+//! probability `prob` the log-size is uniform over `[lo, med]`, otherwise
+//! uniform over `[med, hi]`. Weighting the lower band models the
+//! observation that most parallel jobs are small while a minority spans a
+//! large fraction of the machine.
+
+use rand::Rng;
+
+use crate::uniform::UniformRange;
+use crate::{u01, Sample};
+
+/// With probability `prob`, uniform over `[lo, med)`; otherwise uniform
+/// over `[med, hi)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TwoStageUniform {
+    low_band: UniformRange,
+    high_band: UniformRange,
+    prob: f64,
+}
+
+impl TwoStageUniform {
+    /// Creates a two-stage uniform distribution.
+    ///
+    /// # Panics
+    /// Panics unless `lo <= med <= hi` and `prob ∈ [0, 1]`.
+    pub fn new(lo: f64, med: f64, hi: f64, prob: f64) -> Self {
+        assert!(
+            lo <= med && med <= hi,
+            "two-stage breakpoints must be ordered: {lo} <= {med} <= {hi}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "stage probability must be in [0, 1], got {prob}"
+        );
+        TwoStageUniform {
+            low_band: UniformRange::new(lo, med),
+            high_band: UniformRange::new(med, hi),
+            prob,
+        }
+    }
+
+    /// Probability of drawing from the lower band.
+    pub fn prob(&self) -> f64 {
+        self.prob
+    }
+
+    /// Overall support bounds `(lo, hi)`.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.low_band.lo(), self.high_band.hi())
+    }
+}
+
+impl Sample for TwoStageUniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if u01(rng) < self.prob {
+            self.low_band.sample(rng)
+        } else {
+            self.high_band.sample(rng)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.prob * self.low_band.mean() + (1.0 - self.prob) * self.high_band.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_simcore::SeedSequence;
+
+    #[test]
+    fn samples_respect_support() {
+        let d = TwoStageUniform::new(0.8, 4.5, 7.0, 0.86);
+        let mut rng = SeedSequence::new(19).rng();
+        for _ in 0..20_000 {
+            let x = d.sample(&mut rng);
+            assert!((0.8..7.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn band_weights_are_respected() {
+        let d = TwoStageUniform::new(0.0, 1.0, 2.0, 0.86);
+        let mut rng = SeedSequence::new(20).rng();
+        let n = 100_000;
+        let low = (0..n).filter(|_| d.sample(&mut rng) < 1.0).count();
+        let frac = low as f64 / n as f64;
+        assert!((frac - 0.86).abs() < 0.01, "low-band fraction {frac}");
+    }
+
+    #[test]
+    fn empirical_mean_matches() {
+        let d = TwoStageUniform::new(0.8, 4.5, 7.0, 0.86);
+        let mut rng = SeedSequence::new(21).rng();
+        let n = 200_000;
+        let m: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((m - d.mean()).abs() < 0.02, "mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn unordered_breakpoints_rejected() {
+        let _ = TwoStageUniform::new(0.0, 5.0, 3.0, 0.5);
+    }
+}

@@ -1,0 +1,85 @@
+//! Uniform distribution over an arbitrary closed-open interval.
+
+use rand::Rng;
+
+use crate::{u01, Sample};
+
+/// Uniform over `[lo, hi)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Creates a uniform distribution over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo <= hi` and both bounds are finite. A degenerate
+    /// interval (`lo == hi`) is allowed and always yields `lo`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid uniform range [{lo}, {hi})"
+        );
+        UniformRange { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Sample for UniformRange {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * u01(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_simcore::SeedSequence;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let d = UniformRange::new(2.0, 20.0);
+        let mut rng = SeedSequence::new(3).rng();
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..20.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches() {
+        let d = UniformRange::new(-5.0, 5.0);
+        let mut rng = SeedSequence::new(4).rng();
+        let n = 100_000;
+        let m: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((m - d.mean()).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn degenerate_interval_is_constant() {
+        let d = UniformRange::new(7.0, 7.0);
+        let mut rng = SeedSequence::new(5).rng();
+        assert_eq!(d.sample(&mut rng), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform range")]
+    fn inverted_bounds_rejected() {
+        let _ = UniformRange::new(3.0, 1.0);
+    }
+}

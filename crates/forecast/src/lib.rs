@@ -1,0 +1,25 @@
+//! # rbr-forecast
+//!
+//! Statistical queue-waiting-time forecasting — the direction the paper's
+//! Section 5 and conclusion point to as future work ("statistical
+//! techniques for predicting queue waiting times are more promising
+//! [Brevik, Nurmi & Wolski]. It would be interesting to explore the
+//! effect of redundant requests on these techniques.").
+//!
+//! [`QuantilePredictor`] implements the Binomial Method of that line of
+//! work: from a history of observed waits, it produces an upper *bound*
+//! on a target quantile of the next wait, with a stated confidence, using
+//! order statistics — no distributional assumptions.
+//!
+//! [`evaluate`] replays a finished grid run through the predictor
+//! (observations arrive when jobs start; queries happen at submission)
+//! and scores **correctness** (the fraction of waits that respected the
+//! bound — should be at least the target quantile) and **tightness**
+//! (how much the bound over-shoots), separately for jobs using and not
+//! using redundant requests — closing the paper's open question.
+
+pub mod binomial;
+pub mod evaluate;
+
+pub use binomial::QuantilePredictor;
+pub use evaluate::{evaluate, Evaluation};

@@ -1,0 +1,233 @@
+//! Option (iii) of Section 2: redundant requests to multiple batch queues
+//! of a single resource.
+//!
+//! The cluster runs two queues: a *premium* queue (served first, billed
+//! at a higher service-unit rate) and a *standard* queue. A fraction of
+//! users exercises option (iii): one copy in each queue, cancel the loser
+//! when one starts — dodging the paper's conundrum "should one wait
+//! possibly a long time for a cheaper resource allocation?" by letting
+//! the queues race. The rest submit to the standard queue only.
+
+use rbr_sched::{MultiQueueScheduler, Request, RequestId};
+use rbr_simcore::{Duration, Engine, SeedSequence, SimTime};
+use rbr_stats::Summary;
+use rbr_workload::{EstimateModel, JobSpec, LublinConfig, LublinModel};
+
+/// Queue indices.
+const PREMIUM: usize = 0;
+const STANDARD: usize = 1;
+
+/// Configuration of the dual-queue experiment.
+#[derive(Clone, Debug)]
+pub struct DualQueueConfig {
+    /// Cluster size.
+    pub nodes: u32,
+    /// Fraction of jobs submitting to both queues (option iii users).
+    pub dual_fraction: f64,
+    /// Submission window.
+    pub window: Duration,
+    /// Service-unit price multiplier of the premium queue (standard = 1).
+    pub premium_price: f64,
+    /// Runtime-estimate model.
+    pub estimates: EstimateModel,
+}
+
+impl DualQueueConfig {
+    /// Default setup: a 128-node cluster, premium at 2× the standard
+    /// service-unit rate.
+    pub fn new(dual_fraction: f64) -> Self {
+        DualQueueConfig {
+            nodes: 128,
+            dual_fraction,
+            window: Duration::from_hours(1),
+            premium_price: 2.0,
+            estimates: EstimateModel::Exact,
+        }
+    }
+}
+
+/// Outcome of a dual-queue run.
+#[derive(Clone, Debug, Default)]
+pub struct DualQueueResult {
+    /// Stretch of jobs that used both queues.
+    pub dual_stretch: Summary,
+    /// Stretch of standard-only jobs.
+    pub single_stretch: Summary,
+    /// Fraction of dual jobs whose premium copy won.
+    pub premium_win_fraction: f64,
+    /// Mean service-unit cost per node-second across dual jobs (1 =
+    /// always standard, `premium_price` = always premium).
+    pub dual_mean_price: f64,
+}
+
+/// Engine events.
+#[derive(Clone, Copy)]
+enum Ev {
+    Submit(usize),
+    Complete(u64),
+}
+
+/// Runs the experiment on one cluster.
+pub fn run(config: &DualQueueConfig, seed: SeedSequence) -> DualQueueResult {
+    assert!(
+        (0.0..=1.0).contains(&config.dual_fraction),
+        "dual fraction must be in [0, 1]"
+    );
+    let model = LublinModel::new(LublinConfig::paper_2006().with_max_nodes(config.nodes));
+    let mut wl_rng = seed.child(0).rng();
+    let jobs: Vec<JobSpec> = model.generate(&mut wl_rng, config.window, &config.estimates);
+    let mut coin = seed.child(1).rng();
+    let dual: Vec<bool> = jobs
+        .iter()
+        .map(|_| unit(&mut coin) < config.dual_fraction)
+        .collect();
+
+    let mut sched = MultiQueueScheduler::new(config.nodes, 2);
+    let mut engine: Engine<Ev> = Engine::new();
+    for (j, job) in jobs.iter().enumerate() {
+        engine.schedule(job.arrival, Ev::Submit(j));
+    }
+
+    // Request id encoding: job index × 2 + queue.
+    let mut started: Vec<Option<(usize, SimTime)>> = vec![None; jobs.len()];
+    let mut scratch: Vec<RequestId> = Vec::new();
+    let mut worklist: Vec<RequestId> = Vec::new();
+
+    let commit =
+        |worklist: &mut Vec<RequestId>,
+         sched: &mut MultiQueueScheduler,
+         engine: &mut Engine<Ev>,
+         started: &mut Vec<Option<(usize, SimTime)>>,
+         now: SimTime| {
+            let mut scratch = Vec::new();
+            while let Some(rid) = worklist.pop() {
+                let j = (rid.0 / 2) as usize;
+                let queue = (rid.0 % 2) as usize;
+                if started[j].is_some() {
+                    scratch.clear();
+                    sched.abort(now, rid, &mut scratch);
+                    worklist.append(&mut scratch);
+                    continue;
+                }
+                started[j] = Some((queue, now));
+                engine.schedule(now + jobs[j].runtime, Ev::Complete(rid.0));
+                let sibling = RequestId(j as u64 * 2 + (1 - queue) as u64);
+                scratch.clear();
+                sched.cancel(now, sibling, &mut scratch);
+                worklist.append(&mut scratch);
+            }
+        };
+
+    while let Some((now, ev)) = engine.pop() {
+        scratch.clear();
+        match ev {
+            Ev::Submit(j) => {
+                let job = &jobs[j];
+                let queues: &[usize] = if dual[j] {
+                    &[PREMIUM, STANDARD]
+                } else {
+                    &[STANDARD]
+                };
+                for &q in queues {
+                    if started[j].is_some() {
+                        break;
+                    }
+                    let req = Request::new(
+                        RequestId(j as u64 * 2 + q as u64),
+                        job.nodes,
+                        job.estimate,
+                        now,
+                    );
+                    sched.submit(now, q, req, &mut scratch);
+                    worklist.append(&mut scratch);
+                    commit(&mut worklist, &mut sched, &mut engine, &mut started, now);
+                }
+            }
+            Ev::Complete(rid) => {
+                sched.complete(now, RequestId(rid), &mut scratch);
+                worklist.append(&mut scratch);
+                commit(&mut worklist, &mut sched, &mut engine, &mut started, now);
+            }
+        }
+    }
+
+    let mut result = DualQueueResult::default();
+    let mut premium_wins = 0usize;
+    let mut duals = 0usize;
+    let mut price = 0.0;
+    for (j, job) in jobs.iter().enumerate() {
+        let (queue, start) = started[j].unwrap_or_else(|| panic!("job {j} never started"));
+        let stretch = (start.since(job.arrival) + job.runtime) / job.runtime;
+        if dual[j] {
+            result.dual_stretch.push(stretch);
+            duals += 1;
+            if queue == PREMIUM {
+                premium_wins += 1;
+                price += config.premium_price;
+            } else {
+                price += 1.0;
+            }
+        } else {
+            result.single_stretch.push(stretch);
+        }
+    }
+    if duals > 0 {
+        result.premium_win_fraction = premium_wins as f64 / duals as f64;
+        result.dual_mean_price = price / duals as f64;
+    }
+    result
+}
+
+#[inline]
+fn unit<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_jobs_complete() {
+        let mut cfg = DualQueueConfig::new(0.3);
+        cfg.window = Duration::from_secs(1_200.0);
+        let result = run(&cfg, SeedSequence::new(200));
+        assert!(result.dual_stretch.n() > 0);
+        assert!(result.single_stretch.n() > 0);
+        assert!((0.0..=1.0).contains(&result.premium_win_fraction));
+        assert!(result.dual_mean_price >= 1.0);
+        assert!(result.dual_mean_price <= cfg.premium_price);
+    }
+
+    #[test]
+    fn dual_users_beat_single_users() {
+        let mut cfg = DualQueueConfig::new(0.3);
+        cfg.window = Duration::from_secs(3_600.0);
+        let result = run(&cfg, SeedSequence::new(201));
+        assert!(
+            result.dual_stretch.mean() <= result.single_stretch.mean(),
+            "dual {} vs single {}",
+            result.dual_stretch.mean(),
+            result.single_stretch.mean()
+        );
+    }
+
+    #[test]
+    fn zero_fraction_means_everyone_is_single() {
+        let mut cfg = DualQueueConfig::new(0.0);
+        cfg.window = Duration::from_secs(900.0);
+        let result = run(&cfg, SeedSequence::new(202));
+        assert_eq!(result.dual_stretch.n(), 0);
+        assert!(result.single_stretch.n() > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut cfg = DualQueueConfig::new(0.5);
+        cfg.window = Duration::from_secs(900.0);
+        let a = run(&cfg, SeedSequence::new(203));
+        let b = run(&cfg, SeedSequence::new(203));
+        assert_eq!(a.dual_stretch.mean(), b.dual_stretch.mean());
+        assert_eq!(a.premium_win_fraction, b.premium_win_fraction);
+    }
+}

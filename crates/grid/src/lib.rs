@@ -1,0 +1,35 @@
+//! # rbr-grid
+//!
+//! The multi-cluster platform of Section 3: N clusters, each driven by its
+//! own batch scheduler and its own job stream, with jobs optionally
+//! submitting **redundant requests** to remote clusters and cancelling the
+//! losers the instant one copy starts (the zero-latency callback of
+//! placeholder scheduling).
+//!
+//! * [`Scheme`] — how many copies a redundant job submits (R2/R3/R4/
+//!   HALF/ALL);
+//! * [`SelectionPolicy`] — how remote clusters are picked (uniform random,
+//!   the paper's geometrically biased account distribution, or the
+//!   least-loaded metascheduler baseline of the related work);
+//! * [`GridConfig`] / [`GridSim`] — the simulation itself;
+//! * [`JobRecord`] / [`RunResult`] — per-job outcomes and the stretch /
+//!   fairness / prediction metrics derived from them.
+//!
+//! The simulation follows the paper's assumptions exactly: no network
+//! overhead, no request-processing overhead, requests to remote clusters
+//! identical to the local one (optionally inflated by the late-binding
+//! data-staging factor of §3.1.2).
+
+pub mod config;
+pub mod dual_queue;
+pub mod moldable;
+pub mod record;
+pub mod scheme;
+pub mod select;
+pub mod sim;
+
+pub use config::{ClusterSpec, GridConfig};
+pub use record::{JobRecord, RunResult};
+pub use scheme::Scheme;
+pub use select::SelectionPolicy;
+pub use sim::GridSim;

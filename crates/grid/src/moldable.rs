@@ -1,0 +1,403 @@
+//! Option (iv) of Section 2: redundant requests *for different numbers of
+//! nodes* sent to a single batch queue.
+//!
+//! "Option (iv) can be useful for 'moldable' jobs that can accommodate
+//! various numbers of compute nodes... Typically, a larger number will
+//! lead to a longer queue waiting time and to a shorter execution time...
+//! One approach is then to send redundant requests for different numbers
+//! of nodes." The paper defers this option to future work while
+//! conjecturing that its findings carry over; this module implements it.
+//!
+//! A moldable job scales by Amdahl's law: on `n` nodes it runs
+//! `seq · ((1 − f) + f/n)` where `f` is its parallel fraction. A
+//! redundant submission places one request per candidate shape into the
+//! same queue; the first to start wins and the rest are cancelled
+//! through the usual zero-latency callback.
+
+use rand::Rng;
+use rbr_sched::{Algorithm, Request, RequestId, Scheduler};
+use rbr_simcore::{Duration, Engine, SeedSequence, SimTime};
+use rbr_stats::Summary;
+use rbr_workload::{LublinConfig, LublinModel};
+
+/// A job that can run on any of several node counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MoldableJob {
+    /// Submission instant.
+    pub arrival: SimTime,
+    /// Runtime on a single node.
+    pub sequential: Duration,
+    /// Amdahl parallel fraction `f ∈ [0, 1]`.
+    pub parallel_fraction: f64,
+    /// Candidate node counts, ascending.
+    pub shapes: Vec<u32>,
+}
+
+impl MoldableJob {
+    /// Runtime on `nodes` nodes under Amdahl's law.
+    pub fn runtime(&self, nodes: u32) -> Duration {
+        assert!(nodes >= 1, "a shape needs at least one node");
+        let f = self.parallel_fraction;
+        let factor = (1.0 - f) + f / nodes as f64;
+        self.sequential.scale(factor).max(Duration::from_micros(1))
+    }
+
+    /// The shortest achievable runtime (the widest shape).
+    pub fn best_runtime(&self) -> Duration {
+        self.runtime(*self.shapes.last().expect("shapes are non-empty"))
+    }
+}
+
+/// How the user submits a moldable job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShapePolicy {
+    /// One request at the given index into `shapes` (a rigid user who
+    /// always picks the same shape).
+    Fixed(usize),
+    /// One redundant request per shape; first to start wins.
+    AllShapes,
+}
+
+/// Configuration of the single-cluster moldable experiment.
+#[derive(Clone, Debug)]
+pub struct MoldableConfig {
+    /// Cluster size.
+    pub nodes: u32,
+    /// Scheduling algorithm.
+    pub algorithm: Algorithm,
+    /// Submission policy.
+    pub policy: ShapePolicy,
+    /// Submission window.
+    pub window: Duration,
+    /// Candidate shapes offered to every job (ascending powers of two
+    /// capped by the machine).
+    pub shapes: Vec<u32>,
+}
+
+impl MoldableConfig {
+    /// Default setup: a 128-node EASY cluster with shapes 1–64.
+    pub fn new(policy: ShapePolicy) -> Self {
+        MoldableConfig {
+            nodes: 128,
+            algorithm: Algorithm::Easy,
+            policy,
+            window: Duration::from_hours(1),
+            shapes: vec![1, 4, 16, 64],
+        }
+    }
+}
+
+/// Per-job outcome of a moldable run.
+#[derive(Clone, Copy, Debug)]
+pub struct MoldableRecord {
+    /// Shape that actually ran.
+    pub nodes: u32,
+    /// Queue wait.
+    pub wait: Duration,
+    /// Actual runtime at the chosen shape.
+    pub runtime: Duration,
+    /// Turnaround ÷ best achievable runtime — comparable across
+    /// policies because the denominator does not depend on the shape the
+    /// policy picked.
+    pub normalized_stretch: f64,
+}
+
+/// Result of a moldable run.
+#[derive(Clone, Debug, Default)]
+pub struct MoldableResult {
+    /// One record per job.
+    pub records: Vec<MoldableRecord>,
+}
+
+impl MoldableResult {
+    /// Summary of normalized stretches.
+    pub fn normalized_stretch(&self) -> Summary {
+        Summary::of(
+            &self
+                .records
+                .iter()
+                .map(|r| r.normalized_stretch)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Summary of turnaround times in seconds.
+    pub fn turnaround(&self) -> Summary {
+        Summary::of(
+            &self
+                .records
+                .iter()
+                .map(|r| (r.wait + r.runtime).as_secs())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Mean nodes used per job.
+    pub fn mean_nodes(&self) -> f64 {
+        self.records.iter().map(|r| r.nodes as f64).sum::<f64>()
+            / self.records.len().max(1) as f64
+    }
+}
+
+/// Generates a moldable workload from the calibrated rigid model: the
+/// rigid sample's node-seconds become the sequential work, and the
+/// parallel fraction is drawn from U(0.80, 0.99).
+pub fn generate_jobs(config: &MoldableConfig, seed: SeedSequence) -> Vec<MoldableJob> {
+    let model = LublinModel::new(LublinConfig::paper_2006().with_max_nodes(config.nodes));
+    let mut rng = seed.rng();
+    let mut jobs = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        t += model.sample_interarrival(&mut rng);
+        if t.since(SimTime::ZERO) >= config.window {
+            return jobs;
+        }
+        let nodes = model.sample_nodes(&mut rng);
+        let runtime = model.sample_runtime(&mut rng, nodes);
+        // Sequential work equivalent to the rigid job's area, so the
+        // offered load matches the calibrated model.
+        let sequential = runtime.scale(nodes as f64);
+        let f = 0.80 + 0.19 * unit(&mut rng);
+        jobs.push(MoldableJob {
+            arrival: t,
+            sequential,
+            parallel_fraction: f,
+            shapes: config.shapes.clone(),
+        });
+    }
+}
+
+/// Runs the experiment: one cluster, every job submitted per the policy.
+///
+/// Redundant copies are submitted in a random per-job order: submission
+/// order is also queue order, and a deterministic order degenerates (a
+/// narrow-first user always wins with the narrow shape on any free node;
+/// a wide-first user saturates an idle machine with wide allocations).
+/// Random order models a user who has no reason to prefer one `qsub`
+/// ordering over another and lets the queue state decide.
+pub fn run(config: &MoldableConfig, seed: SeedSequence) -> MoldableResult {
+    let jobs = generate_jobs(config, seed.child(0));
+    let mut order_rng = seed.child(1).rng();
+    let mut sched = config.algorithm.build_with_cycle(config.nodes, Duration::from_secs(30.0));
+
+    let mut engine: Engine<Ev> = Engine::new();
+    for (j, job) in jobs.iter().enumerate() {
+        engine.schedule(job.arrival, Ev::Submit(j));
+    }
+
+    // Request id encoding: job index × stride + shape index.
+    let stride = config.shapes.len() as u64;
+    let mut started: Vec<Option<(u32, SimTime)>> = vec![None; jobs.len()];
+    let mut records: Vec<Option<MoldableRecord>> = vec![None; jobs.len()];
+    let mut scratch: Vec<RequestId> = Vec::new();
+    let mut worklist: Vec<RequestId> = Vec::new();
+
+    while let Some((now, ev)) = engine.pop() {
+        scratch.clear();
+        match ev {
+            Ev::Submit(j) => {
+                let job = &jobs[j];
+                let indices: Vec<usize> = match config.policy {
+                    ShapePolicy::Fixed(i) => vec![i.min(job.shapes.len() - 1)],
+                    ShapePolicy::AllShapes => {
+                        let mut order: Vec<usize> = (0..job.shapes.len()).collect();
+                        // Fisher–Yates with the run's order stream.
+                        for k in (1..order.len()).rev() {
+                            let j = (order_rng.next_u64() % (k as u64 + 1)) as usize;
+                            order.swap(k, j);
+                        }
+                        order
+                    }
+                };
+                for i in indices {
+                    if started[j].is_some() {
+                        break; // callback already fired
+                    }
+                    let nodes = job.shapes[i].min(config.nodes);
+                    let req = Request::new(
+                        RequestId(j as u64 * stride + i as u64),
+                        nodes,
+                        job.runtime(nodes),
+                        now,
+                    );
+                    sched.submit(now, req, &mut scratch);
+                    worklist.append(&mut scratch);
+                    drain(
+                        &mut worklist,
+                        &mut sched,
+                        &mut engine,
+                        &jobs,
+                        stride,
+                        &mut started,
+                        now,
+                    );
+                }
+            }
+            Ev::Complete(rid) => {
+                let j = (rid / stride) as usize;
+                let shape_idx = (rid % stride) as usize;
+                let job = &jobs[j];
+                let (nodes, start) = started[j].expect("completing job started");
+                debug_assert_eq!(nodes, job.shapes[shape_idx].min(config.nodes));
+                let runtime = job.runtime(nodes);
+                records[j] = Some(MoldableRecord {
+                    nodes,
+                    wait: start.since(job.arrival),
+                    runtime,
+                    normalized_stretch: (start.since(job.arrival) + runtime)
+                        / job.best_runtime(),
+                });
+                sched.complete(now, RequestId(rid), &mut scratch);
+                worklist.append(&mut scratch);
+                drain(
+                    &mut worklist,
+                    &mut sched,
+                    &mut engine,
+                    &jobs,
+                    stride,
+                    &mut started,
+                    now,
+                );
+            }
+        }
+    }
+
+    MoldableResult {
+        records: records
+            .into_iter()
+            .enumerate()
+            .map(|(j, r)| r.unwrap_or_else(|| panic!("moldable job {j} never completed")))
+            .collect(),
+    }
+}
+
+/// Engine events of the moldable run.
+#[derive(Clone, Copy)]
+enum Ev {
+    /// A moldable job arrives.
+    Submit(usize),
+    /// A started shape finishes (encoded request id).
+    Complete(u64),
+}
+
+/// Commits starts: winner runs, sibling shapes are cancelled, same-instant
+/// losers are aborted.
+fn drain(
+    worklist: &mut Vec<RequestId>,
+    sched: &mut Box<dyn Scheduler>,
+    engine: &mut Engine<Ev>,
+    jobs: &[MoldableJob],
+    stride: u64,
+    started: &mut [Option<(u32, SimTime)>],
+    now: SimTime,
+) {
+    let mut scratch = Vec::new();
+    while let Some(rid) = worklist.pop() {
+        let j = (rid.0 / stride) as usize;
+        let shape_idx = (rid.0 % stride) as usize;
+        if started[j].is_some() {
+            scratch.clear();
+            sched.abort(now, rid, &mut scratch);
+            worklist.append(&mut scratch);
+            continue;
+        }
+        let job = &jobs[j];
+        let nodes = job.shapes[shape_idx].min(sched.total_nodes());
+        started[j] = Some((nodes, now));
+        engine.schedule(now + job.runtime(nodes), Ev::Complete(rid.0));
+        // Cancel sibling shapes.
+        for i in 0..job.shapes.len() as u64 {
+            let sibling = RequestId(j as u64 * stride + i);
+            if sibling != rid {
+                scratch.clear();
+                sched.cancel(now, sibling, &mut scratch);
+                worklist.append(&mut scratch);
+            }
+        }
+    }
+}
+
+#[inline]
+fn unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_runtime_decreases_with_nodes() {
+        let job = MoldableJob {
+            arrival: SimTime::ZERO,
+            sequential: Duration::from_secs(1_000.0),
+            parallel_fraction: 0.9,
+            shapes: vec![1, 4, 16, 64],
+        };
+        assert_eq!(job.runtime(1), Duration::from_secs(1_000.0));
+        let r4 = job.runtime(4);
+        let r64 = job.runtime(64);
+        assert!(r4 < job.runtime(1));
+        assert!(r64 < r4);
+        // Amdahl floor: the serial part never parallelizes.
+        assert!(r64 >= Duration::from_secs(100.0));
+        assert_eq!(job.best_runtime(), r64);
+    }
+
+    #[test]
+    fn generated_jobs_share_arrivals_across_policies() {
+        let fixed = MoldableConfig::new(ShapePolicy::Fixed(1));
+        let all = MoldableConfig::new(ShapePolicy::AllShapes);
+        let a = generate_jobs(&fixed, SeedSequence::new(60));
+        let b = generate_jobs(&all, SeedSequence::new(60));
+        assert_eq!(a, b, "workload must be policy-independent");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn all_policies_complete_every_job() {
+        for policy in [
+            ShapePolicy::Fixed(0),
+            ShapePolicy::Fixed(3),
+            ShapePolicy::AllShapes,
+        ] {
+            let mut cfg = MoldableConfig::new(policy);
+            cfg.window = Duration::from_secs(900.0);
+            let result = run(&cfg, SeedSequence::new(61));
+            assert!(!result.records.is_empty(), "{policy:?}");
+            for r in &result.records {
+                assert!(r.normalized_stretch >= 1.0 - 1e-9);
+                assert!(cfg.shapes.contains(&r.nodes));
+            }
+        }
+    }
+
+    #[test]
+    fn all_shapes_beats_the_worst_fixed_choice() {
+        // The option-(iv) hypothesis: redundant shape requests should not
+        // lose to the worst rigid choice.
+        let mut worst = f64::NEG_INFINITY;
+        for i in 0..4 {
+            let mut cfg = MoldableConfig::new(ShapePolicy::Fixed(i));
+            cfg.window = Duration::from_secs(1_800.0);
+            let t = run(&cfg, SeedSequence::new(62)).turnaround().mean();
+            worst = worst.max(t);
+        }
+        let mut cfg = MoldableConfig::new(ShapePolicy::AllShapes);
+        cfg.window = Duration::from_secs(1_800.0);
+        let redundant = run(&cfg, SeedSequence::new(62)).turnaround().mean();
+        assert!(
+            redundant <= worst,
+            "AllShapes {redundant} vs worst fixed {worst}"
+        );
+    }
+
+    #[test]
+    fn redundant_shapes_use_narrower_allocations_when_queues_build() {
+        let mut cfg = MoldableConfig::new(ShapePolicy::AllShapes);
+        cfg.window = Duration::from_secs(1_800.0);
+        let result = run(&cfg, SeedSequence::new(63));
+        // Not every job can win with its widest shape on a busy machine.
+        assert!(result.mean_nodes() < 64.0);
+    }
+}

@@ -1,0 +1,490 @@
+//! The multi-cluster discrete-event simulation.
+//!
+//! Each cluster runs its own batch scheduler and receives its own job
+//! stream. A redundant job submits copies to its home cluster plus
+//! randomly selected remotes; the instant any copy is granted nodes, the
+//! job starts there and every other copy is cancelled (the zero-latency
+//! callback). If two clusters grant copies at the same simulated instant,
+//! the engine commits them in deterministic event order and revokes the
+//! losers (`Scheduler::abort`), which is exactly what an instantaneous
+//! cancellation callback would do.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rbr_sched::{Request, RequestId, Scheduler};
+use rbr_simcore::{Duration, Engine, SeedSequence, SimTime};
+use rbr_workload::{JobSpec, LublinModel};
+
+use crate::config::GridConfig;
+use crate::record::{JobRecord, RunResult};
+
+/// Engine events.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A job arrives (index into the job table).
+    Submit(usize),
+    /// A running request finishes.
+    Complete {
+        /// Cluster it ran on.
+        cluster: usize,
+        /// Dense request index.
+        req: u64,
+    },
+}
+
+/// Which job a request belongs to.
+#[derive(Clone, Copy, Debug)]
+struct ReqInfo {
+    job: usize,
+}
+
+/// Mutable per-job state during the run.
+#[derive(Clone, Debug, Default)]
+struct JobState {
+    started: Option<(usize, SimTime)>,
+    requests: Vec<(usize, RequestId)>,
+    redundant: bool,
+    predicted_wait: Option<Duration>,
+    done: bool,
+}
+
+/// The simulation: build with [`GridSim::new`], execute with
+/// [`GridSim::run`], or do both with [`GridSim::execute`].
+pub struct GridSim {
+    config: GridConfig,
+    engine: Engine<Event>,
+    scheds: Vec<Box<dyn Scheduler>>,
+    jobs: Vec<(JobSpec, usize)>,
+    states: Vec<JobState>,
+    reqs: Vec<ReqInfo>,
+    rng: StdRng,
+    result: RunResult,
+    records: Vec<Option<JobRecord>>,
+    scratch: Vec<RequestId>,
+    worklist: VecDeque<(usize, RequestId)>,
+}
+
+impl GridSim {
+    /// Builds a simulation: generates every cluster's job stream from the
+    /// seed hierarchy and schedules the submission events.
+    ///
+    /// Stream `seed.child(i)` drives cluster `i`'s workload;
+    /// `seed.child(n_clusters)` drives redundancy coin-flips and target
+    /// selection. Identical seeds therefore give identical job streams
+    /// across different schemes — the paired-comparison design of the
+    /// paper.
+    pub fn new(config: GridConfig, seed: SeedSequence) -> Self {
+        config.validate();
+        let mut jobs: Vec<(JobSpec, usize)> = Vec::new();
+        for (i, cluster) in config.clusters.iter().enumerate() {
+            let model = LublinModel::new(cluster.workload);
+            let mut rng = seed.child(i as u64).rng();
+            for spec in model.generate(&mut rng, config.window, &config.estimates) {
+                jobs.push((spec, i));
+            }
+        }
+        Self::with_jobs(config, jobs, seed)
+    }
+
+    /// Builds a simulation over an explicit job table — the trace-replay
+    /// path ("we conducted some simulations using real-world traces",
+    /// §3.1.1). Each entry is a job spec plus its home cluster index;
+    /// `config.window` and per-cluster workload models are ignored,
+    /// everything else (scheme, selection, algorithm…) applies as usual.
+    ///
+    /// # Panics
+    /// Panics if a home cluster index is out of range or a job requests
+    /// more nodes than its home cluster has.
+    pub fn with_jobs(
+        config: GridConfig,
+        jobs: Vec<(JobSpec, usize)>,
+        seed: SeedSequence,
+    ) -> Self {
+        config.validate();
+        let n = config.n_clusters();
+        for (spec, home) in &jobs {
+            assert!(*home < n, "home cluster {home} out of range");
+            assert!(
+                spec.nodes <= config.clusters[*home].nodes,
+                "job requests {} nodes but home cluster {home} has {}",
+                spec.nodes,
+                config.clusters[*home].nodes
+            );
+        }
+        let mut engine = Engine::new();
+        for (j, (spec, _)) in jobs.iter().enumerate() {
+            engine.schedule(spec.arrival, Event::Submit(j));
+        }
+        let scheds: Vec<Box<dyn Scheduler>> = config
+            .clusters
+            .iter()
+            .map(|c| config.algorithm.build_with_cycle(c.nodes, config.cbf_cycle))
+            .collect();
+        let states = vec![JobState::default(); jobs.len()];
+        let records = vec![None; jobs.len()];
+        GridSim {
+            rng: seed.child(n as u64).rng(),
+            result: RunResult {
+                max_queue_len: vec![0; n],
+                ..Default::default()
+            },
+            engine,
+            scheds,
+            states,
+            records,
+            reqs: Vec::with_capacity(jobs.len() * 2),
+            jobs,
+            config,
+            scratch: Vec::new(),
+            worklist: VecDeque::new(),
+        }
+    }
+
+    /// Convenience: build and run in one call.
+    pub fn execute(config: GridConfig, seed: SeedSequence) -> RunResult {
+        GridSim::new(config, seed).run()
+    }
+
+    /// Number of jobs in the run.
+    pub fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Runs the simulation to completion and returns the results.
+    ///
+    /// # Panics
+    /// Panics if any job fails to start or complete — that would be a
+    /// scheduler bug, not a valid outcome.
+    pub fn run(mut self) -> RunResult {
+        while let Some((now, event)) = self.engine.pop() {
+            match event {
+                Event::Submit(j) => self.handle_submit(now, j),
+                Event::Complete { cluster, req } => self.handle_complete(now, cluster, req),
+            }
+            self.result.makespan = now;
+        }
+        self.result.events = self.engine.processed();
+        self.result.backfills = self.scheds.iter().map(|s| s.backfills()).sum();
+        let records = std::mem::take(&mut self.records);
+        self.result.records = records
+            .into_iter()
+            .enumerate()
+            .map(|(j, r)| r.unwrap_or_else(|| panic!("job {j} never completed")))
+            .collect();
+        self.result
+    }
+
+    fn handle_submit(&mut self, now: SimTime, j: usize) {
+        let (spec, home) = self.jobs[j];
+        let n = self.config.n_clusters();
+
+        // Does this job use redundancy, and where do its copies go?
+        let wants_redundancy = self.config.scheme.is_redundant(n)
+            && (self.config.redundant_fraction >= 1.0
+                || unit(&mut self.rng) < self.config.redundant_fraction);
+        let mut targets = vec![home];
+        if wants_redundancy {
+            let copies = self.config.scheme.copies(n);
+            let eligible: Vec<usize> = (0..n)
+                .filter(|&c| c != home && self.config.clusters[c].nodes >= spec.nodes)
+                .collect();
+            let queue_lens: Vec<usize> = self.scheds.iter().map(|s| s.queue_len()).collect();
+            targets.extend(self.config.selection.choose(
+                &mut self.rng,
+                &eligible,
+                copies - 1,
+                &queue_lens,
+            ));
+        }
+        self.states[j].redundant = targets.len() > 1;
+
+        for c in targets {
+            if self.states[j].started.is_some() {
+                // The callback already fired: the remaining copies are
+                // never submitted (they would be cancelled in the same
+                // instant with no effect on any schedule).
+                break;
+            }
+            let rid = RequestId(self.reqs.len() as u64);
+            self.reqs.push(ReqInfo { job: j });
+            let estimate = if c == home {
+                spec.estimate
+            } else {
+                spec.estimate.scale(1.0 + self.config.remote_inflation)
+            };
+            let req = Request::new(rid, spec.nodes, estimate, now);
+            self.result.submits += 1;
+            self.scratch.clear();
+            self.scheds[c].submit(now, req, &mut self.scratch);
+            self.states[j].requests.push((c, rid));
+            for &started in &self.scratch {
+                self.worklist.push_back((c, started));
+            }
+            if self.config.collect_predictions {
+                let wait = self.scheds[c]
+                    .predicted_start(now, rid)
+                    .map(|s| s.since(now))
+                    .expect("request just submitted must be known");
+                let best = match self.states[j].predicted_wait {
+                    Some(prev) => prev.min(wait),
+                    None => wait,
+                };
+                self.states[j].predicted_wait = Some(best);
+            }
+            self.note_queue(c);
+            self.commit_starts(now);
+        }
+    }
+
+    fn handle_complete(&mut self, now: SimTime, cluster: usize, req: u64) {
+        let rid = RequestId(req);
+        let j = self.reqs[req as usize].job;
+        let state = &mut self.states[j];
+        debug_assert_eq!(state.started.map(|(c, _)| c), Some(cluster));
+        debug_assert!(!state.done, "job {j} completed twice");
+        state.done = true;
+
+        let (spec, home) = self.jobs[j];
+        let (_, start) = state.started.expect("completing job must have started");
+        self.records[j] = Some(JobRecord {
+            job: j,
+            home,
+            ran_on: cluster,
+            nodes: spec.nodes,
+            arrival: spec.arrival,
+            start,
+            completion: now,
+            runtime: spec.runtime,
+            redundant: state.redundant,
+            copies: state.requests.len() as u32,
+            predicted_wait: state.predicted_wait,
+        });
+
+        self.scratch.clear();
+        self.scheds[cluster].complete(now, rid, &mut self.scratch);
+        let newly: Vec<RequestId> = self.scratch.drain(..).collect();
+        for started in newly {
+            self.worklist.push_back((cluster, started));
+        }
+        self.commit_starts(now);
+    }
+
+    /// Drains the start worklist: commits job starts, cancels siblings,
+    /// revokes starts whose job already began elsewhere, and follows any
+    /// cascade of new starts those actions release.
+    fn commit_starts(&mut self, now: SimTime) {
+        while let Some((c, rid)) = self.worklist.pop_front() {
+            let j = self.reqs[rid.0 as usize].job;
+            if self.states[j].started.is_some() {
+                // Lost the same-instant race: revoke.
+                self.result.aborts += 1;
+                self.scratch.clear();
+                self.scheds[c].abort(now, rid, &mut self.scratch);
+                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
+                for started in newly {
+                    self.worklist.push_back((c, started));
+                }
+                continue;
+            }
+            // Commit: the job starts here, now.
+            self.states[j].started = Some((c, now));
+            let (spec, _) = self.jobs[j];
+            self.engine.schedule(
+                now + spec.runtime,
+                Event::Complete {
+                    cluster: c,
+                    req: rid.0,
+                },
+            );
+            // The callback: cancel every sibling copy.
+            let siblings = self.states[j].requests.clone();
+            for (c2, rid2) in siblings {
+                if rid2 == rid {
+                    continue;
+                }
+                self.scratch.clear();
+                if self.scheds[c2].cancel(now, rid2, &mut self.scratch) {
+                    self.result.cancels += 1;
+                }
+                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
+                for started in newly {
+                    self.worklist.push_back((c2, started));
+                }
+                self.note_queue(c2);
+            }
+        }
+    }
+
+    fn note_queue(&mut self, c: usize) {
+        let len = self.scheds[c].queue_len();
+        if len > self.result.max_queue_len[c] {
+            self.result.max_queue_len[c] = len;
+        }
+    }
+}
+
+#[inline]
+fn unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::JobClass;
+    use crate::scheme::Scheme;
+    use rbr_sched::Algorithm;
+
+    fn small_config(n: usize, scheme: Scheme) -> GridConfig {
+        let mut cfg = GridConfig::homogeneous(n, scheme);
+        cfg.window = Duration::from_secs(1800.0); // half an hour keeps tests fast
+        cfg
+    }
+
+    #[test]
+    fn all_jobs_complete_without_redundancy() {
+        let cfg = small_config(2, Scheme::None);
+        let result = GridSim::execute(cfg, SeedSequence::new(70));
+        assert!(!result.records.is_empty());
+        for r in &result.records {
+            assert!(r.start >= r.arrival);
+            assert_eq!(r.completion, r.start + r.runtime);
+            assert_eq!(r.home, r.ran_on, "no redundancy: jobs run at home");
+            assert!(!r.redundant);
+            assert_eq!(r.copies, 1);
+        }
+        assert_eq!(result.cancels, 0);
+        assert_eq!(result.submits, result.records.len() as u64);
+    }
+
+    #[test]
+    fn redundant_jobs_cancel_losing_copies() {
+        let cfg = small_config(4, Scheme::All);
+        let result = GridSim::execute(cfg, SeedSequence::new(71));
+        let redundant = result.records.iter().filter(|r| r.redundant).count();
+        assert!(redundant > 0, "ALL scheme must produce redundant jobs");
+        // Every copy beyond the winner is either cancelled, aborted, or
+        // was never submitted (job started before later copies went out).
+        assert!(result.cancels > 0);
+        assert!(result.submits >= result.records.len() as u64);
+        for r in &result.records {
+            assert!(r.copies >= 1 && r.copies <= 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = GridSim::execute(small_config(3, Scheme::R(2)), SeedSequence::new(72));
+        let b = GridSim::execute(small_config(3, Scheme::R(2)), SeedSequence::new(72));
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.submits, b.submits);
+        assert_eq!(a.cancels, b.cancels);
+        assert_eq!(a.aborts, b.aborts);
+    }
+
+    #[test]
+    fn different_schemes_share_job_streams() {
+        let none = GridSim::execute(small_config(3, Scheme::None), SeedSequence::new(73));
+        let all = GridSim::execute(small_config(3, Scheme::All), SeedSequence::new(73));
+        assert_eq!(none.records.len(), all.records.len());
+        for (a, b) in none.records.iter().zip(&all.records) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.home, b.home);
+        }
+    }
+
+    #[test]
+    fn fraction_zero_means_no_redundancy() {
+        let mut cfg = small_config(3, Scheme::All);
+        cfg.redundant_fraction = 0.0;
+        let result = GridSim::execute(cfg, SeedSequence::new(74));
+        assert!(result.records.iter().all(|r| !r.redundant));
+        assert_eq!(result.cancels, 0);
+    }
+
+    #[test]
+    fn fraction_splits_population() {
+        let mut cfg = small_config(4, Scheme::All);
+        cfg.redundant_fraction = 0.5;
+        let result = GridSim::execute(cfg, SeedSequence::new(75));
+        let r = result.stretch(JobClass::Redundant).n();
+        let nr = result.stretch(JobClass::NonRedundant).n();
+        let total = result.records.len() as f64;
+        assert!(r > 0 && nr > 0);
+        let frac = r as f64 / total;
+        assert!((0.4..0.6).contains(&frac), "redundant fraction {frac}");
+    }
+
+    #[test]
+    fn predictions_collected_when_enabled() {
+        let mut cfg = small_config(2, Scheme::R(2));
+        cfg.algorithm = Algorithm::Cbf;
+        cfg.collect_predictions = true;
+        cfg.window = Duration::from_secs(900.0);
+        let result = GridSim::execute(cfg, SeedSequence::new(76));
+        assert!(result
+            .records
+            .iter()
+            .all(|r| r.predicted_wait.is_some()));
+        // Jobs that started instantly predicted zero wait.
+        for r in &result.records {
+            if r.wait().is_zero() && r.copies == 1 {
+                assert_eq!(r.predicted_wait, Some(Duration::ZERO));
+            }
+        }
+    }
+
+    #[test]
+    fn work_is_conserved_across_schemes() {
+        let none = GridSim::execute(small_config(3, Scheme::None), SeedSequence::new(77));
+        let all = GridSim::execute(small_config(3, Scheme::All), SeedSequence::new(77));
+        assert!((none.total_work() - all.total_work()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heterogeneous_jobs_only_target_big_enough_clusters() {
+        use crate::config::ClusterSpec;
+        use rbr_workload::LublinConfig;
+        let cfg = GridConfig {
+            clusters: vec![
+                ClusterSpec::new(16, LublinConfig::paper_2006().with_mean_interarrival(8.0)),
+                ClusterSpec::new(128, LublinConfig::paper_2006().with_mean_interarrival(8.0)),
+            ],
+            window: Duration::from_secs(1800.0),
+            ..GridConfig::homogeneous(2, Scheme::All)
+        };
+        let result = GridSim::execute(cfg, SeedSequence::new(78));
+        for r in &result.records {
+            if r.ran_on == 0 {
+                assert!(r.nodes <= 16, "{} nodes ran on the 16-node cluster", r.nodes);
+            }
+            // Jobs from the big cluster wider than 16 nodes must run home.
+            if r.home == 1 && r.nodes > 16 {
+                assert_eq!(r.ran_on, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_completes_the_run() {
+        for alg in Algorithm::all() {
+            let mut cfg = small_config(2, Scheme::R(2));
+            cfg.algorithm = alg;
+            cfg.window = Duration::from_secs(900.0);
+            let result = GridSim::execute(cfg, SeedSequence::new(79));
+            assert!(!result.records.is_empty(), "{alg} produced no records");
+        }
+    }
+
+    #[test]
+    fn stretches_are_at_least_one() {
+        let result = GridSim::execute(small_config(3, Scheme::Half), SeedSequence::new(80));
+        for r in &result.records {
+            assert!(r.stretch() >= 1.0 - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The capacity arithmetic of Section 4.
+//!
+//! "Consider a system with N clusters, with mean job interarrival time of
+//! iat seconds at each cluster. If all jobs use r requests, then on
+//! average each cluster will receive r/iat requests per second and
+//! (r − 1)/iat request cancellations per second." From this the paper
+//! derives its two headline bounds: the batch scheduler tolerates r < 30,
+//! the 2006 WS-GRAM middleware only r < 3 (both at the 5 s peak-hour
+//! interarrival time).
+
+use crate::gram::GramModel;
+use crate::network::NetworkModel;
+use crate::pbs::PbsThroughputModel;
+use crate::soap::GsoapModel;
+
+/// Steady-state request-operation rates at one cluster when every job
+/// uses `r` redundant requests and jobs arrive every `iat` seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SteadyStateLoad {
+    /// Submissions per second arriving at the cluster.
+    pub submissions_per_sec: f64,
+    /// Cancellations per second arriving at the cluster.
+    pub cancellations_per_sec: f64,
+}
+
+impl SteadyStateLoad {
+    /// Total request operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.submissions_per_sec + self.cancellations_per_sec
+    }
+}
+
+/// Computes the paper's steady-state load: `r/iat` submissions and
+/// `(r − 1)/iat` cancellations per second per cluster.
+///
+/// # Panics
+/// Panics unless `r ≥ 1` and `iat > 0`.
+pub fn steady_state_load(r: f64, iat: f64) -> SteadyStateLoad {
+    assert!(r >= 1.0, "redundancy level must be at least 1, got {r}");
+    assert!(iat > 0.0, "interarrival time must be positive, got {iat}");
+    SteadyStateLoad {
+        submissions_per_sec: r / iat,
+        cancellations_per_sec: (r - 1.0) / iat,
+    }
+}
+
+/// Largest redundancy level `r` such that `r / iat ≤ rate`, i.e. the
+/// component can absorb the submission stream (the paper applies the same
+/// bound to cancellations, which are strictly fewer).
+///
+/// # Panics
+/// Panics unless both arguments are positive.
+pub fn max_redundancy(iat: f64, submissions_per_sec: f64) -> f64 {
+    assert!(iat > 0.0, "interarrival time must be positive");
+    assert!(submissions_per_sec > 0.0, "rate must be positive");
+    submissions_per_sec * iat
+}
+
+/// Which component saturates first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bottleneck {
+    /// The batch scheduler front-end.
+    Scheduler,
+    /// The grid middleware (WS-GRAM).
+    Middleware,
+    /// The SOAP marshalling layer.
+    Soap,
+    /// The network link.
+    Network,
+}
+
+/// The full 2006 stack, for end-to-end bottleneck analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemCapacity {
+    /// Batch scheduler model.
+    pub scheduler: PbsThroughputModel,
+    /// Grid middleware model.
+    pub middleware: GramModel,
+    /// SOAP layer model.
+    pub soap: GsoapModel,
+    /// Network model.
+    pub network: NetworkModel,
+    /// Assumed standing queue size at the scheduler (the paper
+    /// conservatively uses 10 000).
+    pub queue_size: usize,
+    /// Request message payload in bytes.
+    pub payload: u64,
+}
+
+impl SystemCapacity {
+    /// The paper's 2006 reference stack: OpenPBS/Maui with a 10 000-deep
+    /// queue, GT4 WS-GRAM, gSOAP, a fast-Ethernet uplink, and generous
+    /// 100 KB request messages.
+    pub fn paper_2006() -> Self {
+        SystemCapacity {
+            scheduler: PbsThroughputModel::openpbs_maui_2006(),
+            middleware: GramModel::gt4_ws_gram(),
+            soap: GsoapModel::sc05_benchmark(),
+            network: NetworkModel::fast_ethernet(),
+            queue_size: 10_000,
+            payload: 100 * 1024,
+        }
+    }
+
+    /// Sustainable submissions per second of each component. The
+    /// scheduler and middleware must each handle a submission *and* a
+    /// cancellation per redundant request, so their operation rates are
+    /// halved; the SOAP and network layers see each operation as one
+    /// message.
+    fn submission_rates(&self) -> [(Bottleneck, f64); 4] {
+        [
+            // The scheduler curve is already a per-kind rate (it
+            // processes that many submissions AND cancellations/s).
+            (
+                Bottleneck::Scheduler,
+                self.scheduler.throughput(self.queue_size),
+            ),
+            (Bottleneck::Middleware, self.middleware.submissions_per_sec()),
+            (
+                Bottleneck::Soap,
+                self.soap.rate_for_payload(self.payload) / 2.0,
+            ),
+            (
+                Bottleneck::Network,
+                self.network.messages_per_sec(self.payload) / 2.0,
+            ),
+        ]
+    }
+
+    /// The component that saturates first and its sustainable submission
+    /// rate.
+    pub fn bottleneck(&self) -> (Bottleneck, f64) {
+        self.submission_rates()
+            .into_iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are finite"))
+            .expect("four components")
+    }
+
+    /// Maximum sustainable redundancy (requests per job) at interarrival
+    /// time `iat`, per component.
+    pub fn max_redundancy_per_component(&self, iat: f64) -> Vec<(Bottleneck, f64)> {
+        self.submission_rates()
+            .into_iter()
+            .map(|(c, rate)| (c, max_redundancy(iat, rate)))
+            .collect()
+    }
+
+    /// System-wide maximum sustainable redundancy at interarrival `iat`.
+    pub fn max_redundancy(&self, iat: f64) -> f64 {
+        max_redundancy(iat, self.bottleneck().1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_rates_match_formula() {
+        let load = steady_state_load(4.0, 5.0);
+        assert!((load.submissions_per_sec - 0.8).abs() < 1e-12);
+        assert!((load.cancellations_per_sec - 0.6).abs() < 1e-12);
+        assert!((load.ops_per_sec() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_redundancy_means_no_cancellations() {
+        let load = steady_state_load(1.0, 5.0);
+        assert_eq!(load.cancellations_per_sec, 0.0);
+    }
+
+    /// The paper's Section 4.1 bound: "the batch schedulers could support
+    /// 6 submissions and 6 cancellations per second ... we obtain r < 30".
+    #[test]
+    fn scheduler_bound_is_thirty() {
+        let sched = PbsThroughputModel::openpbs_maui_2006();
+        // "Conservatively assuming that all queues contain 10,000
+        // requests ... the batch schedulers could support 6 submissions
+        // and 6 cancellations per second."
+        let per_kind = sched.throughput(10_000);
+        assert!((per_kind - 6.0).abs() < 0.1);
+        // "Therefore the batch schedulers operate within their achievable
+        // throughput if r/iat ≤ 6 ... we obtain r < 30."
+        let r = max_redundancy(5.0, per_kind);
+        assert!((29.0..31.0).contains(&r), "r = {r}");
+    }
+
+    /// The paper's Section 4.2 bound: "r/iat ≤ 0.5 leading to r < 3".
+    #[test]
+    fn middleware_bound_is_three() {
+        let gram = GramModel::gt4_ws_gram();
+        // "0.5 job submissions and 0.5 job cancellations per second".
+        let r = max_redundancy(5.0, 0.5);
+        assert!((r - 2.5).abs() < 1e-9);
+        assert!(r < 3.0);
+        // Our model's exact figure is slightly under 0.5 submissions/s.
+        assert!(gram.submissions_per_sec() <= 0.5);
+    }
+
+    #[test]
+    fn middleware_is_the_2006_bottleneck() {
+        let sys = SystemCapacity::paper_2006();
+        let (component, rate) = sys.bottleneck();
+        assert_eq!(component, Bottleneck::Middleware);
+        assert!(rate < 0.5);
+        // And therefore system-wide max redundancy at peak hours is < 3.
+        assert!(sys.max_redundancy(5.0) < 3.0);
+    }
+
+    #[test]
+    fn scheduler_constrains_before_soap_and_network() {
+        let sys = SystemCapacity::paper_2006();
+        let per: std::collections::HashMap<_, _> = sys
+            .max_redundancy_per_component(5.0)
+            .into_iter()
+            .collect();
+        assert!(per[&Bottleneck::Scheduler] < per[&Bottleneck::Soap]);
+        assert!(per[&Bottleneck::Scheduler] < per[&Bottleneck::Network]);
+    }
+
+    #[test]
+    fn faster_middleware_shifts_bottleneck_to_scheduler() {
+        let mut sys = SystemCapacity::paper_2006();
+        sys.middleware = GramModel::with_rate(6_000.0); // a 2020s REST API
+        let (component, _) = sys.bottleneck();
+        assert_eq!(component, Bottleneck::Scheduler);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sub_unity_redundancy_rejected() {
+        let _ = steady_state_load(0.5, 5.0);
+    }
+}

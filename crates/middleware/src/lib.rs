@@ -1,0 +1,42 @@
+//! # rbr-middleware
+//!
+//! The Section 4 substrate: what does a redundant-request workload cost in
+//! scheduler, network, and middleware load?
+//!
+//! The paper measured a production OpenPBS 2.3.16 / Maui 3.2.6 install on
+//! a 1 GHz Pentium III (Figure 5), quoted gSOAP micro-benchmarks and
+//! DiPerf measurements of GT4 WS-GRAM, and derived back-of-the-envelope
+//! capacity bounds: batch schedulers tolerate about **r < 30** redundant
+//! requests per job at peak arrival rates, while the 2006 WS-GRAM
+//! implementation tolerates only **r < 3** — making the middleware the
+//! bottleneck.
+//!
+//! We have none of that hardware, so this crate provides:
+//!
+//! * [`PbsThroughputModel`] — the measured submit/cancel throughput curve,
+//!   calibrated to the paper's endpoints (≈11 ops/s on an empty queue,
+//!   ≈5 ops/s at 20 000 pending requests), plus [`ChurnExperiment`], a
+//!   simulation of the saturation experiment that regenerates Figure 5
+//!   (including the memory-leak crashes that truncated some of the
+//!   paper's runs);
+//! * [`GramModel`] / [`GsoapModel`] / [`NetworkModel`] — transaction-rate
+//!   models for the grid-middleware stack;
+//! * [`capacity`] — the arithmetic of Section 4: sustainable redundancy
+//!   levels and the system bottleneck;
+//! * [`pipeline`] — the stack assembled as a tandem queueing network,
+//!   verifying the analytic crossovers (r < 3 with 2006 WS-GRAM) by
+//!   simulation.
+
+pub mod capacity;
+pub mod gram;
+pub mod network;
+pub mod pbs;
+pub mod pipeline;
+pub mod soap;
+
+pub use capacity::{max_redundancy, steady_state_load, Bottleneck, SystemCapacity};
+pub use gram::GramModel;
+pub use network::NetworkModel;
+pub use pbs::{ChurnExperiment, ChurnPoint, PbsThroughputModel};
+pub use pipeline::{PipelineConfig, PipelineResult};
+pub use soap::GsoapModel;

@@ -1,0 +1,251 @@
+//! End-to-end submission-path simulation.
+//!
+//! Section 4 reasons about each component in isolation; this module puts
+//! the 2006 stack together as a tandem queueing network — every request
+//! operation passes through the SOAP layer, then the WS-GRAM service,
+//! then the batch scheduler front-end, each a single server with a
+//! deterministic service time drawn from the calibrated models — and
+//! measures end-to-end latency and loss of sustainability as the
+//! redundancy level `r` rises.
+
+use rbr_simcore::{Duration, Engine, SeedSequence, SimTime};
+use rbr_stats::Summary;
+
+use crate::capacity::SystemCapacity;
+
+/// The three stages of the submission path, in order.
+const STAGES: usize = 3;
+
+/// Configuration of the pipeline experiment.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// The component stack (service rates are derived from it).
+    pub stack: SystemCapacity,
+    /// Mean job interarrival time per cluster in seconds.
+    pub iat: f64,
+    /// Redundancy level: each job contributes `r` submissions and
+    /// `r − 1` cancellations of middleware traffic.
+    pub r: f64,
+    /// Length of the measured period.
+    pub duration: Duration,
+}
+
+impl PipelineConfig {
+    /// The paper's peak-hour scenario on the 2006 stack.
+    pub fn paper_2006(r: f64) -> Self {
+        PipelineConfig {
+            stack: SystemCapacity::paper_2006(),
+            iat: 5.0,
+            r,
+            duration: Duration::from_hours(1),
+        }
+    }
+
+    /// Per-stage service times for one request operation.
+    fn service_times(&self) -> [Duration; STAGES] {
+        let soap = 1.0 / self.stack.soap.rate_for_payload(self.stack.payload);
+        // GRAM transactions: one operation = one transaction.
+        let gram = 1.0 / self.stack.middleware.transactions_per_sec();
+        // Scheduler: the throughput curve counts submit+cancel pairs; one
+        // operation is half a pair.
+        let sched = 0.5 / self.stack.scheduler.throughput(self.stack.queue_size);
+        [
+            Duration::from_secs(soap),
+            Duration::from_secs(gram),
+            Duration::from_secs(sched),
+        ]
+    }
+
+    /// Offered operations per second ((2r − 1) per job: r submissions +
+    /// r − 1 cancellations).
+    pub fn offered_ops_per_sec(&self) -> f64 {
+        (2.0 * self.r - 1.0) / self.iat
+    }
+}
+
+/// Outcome of a pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// End-to-end latency of completed operations (seconds).
+    pub latency: Summary,
+    /// Operations still in flight (queued or in service anywhere in the
+    /// pipeline) at the end of the measured window.
+    pub backlog: usize,
+    /// Operations completed.
+    pub completed: usize,
+    /// True if the stack kept up: less than a minute's worth of offered
+    /// load remained in flight at the end of the window.
+    pub sustainable: bool,
+}
+
+#[derive(Clone, Copy)]
+enum Ev {
+    /// An operation arrives at the pipeline entrance.
+    Arrival(u64),
+    /// Stage `stage` finishes serving operation `op`.
+    StageDone { op: u64, stage: usize },
+    /// End of the measured period: snapshot the backlog (the in-flight
+    /// work keeps draining afterwards, so it must be observed *now*).
+    Sample,
+}
+
+/// Runs the tandem-queue simulation: Poisson-like arrivals (exponential
+/// gaps at the offered rate), three single-server FIFO stages.
+pub fn run(config: &PipelineConfig, seed: SeedSequence) -> PipelineResult {
+    use rand::Rng;
+    assert!(config.r >= 1.0, "redundancy level must be at least 1");
+    let service = config.service_times();
+    let rate = config.offered_ops_per_sec();
+    let mut rng = seed.rng();
+    let mut exp_gap = move || {
+        let u = loop {
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if u > 0.0 {
+                break u;
+            }
+        };
+        Duration::from_secs((-u.ln() / rate).max(1e-6))
+    };
+
+    let mut engine: Engine<Ev> = Engine::new();
+    let end = SimTime::ZERO + config.duration;
+    engine.schedule(SimTime::ZERO + exp_gap(), Ev::Arrival(0));
+    engine.schedule(end, Ev::Sample);
+
+    // Per-stage FIFO queues hold (op, entry time); busy flag per stage.
+    let mut queues: [std::collections::VecDeque<u64>; STAGES] = Default::default();
+    let mut busy = [false; STAGES];
+    let mut entered: Vec<SimTime> = Vec::new();
+    let mut latency = Summary::new();
+    let mut completed = 0usize;
+    let mut in_service = 0usize;
+    let mut backlog_at_end = 0usize;
+
+    while let Some((now, ev)) = engine.pop() {
+        match ev {
+            Ev::Arrival(op) => {
+                if now >= end {
+                    continue; // stop generating, drain what's in flight
+                }
+                entered.push(now);
+                debug_assert_eq!(entered.len() as u64, op + 1);
+                in_service += 1;
+                enqueue(&mut queues, &mut busy, &mut engine, now, op, 0, &service);
+                engine.schedule(now + exp_gap(), Ev::Arrival(op + 1));
+            }
+            Ev::StageDone { op, stage } => {
+                busy[stage] = false;
+                if let Some(next) = queues[stage].pop_front() {
+                    serve(&mut busy, &mut engine, now, next, stage, &service);
+                }
+                if stage + 1 < STAGES {
+                    enqueue(&mut queues, &mut busy, &mut engine, now, op, stage + 1, &service);
+                } else {
+                    latency.push(now.since(entered[op as usize]).as_secs());
+                    completed += 1;
+                    in_service -= 1;
+                }
+            }
+            Ev::Sample => {
+                backlog_at_end = in_service;
+            }
+        }
+    }
+
+    PipelineResult {
+        latency,
+        backlog: backlog_at_end,
+        completed,
+        // Sustainable if less than a minute's worth of offered load was
+        // still in flight when the window closed.
+        sustainable: (backlog_at_end as f64) < 60.0 * rate.max(1.0),
+    }
+}
+
+fn enqueue(
+    queues: &mut [std::collections::VecDeque<u64>; STAGES],
+    busy: &mut [bool; STAGES],
+    engine: &mut Engine<Ev>,
+    now: SimTime,
+    op: u64,
+    stage: usize,
+    service: &[Duration; STAGES],
+) {
+    if busy[stage] {
+        queues[stage].push_back(op);
+    } else {
+        serve(busy, engine, now, op, stage, service);
+    }
+}
+
+fn serve(
+    busy: &mut [bool; STAGES],
+    engine: &mut Engine<Ev>,
+    now: SimTime,
+    op: u64,
+    stage: usize,
+    service: &[Duration; STAGES],
+) {
+    busy[stage] = true;
+    engine.schedule(now + service[stage], Ev::StageDone { op, stage });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r1_is_comfortably_sustainable() {
+        let result = run(&PipelineConfig::paper_2006(1.0), SeedSequence::new(300));
+        assert!(result.sustainable, "backlog {}", result.backlog);
+        assert!(result.completed > 500);
+        // Latency near the raw service time (~1.1 s, GRAM-dominated).
+        assert!(result.latency.mean() < 10.0, "latency {}", result.latency.mean());
+    }
+
+    #[test]
+    fn r3_saturates_the_2006_stack() {
+        // The paper: WS-GRAM "would be the bottleneck for a system in
+        // which all jobs use 3 or more redundant requests".
+        let result = run(&PipelineConfig::paper_2006(3.0), SeedSequence::new(301));
+        assert!(
+            !result.sustainable,
+            "r=3 must overload GT4 WS-GRAM (backlog {})",
+            result.backlog
+        );
+    }
+
+    #[test]
+    fn crossover_matches_the_analytic_bound() {
+        // GT4 WS-GRAM sustains 0.95 tx/s; a job at redundancy r costs
+        // 2r − 1 transactions, so saturation sits at r ≈ 2.87 for
+        // iat = 5 s — the simulation's crossover must bracket it (the
+        // paper's rounding of the same arithmetic reads "r < 3").
+        let ok = run(&PipelineConfig::paper_2006(2.5), SeedSequence::new(302));
+        let over = run(&PipelineConfig::paper_2006(3.1), SeedSequence::new(303));
+        assert!(ok.sustainable, "r=2.5 backlog {}", ok.backlog);
+        assert!(!over.sustainable, "r=3.1 backlog {}", over.backlog);
+    }
+
+    #[test]
+    fn faster_middleware_moves_the_crossover() {
+        use crate::gram::GramModel;
+        let mut cfg = PipelineConfig::paper_2006(5.0);
+        cfg.stack.middleware = GramModel::with_rate(3_600.0); // 60 tx/s
+        let result = run(&cfg, SeedSequence::new(304));
+        assert!(result.sustainable, "a fast middleware should absorb r=5");
+    }
+
+    #[test]
+    fn latency_explodes_beyond_saturation() {
+        let under = run(&PipelineConfig::paper_2006(1.5), SeedSequence::new(305));
+        let over = run(&PipelineConfig::paper_2006(4.0), SeedSequence::new(305));
+        assert!(over.latency.mean() > 5.0 * under.latency.mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sub_unity_r_rejected() {
+        let _ = run(&PipelineConfig::paper_2006(0.5), SeedSequence::new(306));
+    }
+}

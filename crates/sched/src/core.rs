@@ -1,0 +1,255 @@
+//! Shared machinery: the node pool and the running set.
+//!
+//! All three scheduling algorithms share the same notion of "what is
+//! running": an allocation of `nodes` until a *requested* end time (the
+//! scheduler plans with estimates; actual completions arrive as events,
+//! at or before the requested end).
+
+use std::collections::HashMap;
+
+use rbr_simcore::SimTime;
+
+use crate::profile::Profile;
+use crate::types::{Request, RequestId};
+
+/// One running allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Running {
+    /// The request occupying the nodes.
+    pub request: Request,
+    /// When it started.
+    pub start: SimTime,
+    /// When its *requested* compute time expires.
+    pub requested_end: SimTime,
+}
+
+/// Node pool plus running set; the resource-accounting core of a cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterCore {
+    total: u32,
+    free: u32,
+    running: HashMap<RequestId, Running>,
+}
+
+impl ClusterCore {
+    /// An idle cluster of `total` nodes.
+    ///
+    /// # Panics
+    /// Panics if `total == 0`.
+    pub fn new(total: u32) -> Self {
+        assert!(total > 0, "a cluster needs at least one node");
+        ClusterCore {
+            total,
+            free: total,
+            running: HashMap::new(),
+        }
+    }
+
+    /// Machine size.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Currently idle nodes.
+    pub fn free(&self) -> u32 {
+        self.free
+    }
+
+    /// Number of running allocations.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Whether the given request is currently running.
+    pub fn is_running(&self, id: RequestId) -> bool {
+        self.running.contains_key(&id)
+    }
+
+    /// True if `req` fits in the currently free nodes.
+    pub fn fits_now(&self, req: &Request) -> bool {
+        req.nodes <= self.free
+    }
+
+    /// Starts `req` at `now`, consuming nodes.
+    ///
+    /// # Panics
+    /// Panics if the request does not fit, asks for more nodes than the
+    /// machine has, or is already running.
+    pub fn start(&mut self, now: SimTime, req: Request) {
+        assert!(
+            req.nodes <= self.total,
+            "request {} wants {} nodes on a {}-node machine",
+            req.id,
+            req.nodes,
+            self.total
+        );
+        assert!(
+            req.nodes <= self.free,
+            "request {} started without {} free nodes (have {})",
+            req.id,
+            req.nodes,
+            self.free
+        );
+        self.free -= req.nodes;
+        let prev = self.running.insert(
+            req.id,
+            Running {
+                request: req,
+                start: now,
+                requested_end: req.end_if_started(now),
+            },
+        );
+        assert!(prev.is_none(), "request {} started twice", req.id);
+    }
+
+    /// Removes a running allocation (on completion or an aborted start),
+    /// returning its record and freeing its nodes.
+    ///
+    /// # Panics
+    /// Panics if the request is not running.
+    pub fn remove(&mut self, id: RequestId) -> Running {
+        let rec = self
+            .running
+            .remove(&id)
+            .unwrap_or_else(|| panic!("request {id} is not running"));
+        self.free += rec.request.nodes;
+        debug_assert!(self.free <= self.total);
+        rec
+    }
+
+    /// Builds the availability profile implied by the running set: the
+    /// currently free nodes now, plus each allocation's nodes released at
+    /// its requested end.
+    pub fn profile(&self, now: SimTime) -> Profile {
+        let mut p = Profile::new(now, self.total, self.free);
+        for rec in self.running.values() {
+            // Allocations whose requested end has passed (jobs running
+            // into their last instants at exactly `now`) release "now".
+            let release = rec.requested_end.max(now);
+            p.release_at(release, rec.request.nodes);
+        }
+        p
+    }
+
+    /// The EASY shadow computation: given the head request that cannot
+    /// start now, returns `(shadow, extra)` where `shadow` is the earliest
+    /// instant the head can start according to requested ends, and
+    /// `extra` is the number of nodes that will still be free at that
+    /// instant after the head starts.
+    ///
+    /// # Panics
+    /// Panics if the head actually fits now (callers must start it
+    /// instead) — except for the degenerate case of an unrunnable
+    /// request, which is rejected by `start` anyway.
+    pub fn shadow(&self, head: &Request) -> (SimTime, u32) {
+        assert!(
+            head.nodes > self.free,
+            "shadow computed for a head request that fits now"
+        );
+        // Sort running allocations by requested end and accumulate
+        // releases until the head fits.
+        let mut ends: Vec<(SimTime, u32)> = self
+            .running
+            .values()
+            .map(|r| (r.requested_end, r.request.nodes))
+            .collect();
+        ends.sort_unstable();
+        let mut avail = self.free;
+        for (end, nodes) in ends {
+            avail += nodes;
+            if avail >= head.nodes {
+                return (end, avail - head.nodes);
+            }
+        }
+        unreachable!(
+            "all allocations released but head ({} nodes) still does not fit on {} total",
+            head.nodes, self.total
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_simcore::Duration;
+
+    fn req(id: u64, nodes: u32, est: f64, submit: f64) -> Request {
+        Request::new(
+            RequestId(id),
+            nodes,
+            Duration::from_secs(est),
+            SimTime::from_secs(submit),
+        )
+    }
+
+    #[test]
+    fn start_and_remove_account_nodes() {
+        let mut c = ClusterCore::new(16);
+        c.start(SimTime::ZERO, req(1, 10, 100.0, 0.0));
+        assert_eq!(c.free(), 6);
+        assert!(c.is_running(RequestId(1)));
+        let rec = c.remove(RequestId(1));
+        assert_eq!(rec.requested_end, SimTime::from_secs(100.0));
+        assert_eq!(c.free(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "without")]
+    fn overcommit_panics() {
+        let mut c = ClusterCore::new(8);
+        c.start(SimTime::ZERO, req(1, 6, 10.0, 0.0));
+        c.start(SimTime::ZERO, req(2, 6, 10.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn remove_unknown_panics() {
+        let mut c = ClusterCore::new(8);
+        c.remove(RequestId(9));
+    }
+
+    #[test]
+    fn profile_reflects_running_set() {
+        let mut c = ClusterCore::new(10);
+        c.start(SimTime::ZERO, req(1, 4, 100.0, 0.0));
+        c.start(SimTime::ZERO, req(2, 3, 50.0, 0.0));
+        let p = c.profile(SimTime::from_secs(10.0));
+        assert_eq!(p.free_at(SimTime::from_secs(10.0)), 3);
+        assert_eq!(p.free_at(SimTime::from_secs(50.0)), 6);
+        assert_eq!(p.free_at(SimTime::from_secs(100.0)), 10);
+    }
+
+    #[test]
+    fn profile_clamps_overdue_ends_to_now() {
+        let mut c = ClusterCore::new(4);
+        c.start(SimTime::ZERO, req(1, 2, 10.0, 0.0));
+        // Query the profile after the requested end (the completion event
+        // is processed at exactly the requested end in the worst case, but
+        // a same-instant query must not underflow).
+        let p = c.profile(SimTime::from_secs(10.0));
+        assert_eq!(p.free_at(SimTime::from_secs(10.0)), 4);
+    }
+
+    #[test]
+    fn shadow_accumulates_until_head_fits() {
+        let mut c = ClusterCore::new(10);
+        c.start(SimTime::ZERO, req(1, 4, 100.0, 0.0)); // ends 100
+        c.start(SimTime::ZERO, req(2, 4, 50.0, 0.0)); // ends 50
+        // free = 2; head wants 8: needs release at 50 (free 6) then 100
+        // (free 10).
+        let head = req(3, 8, 10.0, 0.0);
+        let (shadow, extra) = c.shadow(&head);
+        assert_eq!(shadow, SimTime::from_secs(100.0));
+        assert_eq!(extra, 2);
+    }
+
+    #[test]
+    fn shadow_extra_counts_leftover_nodes() {
+        let mut c = ClusterCore::new(10);
+        c.start(SimTime::ZERO, req(1, 9, 30.0, 0.0));
+        let head = req(2, 5, 10.0, 0.0);
+        let (shadow, extra) = c.shadow(&head);
+        assert_eq!(shadow, SimTime::from_secs(30.0));
+        assert_eq!(extra, 5); // 10 free at 30, head takes 5
+    }
+}

@@ -1,0 +1,307 @@
+//! EASY aggressive backfilling (Lifka, JSSPP 1995).
+//!
+//! The head of the queue holds the only reservation: its start is bounded
+//! by the *shadow time* computed from the requested ends of running jobs.
+//! Any other queued job may jump ahead ("backfill") if it fits in the
+//! currently free nodes and either (a) finishes by the shadow time, or
+//! (b) only uses nodes that will still be spare at the shadow time.
+//!
+//! Backfilling opportunities appear whenever a request is submitted,
+//! canceled, or a job finishes early — the three churn sources redundant
+//! requests amplify, which is exactly why the paper studies them.
+
+use std::collections::VecDeque;
+
+use rbr_simcore::SimTime;
+
+use crate::core::ClusterCore;
+use crate::scheduler::{fifo_predicted_start, Scheduler};
+use crate::types::{Request, RequestId};
+
+/// EASY backfilling scheduler.
+#[derive(Clone, Debug)]
+pub struct EasyScheduler {
+    core: ClusterCore,
+    queue: VecDeque<Request>,
+    backfills: u64,
+}
+
+impl EasyScheduler {
+    /// An idle EASY cluster of `nodes` nodes.
+    pub fn new(nodes: u32) -> Self {
+        EasyScheduler {
+            core: ClusterCore::new(nodes),
+            queue: VecDeque::new(),
+            backfills: 0,
+        }
+    }
+
+    /// One scheduling pass: start from the head while it fits, then a
+    /// single backfilling sweep protected by the head's shadow.
+    fn try_schedule(&mut self, now: SimTime, starts: &mut Vec<RequestId>) {
+        // Phase 1: strict FIFO starts.
+        while let Some(head) = self.queue.front() {
+            if !self.core.fits_now(head) {
+                break;
+            }
+            let req = self.queue.pop_front().expect("front checked above");
+            self.core.start(now, req);
+            starts.push(req.id);
+        }
+        if self.queue.is_empty() || self.core.free() == 0 {
+            return;
+        }
+
+        // Phase 2: backfill behind the (blocked) head.
+        let head = *self.queue.front().expect("queue checked non-empty");
+        let (shadow, mut extra) = self.core.shadow(&head);
+        let mut i = 1;
+        while i < self.queue.len() {
+            if self.core.free() == 0 {
+                return;
+            }
+            let cand = self.queue[i];
+            if cand.nodes <= self.core.free() {
+                let ends_by_shadow = cand.end_if_started(now) <= shadow;
+                if ends_by_shadow || cand.nodes <= extra {
+                    if !ends_by_shadow {
+                        // The job outlives the shadow: it must fit in the
+                        // nodes the head will not need.
+                        extra -= cand.nodes;
+                    }
+                    self.queue.remove(i).expect("index in bounds");
+                    self.core.start(now, cand);
+                    self.backfills += 1;
+                    starts.push(cand.id);
+                    continue; // i now points at the next candidate
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn remove_queued(&mut self, id: RequestId) -> bool {
+        if let Some(pos) = self.queue.iter().position(|r| r.id == id) {
+            self.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Scheduler for EasyScheduler {
+    fn name(&self) -> &'static str {
+        "EASY"
+    }
+
+    fn total_nodes(&self) -> u32 {
+        self.core.total()
+    }
+
+    fn free_nodes(&self) -> u32 {
+        self.core.free()
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn running_len(&self) -> usize {
+        self.core.running_len()
+    }
+
+    fn submit(&mut self, now: SimTime, req: Request, starts: &mut Vec<RequestId>) {
+        assert!(
+            req.nodes <= self.core.total(),
+            "request {} cannot ever run: {} nodes > machine size {}",
+            req.id,
+            req.nodes,
+            self.core.total()
+        );
+        self.queue.push_back(req);
+        self.try_schedule(now, starts);
+    }
+
+    fn cancel(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) -> bool {
+        let removed = self.remove_queued(id);
+        if removed {
+            self.try_schedule(now, starts);
+        }
+        removed
+    }
+
+    fn complete(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) {
+        self.core.remove(id);
+        self.try_schedule(now, starts);
+    }
+
+    fn abort(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) {
+        self.core.remove(id);
+        self.try_schedule(now, starts);
+    }
+
+    fn predicted_start(&self, now: SimTime, id: RequestId) -> Option<SimTime> {
+        if self.core.is_running(id) {
+            return Some(now);
+        }
+        fifo_predicted_start(&self.core, self.queue.iter(), now, id)
+    }
+
+    fn backfills(&self) -> u64 {
+        self.backfills
+    }
+
+    fn is_queued(&self, id: RequestId) -> bool {
+        self.queue.iter().any(|r| r.id == id)
+    }
+
+    fn is_running(&self, id: RequestId) -> bool {
+        self.core.is_running(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_simcore::Duration;
+
+    fn req(id: u64, nodes: u32, est: f64) -> Request {
+        Request::new(RequestId(id), nodes, Duration::from_secs(est), SimTime::ZERO)
+    }
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// The canonical EASY scenario: a short narrow job jumps a blocked
+    /// wide head because it finishes before the shadow time.
+    #[test]
+    fn backfills_short_job_that_ends_by_shadow() {
+        let mut s = EasyScheduler::new(10);
+        let mut starts = Vec::new();
+        s.submit(t(0.0), req(1, 8, 100.0), &mut starts); // runs, ends 100
+        s.submit(t(0.0), req(2, 8, 50.0), &mut starts); // blocked head, shadow 100
+        s.submit(t(0.0), req(3, 2, 100.0), &mut starts); // 2 ≤ extra (2): backfills
+        assert_eq!(starts, vec![RequestId(1), RequestId(3)]);
+        assert_eq!(s.free_nodes(), 0);
+    }
+
+    #[test]
+    fn does_not_backfill_job_that_would_delay_head() {
+        let mut s = EasyScheduler::new(10);
+        let mut starts = Vec::new();
+        s.submit(t(0.0), req(1, 8, 100.0), &mut starts); // ends 100
+        s.submit(t(0.0), req(2, 4, 50.0), &mut starts); // head: shadow 100, extra 6
+        // Candidate: fits now (2 free)? No — only 2 free, needs 2. Ends at
+        // 200 > shadow, but nodes 2 ≤ extra 6 → may backfill.
+        s.submit(t(0.0), req(3, 2, 200.0), &mut starts);
+        assert_eq!(starts, vec![RequestId(1), RequestId(3)]);
+
+        // Now 0 free; a 1-node job cannot start whatever its length.
+        starts.clear();
+        s.submit(t(0.0), req(4, 1, 1.0), &mut starts);
+        assert!(starts.is_empty());
+    }
+
+    #[test]
+    fn extra_nodes_budget_is_consumed() {
+        let mut s = EasyScheduler::new(10);
+        let mut starts = Vec::new();
+        s.submit(t(0.0), req(1, 6, 100.0), &mut starts); // ends 100, 4 free
+        s.submit(t(0.0), req(2, 8, 100.0), &mut starts); // head blocked; shadow 100, extra 2
+        // Long candidate using 2 ≤ extra: allowed, consumes the budget.
+        s.submit(t(0.0), req(3, 2, 500.0), &mut starts);
+        // Second long candidate needing 2 > remaining extra 0: refused
+        // even though 2 nodes are free.
+        s.submit(t(0.0), req(4, 2, 500.0), &mut starts);
+        assert_eq!(starts, vec![RequestId(1), RequestId(3)]);
+        assert_eq!(s.free_nodes(), 2);
+        // But a short job ending by the shadow still backfills.
+        s.submit(t(0.0), req(5, 2, 50.0), &mut starts);
+        assert_eq!(starts.last(), Some(&RequestId(5)));
+    }
+
+    #[test]
+    fn early_completion_triggers_backfill() {
+        let mut s = EasyScheduler::new(10);
+        let mut starts = Vec::new();
+        s.submit(t(0.0), req(1, 10, 1000.0), &mut starts); // hogs machine
+        s.submit(t(0.0), req(2, 10, 1000.0), &mut starts); // waits
+        s.submit(t(0.0), req(3, 1, 10.0), &mut starts); // waits
+        assert_eq!(starts, vec![RequestId(1)]);
+        starts.clear();
+        // Job 1 finishes way before its request: everything reshuffles.
+        s.complete(t(100.0), RequestId(1), &mut starts);
+        assert_eq!(starts, vec![RequestId(2)]);
+        // Queue still holds job 3 (no free nodes).
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn cancellation_triggers_backfill() {
+        let mut s = EasyScheduler::new(10);
+        let mut starts = Vec::new();
+        s.submit(t(0.0), req(1, 8, 100.0), &mut starts);
+        s.submit(t(0.0), req(2, 8, 100.0), &mut starts); // head, blocked
+        s.submit(t(0.0), req(3, 4, 500.0), &mut starts); // too big to backfill (extra 2)
+        assert_eq!(starts, vec![RequestId(1)]);
+        starts.clear();
+        // Cancel the head: job 3 becomes head; 2 free < 4 → still waits...
+        assert!(s.cancel(t(1.0), RequestId(2), &mut starts));
+        assert!(starts.is_empty());
+        // ...but when job 1 completes it starts.
+        s.complete(t(60.0), RequestId(1), &mut starts);
+        assert_eq!(starts, vec![RequestId(3)]);
+    }
+
+    #[test]
+    fn fifo_among_equal_jobs() {
+        let mut s = EasyScheduler::new(4);
+        let mut starts = Vec::new();
+        for i in 1..=5 {
+            s.submit(t(0.0), req(i, 4, 10.0), &mut starts);
+        }
+        assert_eq!(starts, vec![RequestId(1)]);
+        for k in 2..=5u64 {
+            starts.clear();
+            s.complete(t(10.0 * (k - 1) as f64), RequestId(k - 1), &mut starts);
+            assert_eq!(starts, vec![RequestId(k)]);
+        }
+    }
+
+    #[test]
+    fn backfill_preserves_head_reservation_end_to_end() {
+        // Head must never start later than its shadow at decision time.
+        let mut s = EasyScheduler::new(10);
+        let mut starts = Vec::new();
+        s.submit(t(0.0), req(1, 10, 100.0), &mut starts); // ends ≤ 100
+        s.submit(t(0.0), req(2, 10, 100.0), &mut starts); // head, shadow = 100
+        s.submit(t(0.0), req(3, 5, 100.0), &mut starts); // cannot fit now
+        assert_eq!(starts, vec![RequestId(1)]);
+        starts.clear();
+        // Job 1 runs its full request; at t=100 the head starts — job 3
+        // must not have sneaked ahead.
+        s.complete(t(100.0), RequestId(1), &mut starts);
+        assert_eq!(starts, vec![RequestId(2)]);
+    }
+
+    #[test]
+    fn abort_reschedules_immediately() {
+        let mut s = EasyScheduler::new(8);
+        let mut starts = Vec::new();
+        s.submit(t(0.0), req(1, 8, 100.0), &mut starts);
+        s.submit(t(0.0), req(2, 8, 100.0), &mut starts);
+        starts.clear();
+        s.abort(t(0.0), RequestId(1), &mut starts);
+        assert_eq!(starts, vec![RequestId(2)]);
+    }
+
+    #[test]
+    fn predicted_start_accounts_for_queue() {
+        let mut s = EasyScheduler::new(4);
+        let mut starts = Vec::new();
+        s.submit(t(0.0), req(1, 4, 100.0), &mut starts);
+        s.submit(t(0.0), req(2, 2, 30.0), &mut starts);
+        assert_eq!(s.predicted_start(t(0.0), RequestId(2)), Some(t(100.0)));
+    }
+}

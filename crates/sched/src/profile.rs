@@ -1,0 +1,300 @@
+//! The availability profile: free nodes as a piecewise-constant function
+//! of future time.
+//!
+//! Both backfilling algorithms reason about the future: EASY computes the
+//! head job's shadow time, CBF assigns every queued request a reservation.
+//! The profile is the shared data structure: a sorted step list
+//! `(time, free)` where entry `i` holds from `steps[i].0` until
+//! `steps[i+1].0`, and the final entry extends to infinity.
+
+use rbr_simcore::{Duration, SimTime};
+
+/// Piecewise-constant free-node timeline starting at some instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Profile {
+    /// `(start, free)` steps, strictly increasing in time; never empty.
+    steps: Vec<(SimTime, u32)>,
+    total: u32,
+}
+
+impl Profile {
+    /// A profile with `free` nodes available from `now` onwards, on a
+    /// machine of `total` nodes.
+    ///
+    /// # Panics
+    /// Panics if `free > total`.
+    pub fn new(now: SimTime, total: u32, free: u32) -> Self {
+        assert!(free <= total, "free nodes {free} exceed total {total}");
+        Profile {
+            steps: vec![(now, free)],
+            total,
+        }
+    }
+
+    /// Machine size.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// The step list (for inspection/tests).
+    pub fn steps(&self) -> &[(SimTime, u32)] {
+        &self.steps
+    }
+
+    /// Free nodes at instant `t` (must not precede the profile origin).
+    pub fn free_at(&self, t: SimTime) -> u32 {
+        assert!(
+            t >= self.steps[0].0,
+            "query at {t} precedes profile origin {}",
+            self.steps[0].0
+        );
+        match self.steps.binary_search_by(|&(s, _)| s.cmp(&t)) {
+            Ok(i) => self.steps[i].1,
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// Declares that `nodes` nodes become free again at `release` — i.e. a
+    /// running or reserved allocation occupies them from the profile
+    /// origin until `release`.
+    ///
+    /// Used when building a profile from the running set: the origin
+    /// profile starts with the machine's currently-free nodes, and each
+    /// running job adds its nodes back at its (requested) end time.
+    pub fn release_at(&mut self, release: SimTime, nodes: u32) {
+        if nodes == 0 {
+            return;
+        }
+        let idx = self.ensure_step(release);
+        for step in &mut self.steps[idx..] {
+            step.1 += nodes;
+            assert!(
+                step.1 <= self.total,
+                "profile overflow: {} free on a {}-node machine",
+                step.1,
+                self.total
+            );
+        }
+    }
+
+    /// Reserves `nodes` nodes over `[start, start + dur)`.
+    ///
+    /// # Panics
+    /// Panics if the interval does not have `nodes` free throughout —
+    /// callers must find the slot with [`Profile::earliest_fit`] first.
+    pub fn reserve(&mut self, start: SimTime, dur: Duration, nodes: u32) {
+        if nodes == 0 || dur.is_zero() {
+            return;
+        }
+        let end = start + dur;
+        let from = self.ensure_step(start);
+        let to = self.ensure_step(end);
+        for step in &mut self.steps[from..to] {
+            assert!(
+                step.1 >= nodes,
+                "reservation underflow at {}: {} free < {} needed",
+                step.0,
+                step.1,
+                nodes
+            );
+            step.1 -= nodes;
+        }
+    }
+
+    /// Earliest instant `t ≥ not_before` such that `nodes` nodes are free
+    /// throughout `[t, t + dur)`.
+    ///
+    /// # Panics
+    /// Panics if `nodes` exceeds the machine size (such a request can
+    /// never be scheduled) or `not_before` precedes the profile origin.
+    pub fn earliest_fit(&self, not_before: SimTime, dur: Duration, nodes: u32) -> SimTime {
+        assert!(
+            nodes <= self.total,
+            "request for {nodes} nodes on a {}-node machine",
+            self.total
+        );
+        assert!(
+            not_before >= self.steps[0].0,
+            "earliest_fit from {not_before} precedes profile origin"
+        );
+        if nodes == 0 || dur.is_zero() {
+            return not_before;
+        }
+        // Candidate anchors are `not_before` and every later step start.
+        let mut anchor = not_before;
+        let mut i = match self.steps.binary_search_by(|&(s, _)| s.cmp(&anchor)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        'outer: loop {
+            // Check [anchor, anchor + dur) starting from step i.
+            let end = anchor.saturating_add(dur);
+            let mut j = i;
+            while j < self.steps.len() && self.steps[j].0 < end {
+                if self.steps[j].1 < nodes {
+                    // Conflict: next candidate anchor is the first step
+                    // after the conflict with enough free nodes.
+                    let mut k = j + 1;
+                    while k < self.steps.len() && self.steps[k].1 < nodes {
+                        k += 1;
+                    }
+                    if k == self.steps.len() {
+                        // Beyond the last step everything stays at the
+                        // final level, which must be insufficient — but
+                        // the final level always has every allocation
+                        // released, so this cannot happen unless the
+                        // caller built a profile that never frees nodes.
+                        let (t, f) = *self.steps.last().expect("profile never empty");
+                        assert!(
+                            f >= nodes,
+                            "profile tail has {f} free nodes forever; request for {nodes} can never fit"
+                        );
+                        anchor = t;
+                        i = self.steps.len() - 1;
+                        continue 'outer;
+                    }
+                    anchor = self.steps[k].0;
+                    i = k;
+                    continue 'outer;
+                }
+                j += 1;
+            }
+            return anchor;
+        }
+    }
+
+    /// Ensures a step boundary exists exactly at `t` and returns its
+    /// index. If `t` precedes the origin the origin index is returned.
+    fn ensure_step(&mut self, t: SimTime) -> usize {
+        if t <= self.steps[0].0 {
+            return 0;
+        }
+        match self.steps.binary_search_by(|&(s, _)| s.cmp(&t)) {
+            Ok(i) => i,
+            Err(i) => {
+                let level = self.steps[i - 1].1;
+                self.steps.insert(i, (t, level));
+                i
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: f64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    #[test]
+    fn empty_machine_fits_immediately() {
+        let p = Profile::new(t(0.0), 128, 128);
+        assert_eq!(p.earliest_fit(t(0.0), d(3600.0), 128), t(0.0));
+    }
+
+    #[test]
+    fn release_raises_future_levels() {
+        // 64 nodes busy until t=100.
+        let mut p = Profile::new(t(0.0), 128, 64);
+        p.release_at(t(100.0), 64);
+        assert_eq!(p.free_at(t(0.0)), 64);
+        assert_eq!(p.free_at(t(99.0)), 64);
+        assert_eq!(p.free_at(t(100.0)), 128);
+        // A 100-node job must wait for the release.
+        assert_eq!(p.earliest_fit(t(0.0), d(50.0), 100), t(100.0));
+        // A 64-node job fits now.
+        assert_eq!(p.earliest_fit(t(0.0), d(50.0), 64), t(0.0));
+    }
+
+    #[test]
+    fn reserve_consumes_capacity() {
+        let mut p = Profile::new(t(0.0), 10, 10);
+        p.reserve(t(0.0), d(100.0), 6);
+        assert_eq!(p.free_at(t(0.0)), 4);
+        assert_eq!(p.free_at(t(100.0)), 10);
+        // 5 nodes cannot fit under the reservation; must wait until 100.
+        assert_eq!(p.earliest_fit(t(0.0), d(10.0), 5), t(100.0));
+        // 4 nodes fit alongside.
+        assert_eq!(p.earliest_fit(t(0.0), d(10.0), 4), t(0.0));
+    }
+
+    #[test]
+    fn fit_slides_past_busy_windows() {
+        let mut p = Profile::new(t(0.0), 8, 8);
+        p.reserve(t(10.0), d(20.0), 8); // machine fully busy [10, 30)
+        // A long job starting now would overlap the busy window.
+        assert_eq!(p.earliest_fit(t(0.0), d(15.0), 1), t(30.0));
+        // A short job fits in the initial hole.
+        assert_eq!(p.earliest_fit(t(0.0), d(10.0), 1), t(0.0));
+        // Starting search inside the busy window jumps past it.
+        assert_eq!(p.earliest_fit(t(15.0), d(1.0), 1), t(30.0));
+    }
+
+    #[test]
+    fn fit_between_two_reservations() {
+        let mut p = Profile::new(t(0.0), 4, 4);
+        p.reserve(t(0.0), d(10.0), 4); // busy [0,10)
+        p.reserve(t(20.0), d(10.0), 4); // busy [20,30)
+        // 10-second hole at [10,20) fits a 10 s job exactly.
+        assert_eq!(p.earliest_fit(t(0.0), d(10.0), 4), t(10.0));
+        // An 11-second job cannot use the hole.
+        assert_eq!(p.earliest_fit(t(0.0), d(11.0), 4), t(30.0));
+    }
+
+    #[test]
+    fn zero_duration_fits_anywhere() {
+        let mut p = Profile::new(t(0.0), 4, 0);
+        p.release_at(t(100.0), 4);
+        assert_eq!(p.earliest_fit(t(5.0), Duration::ZERO, 4), t(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn reserve_without_capacity_panics() {
+        let mut p = Profile::new(t(0.0), 4, 2);
+        p.reserve(t(0.0), d(10.0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn free_above_total_rejected() {
+        let _ = Profile::new(t(0.0), 4, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "never fit")]
+    fn oversized_forever_request_detected() {
+        // A profile whose tail never frees enough nodes: 2 of 4 nodes are
+        // busy with no release recorded (a malformed caller profile).
+        let p = Profile::new(t(0.0), 4, 2);
+        let _ = p.earliest_fit(t(0.0), d(1.0), 3);
+    }
+
+    #[test]
+    fn long_reservation_tail_recovers() {
+        // reserve() records the release, so capacity reappears after even
+        // a very long reservation and a wide job fits there.
+        let mut p = Profile::new(t(0.0), 4, 4);
+        p.reserve(t(0.0), Duration::from_hours(1_000_000), 2);
+        let fit = p.earliest_fit(t(0.0), d(1.0), 3);
+        assert_eq!(fit, t(0.0) + Duration::from_hours(1_000_000));
+    }
+
+    #[test]
+    fn ensure_step_is_idempotent() {
+        let mut p = Profile::new(t(0.0), 8, 8);
+        p.reserve(t(10.0), d(10.0), 4);
+        p.reserve(t(10.0), d(10.0), 4);
+        assert_eq!(p.free_at(t(15.0)), 0);
+        assert_eq!(p.free_at(t(20.0)), 8);
+        // Step list stays strictly increasing.
+        for w in p.steps().windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+}

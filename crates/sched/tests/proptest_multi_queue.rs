@@ -1,0 +1,154 @@
+//! Property tests for the multi-queue scheduler: capacity, liveness, and
+//! priority invariants under arbitrary request streams spread across
+//! queues.
+
+use proptest::prelude::*;
+use rbr_sched::{MultiQueueScheduler, Request, RequestId};
+use rbr_simcore::{Duration, EventQueue, SimTime};
+
+#[derive(Clone, Debug)]
+struct GenReq {
+    nodes: u32,
+    estimate_s: u32,
+    run_fraction: f64,
+    gap_s: u32,
+    queue: usize,
+}
+
+fn gen_reqs(max: usize, n_queues: usize) -> impl Strategy<Value = Vec<GenReq>> {
+    prop::collection::vec(
+        (1u32..=16, 1u32..=1_000, 0.1f64..=1.0, 0u32..=20, 0..n_queues)
+            .prop_map(|(nodes, estimate_s, run_fraction, gap_s, queue)| GenReq {
+                nodes,
+                estimate_s,
+                run_fraction,
+                gap_s,
+                queue,
+            }),
+        1..max,
+    )
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    Submit(usize),
+    Complete(usize),
+}
+
+fn drive(total_nodes: u32, n_queues: usize, reqs: &[GenReq]) {
+    let mut sched = MultiQueueScheduler::new(total_nodes, n_queues);
+    let mut engine: EventQueue<Ev> = EventQueue::new();
+    let mut t = SimTime::ZERO;
+    for (i, r) in reqs.iter().enumerate() {
+        t += Duration::from_secs(r.gap_s as f64);
+        engine.push(t, Ev::Submit(i));
+    }
+
+    let mut starts: Vec<RequestId> = Vec::new();
+    let mut started = vec![false; reqs.len()];
+    let mut finished = vec![false; reqs.len()];
+    let mut busy: i64 = 0;
+
+    while let Some((now, ev)) = engine.pop() {
+        starts.clear();
+        match ev {
+            Ev::Submit(i) => {
+                let r = &reqs[i];
+                sched.submit(
+                    now,
+                    r.queue,
+                    Request::new(
+                        RequestId(i as u64),
+                        r.nodes,
+                        Duration::from_secs(r.estimate_s as f64),
+                        now,
+                    ),
+                    &mut starts,
+                );
+            }
+            Ev::Complete(i) => {
+                busy -= reqs[i].nodes as i64;
+                finished[i] = true;
+                sched.complete(now, RequestId(i as u64), &mut starts);
+            }
+        }
+        for id in starts.drain(..) {
+            let i = id.0 as usize;
+            assert!(!started[i], "request {i} started twice");
+            started[i] = true;
+            busy += reqs[i].nodes as i64;
+            assert!(busy <= total_nodes as i64, "capacity exceeded");
+            let actual = Duration::from_secs(
+                (reqs[i].estimate_s as f64 * reqs[i].run_fraction).max(1e-6),
+            );
+            engine.push(now + actual, Ev::Complete(i));
+        }
+        assert_eq!(sched.free_nodes() as i64, total_nodes as i64 - busy);
+    }
+
+    for (i, _) in reqs.iter().enumerate() {
+        assert!(started[i] && finished[i], "request {i} never ran");
+    }
+    assert_eq!(sched.total_queued(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn two_queues_respect_invariants(reqs in gen_reqs(60, 2)) {
+        drive(16, 2, &reqs);
+    }
+
+    #[test]
+    fn four_queues_respect_invariants(reqs in gen_reqs(60, 4)) {
+        drive(16, 4, &reqs);
+    }
+
+    /// With a single queue, the multi-queue scheduler is exactly EASY:
+    /// start times agree event for event.
+    #[test]
+    fn single_queue_equals_easy(reqs in gen_reqs(40, 1)) {
+        use rbr_sched::{Algorithm, Scheduler};
+        // Drive both side by side and compare start sets per event.
+        let mut mq = MultiQueueScheduler::new(16, 1);
+        let mut easy = Algorithm::Easy.build(16);
+        let mut engine: EventQueue<Ev> = EventQueue::new();
+        let mut t = SimTime::ZERO;
+        for (i, r) in reqs.iter().enumerate() {
+            t += Duration::from_secs(r.gap_s as f64);
+            engine.push(t, Ev::Submit(i));
+        }
+        let mut s1: Vec<RequestId> = Vec::new();
+        let mut s2: Vec<RequestId> = Vec::new();
+        while let Some((now, ev)) = engine.pop() {
+            s1.clear();
+            s2.clear();
+            match ev {
+                Ev::Submit(i) => {
+                    let r = &reqs[i];
+                    let req = Request::new(
+                        RequestId(i as u64),
+                        r.nodes,
+                        Duration::from_secs(r.estimate_s as f64),
+                        now,
+                    );
+                    mq.submit(now, 0, req, &mut s1);
+                    easy.submit(now, req, &mut s2);
+                }
+                Ev::Complete(i) => {
+                    mq.complete(now, RequestId(i as u64), &mut s1);
+                    easy.complete(now, RequestId(i as u64), &mut s2);
+                }
+            }
+            prop_assert_eq!(&s1, &s2, "divergence at {}", now);
+            for id in s1.drain(..) {
+                let i = id.0 as usize;
+                let actual = Duration::from_secs(
+                    (reqs[i].estimate_s as f64 * reqs[i].run_fraction).max(1e-6),
+                );
+                engine.push(now + actual, Ev::Complete(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the availability profile: `earliest_fit` always
+//! returns a feasible slot, and reservations never drive capacity
+//! negative or above the machine size.
+
+use proptest::prelude::*;
+use rbr_sched::Profile;
+use rbr_simcore::{Duration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Reserving at `earliest_fit` never panics and keeps every level in
+    /// `[0, total]`, for arbitrary mixes of widths and durations.
+    #[test]
+    fn reserve_at_fit_is_always_feasible(
+        total in 1u32..256,
+        jobs in prop::collection::vec((1u32..256, 1u64..100_000), 1..80),
+    ) {
+        let mut p = Profile::new(SimTime::ZERO, total, total);
+        for (nodes, dur_us) in jobs {
+            let nodes = nodes.min(total).max(1);
+            let dur = Duration::from_micros(dur_us);
+            let start = p.earliest_fit(SimTime::ZERO, dur, nodes);
+            // Feasibility: the returned window really has the capacity
+            // (reserve panics otherwise, which would fail the test).
+            p.reserve(start, dur, nodes);
+        }
+        for &(_, level) in p.steps() {
+            prop_assert!(level <= total);
+        }
+    }
+
+    /// earliest_fit is monotone in `not_before`: asking later never
+    /// returns an earlier slot.
+    #[test]
+    fn fit_is_monotone_in_not_before(
+        total in 2u32..128,
+        occupied in prop::collection::vec((1u32..128, 1u64..50_000, 0u64..200_000), 0..30),
+        nodes in 1u32..128,
+        dur_us in 1u64..50_000,
+        t1 in 0u64..100_000,
+        dt in 0u64..100_000,
+    ) {
+        let mut p = Profile::new(SimTime::ZERO, total, total);
+        for (w, d, s) in occupied {
+            let w = w.min(total);
+            let d = Duration::from_micros(d);
+            // Place occupations at their earliest fit from `s` so the
+            // profile stays feasible by construction.
+            let anchor = p.earliest_fit(SimTime::from_micros(s), d, w);
+            p.reserve(anchor, d, w);
+        }
+        let nodes = nodes.min(total);
+        let dur = Duration::from_micros(dur_us);
+        let early = p.earliest_fit(SimTime::from_micros(t1), dur, nodes);
+        let late = p.earliest_fit(SimTime::from_micros(t1 + dt), dur, nodes);
+        prop_assert!(late >= early);
+        // And both results are at or after their respective lower bounds.
+        prop_assert!(early >= SimTime::from_micros(t1));
+        prop_assert!(late >= SimTime::from_micros(t1 + dt));
+    }
+
+    /// A wider or longer request never fits earlier than a smaller one.
+    #[test]
+    fn fit_is_monotone_in_demand(
+        total in 2u32..128,
+        occupied in prop::collection::vec((1u32..128, 1u64..50_000, 0u64..100_000), 0..30),
+        nodes in 1u32..64,
+        dur_us in 1u64..50_000,
+    ) {
+        let mut p = Profile::new(SimTime::ZERO, total, total);
+        for (w, d, s) in occupied {
+            let w = w.min(total);
+            let d = Duration::from_micros(d);
+            let anchor = p.earliest_fit(SimTime::from_micros(s), d, w);
+            p.reserve(anchor, d, w);
+        }
+        let nodes = nodes.min(total - 1);
+        let dur = Duration::from_micros(dur_us);
+        let small = p.earliest_fit(SimTime::ZERO, dur, nodes);
+        let wider = p.earliest_fit(SimTime::ZERO, dur, nodes + 1);
+        let longer = p.earliest_fit(SimTime::ZERO, dur + Duration::from_micros(1), nodes);
+        prop_assert!(wider >= small);
+        prop_assert!(longer >= small);
+    }
+}

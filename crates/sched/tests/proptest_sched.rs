@@ -1,0 +1,168 @@
+//! Property tests for the schedulers: for arbitrary request streams with
+//! random cancellations and early completions, every algorithm must
+//! respect machine capacity, start every surviving request exactly once,
+//! and never lose or duplicate work.
+
+use proptest::prelude::*;
+use rbr_sched::{Algorithm, Request, RequestId};
+use rbr_simcore::{Duration, EventQueue, SimTime};
+
+/// A generated request: width, requested time, actual fraction of the
+/// request it really runs, inter-arrival gap, and whether the submitter
+/// cancels it shortly after submission.
+#[derive(Clone, Debug)]
+struct GenReq {
+    nodes: u32,
+    estimate_s: u32,
+    run_fraction: f64,
+    gap_s: u32,
+    cancel_after_s: Option<u32>,
+}
+
+fn gen_reqs(max: usize) -> impl Strategy<Value = Vec<GenReq>> {
+    prop::collection::vec(
+        (
+            1u32..=32,
+            1u32..=2_000,
+            0.05f64..=1.0,
+            0u32..=30,
+            prop::option::weighted(0.2, 0u32..=500),
+        )
+            .prop_map(|(nodes, estimate_s, run_fraction, gap_s, cancel_after_s)| GenReq {
+                nodes,
+                estimate_s,
+                run_fraction,
+                gap_s,
+                cancel_after_s,
+            }),
+        1..max,
+    )
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    Submit(usize),
+    Cancel(usize),
+    Complete(usize),
+}
+
+/// Drives one scheduler through the generated stream and checks the
+/// invariants as it goes. Returns (started, cancelled) counts.
+fn drive(alg: Algorithm, total_nodes: u32, reqs: &[GenReq]) -> (usize, usize) {
+    let mut sched = alg.build(total_nodes);
+    let mut engine: EventQueue<Ev> = EventQueue::new();
+    let mut t = SimTime::ZERO;
+    for (i, r) in reqs.iter().enumerate() {
+        t += Duration::from_secs(r.gap_s as f64);
+        engine.push(t, Ev::Submit(i));
+        if let Some(after) = r.cancel_after_s {
+            engine.push(t + Duration::from_secs(after as f64), Ev::Cancel(i));
+        }
+    }
+
+    let mut starts: Vec<RequestId> = Vec::new();
+    let mut started = vec![false; reqs.len()];
+    let mut cancelled = vec![false; reqs.len()];
+    let mut finished = vec![false; reqs.len()];
+    let mut busy: i64 = 0;
+
+    while let Some((now, ev)) = engine.pop() {
+        starts.clear();
+        match ev {
+            Ev::Submit(i) => {
+                let r = &reqs[i];
+                let req = Request::new(
+                    RequestId(i as u64),
+                    r.nodes.min(total_nodes),
+                    Duration::from_secs(r.estimate_s as f64),
+                    now,
+                );
+                sched.submit(now, req, &mut starts);
+            }
+            Ev::Cancel(i) => {
+                let did = sched.cancel(now, RequestId(i as u64), &mut starts);
+                if did {
+                    cancelled[i] = true;
+                    assert!(!started[i], "cancelled a started request");
+                }
+            }
+            Ev::Complete(i) => {
+                busy -= reqs[i].nodes.min(total_nodes) as i64;
+                finished[i] = true;
+                sched.complete(now, RequestId(i as u64), &mut starts);
+            }
+        }
+        for id in starts.drain(..) {
+            let i = id.0 as usize;
+            assert!(!started[i], "request {i} started twice");
+            assert!(!cancelled[i], "request {i} started after cancellation");
+            started[i] = true;
+            busy += reqs[i].nodes.min(total_nodes) as i64;
+            assert!(
+                busy <= total_nodes as i64,
+                "{alg:?}: capacity exceeded: {busy}/{total_nodes}"
+            );
+            // Runs some fraction of its request (early completion).
+            let actual = Duration::from_secs(
+                (reqs[i].estimate_s as f64 * reqs[i].run_fraction).max(0.000_001),
+            );
+            engine.push(now + actual, Ev::Complete(i));
+        }
+        // Scheduler-reported free nodes must agree with our accounting.
+        assert_eq!(
+            sched.free_nodes() as i64,
+            total_nodes as i64 - busy,
+            "{alg:?}: free-node accounting diverged"
+        );
+    }
+
+    // Liveness: every request either started (and finished) or was
+    // cancelled — nothing stuck in the queue at drain.
+    for (i, r) in reqs.iter().enumerate() {
+        let _ = r;
+        assert!(
+            started[i] || cancelled[i],
+            "{alg:?}: request {i} neither started nor cancelled"
+        );
+        if started[i] {
+            assert!(finished[i], "{alg:?}: request {i} started but never finished");
+        }
+    }
+    assert_eq!(sched.queue_len(), 0);
+    assert_eq!(sched.running_len(), 0);
+    (
+        started.iter().filter(|&&s| s).count(),
+        cancelled.iter().filter(|&&c| c).count(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fcfs_respects_all_invariants(reqs in gen_reqs(60)) {
+        drive(Algorithm::Fcfs, 32, &reqs);
+    }
+
+    #[test]
+    fn easy_respects_all_invariants(reqs in gen_reqs(60)) {
+        drive(Algorithm::Easy, 32, &reqs);
+    }
+
+    #[test]
+    fn cbf_respects_all_invariants(reqs in gen_reqs(60)) {
+        drive(Algorithm::Cbf, 32, &reqs);
+    }
+
+    /// All three algorithms start + cancel the same multiset of requests
+    /// (they may do so at different times, but none may lose any).
+    #[test]
+    fn algorithms_agree_on_survivors(reqs in gen_reqs(40)) {
+        let fcfs = drive(Algorithm::Fcfs, 32, &reqs);
+        let easy = drive(Algorithm::Easy, 32, &reqs);
+        let cbf = drive(Algorithm::Cbf, 32, &reqs);
+        prop_assert_eq!(fcfs.0 + fcfs.1, reqs.len());
+        prop_assert_eq!(easy.0 + easy.1, reqs.len());
+        prop_assert_eq!(cbf.0 + cbf.1, reqs.len());
+    }
+}

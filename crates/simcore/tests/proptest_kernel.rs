@@ -1,0 +1,69 @@
+//! Property tests for the DES kernel: total event order and time
+//! arithmetic.
+
+use proptest::prelude::*;
+use rbr_simcore::{Duration, EventQueue, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, with FIFO order
+    /// within a timestamp, for any interleaving of pushes.
+    #[test]
+    fn event_queue_is_a_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), (t, i));
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, (orig, idx))) = q.pop() {
+            prop_assert_eq!(t.as_micros(), orig);
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO within equal timestamps");
+                }
+            }
+            last = Some((t, idx));
+        }
+    }
+
+    /// Popping drains exactly what was pushed.
+    #[test]
+    fn event_queue_conserves_events(times in prop::collection::vec(0u64..10_000, 0..300)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(SimTime::from_micros(t), t);
+        }
+        let mut popped: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        let mut expected = times.clone();
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Time arithmetic: (t + d) − d == t and since() inverts addition.
+    #[test]
+    fn time_arithmetic_roundtrips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let base = SimTime::from_micros(t);
+        let span = Duration::from_micros(d);
+        let later = base + span;
+        prop_assert_eq!(later - span, base);
+        prop_assert_eq!(later.since(base), span);
+    }
+
+    /// Seconds ↔ micros conversions agree within half a microsecond.
+    #[test]
+    fn seconds_conversion_is_tight(us in 0u64..(1u64 << 52)) {
+        let t = SimTime::from_micros(us);
+        let back = SimTime::from_secs(t.as_secs());
+        let diff = back.as_micros().abs_diff(us);
+        prop_assert!(diff <= 1, "drift {diff} at {us}");
+    }
+
+    /// Duration scaling by 1.0 is the identity and by 0.0 is zero.
+    #[test]
+    fn duration_scale_identities(us in 0u64..(1u64 << 50)) {
+        let d = Duration::from_micros(us);
+        prop_assert_eq!(d.scale(1.0), d);
+        prop_assert_eq!(d.scale(0.0), Duration::ZERO);
+    }
+}

@@ -1,0 +1,22 @@
+//! # rbr-stats
+//!
+//! Statistics used to evaluate schedule quality in the study:
+//!
+//! * [`Summary`] — streaming count/mean/variance/min/max (Welford), with
+//!   the **coefficient of variation** the paper uses as its fairness
+//!   metric, and mergeable so parallel replications can be combined.
+//! * [`Percentiles`] — exact order statistics over a retained sample.
+//! * [`relative`] — paired relative metrics: every figure and table in the
+//!   paper reports a redundant-request scheme *relative to* the
+//!   no-redundancy scheme on the same random job streams.
+//! * [`Histogram`] — fixed-bin histogram for distributional sanity checks.
+
+pub mod histogram;
+pub mod percentile;
+pub mod relative;
+pub mod summary;
+
+pub use histogram::Histogram;
+pub use percentile::Percentiles;
+pub use relative::{mean_relative, RelativeSeries};
+pub use summary::Summary;

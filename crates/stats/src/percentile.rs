@@ -1,0 +1,154 @@
+//! Exact order statistics over a retained sample.
+
+/// A retained sample supporting exact quantile queries.
+///
+/// The study's job populations are at most a few hundred thousand records
+/// per run, so retaining the sample and sorting on demand is simpler and
+/// more accurate than a sketch.
+#[derive(Clone, Debug, Default)]
+pub struct Percentiles {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// An empty sample.
+    pub fn new() -> Self {
+        Percentiles::default()
+    }
+
+    /// Builds from an existing vector of observations.
+    ///
+    /// # Panics
+    /// Panics if any value is NaN.
+    pub fn from_vec(values: Vec<f64>) -> Self {
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "NaN observation in Percentiles sample"
+        );
+        Percentiles {
+            values,
+            sorted: false,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    pub fn push(&mut self, value: f64) {
+        assert!(!value.is_nan(), "NaN observation pushed into Percentiles");
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded on insert"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) with linear interpolation between
+    /// order statistics. Returns `None` on an empty sample.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.values.len();
+        if n == 1 {
+            return Some(self.values[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let idx = pos.floor() as usize;
+        let frac = pos - idx as f64;
+        let lo = self.values[idx];
+        let hi = self.values[(idx + 1).min(n - 1)];
+        Some(lo + (hi - lo) * frac)
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Largest observation.
+    pub fn max(&mut self) -> Option<f64> {
+        self.quantile(1.0)
+    }
+
+    /// Smallest observation.
+    pub fn min(&mut self) -> Option<f64> {
+        self.quantile(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_known_sample() {
+        let mut p = Percentiles::from_vec(vec![15.0, 20.0, 35.0, 40.0, 50.0]);
+        assert_eq!(p.quantile(0.0), Some(15.0));
+        assert_eq!(p.quantile(1.0), Some(50.0));
+        assert_eq!(p.median(), Some(35.0));
+        // Linear interpolation: 0.25 * 4 = position 1.0 exactly.
+        assert_eq!(p.quantile(0.25), Some(20.0));
+        // 0.75 * 4 = 3.0 exactly.
+        assert_eq!(p.quantile(0.75), Some(40.0));
+    }
+
+    #[test]
+    fn interpolation_between_points() {
+        let mut p = Percentiles::from_vec(vec![0.0, 10.0]);
+        assert_eq!(p.quantile(0.5), Some(5.0));
+        assert_eq!(p.quantile(0.1), Some(1.0));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut e = Percentiles::new();
+        assert_eq!(e.median(), None);
+        let mut s = Percentiles::from_vec(vec![3.0]);
+        assert_eq!(s.quantile(0.99), Some(3.0));
+    }
+
+    #[test]
+    fn push_invalidates_sort() {
+        let mut p = Percentiles::from_vec(vec![5.0, 1.0]);
+        assert_eq!(p.min(), Some(1.0));
+        p.push(0.5);
+        assert_eq!(p.min(), Some(0.5));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_quantile_rejected() {
+        let mut p = Percentiles::from_vec(vec![1.0]);
+        let _ = p.quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Percentiles::from_vec(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Paired relative metrics.
+//!
+//! Every quantitative result in the paper is reported *relative to the
+//! no-redundancy scheme on the same random job streams*: for each of the
+//! 50 replications, the simulator runs scheme X and scheme NONE on
+//! identical streams, forms the per-replication ratio
+//! `metric(X) / metric(NONE)`, and averages the ratios. Values below 1
+//! mean the scheme improved on the baseline.
+
+use crate::summary::Summary;
+
+/// Mean of element-wise ratios `treatment[i] / baseline[i]`.
+///
+/// # Panics
+/// Panics if the slices have different lengths, are empty, or any
+/// baseline entry is zero / non-finite — each of those is an experiment
+/// harness bug, not a statistical outcome.
+pub fn mean_relative(treatment: &[f64], baseline: &[f64]) -> f64 {
+    relative_series(treatment, baseline).summary().mean()
+}
+
+/// Builds the per-replication ratio series for a treatment/baseline pair.
+///
+/// # Panics
+/// See [`mean_relative`].
+pub fn relative_series(treatment: &[f64], baseline: &[f64]) -> RelativeSeries {
+    assert_eq!(
+        treatment.len(),
+        baseline.len(),
+        "paired samples must have equal length"
+    );
+    assert!(!treatment.is_empty(), "paired samples must be non-empty");
+    let ratios = treatment
+        .iter()
+        .zip(baseline)
+        .map(|(&t, &b)| {
+            assert!(
+                b.is_finite() && b != 0.0,
+                "baseline metric must be finite and nonzero, got {b}"
+            );
+            assert!(t.is_finite(), "treatment metric must be finite, got {t}");
+            t / b
+        })
+        .collect();
+    RelativeSeries { ratios }
+}
+
+/// The per-replication ratios of a paired comparison.
+#[derive(Clone, Debug)]
+pub struct RelativeSeries {
+    ratios: Vec<f64>,
+}
+
+impl RelativeSeries {
+    /// Builds from raw per-replication ratios.
+    pub fn from_ratios(ratios: Vec<f64>) -> Self {
+        RelativeSeries { ratios }
+    }
+
+    /// The individual per-replication ratios.
+    pub fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    /// Summary statistics over the ratios (the paper reports the mean, and
+    /// quotes the across-replication CV in Section 3.3).
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.ratios)
+    }
+
+    /// Fraction of replications in which the treatment strictly improved
+    /// (ratio < 1); the paper reports e.g. ">95 % of the experiments for
+    /// N = 20".
+    pub fn win_fraction(&self) -> f64 {
+        if self.ratios.is_empty() {
+            return 0.0;
+        }
+        self.ratios.iter().filter(|&&r| r < 1.0).count() as f64 / self.ratios.len() as f64
+    }
+
+    /// The worst (largest) ratio across replications; the paper reports
+    /// "worse by at most 0.4 %" style figures from this.
+    pub fn worst(&self) -> f64 {
+        self.ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The best (smallest) ratio across replications.
+    pub fn best(&self) -> f64 {
+        self.ratios.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_relative_of_known_pairs() {
+        let t = [8.0, 9.0, 10.0];
+        let b = [10.0, 10.0, 10.0];
+        assert!((mean_relative(&t, &b) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn win_fraction_counts_strict_improvements() {
+        let s = relative_series(&[0.5, 1.0, 2.0, 0.9], &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(s.win_fraction(), 0.5);
+        assert_eq!(s.worst(), 2.0);
+        assert_eq!(s.best(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_rejected() {
+        let _ = mean_relative(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_baseline_rejected() {
+        let _ = mean_relative(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn ratio_summary_exposes_spread() {
+        let s = relative_series(&[0.8, 1.2], &[1.0, 1.0]).summary();
+        assert!((s.mean() - 1.0).abs() < 1e-12);
+        assert!(s.sd() > 0.0);
+    }
+}

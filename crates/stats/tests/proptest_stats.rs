@@ -1,0 +1,74 @@
+//! Property tests for the statistics substrate.
+
+use proptest::prelude::*;
+use rbr_stats::{Percentiles, Summary};
+
+fn finite_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    /// Merging partial summaries equals summarizing the whole stream.
+    #[test]
+    fn merge_equals_sequential(values in finite_values(400), split in 0usize..400) {
+        let split = split.min(values.len());
+        let whole = Summary::of(&values);
+        let mut left = Summary::of(&values[..split]);
+        let right = Summary::of(&values[split..]);
+        left.merge(&right);
+        prop_assert_eq!(left.n(), whole.n());
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.variance() - whole.variance()).abs()
+            <= 1e-5 * (1.0 + whole.variance().abs()));
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+    }
+
+    /// The mean always lies between min and max; the variance is
+    /// non-negative; the CV is finite for nonzero means.
+    #[test]
+    fn summary_bounds(values in finite_values(200)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min() <= s.mean() + 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.variance() >= -1e-9);
+        if s.mean() != 0.0 {
+            prop_assert!(s.cv().is_finite());
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn quantiles_are_monotone(values in finite_values(200), qs in prop::collection::vec(0.0f64..=1.0, 1..10)) {
+        let mut p = Percentiles::from_vec(values.clone());
+        let mut sorted_qs = qs.clone();
+        sorted_qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = f64::NEG_INFINITY;
+        for q in sorted_qs {
+            let v = p.quantile(q).unwrap();
+            prop_assert!(v >= last - 1e-9, "quantile not monotone at {q}");
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            last = v;
+        }
+    }
+
+    /// The median of a sample and its reverse agree (order invariance).
+    #[test]
+    fn percentiles_are_order_invariant(values in finite_values(100)) {
+        let mut fwd = Percentiles::from_vec(values.clone());
+        let mut rev_values = values.clone();
+        rev_values.reverse();
+        let mut rev = Percentiles::from_vec(rev_values);
+        prop_assert_eq!(fwd.median(), rev.median());
+        prop_assert_eq!(fwd.quantile(0.9), rev.quantile(0.9));
+    }
+
+    /// Relative series: ratios of a sequence against itself are all 1.
+    #[test]
+    fn self_ratio_is_unity(values in prop::collection::vec(0.1f64..1e6, 1..100)) {
+        let r = rbr_stats::mean_relative(&values, &values);
+        prop_assert!((r - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,26 @@
+//! The Figure 1 / Figure 2 campaign: relative average stretch and
+//! relative fairness (CV of stretches) versus the number of clusters for
+//! every redundant-request scheme.
+//!
+//! ```sh
+//! cargo run --release --example grid_campaign            # quick scale
+//! RBR_SCALE=paper cargo run --release --example grid_campaign
+//! ```
+
+use redundant_batch_requests::experiments::fig1;
+use redundant_batch_requests::Scale;
+
+fn main() {
+    let scale = Scale::from_env(Scale::Quick);
+    let config = fig1::Config::at_scale(scale);
+    eprintln!(
+        "running Figure 1/2 sweep at {scale:?} scale: N ∈ {:?}, {} schemes, {} reps ...",
+        config.ns,
+        config.schemes.len(),
+        config.reps
+    );
+    let rows = fig1::run(&config);
+    println!("{}", fig1::render(&rows));
+    println!("Figure 1 reads column `rel stretch` (values < 1: redundancy beneficial).");
+    println!("Figure 2 reads column `rel CV` (values < 1: schedule is fairer).");
+}

@@ -1,0 +1,83 @@
+//! Section 4: how much redundancy can the infrastructure take?
+//!
+//! Regenerates the Figure 5 throughput curve and walks through the
+//! paper's capacity arithmetic: the batch scheduler tolerates about
+//! r < 30 redundant requests per job at peak hours, but the 2006
+//! WS-GRAM middleware saturates below r = 3.
+//!
+//! ```sh
+//! cargo run --release --example middleware_capacity
+//! ```
+
+use redundant_batch_requests::experiments::fig5;
+use redundant_batch_requests::middleware::{
+    max_redundancy, pipeline, steady_state_load, Bottleneck, GramModel, PbsThroughputModel,
+    PipelineConfig, SystemCapacity,
+};
+use redundant_batch_requests::sim::SeedSequence;
+use redundant_batch_requests::Scale;
+
+fn main() {
+    let scale = Scale::from_env(Scale::Quick);
+
+    println!("=== Figure 5: scheduler throughput vs queue size ===\n");
+    let rows = fig5::run(&fig5::Config::at_scale(scale));
+    println!("{}", fig5::render(&rows));
+
+    println!("=== Section 4 capacity arithmetic (iat = 5 s peak hours) ===\n");
+    let iat = 5.0;
+    let pbs = PbsThroughputModel::openpbs_maui_2006();
+    let pbs_rate = pbs.throughput(10_000);
+    println!(
+        "batch scheduler at 10,000 pending: {pbs_rate:.1} submissions+cancellations/s → r < {:.0}",
+        max_redundancy(iat, pbs_rate)
+    );
+    let gram = GramModel::gt4_ws_gram();
+    println!(
+        "GT4 WS-GRAM: {:.1} transactions/min → {:.2} submissions/s → r < {:.1}",
+        gram.transactions_per_minute,
+        gram.submissions_per_sec(),
+        max_redundancy(iat, 0.5)
+    );
+
+    let sys = SystemCapacity::paper_2006();
+    let (bottleneck, rate) = sys.bottleneck();
+    println!("\nfull-stack bottleneck: {bottleneck:?} at {rate:.2} submissions/s");
+    println!("system-wide sustainable redundancy at peak: r < {:.1}\n", sys.max_redundancy(iat));
+    for (component, r) in sys.max_redundancy_per_component(iat) {
+        let marker = if component == bottleneck { "  <-- bottleneck" } else { "" };
+        println!("  {component:?}: r < {r:.1}{marker}");
+    }
+
+    println!("\n=== steady-state request traffic per cluster ===\n");
+    for r in [1.0, 2.0, 4.0, 10.0, 30.0] {
+        let load = steady_state_load(r, iat);
+        println!(
+            "r = {r:2.0}: {:.2} submissions/s + {:.2} cancellations/s = {:.2} ops/s",
+            load.submissions_per_sec,
+            load.cancellations_per_sec,
+            load.ops_per_sec()
+        );
+    }
+
+    println!("\n=== end-to-end pipeline simulation (SOAP → WS-GRAM → scheduler) ===\n");
+    for r in [1.0, 2.0, 2.5, 3.0, 4.0] {
+        let result = pipeline::run(&PipelineConfig::paper_2006(r), SeedSequence::new(42));
+        println!(
+            "r = {r:.1}: mean latency {:8.1} s, backlog at window end {:5}, {}",
+            result.latency.mean(),
+            result.backlog,
+            if result.sustainable { "sustainable" } else { "SATURATED" }
+        );
+    }
+
+    println!("\n=== what a 2020s middleware would change ===\n");
+    let mut modern = SystemCapacity::paper_2006();
+    modern.middleware = GramModel::with_rate(6_000.0);
+    let (b, _) = modern.bottleneck();
+    assert_eq!(b, Bottleneck::Scheduler);
+    println!(
+        "with a 100 tx/s middleware the bottleneck moves to the {b:?}: r < {:.0}",
+        modern.max_redundancy(iat)
+    );
+}

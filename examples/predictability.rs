@@ -1,0 +1,35 @@
+//! Section 5 / Table 4: how redundant requests degrade queue-waiting-time
+//! predictions.
+//!
+//! Every cluster runs Conservative Backfilling, whose reservations give a
+//! prediction at submit time; jobs request ×2.16 their real runtime on
+//! average, so predictions are conservative to begin with — and redundant
+//! churn makes them much worse.
+//!
+//! ```sh
+//! cargo run --release --example predictability
+//! RBR_SCALE=paper cargo run --release --example predictability
+//! ```
+
+use redundant_batch_requests::experiments::table4;
+use redundant_batch_requests::Scale;
+
+fn main() {
+    let scale = Scale::from_env(Scale::Quick);
+    let config = table4::Config::at_scale(scale);
+    eprintln!(
+        "running Table 4 at {scale:?} scale: N = {}, {} reps, window {} ...",
+        config.n, config.reps, config.window
+    );
+    let rows = table4::run(&config);
+    println!("{}", table4::render(&rows));
+    println!("(`avg over-prediction` is predicted wait / effective wait; 1.0 would be exact.)");
+    let base = rows[0].mean_ratio;
+    for row in &rows[1..] {
+        println!(
+            "{}: over-prediction inflated {:.1}x vs the redundancy-free system",
+            row.case,
+            row.mean_ratio / base
+        );
+    }
+}

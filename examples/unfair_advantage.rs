@@ -1,0 +1,42 @@
+//! The fairness question (Figure 4): what happens to users who do *not*
+//! use redundant requests as more of their neighbours do?
+//!
+//! ```sh
+//! cargo run --release --example unfair_advantage
+//! RBR_SCALE=paper cargo run --release --example unfair_advantage
+//! ```
+
+use redundant_batch_requests::experiments::fig4;
+use redundant_batch_requests::grid::Scheme;
+use redundant_batch_requests::Scale;
+
+fn main() {
+    let scale = Scale::from_env(Scale::Quick);
+    let mut config = fig4::Config::at_scale(scale);
+    // The two schemes the paper's conclusion quotes.
+    config.schemes = vec![Scheme::R(2), Scheme::All];
+    eprintln!(
+        "running Figure 4 sweep at {scale:?} scale: p ∈ {:?}, {} reps ...",
+        config.fractions, config.reps
+    );
+    let rows = fig4::run(&config);
+    println!("{}", fig4::render(&rows));
+
+    // Summarize the headline comparison.
+    let baseline = rows
+        .iter()
+        .find(|r| r.fraction == 0.0)
+        .map(|r| r.stretch_nr)
+        .unwrap_or(f64::NAN);
+    println!("baseline (p = 0) average stretch: {baseline:.2}");
+    for r in rows.iter().filter(|r| (r.fraction - 0.4).abs() < 1e-9) {
+        println!(
+            "{} at p = 40%: r jobs {:.2} ({:.0}% of baseline), n-r jobs {:.2} ({:+.0}% vs baseline)",
+            r.scheme,
+            r.stretch_r,
+            r.stretch_r / baseline * 100.0,
+            r.stretch_nr,
+            (r.stretch_nr / baseline - 1.0) * 100.0,
+        );
+    }
+}

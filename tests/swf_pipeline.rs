@@ -1,0 +1,102 @@
+//! Integration of the SWF trace substrate with the schedulers: a trace
+//! exported from the workload model replays to the same schedule as the
+//! original jobs.
+
+use redundant_batch_requests::sched::{Algorithm, Request, RequestId};
+use redundant_batch_requests::sim::{Duration, Engine, SeedSequence, SimTime};
+use redundant_batch_requests::workload::{EstimateModel, JobSpec, LublinConfig, LublinModel, SwfTrace};
+
+/// Drives one cluster with the given jobs and returns each job's start.
+fn replay(jobs: &[JobSpec], alg: Algorithm) -> Vec<SimTime> {
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Submit(usize),
+        Complete(u64),
+    }
+    let mut sched = alg.build(128);
+    let mut engine: Engine<Ev> = Engine::new();
+    for (i, j) in jobs.iter().enumerate() {
+        engine.schedule(j.arrival, Ev::Submit(i));
+    }
+    let mut starts = vec![SimTime::MAX; jobs.len()];
+    let mut scratch: Vec<RequestId> = Vec::new();
+    while let Some((now, ev)) = engine.pop() {
+        scratch.clear();
+        match ev {
+            Ev::Submit(i) => sched.submit(
+                now,
+                Request::new(RequestId(i as u64), jobs[i].nodes, jobs[i].estimate, now),
+                &mut scratch,
+            ),
+            Ev::Complete(rid) => sched.complete(now, RequestId(rid), &mut scratch),
+        }
+        for id in scratch.drain(..) {
+            starts[id.0 as usize] = now;
+            engine.schedule(now + jobs[id.0 as usize].runtime, Ev::Complete(id.0));
+        }
+    }
+    assert!(starts.iter().all(|&s| s != SimTime::MAX), "all jobs started");
+    starts
+}
+
+fn model_jobs(minutes: f64) -> Vec<JobSpec> {
+    let model = LublinModel::new(LublinConfig::paper_2006());
+    model.generate(
+        &mut SeedSequence::new(500).rng(),
+        Duration::from_secs(minutes * 60.0),
+        &EstimateModel::paper_real(),
+    )
+}
+
+#[test]
+fn swf_roundtrip_preserves_the_schedule() {
+    let jobs = model_jobs(20.0);
+    let trace = SwfTrace::from_jobs(&jobs, vec!["roundtrip test".into()]);
+    let parsed = SwfTrace::parse(&trace.to_swf()).expect("self-produced SWF parses");
+    let back = parsed.to_jobs(128);
+    // `to_jobs` re-bases arrivals so the first job lands at t = 0; apply
+    // the same shift to the originals before comparing.
+    let t0 = jobs[0].arrival;
+    let shifted: Vec<JobSpec> = jobs
+        .iter()
+        .map(|j| JobSpec::new(SimTime::ZERO + j.arrival.since(t0), j.nodes, j.runtime, j.estimate))
+        .collect();
+    assert_eq!(back, shifted, "SWF roundtrip must be lossless");
+
+    for alg in Algorithm::all() {
+        let original = replay(&shifted, alg);
+        let roundtripped = replay(&back, alg);
+        assert_eq!(original, roundtripped, "{alg} schedules must agree");
+    }
+}
+
+#[test]
+fn swf_header_survives() {
+    let jobs = model_jobs(5.0);
+    let trace = SwfTrace::from_jobs(&jobs, vec!["Computer: rbr".into(), "MaxNodes: 128".into()]);
+    let parsed = SwfTrace::parse(&trace.to_swf()).unwrap();
+    assert_eq!(parsed.header.len(), 2);
+    assert!(parsed.header[1].contains("128"));
+}
+
+#[test]
+fn easy_beats_fcfs_on_the_same_trace() {
+    // A cross-algorithm sanity check on identical input: backfilling can
+    // only improve average waiting time on a backlogged trace.
+    let jobs = model_jobs(45.0);
+    let easy = replay(&jobs, Algorithm::Easy);
+    let fcfs = replay(&jobs, Algorithm::Fcfs);
+    let wait = |starts: &[SimTime]| -> f64 {
+        jobs.iter()
+            .zip(starts)
+            .map(|(j, s)| s.since(j.arrival).as_secs())
+            .sum::<f64>()
+            / jobs.len() as f64
+    };
+    assert!(
+        wait(&easy) <= wait(&fcfs),
+        "EASY {} vs FCFS {}",
+        wait(&easy),
+        wait(&fcfs)
+    );
+}
