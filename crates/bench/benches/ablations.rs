@@ -3,32 +3,12 @@
 //! inflation (§3.1.2).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rbr::experiments::ablation;
 use rbr::grid::{GridConfig, GridSim, Scheme};
 use rbr::sim::{Duration, SeedSequence};
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::regenerate;
 
 fn bench(c: &mut Criterion) {
-    let scale = bench_scale();
-    print_artifact(
-        "Ablation — offered-load regime (relative stretch of ALL)",
-        &ablation::render(
-            "load",
-            &ablation::load_sweep(scale, Scheme::All, &[0.9, 1.0, 1.1, 1.2]),
-        ),
-    );
-    print_artifact(
-        "Ablation — CBF scheduling cycle vs textbook compression",
-        &ablation::render("cycle", &ablation::cbf_cycle_sweep(scale, &[0.0, 30.0, 300.0])),
-    );
-    print_artifact(
-        "Ablation — target-selection policy (R2)",
-        &ablation::render("policy", &ablation::selection_sweep(scale, Scheme::R(2))),
-    );
-    print_artifact(
-        "Ablation — §3.1.2 remote-request inflation (HALF)",
-        &ablation::render("inflation", &ablation::inflation_sweep(scale, Scheme::Half)),
-    );
+    regenerate("ablations");
 
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);

@@ -2,17 +2,12 @@
 //! times a large-N run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rbr::experiments::conclusion;
 use rbr::grid::{GridConfig, GridSim, Scheme};
 use rbr::sim::{Duration, SeedSequence};
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::regenerate;
 
 fn bench(c: &mut Criterion) {
-    let rows = conclusion::run(&conclusion::Config::at_scale(bench_scale()));
-    print_artifact(
-        "Conclusion scenario — N = 20, 80% of jobs redundant",
-        &conclusion::render(&rows),
-    );
+    regenerate("conclusion");
 
     let mut group = c.benchmark_group("conclusion");
     group.sample_size(10);

@@ -3,25 +3,14 @@
 //! their kernels.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rbr::experiments::{dual_queue, forecast, moldable};
 use rbr::forecast::QuantilePredictor;
 use rbr::sim::SeedSequence;
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::regenerate;
 
 fn bench(c: &mut Criterion) {
-    let scale = bench_scale();
-    print_artifact(
-        "Extension — statistical wait forecasting under redundancy",
-        &forecast::render(&forecast::run(&forecast::Config::at_scale(scale))),
-    );
-    print_artifact(
-        "Extension — option (iv): moldable shape redundancy",
-        &moldable::render(&moldable::run(&moldable::Config::at_scale(scale))),
-    );
-    print_artifact(
-        "Extension — option (iii): dual-queue racing",
-        &dual_queue::render(&dual_queue::run(&dual_queue::Config::at_scale(scale))),
-    );
+    regenerate("forecast");
+    regenerate("moldable");
+    regenerate("dual-queue");
 
     let mut group = c.benchmark_group("extensions");
     // Kernel: one binomial quantile-bound prediction over a full window.

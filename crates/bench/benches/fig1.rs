@@ -2,17 +2,12 @@
 //! and times the underlying grid-simulation kernel.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rbr::experiments::fig1;
 use rbr::grid::{GridConfig, GridSim, Scheme};
 use rbr::sim::{Duration, SeedSequence};
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::regenerate;
 
 fn bench(c: &mut Criterion) {
-    let rows = fig1::run(&fig1::Config::at_scale(bench_scale()));
-    print_artifact(
-        "Figure 1 — relative average stretch vs number of clusters",
-        &fig1::render(&rows),
-    );
+    regenerate("fig1");
 
     let mut group = c.benchmark_group("fig1");
     group.sample_size(10);

@@ -4,27 +4,15 @@
 //! pipeline on a completed run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rbr::experiments::fig1;
 use rbr::grid::record::JobClass;
 use rbr::grid::{GridConfig, GridSim, Scheme};
-use rbr::report::Table;
 use rbr::sim::{Duration, SeedSequence};
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::regenerate;
 
 fn bench(c: &mut Criterion) {
-    let rows = fig1::run(&fig1::Config::at_scale(bench_scale()));
-    let mut t = Table::new(vec!["N", "scheme", "rel CV of stretches"]);
-    for r in &rows {
-        t.push(vec![
-            r.n.to_string(),
-            r.scheme.to_string(),
-            format!("{:.3}", r.rel_cv),
-        ]);
-    }
-    print_artifact(
-        "Figure 2 — relative CV of stretches vs number of clusters",
-        &t.render(),
-    );
+    // `fig2` is an alias of the fig1 entry, whose report carries both
+    // the Figure 1 and Figure 2 tables.
+    regenerate("fig2");
 
     // Kernel: computing the stretch summary + CV over a finished run.
     let mut cfg = GridConfig::homogeneous(4, Scheme::Half);

@@ -2,17 +2,12 @@
 //! time) and times workload generation across the arrival-rate sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rbr::experiments::fig3;
 use rbr::sim::{Duration, SeedSequence};
 use rbr::workload::{EstimateModel, LublinConfig, LublinModel};
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::regenerate;
 
 fn bench(c: &mut Criterion) {
-    let rows = fig3::run(&fig3::Config::at_scale(bench_scale()));
-    print_artifact(
-        "Figure 3 — relative average stretch vs mean job interarrival time",
-        &fig3::render(&rows),
-    );
+    regenerate("fig3");
 
     let mut group = c.benchmark_group("fig3");
     group.sample_size(20);

@@ -2,17 +2,12 @@
 //! of jobs using redundancy) and times a mixed-population run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rbr::experiments::fig4;
 use rbr::grid::{GridConfig, GridSim, Scheme};
 use rbr::sim::{Duration, SeedSequence};
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::regenerate;
 
 fn bench(c: &mut Criterion) {
-    let rows = fig4::run(&fig4::Config::at_scale(bench_scale()));
-    print_artifact(
-        "Figure 4 — average stretch of r-jobs and n-r jobs vs percentage using redundancy",
-        &fig4::render(&rows),
-    );
+    regenerate("fig4");
 
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);

@@ -8,7 +8,7 @@ use rbr::experiments::fig5;
 use rbr::report::Table;
 use rbr::sched::{Algorithm, Request, RequestId};
 use rbr::sim::{Duration, SimTime};
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::{print_artifact, regenerate};
 
 fn native_sweep() -> String {
     let sizes = [0usize, 1_000, 5_000, 10_000, 20_000];
@@ -25,11 +25,7 @@ fn native_sweep() -> String {
 }
 
 fn bench(c: &mut Criterion) {
-    let rows = fig5::run(&fig5::Config::at_scale(bench_scale()));
-    print_artifact(
-        "Figure 5 — OpenPBS/Maui (calibrated model) throughput vs queue size",
-        &fig5::render(&rows),
-    );
+    regenerate("fig5");
     print_artifact(
         "Figure 5 (native) — this crate's schedulers, wall-clock submit/cancel pairs per second",
         &native_sweep(),

@@ -2,17 +2,12 @@
 //! lengths) and times queue-length tracking.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rbr::experiments::queue_growth;
 use rbr::grid::{GridConfig, GridSim, Scheme};
 use rbr::sim::{Duration, SeedSequence};
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::regenerate;
 
 fn bench(c: &mut Criterion) {
-    let out = queue_growth::run(&queue_growth::Config::at_scale(bench_scale()));
-    print_artifact(
-        "§4.1 — maximum queue size, ALL vs NONE",
-        &queue_growth::render(&out),
-    );
+    regenerate("queue-growth");
 
     let mut group = c.benchmark_group("queue_growth");
     group.sample_size(10);

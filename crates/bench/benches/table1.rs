@@ -2,18 +2,13 @@
 //! times one run of each scheduling algorithm.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rbr::experiments::table1;
 use rbr::grid::{GridConfig, GridSim, Scheme};
 use rbr::sched::Algorithm;
 use rbr::sim::{Duration, SeedSequence};
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::regenerate;
 
 fn bench(c: &mut Criterion) {
-    let rows = table1::run(&table1::Config::at_scale(bench_scale()));
-    print_artifact(
-        "Table 1 — three scheduling algorithms × exact/real estimates (relative to NONE)",
-        &table1::render(&rows),
-    );
+    regenerate("table1");
 
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);

@@ -2,17 +2,12 @@
 //! the weighted selection kernel.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rbr::experiments::table2;
 use rbr::grid::SelectionPolicy;
 use rbr::sim::SeedSequence;
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::regenerate;
 
 fn bench(c: &mut Criterion) {
-    let rows = table2::run(&table2::Config::at_scale(bench_scale()));
-    print_artifact(
-        "Table 2 — non-uniformly distributed redundant requests (relative to NONE)",
-        &table2::render(&rows),
-    );
+    regenerate("table2");
 
     let mut group = c.benchmark_group("table2");
     let eligible: Vec<usize> = (0..19).collect();

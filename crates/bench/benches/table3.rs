@@ -2,18 +2,13 @@
 //! heterogeneous grid run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rbr::experiments::table3;
 use rbr::grid::{ClusterSpec, GridConfig, GridSim, Scheme};
 use rbr::sim::{Duration, SeedSequence};
 use rbr::workload::LublinConfig;
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::regenerate;
 
 fn bench(c: &mut Criterion) {
-    let rows = table3::run(&table3::Config::at_scale(bench_scale()));
-    print_artifact(
-        "Table 3 — heterogeneous platforms (relative to NONE)",
-        &table3::render(&rows),
-    );
+    regenerate("table3");
 
     let mut group = c.benchmark_group("table3");
     group.sample_size(10);

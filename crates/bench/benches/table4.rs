@@ -2,19 +2,14 @@
 //! a prediction-collecting CBF run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rbr::experiments::table4;
 use rbr::grid::{GridConfig, GridSim, Scheme};
 use rbr::sched::Algorithm;
 use rbr::sim::{Duration, SeedSequence};
 use rbr::workload::EstimateModel;
-use rbr_bench::{bench_scale, print_artifact};
+use rbr_bench::regenerate;
 
 fn bench(c: &mut Criterion) {
-    let rows = table4::run(&table4::Config::at_scale(bench_scale()));
-    print_artifact(
-        "Table 4 — queue waiting time over-prediction (predicted / effective)",
-        &table4::render(&rows),
-    );
+    regenerate("table4");
 
     let mut group = c.benchmark_group("table4");
     group.sample_size(10);

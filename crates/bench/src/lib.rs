@@ -5,6 +5,8 @@
 //! lets criterion time a representative simulation kernel, so `cargo
 //! bench` doubles as the reproduction harness.
 
+use rbr::experiments::Registry;
+use rbr::report::Format;
 use rbr::Scale;
 
 /// The scale benches regenerate tables at (`RBR_SCALE`; default smoke so
@@ -17,4 +19,20 @@ pub fn bench_scale() -> Scale {
 pub fn print_artifact(name: &str, body: &str) {
     println!("\n================ {name} ================");
     println!("{body}");
+}
+
+/// Regenerates a registered experiment at [`bench_scale`] with its
+/// default seed and prints the full report (tables plus provenance
+/// footer).
+///
+/// # Panics
+/// Panics on unknown names, so a renamed experiment breaks its bench
+/// target loudly instead of silently skipping the artifact.
+pub fn regenerate(name: &str) {
+    let registry = Registry::standard();
+    let exp = registry
+        .get(name)
+        .unwrap_or_else(|| panic!("no experiment {name:?} in the registry"));
+    let report = exp.run(bench_scale(), exp.default_seed());
+    print_artifact(exp.description(), &report.render(Format::Text));
 }

@@ -1,76 +1,59 @@
 //! `rbr` — the command-line interface to the reproduction.
 //!
 //! ```text
-//! rbr list                          list every experiment
-//! rbr run <name> [--scale S]       run one experiment (fig1 … table4,
-//!                                   queue-growth, conclusion, ablations,
-//!                                   forecast, moldable, all)
+//! rbr list                          list every registered experiment
+//! rbr run <name|all> [options]      run experiments through the registry
+//!     --scale smoke|quick|paper     fidelity (default: quick)
+//!     --seed N                      override the experiment's master seed
+//!     --format text|csv|json        output format (default: text)
+//!     --out DIR                     write <name>.<ext> files instead of stdout
 //! rbr capacity [--iat SECS]        the Section 4 capacity arithmetic
 //! rbr swf-export <path> [--hours H] export a synthetic SWF trace
 //! rbr throughput                   native scheduler submit/cancel rates
 //! ```
 //!
-//! `--scale` accepts `smoke`, `quick` (default), or `paper`.
+//! Every experiment — name, description, seed, tables — comes from
+//! [`Registry::standard`]; the CLI holds no experiment list of its own.
 
+use std::path::Path;
 use std::process::ExitCode;
 
-use rbr::experiments::{
-    ablation, conclusion, dual_queue, fig1, fig3, fig4, fig5, forecast, moldable, queue_growth,
-    table1, table2, table3, table4, trace_check,
-};
-use rbr::grid::Scheme;
+use rbr::experiments::{fig5, Experiment, Registry};
 use rbr::middleware::{max_redundancy, steady_state_load, SystemCapacity};
-use rbr::report::Table;
+use rbr::report::{Format, Table};
 use rbr::sched::Algorithm;
 use rbr::sim::{Duration, SeedSequence};
 use rbr::workload::{EstimateModel, LublinConfig, LublinModel, SwfTrace};
 use rbr::Scale;
-
-const EXPERIMENTS: &[(&str, &str)] = &[
-    ("fig1", "Figure 1: relative average stretch vs number of clusters"),
-    ("fig2", "Figure 2: relative CV of stretches vs number of clusters"),
-    ("fig3", "Figure 3: relative stretch vs job interarrival time"),
-    ("fig4", "Figure 4: r-jobs vs n-r jobs vs fraction using redundancy"),
-    ("fig5", "Figure 5: scheduler throughput vs queue size"),
-    ("table1", "Table 1: EASY/CBF/FCFS x exact/real estimates"),
-    ("table2", "Table 2: non-uniform redundant request distribution"),
-    ("table3", "Table 3: heterogeneous platforms"),
-    ("table4", "Table 4: queue-wait over-prediction"),
-    ("queue-growth", "§4.1: maximum queue size, ALL vs NONE"),
-    ("conclusion", "Conclusion scenario: N=20, 80% redundant"),
-    ("ablations", "Beyond the paper: load regime, CBF cycle, selection, inflation"),
-    ("forecast", "Beyond the paper: statistical wait forecasting under redundancy"),
-    ("moldable", "Beyond the paper: option (iv) moldable shape redundancy"),
-    ("dual-queue", "Beyond the paper: option (iii) premium/standard queue racing"),
-    ("trace-check", "§3.1.1 cross-check: replay an SWF trace split across clusters"),
-    ("all", "Everything above, in paper order"),
-];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("list") => {
-            let mut t = Table::new(vec!["name", "description"]);
-            for (name, desc) in EXPERIMENTS {
-                t.push(vec![name.to_string(), desc.to_string()]);
+            let registry = Registry::standard();
+            let mut t = Table::new(vec!["name", "section", "description"]);
+            for e in registry.iter() {
+                t.push(vec![e.name(), e.paper_section(), e.description()]);
             }
             print!("{}", t.render());
+            println!("\nrun one with `rbr run <name>`, or everything with `rbr run all`");
             ExitCode::SUCCESS
         }
         Some("run") => {
             let Some(name) = it.next() else {
-                eprintln!("usage: rbr run <experiment> [--scale smoke|quick|paper]");
+                eprintln!(
+                    "usage: rbr run <name|all> [--scale S] [--seed N] [--format F] [--out DIR]"
+                );
                 return ExitCode::FAILURE;
             };
-            let scale = match parse_scale(&args) {
-                Ok(s) => s,
+            match run_command(name, &args) {
+                Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("{e}");
-                    return ExitCode::FAILURE;
+                    ExitCode::FAILURE
                 }
-            };
-            run_experiment(name, scale)
+            }
         }
         Some("capacity") => {
             let iat = parse_flag_value(&args, "--iat").unwrap_or(5.0);
@@ -93,8 +76,12 @@ fn main() -> ExitCode {
             println!(
                 "rbr — reproduction of 'On the Harmfulness of Redundant Batch Requests' (HPDC'06)\n\n\
                  commands:\n  \
-                 list                           list experiments\n  \
-                 run <name> [--scale S]         run an experiment (S: smoke|quick|paper)\n  \
+                 list                           list registered experiments\n  \
+                 run <name|all> [options]       run experiments via the registry\n    \
+                 --scale smoke|quick|paper    fidelity (default: quick)\n    \
+                 --seed N                     override the master seed\n    \
+                 --format text|csv|json       output format (default: text)\n    \
+                 --out DIR                    write <name>.<ext> files instead of stdout\n  \
                  capacity [--iat SECS]          Section 4 capacity arithmetic\n  \
                  swf-export <path> [--hours H]  export a synthetic SWF trace\n  \
                  throughput                     native scheduler throughput sweep"
@@ -108,13 +95,79 @@ fn main() -> ExitCode {
     }
 }
 
+/// Resolves the run flags and dispatches `name` (or every entry, for
+/// `all`) through the registry.
+fn run_command(name: &str, args: &[String]) -> Result<(), String> {
+    let scale = parse_scale(args)?;
+    let format = parse_format(args)?;
+    let seed = parse_seed(args)?;
+    let out = flag_value(args, "--out");
+    let registry = Registry::standard();
+
+    if name == "all" {
+        for e in registry.iter() {
+            run_one(e, scale, seed, format, out)?;
+        }
+        return Ok(());
+    }
+    match registry.get(name) {
+        Some(e) => run_one(e, scale, seed, format, out),
+        None => Err(format!("unknown experiment {name:?}; try `rbr list`")),
+    }
+}
+
+/// Runs one experiment and prints it, or writes `<name>.<ext>` under
+/// `--out`.
+fn run_one(
+    exp: &dyn Experiment,
+    scale: Scale,
+    seed: Option<u64>,
+    format: Format,
+    out: Option<&str>,
+) -> Result<(), String> {
+    let seed = seed.unwrap_or_else(|| exp.default_seed());
+    eprintln!("running {} at {} scale (seed {seed})...", exp.name(), scale.name());
+    let report = exp.run(scale, seed);
+    let mut rendered = report.render(format);
+    if !rendered.ends_with('\n') {
+        rendered.push('\n');
+    }
+    match out {
+        None => print!("{rendered}"),
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            let path = Path::new(dir).join(format!("{}.{}", exp.name(), format.extension()));
+            std::fs::write(&path, rendered)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    Ok(())
+}
+
 fn parse_scale(args: &[String]) -> Result<Scale, String> {
     match flag_value(args, "--scale") {
         None => Ok(Scale::from_env(Scale::Quick)),
-        Some("smoke") => Ok(Scale::Smoke),
-        Some("quick") => Ok(Scale::Quick),
-        Some("paper") => Ok(Scale::Paper),
-        Some(other) => Err(format!("unknown scale {other:?} (smoke|quick|paper)")),
+        Some(s) => {
+            Scale::parse(s).ok_or_else(|| format!("unknown scale {s:?} (smoke|quick|paper)"))
+        }
+    }
+}
+
+fn parse_format(args: &[String]) -> Result<Format, String> {
+    match flag_value(args, "--format") {
+        None => Ok(Format::Text),
+        Some(f) => Format::parse(f).ok_or_else(|| format!("unknown format {f:?} (text|csv|json)")),
+    }
+}
+
+fn parse_seed(args: &[String]) -> Result<Option<u64>, String> {
+    match flag_value(args, "--seed") {
+        None => Ok(None),
+        Some(s) => s
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|e| format!("bad seed {s:?}: {e}")),
     }
 }
 
@@ -127,84 +180,6 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn parse_flag_value(args: &[String], flag: &str) -> Option<f64> {
     flag_value(args, flag).and_then(|v| v.parse().ok())
-}
-
-fn run_experiment(name: &str, scale: Scale) -> ExitCode {
-    eprintln!("running {name} at {scale:?} scale...");
-    match name {
-        "fig1" => print!("{}", fig1::render(&fig1::run(&fig1::Config::at_scale(scale)))),
-        "fig2" => {
-            let rows = fig1::run(&fig1::Config::at_scale(scale));
-            let mut t = Table::new(vec!["N", "scheme", "rel CV"]);
-            for r in &rows {
-                t.push(vec![r.n.to_string(), r.scheme.to_string(), format!("{:.3}", r.rel_cv)]);
-            }
-            print!("{}", t.render());
-        }
-        "fig3" => print!("{}", fig3::render(&fig3::run(&fig3::Config::at_scale(scale)))),
-        "fig4" => print!("{}", fig4::render(&fig4::run(&fig4::Config::at_scale(scale)))),
-        "fig5" => print!("{}", fig5::render(&fig5::run(&fig5::Config::at_scale(scale)))),
-        "table1" => print!("{}", table1::render(&table1::run(&table1::Config::at_scale(scale)))),
-        "table2" => print!("{}", table2::render(&table2::run(&table2::Config::at_scale(scale)))),
-        "table3" => print!("{}", table3::render(&table3::run(&table3::Config::at_scale(scale)))),
-        "table4" => print!("{}", table4::render(&table4::run(&table4::Config::at_scale(scale)))),
-        "queue-growth" => print!(
-            "{}",
-            queue_growth::render(&queue_growth::run(&queue_growth::Config::at_scale(scale)))
-        ),
-        "conclusion" => print!(
-            "{}",
-            conclusion::render(&conclusion::run(&conclusion::Config::at_scale(scale)))
-        ),
-        "ablations" => {
-            print!(
-                "{}",
-                ablation::render(
-                    "load",
-                    &ablation::load_sweep(scale, Scheme::All, &[0.9, 1.0, 1.1, 1.2]),
-                )
-            );
-            print!(
-                "{}",
-                ablation::render("cycle", &ablation::cbf_cycle_sweep(scale, &[0.0, 30.0, 300.0]))
-            );
-            print!(
-                "{}",
-                ablation::render("policy", &ablation::selection_sweep(scale, Scheme::R(2)))
-            );
-            print!(
-                "{}",
-                ablation::render("inflation", &ablation::inflation_sweep(scale, Scheme::Half))
-            );
-        }
-        "forecast" => print!(
-            "{}",
-            forecast::render(&forecast::run(&forecast::Config::at_scale(scale)))
-        ),
-        "moldable" => print!(
-            "{}",
-            moldable::render(&moldable::run(&moldable::Config::at_scale(scale)))
-        ),
-        "dual-queue" => print!(
-            "{}",
-            dual_queue::render(&dual_queue::run(&dual_queue::Config::at_scale(scale)))
-        ),
-        "trace-check" => print!(
-            "{}",
-            trace_check::render(&trace_check::run(&trace_check::Config::at_scale(scale)))
-        ),
-        "all" => {
-            for (name, _) in EXPERIMENTS.iter().filter(|(n, _)| *n != "all") {
-                println!("\n=== {name} ===");
-                run_experiment(name, scale);
-            }
-        }
-        other => {
-            eprintln!("unknown experiment {other:?}; try `rbr list`");
-            return ExitCode::FAILURE;
-        }
-    }
-    ExitCode::SUCCESS
 }
 
 fn capacity(iat: f64) {
@@ -295,19 +270,41 @@ mod tests {
     }
 
     #[test]
+    fn parse_format_accepts_all_formats() {
+        assert_eq!(parse_format(&args(&[])).unwrap(), Format::Text);
+        assert_eq!(parse_format(&args(&["--format", "csv"])).unwrap(), Format::Csv);
+        assert_eq!(parse_format(&args(&["--format", "json"])).unwrap(), Format::Json);
+        assert!(parse_format(&args(&["--format", "xml"])).is_err());
+    }
+
+    #[test]
+    fn parse_seed_accepts_integers_only() {
+        assert_eq!(parse_seed(&args(&[])).unwrap(), None);
+        assert_eq!(parse_seed(&args(&["--seed", "7"])).unwrap(), Some(7));
+        assert!(parse_seed(&args(&["--seed", "x"])).is_err());
+    }
+
+    #[test]
     fn parse_flag_value_parses_numbers() {
         assert_eq!(parse_flag_value(&args(&["--iat", "2.5"]), "--iat"), Some(2.5));
         assert_eq!(parse_flag_value(&args(&["--iat", "x"]), "--iat"), None);
     }
 
     #[test]
-    fn experiment_registry_is_complete() {
-        // Every named experiment should be unique.
-        let mut names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
-        let before = names.len();
-        names.sort_unstable();
-        names.dedup();
-        assert_eq!(names.len(), before);
-        assert!(names.contains(&"all"));
+    fn run_command_rejects_unknown_names() {
+        assert!(run_command("nope", &args(&["run", "nope"])).is_err());
+    }
+
+    #[test]
+    fn the_old_cli_names_still_resolve() {
+        // Every name the pre-registry CLI accepted must keep working.
+        let registry = Registry::standard();
+        for name in [
+            "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4",
+            "queue-growth", "conclusion", "ablations", "forecast", "moldable", "dual-queue",
+            "trace-check",
+        ] {
+            assert!(registry.get(name).is_some(), "{name} fell out of the registry");
+        }
     }
 }

@@ -20,10 +20,10 @@ use rbr_grid::{GridConfig, Scheme, SelectionPolicy};
 use rbr_sched::Algorithm;
 use rbr_simcore::{Duration, SeedSequence};
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::{mean_ratio, run_reps, RunMetrics};
+use super::{mean_ratio, run_reps, Experiment, RunMetrics};
 
 /// A generic (label, relative stretch, relative CV) ablation row.
 #[derive(Clone, Debug)]
@@ -38,32 +38,45 @@ pub struct Row {
     pub baseline_stretch: f64,
 }
 
-/// Renders the backfill-mechanism sweep (columns differ from the generic
-/// ablation rows).
-pub fn render_backfills(rows: &[Row]) -> String {
-    let mut t = Table::new(vec!["scheme", "backfills/job", "avg stretch"]);
+/// The backfill-mechanism sweep as a typed table (columns differ from
+/// the generic ablation rows).
+pub fn backfills_table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Backfill mechanism — backfilled starts per job by scheme",
+        vec!["scheme", "backfills/job", "avg stretch"],
+    );
     for r in rows {
         t.push(vec![
-            r.label.clone(),
-            format!("{:.2}", r.rel_stretch),
-            format!("{:.1}", r.rel_cv),
+            Cell::text(r.label.clone()),
+            Cell::float(r.rel_stretch, 2),
+            Cell::float(r.rel_cv, 1),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the backfill-mechanism sweep.
+pub fn render_backfills(rows: &[Row]) -> String {
+    backfills_table(rows).to_text()
+}
+
+/// Ablation rows as a typed table; `label` heads the first column.
+pub fn table(name: &str, label: &str, rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(name, vec![label, "rel stretch", "rel CV", "base stretch"]);
+    for r in rows {
+        t.push(vec![
+            Cell::text(r.label.clone()),
+            Cell::float(r.rel_stretch, 3),
+            Cell::float(r.rel_cv, 3),
+            Cell::float(r.baseline_stretch, 1),
+        ]);
+    }
+    t
 }
 
 /// Renders ablation rows.
 pub fn render(title: &str, rows: &[Row]) -> String {
-    let mut t = Table::new(vec![title, "rel stretch", "rel CV", "base stretch"]);
-    for r in rows {
-        t.push(vec![
-            r.label.clone(),
-            format!("{:.3}", r.rel_stretch),
-            format!("{:.3}", r.rel_cv),
-            format!("{:.1}", r.baseline_stretch),
-        ]);
-    }
-    t.render()
+    table(title, title, rows).to_text()
 }
 
 fn relative_rows(
@@ -89,8 +102,8 @@ fn relative_rows(
 
 /// Sweeps the workload's `runtime_scale` (offered load ρ scales with it)
 /// and reports the relative stretch of `scheme` at each point.
-pub fn load_sweep(scale: Scale, scheme: Scheme, scales: &[f64]) -> Vec<Row> {
-    let seed = SeedSequence::new(52);
+pub fn load_sweep(scale: Scale, scheme: Scheme, scales: &[f64], seed: u64) -> Vec<Row> {
+    let seed = SeedSequence::new(seed);
     scales
         .iter()
         .enumerate()
@@ -115,8 +128,8 @@ pub fn load_sweep(scale: Scale, scheme: Scheme, scales: &[f64]) -> Vec<Row> {
 
 /// Compares CBF scheduling-cycle lengths against the textbook
 /// (zero-cycle) scheduler on a small platform.
-pub fn cbf_cycle_sweep(scale: Scale, cycles_secs: &[f64]) -> Vec<Row> {
-    let seed = SeedSequence::new(53);
+pub fn cbf_cycle_sweep(scale: Scale, cycles_secs: &[f64], seed: u64) -> Vec<Row> {
+    let seed = SeedSequence::new(seed);
     let mut base = GridConfig::homogeneous(4, Scheme::None);
     base.algorithm = Algorithm::Cbf;
     base.window = scale.window().min(Duration::from_hours(1));
@@ -141,8 +154,8 @@ pub fn cbf_cycle_sweep(scale: Scale, cycles_secs: &[f64]) -> Vec<Row> {
 
 /// Compares selection policies for a fixed scheme (the metascheduler
 /// baseline of Subramani et al. picks the least-loaded clusters).
-pub fn selection_sweep(scale: Scale, scheme: Scheme) -> Vec<Row> {
-    let seed = SeedSequence::new(54);
+pub fn selection_sweep(scale: Scale, scheme: Scheme, seed: u64) -> Vec<Row> {
+    let seed = SeedSequence::new(seed);
     let policies: [(&str, SelectionPolicy); 3] = [
         ("uniform", SelectionPolicy::Uniform),
         ("biased(2)", SelectionPolicy::Biased { ratio: 2.0 }),
@@ -167,9 +180,9 @@ pub fn selection_sweep(scale: Scale, scheme: Scheme) -> Vec<Row> {
 /// penalty to "a few lost opportunities for backfilling". This sweep
 /// counts actual backfilled starts per job under each scheme, making the
 /// mechanism observable instead of conjectural.
-pub fn backfill_sweep(scale: Scale, n: usize) -> Vec<Row> {
+pub fn backfill_sweep(scale: Scale, n: usize, seed: u64) -> Vec<Row> {
     use rbr_grid::GridSim;
-    let seed = SeedSequence::new(56);
+    let seed = SeedSequence::new(seed);
     let mut out = Vec::new();
     let schemes = [Scheme::None, Scheme::R(2), Scheme::Half, Scheme::All];
     for scheme in schemes {
@@ -198,8 +211,8 @@ pub fn backfill_sweep(scale: Scale, n: usize) -> Vec<Row> {
 
 /// The §3.1.2 remote-request inflation check: +0 %, +10 %, +50 %
 /// requested time on remote copies.
-pub fn inflation_sweep(scale: Scale, scheme: Scheme) -> Vec<Row> {
-    let seed = SeedSequence::new(55);
+pub fn inflation_sweep(scale: Scale, scheme: Scheme, seed: u64) -> Vec<Row> {
+    let seed = SeedSequence::new(seed);
     // One shared seed: the three rows differ only in the inflation factor.
     [0.0, 0.1, 0.5]
         .iter()
@@ -220,13 +233,62 @@ pub fn inflation_sweep(scale: Scale, scheme: Scheme) -> Vec<Row> {
         .collect()
 }
 
+/// The ablations' registry entry: the four sensitivity studies the old
+/// CLI bundled under `rbr run ablations`, one table each. The sweeps use
+/// `seed`, `seed+1`, `seed+2`, `seed+3` so the default seed of 52
+/// reproduces the historical per-sweep seeds 52–55.
+pub struct Ablations;
+
+impl Experiment for Ablations {
+    fn name(&self) -> &'static str {
+        "ablations"
+    }
+
+    fn description(&self) -> &'static str {
+        "beyond the paper: load regime, CBF cycle, selection policy, and inflation sweeps"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "beyond §3"
+    }
+
+    fn default_seed(&self) -> u64 {
+        52
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        vec![
+            table(
+                "Ablation — offered-load regime (ALL vs NONE)",
+                "load",
+                &load_sweep(scale, Scheme::All, &[0.9, 1.0, 1.1, 1.2], seed),
+            ),
+            table(
+                "Ablation — CBF scheduling-cycle length (HALF vs NONE)",
+                "cycle",
+                &cbf_cycle_sweep(scale, &[0.0, 30.0, 300.0], seed.wrapping_add(1)),
+            ),
+            table(
+                "Ablation — target selection policy (R2 vs NONE)",
+                "policy",
+                &selection_sweep(scale, Scheme::R(2), seed.wrapping_add(2)),
+            ),
+            table(
+                "Ablation — remote request inflation (HALF vs NONE)",
+                "inflation",
+                &inflation_sweep(scale, Scheme::Half, seed.wrapping_add(3)),
+            ),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn load_sweep_smoke() {
-        let rows = load_sweep(Scale::Smoke, Scheme::R(2), &[0.9, 1.1]);
+        let rows = load_sweep(Scale::Smoke, Scheme::R(2), &[0.9, 1.1], 52);
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.rel_stretch.is_finite()));
         assert!(render("load", &rows).contains("runtime_scale"));
@@ -234,7 +296,7 @@ mod tests {
 
     #[test]
     fn cbf_cycle_smoke() {
-        let rows = cbf_cycle_sweep(Scale::Smoke, &[0.0, 30.0]);
+        let rows = cbf_cycle_sweep(Scale::Smoke, &[0.0, 30.0], 53);
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.rel_stretch.is_finite() && r.rel_stretch > 0.0);
@@ -243,14 +305,14 @@ mod tests {
 
     #[test]
     fn selection_smoke() {
-        let rows = selection_sweep(Scale::Smoke, Scheme::R(2));
+        let rows = selection_sweep(Scale::Smoke, Scheme::R(2), 54);
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[2].label, "least-loaded");
     }
 
     #[test]
     fn backfill_sweep_smoke() {
-        let rows = backfill_sweep(Scale::Smoke, 3);
+        let rows = backfill_sweep(Scale::Smoke, 3, 56);
         assert_eq!(rows.len(), 4);
         // EASY backfills constantly on a loaded machine.
         assert!(rows[0].rel_stretch > 0.0, "NONE backfills/job {}", rows[0].rel_stretch);
@@ -259,7 +321,7 @@ mod tests {
 
     #[test]
     fn inflation_smoke() {
-        let rows = inflation_sweep(Scale::Smoke, Scheme::R(2));
+        let rows = inflation_sweep(Scale::Smoke, Scheme::R(2), 55);
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r.rel_stretch.is_finite()));
     }

@@ -11,10 +11,10 @@
 use rbr_grid::{GridConfig, Scheme};
 use rbr_simcore::{Duration, SeedSequence};
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::{run_reps, RunMetrics};
+use super::{run_reps, Experiment, RunMetrics};
 
 /// Parameters of the conclusion scenario.
 #[derive(Clone, Debug)]
@@ -100,27 +100,62 @@ pub fn run(config: &Config) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the scenario.
-pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec![
-        "scheme",
-        "baseline",
-        "n-r stretch",
-        "r stretch",
-        "n-r vs baseline",
-        "r vs n-r",
-    ]);
+/// The scenario as a typed table.
+pub fn table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Conclusion — 80% redundant jobs on a 20-cluster platform",
+        vec![
+            "scheme",
+            "baseline",
+            "n-r stretch",
+            "r stretch",
+            "n-r vs baseline",
+            "r vs n-r",
+        ],
+    );
     for r in rows {
         t.push(vec![
-            r.scheme.to_string(),
-            format!("{:.2}", r.baseline_stretch),
-            format!("{:.2}", r.stretch_nr),
-            format!("{:.2}", r.stretch_r),
-            format!("{:.2}", r.nr_vs_baseline),
-            format!("{:.2}", r.r_vs_nr),
+            Cell::text(r.scheme.to_string()),
+            Cell::float(r.baseline_stretch, 2),
+            Cell::float(r.stretch_nr, 2),
+            Cell::float(r.stretch_r, 2),
+            Cell::float(r.nr_vs_baseline, 2),
+            Cell::float(r.r_vs_nr, 2),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the scenario.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).to_text()
+}
+
+/// The conclusion scenario's registry entry.
+pub struct Conclusion;
+
+impl Experiment for Conclusion {
+    fn name(&self) -> &'static str {
+        "conclusion"
+    }
+
+    fn description(&self) -> &'static str {
+        "the conclusion's scenario: 80% of jobs redundant on 20 clusters, ALL vs R4"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "§6"
+    }
+
+    fn default_seed(&self) -> u64 {
+        51
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,10 @@
 use rbr_grid::dual_queue::{self, DualQueueConfig};
 use rbr_simcore::SeedSequence;
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
+
+use super::Experiment;
 
 /// Parameters of the dual-queue experiment.
 #[derive(Clone, Debug)]
@@ -99,36 +101,65 @@ pub fn run(config: &Config) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the sweep.
-pub fn render(rows: &[Row]) -> String {
-    let fmt = |x: f64| {
-        if x.is_nan() {
-            "-".to_string()
-        } else {
-            format!("{x:.2}")
-        }
-    };
-    let mut t = Table::new(vec![
-        "dual fraction",
-        "dual stretch",
-        "single stretch",
-        "premium wins",
-        "mean price",
-    ]);
+/// The sweep as a typed table. At fraction 0 the dual population is
+/// empty, so its columns are `Missing`.
+pub fn table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Dual queue — premium/standard racing on one resource",
+        vec![
+            "dual fraction",
+            "dual stretch",
+            "single stretch",
+            "premium wins",
+            "mean price",
+        ],
+    );
     for r in rows {
         t.push(vec![
-            format!("{:.0}%", r.fraction * 100.0),
-            fmt(r.dual_stretch),
-            fmt(r.single_stretch),
-            if r.premium_win_fraction.is_nan() {
-                "-".to_string()
-            } else {
-                format!("{:.0}%", r.premium_win_fraction * 100.0)
-            },
-            fmt(r.dual_mean_price),
+            Cell::percent(r.fraction, 0),
+            Cell::float_or_missing(r.dual_stretch, 2),
+            Cell::float_or_missing(r.single_stretch, 2),
+            Cell::percent_or_missing(r.premium_win_fraction, 0),
+            Cell::float_or_missing(r.dual_mean_price, 2),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the sweep.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).to_text()
+}
+
+/// The dual-queue study's registry entry.
+pub struct DualQueue;
+
+impl Experiment for DualQueue {
+    fn name(&self) -> &'static str {
+        "dual-queue"
+    }
+
+    fn description(&self) -> &'static str {
+        "beyond the paper: option (iii) premium/standard queue racing"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "beyond §2"
+    }
+
+    fn default_seed(&self) -> u64 {
+        58
+    }
+
+    fn replications(&self, scale: Scale) -> usize {
+        Config::at_scale(scale).reps
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 #[cfg(test)]

@@ -9,13 +9,12 @@
 
 use rbr_grid::{GridConfig, Scheme};
 use rbr_simcore::{Duration, SeedSequence};
-use rbr_stats::RelativeSeries;
 
 use crate::plot::AsciiPlot;
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::{run_reps, RunMetrics};
+use super::{run_reps, Comparison, Experiment, RunMetrics};
 
 /// Parameters of the Figure 1/2 sweep.
 #[derive(Clone, Debug)]
@@ -89,67 +88,112 @@ pub fn run(config: &Config) -> Vec<Row> {
         let mut base_cfg = GridConfig::homogeneous(n, Scheme::None);
         base_cfg.window = config.window;
         let baseline = run_reps(&base_cfg, config.reps, seed, RunMetrics::from_run);
-        let base_stretch: Vec<f64> = baseline.iter().map(|m| m.stretch_mean).collect();
-        let base_cv: Vec<f64> = baseline.iter().map(|m| m.stretch_cv).collect();
-        let base_max: Vec<f64> = baseline.iter().map(|m| m.stretch_max).collect();
-        let base_tat: Vec<f64> = baseline.iter().map(|m| m.turnaround_mean).collect();
 
         for &scheme in &config.schemes {
             let mut cfg = GridConfig::homogeneous(n, scheme);
             cfg.window = config.window;
-            let metrics = run_reps(&cfg, config.reps, seed, RunMetrics::from_run);
-            let stretch: Vec<f64> = metrics.iter().map(|m| m.stretch_mean).collect();
-            let ratios: Vec<f64> = stretch
-                .iter()
-                .zip(&base_stretch)
-                .map(|(a, b)| a / b)
-                .collect();
-            let series = RelativeSeries::from_ratios(ratios);
+            let cmp = Comparison::new(
+                baseline.clone(),
+                run_reps(&cfg, config.reps, seed, RunMetrics::from_run),
+            );
+            let series = cmp.stretch_series();
             rows.push(Row {
                 n,
                 scheme,
                 rel_stretch: series.summary().mean(),
-                rel_cv: super::mean_ratio(
-                    &metrics.iter().map(|m| m.stretch_cv).collect::<Vec<_>>(),
-                    &base_cv,
-                ),
-                rel_max_stretch: super::mean_ratio(
-                    &metrics.iter().map(|m| m.stretch_max).collect::<Vec<_>>(),
-                    &base_max,
-                ),
-                rel_turnaround: super::mean_ratio(
-                    &metrics.iter().map(|m| m.turnaround_mean).collect::<Vec<_>>(),
-                    &base_tat,
-                ),
+                rel_cv: cmp.rel_cv(),
+                rel_max_stretch: cmp.rel_max_stretch(),
+                rel_turnaround: cmp.rel_turnaround(),
                 win_fraction: series.win_fraction(),
                 worst: series.worst(),
-                baseline_stretch: base_stretch.iter().sum::<f64>() / base_stretch.len() as f64,
+                baseline_stretch: cmp.baseline_stretch(),
             });
         }
     }
     rows
 }
 
-/// Renders the rows the way the paper's figures read.
-pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec![
-        "N", "scheme", "rel stretch", "rel CV", "rel max", "rel TAT", "wins", "worst",
-        "base stretch",
-    ]);
+/// Figure 1 as a typed table: every relative metric of the sweep.
+pub fn table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Figure 1 — stretch relative to NONE vs number of clusters",
+        vec![
+            "N", "scheme", "rel stretch", "rel CV", "rel max", "rel TAT", "wins", "worst",
+            "base stretch",
+        ],
+    );
     for r in rows {
         t.push(vec![
-            r.n.to_string(),
-            r.scheme.to_string(),
-            format!("{:.3}", r.rel_stretch),
-            format!("{:.3}", r.rel_cv),
-            format!("{:.3}", r.rel_max_stretch),
-            format!("{:.3}", r.rel_turnaround),
-            format!("{:.0}%", r.win_fraction * 100.0),
-            format!("{:.3}", r.worst),
-            format!("{:.1}", r.baseline_stretch),
+            Cell::int(r.n as i64),
+            Cell::text(r.scheme.to_string()),
+            Cell::float(r.rel_stretch, 3),
+            Cell::float(r.rel_cv, 3),
+            Cell::float(r.rel_max_stretch, 3),
+            Cell::float(r.rel_turnaround, 3),
+            Cell::percent(r.win_fraction, 0),
+            Cell::float(r.worst, 3),
+            Cell::float(r.baseline_stretch, 1),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Figure 2 as a typed table: the fairness (CV) projection of the same
+/// sweep — the paper plots it as its own figure, so it gets its own
+/// named table.
+pub fn cv_table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Figure 2 — CV of stretches relative to NONE vs number of clusters",
+        vec!["N", "scheme", "rel CV"],
+    );
+    for r in rows {
+        t.push(vec![
+            Cell::int(r.n as i64),
+            Cell::text(r.scheme.to_string()),
+            Cell::float(r.rel_cv, 3),
+        ]);
+    }
+    t
+}
+
+/// Renders the rows the way the paper's figures read.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).to_text()
+}
+
+/// Figures 1 and 2, registered as one entry because a single sweep
+/// produces both (the old CLI listed `fig2` separately and quietly
+/// re-ran the `fig1` module — the alias models the relationship
+/// honestly).
+pub struct Fig1;
+
+impl Experiment for Fig1 {
+    fn name(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig2"]
+    }
+
+    fn description(&self) -> &'static str {
+        "Figures 1 & 2: relative average stretch and relative CV of stretches vs number of clusters"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "§3.3"
+    }
+
+    fn default_seed(&self) -> u64 {
+        42
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        let rows = run(&config);
+        vec![table(&rows), cv_table(&rows)]
+    }
 }
 
 /// Renders the rows as the paper's Figure 1 plot (one series per

@@ -8,10 +8,10 @@
 use rbr_grid::{GridConfig, Scheme};
 use rbr_simcore::{Duration, SeedSequence};
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::{mean_ratio, run_reps, RunMetrics};
+use super::{run_reps, Comparison, Experiment, RunMetrics};
 
 /// Parameters of the Figure 3 sweep.
 #[derive(Clone, Debug)]
@@ -83,54 +83,84 @@ pub fn run(config: &Config) -> Vec<Row> {
             c.workload = c.workload.with_interarrival_shape(alpha);
         }
         let mean_iat = base.clusters[0].workload.mean_interarrival();
-        let b = run_reps(&base, config.reps, seed, RunMetrics::from_run);
-        let bs: Vec<f64> = b.iter().map(|m| m.stretch_mean).collect();
-        let bcv: Vec<f64> = b.iter().map(|m| m.stretch_cv).collect();
+        let baseline = run_reps(&base, config.reps, seed, RunMetrics::from_run);
 
         for &scheme in &config.schemes {
             let mut cfg = base.clone();
             cfg.scheme = scheme;
-            let t = run_reps(&cfg, config.reps, seed, RunMetrics::from_run);
+            let cmp = Comparison::new(
+                baseline.clone(),
+                run_reps(&cfg, config.reps, seed, RunMetrics::from_run),
+            );
             rows.push(Row {
                 alpha,
                 mean_interarrival: mean_iat,
                 scheme,
-                rel_stretch: mean_ratio(
-                    &t.iter().map(|m| m.stretch_mean).collect::<Vec<_>>(),
-                    &bs,
-                ),
-                rel_cv: mean_ratio(
-                    &t.iter().map(|m| m.stretch_cv).collect::<Vec<_>>(),
-                    &bcv,
-                ),
-                baseline_stretch: bs.iter().sum::<f64>() / bs.len() as f64,
+                rel_stretch: cmp.rel_stretch(),
+                rel_cv: cmp.rel_cv(),
+                baseline_stretch: cmp.baseline_stretch(),
             });
         }
     }
     rows
 }
 
-/// Renders the sweep.
-pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec![
-        "alpha",
-        "mean iat (s)",
-        "scheme",
-        "rel stretch",
-        "rel CV",
-        "base stretch",
-    ]);
+/// Figure 3 as a typed table.
+pub fn table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Figure 3 — stretch relative to NONE vs job interarrival time",
+        vec![
+            "alpha",
+            "mean iat (s)",
+            "scheme",
+            "rel stretch",
+            "rel CV",
+            "base stretch",
+        ],
+    );
     for r in rows {
         t.push(vec![
-            format!("{:.2}", r.alpha),
-            format!("{:.2}", r.mean_interarrival),
-            r.scheme.to_string(),
-            format!("{:.3}", r.rel_stretch),
-            format!("{:.3}", r.rel_cv),
-            format!("{:.1}", r.baseline_stretch),
+            Cell::float(r.alpha, 2),
+            Cell::float(r.mean_interarrival, 2),
+            Cell::text(r.scheme.to_string()),
+            Cell::float(r.rel_stretch, 3),
+            Cell::float(r.rel_cv, 3),
+            Cell::float(r.baseline_stretch, 1),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the sweep.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).to_text()
+}
+
+/// Figure 3's registry entry.
+pub struct Fig3;
+
+impl Experiment for Fig3 {
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 3: relative average stretch vs job interarrival time (load sweep)"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "§3.5"
+    }
+
+    fn default_seed(&self) -> u64 {
+        45
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 #[cfg(test)]

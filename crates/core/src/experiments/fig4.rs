@@ -10,10 +10,10 @@
 use rbr_grid::{GridConfig, Scheme};
 use rbr_simcore::{Duration, SeedSequence};
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::{run_reps, RunMetrics};
+use super::{run_reps, Experiment, RunMetrics};
 
 /// Parameters of the Figure 4 sweep.
 #[derive(Clone, Debug)]
@@ -104,26 +104,56 @@ pub fn run(config: &Config) -> Vec<Row> {
     rows
 }
 
-/// Renders the sweep.
-pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec!["scheme", "p", "stretch r", "stretch n-r", "stretch all"]);
-    let fmt = |x: f64| {
-        if x.is_nan() {
-            "-".to_string()
-        } else {
-            format!("{x:.2}")
-        }
-    };
+/// Figure 4 as a typed table. The r column at `p = 0` and the n-r column
+/// at `p = 1` are structurally missing (the population is empty), so
+/// those cells are `Missing`, not NaN.
+pub fn table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Figure 4 — r-jobs vs n-r jobs vs the fraction p using redundancy",
+        vec!["scheme", "p", "stretch r", "stretch n-r", "stretch all"],
+    );
     for r in rows {
         t.push(vec![
-            r.scheme.to_string(),
-            format!("{:.0}%", r.fraction * 100.0),
-            fmt(r.stretch_r),
-            fmt(r.stretch_nr),
-            fmt(r.stretch_all),
+            Cell::text(r.scheme.to_string()),
+            Cell::percent(r.fraction, 0),
+            Cell::float_or_missing(r.stretch_r, 2),
+            Cell::float_or_missing(r.stretch_nr, 2),
+            Cell::float(r.stretch_all, 2),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the sweep.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).to_text()
+}
+
+/// Figure 4's registry entry.
+pub struct Fig4;
+
+impl Experiment for Fig4 {
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 4: average stretch of r-jobs vs n-r jobs as the redundant fraction grows"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "§3.6"
+    }
+
+    fn default_seed(&self) -> u64 {
+        47
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 #[cfg(test)]

@@ -20,8 +20,10 @@ use rbr_middleware::{ChurnExperiment, ChurnPoint};
 use rbr_sched::{Algorithm, Request, RequestId};
 use rbr_simcore::{Duration, SeedSequence, SimTime};
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
+
+use super::Experiment;
 
 /// Parameters of the churn simulation.
 #[derive(Clone, Debug)]
@@ -123,27 +125,67 @@ pub fn run(config: &Config) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the figure as a table (one column per curve plus the average).
-pub fn render(rows: &[Row]) -> String {
+/// Figure 5 as a typed table (one column per curve plus the average;
+/// crashed curves' lost tails are missing cells).
+pub fn table(rows: &[Row]) -> TypedTable {
     let n_curves = rows.first().map_or(0, |r| r.curves.len());
     let mut headers = vec!["queue size".to_string()];
     for i in 0..n_curves {
         headers.push(format!("exp #{}", i + 1));
     }
     headers.push("average".to_string());
-    let mut t = Table::new(headers);
+    let mut t = TypedTable::new(
+        "Figure 5 — scheduler submit/cancel throughput vs queue size",
+        headers,
+    );
     for r in rows {
-        let mut row = vec![r.queue_size.to_string()];
+        let mut row = vec![Cell::int(r.queue_size as i64)];
         for c in &r.curves {
             row.push(match c {
-                Some(v) => format!("{v:.2}"),
-                None => "-".to_string(),
+                Some(v) => Cell::float(*v, 2),
+                None => Cell::Missing,
             });
         }
-        row.push(format!("{:.2}", r.average));
+        row.push(Cell::float(r.average, 2));
         t.push(row);
     }
-    t.render()
+    t
+}
+
+/// Renders the figure as a table (one column per curve plus the average).
+pub fn render(rows: &[Row]) -> String {
+    table(rows).to_text()
+}
+
+/// Figure 5's registry entry.
+pub struct Fig5;
+
+impl Experiment for Fig5 {
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 5: batch-scheduler submit/cancel throughput vs pending queue size"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "§4"
+    }
+
+    fn default_seed(&self) -> u64 {
+        48
+    }
+
+    fn replications(&self, scale: Scale) -> usize {
+        Config::at_scale(scale).curves
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 /// Measures the wall-clock submit+cancel throughput of one of **our**

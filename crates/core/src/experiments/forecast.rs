@@ -14,10 +14,10 @@ use rbr_forecast::{evaluate, QuantilePredictor};
 use rbr_grid::{GridConfig, Scheme};
 use rbr_simcore::{Duration, SeedSequence};
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::run_reps;
+use super::{run_reps, Experiment};
 
 /// Parameters of the forecasting experiment.
 #[derive(Clone, Debug)]
@@ -77,6 +77,8 @@ pub struct Row {
     pub predicted: usize,
 }
 
+type Pick = dyn Fn(&rbr_forecast::Evaluation) -> rbr_forecast::evaluate::PopulationScore;
+
 /// Runs the experiment.
 pub fn run(config: &Config) -> Vec<Row> {
     let predictor = QuantilePredictor::new(config.quantile, config.confidence, 512);
@@ -92,7 +94,7 @@ pub fn run(config: &Config) -> Vec<Row> {
             evaluate(run, &pred, floor)
         });
 
-        let mut push = |population: &str, pick: &dyn Fn(&rbr_forecast::Evaluation) -> rbr_forecast::evaluate::PopulationScore| {
+        let mut push = |population: &str, pick: &Pick| {
             let picked: Vec<_> = evals.iter().map(pick).collect();
             let total: usize = picked.iter().map(|p| p.predicted).sum();
             if total == 0 {
@@ -122,19 +124,58 @@ pub fn run(config: &Config) -> Vec<Row> {
     rows
 }
 
-/// Renders the experiment.
-pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec!["p", "population", "coverage", "tightness", "predicted"]);
+/// The experiment as a typed table.
+pub fn table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Forecast — Binomial-Method wait bounds under redundancy",
+        vec!["p", "population", "coverage", "tightness", "predicted"],
+    );
     for r in rows {
         t.push(vec![
-            format!("{:.0}%", r.fraction * 100.0),
-            r.population.clone(),
-            format!("{:.3}", r.correctness),
-            format!("{:.2}", r.tightness),
-            r.predicted.to_string(),
+            Cell::percent(r.fraction, 0),
+            Cell::text(r.population.clone()),
+            Cell::float(r.correctness, 3),
+            Cell::float(r.tightness, 2),
+            Cell::int(r.predicted as i64),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the experiment.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).to_text()
+}
+
+/// The forecasting study's registry entry.
+pub struct Forecast;
+
+impl Experiment for Forecast {
+    fn name(&self) -> &'static str {
+        "forecast"
+    }
+
+    fn description(&self) -> &'static str {
+        "beyond the paper: statistical queue-wait forecasting under redundancy"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "beyond §6"
+    }
+
+    fn default_seed(&self) -> u64 {
+        56
+    }
+
+    fn replications(&self, scale: Scale) -> usize {
+        Config::at_scale(scale).reps
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,241 @@
+//! The declarative experiment framework.
+//!
+//! Every figure, table, and ablation is an [`Experiment`]: a named,
+//! self-describing unit that turns `(scale, seed)` into a structured
+//! [`Report`]. The trait carries the shared scaffolding that each module
+//! used to hand-roll — provenance stamping, wall-time measurement, and
+//! simulation accounting — so a module only supplies its metadata and
+//! its table builder. [`Comparison`] hoists the paired relative-metric
+//! reduction (treatment over baseline on identical seeds) that most of
+//! the paper's results are expressed in.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rbr_grid::RunResult;
+use rbr_stats::RelativeSeries;
+
+use super::{mean_ratio, RunMetrics};
+use crate::report::{Report, RunMeta, TypedTable};
+use crate::scale::Scale;
+
+/// Process-wide tally of grid-simulator executions, used to stamp
+/// [`RunMeta`] with how much simulation a report cost. The counters are
+/// monotonic; [`Experiment::run`] reports the delta across its table
+/// build. Concurrent runs in one process may attribute each other's work —
+/// the counts are provenance metadata, not metrics.
+static SIM_RUNS: AtomicU64 = AtomicU64::new(0);
+static SIM_JOBS: AtomicU64 = AtomicU64::new(0);
+static SIM_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one completed grid-simulator run in the global tally.
+pub(crate) fn record_sim(run: &RunResult) {
+    SIM_RUNS.fetch_add(1, Ordering::Relaxed);
+    SIM_JOBS.fetch_add(run.records.len() as u64, Ordering::Relaxed);
+    SIM_EVENTS.fetch_add(run.events, Ordering::Relaxed);
+}
+
+fn sim_counters() -> (u64, u64, u64) {
+    (
+        SIM_RUNS.load(Ordering::Relaxed),
+        SIM_JOBS.load(Ordering::Relaxed),
+        SIM_EVENTS.load(Ordering::Relaxed),
+    )
+}
+
+/// One registered experiment: a figure, table, or ablation that maps
+/// `(scale, seed)` to a [`Report`].
+///
+/// Implementations provide metadata and [`Experiment::tables`]; the
+/// provided [`Experiment::run`] wraps the table build with wall-time
+/// measurement and simulation accounting and stamps the result with
+/// [`RunMeta`]. Registering the implementation in
+/// [`Registry::standard`](super::Registry::standard) is all it takes to
+/// appear in `rbr list`, `rbr run`, the benches, and the framework smoke
+/// test.
+pub trait Experiment: Send + Sync {
+    /// Canonical registry name (`"fig1"`, `"table3"`, `"queue-growth"`).
+    fn name(&self) -> &'static str;
+
+    /// Alternative names this entry answers to (`fig1` owns `fig2`
+    /// because one sweep produces both figures).
+    fn aliases(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// One-line description shown by `rbr list`.
+    fn description(&self) -> &'static str;
+
+    /// Paper section (or "beyond the paper" tag) the experiment belongs
+    /// to.
+    fn paper_section(&self) -> &'static str;
+
+    /// Master seed used when the caller does not supply one.
+    fn default_seed(&self) -> u64;
+
+    /// Replications per configuration at the given scale, for the
+    /// provenance stamp.
+    fn replications(&self, scale: Scale) -> usize {
+        scale.reps()
+    }
+
+    /// Builds the experiment's output tables at the given scale and
+    /// master seed.
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable>;
+
+    /// Runs the experiment and stamps the result with provenance.
+    fn run(&self, scale: Scale, seed: u64) -> Report {
+        let (runs0, jobs0, events0) = sim_counters();
+        let start = Instant::now();
+        let tables = self.tables(scale, seed);
+        let wall_time_secs = start.elapsed().as_secs_f64();
+        let (runs1, jobs1, events1) = sim_counters();
+        Report {
+            meta: RunMeta {
+                experiment: self.name().to_string(),
+                paper_section: self.paper_section().to_string(),
+                scale: scale.name().to_string(),
+                seed,
+                replications: self.replications(scale),
+                sim_runs: runs1 - runs0,
+                jobs: jobs1 - jobs0,
+                events: events1 - events0,
+                wall_time_secs,
+            },
+            tables,
+        }
+    }
+}
+
+/// A paired baseline/treatment pair of replication series, reduced with
+/// the paper's relative metrics. Replication `k` of both series ran on
+/// identical seeds, so per-replication ratios are meaningful.
+///
+/// When several treatments share one baseline (every scheme against
+/// `Scheme::None` at the same N), run the baseline once and clone its
+/// metrics into each `Comparison` — `RunMetrics` is `Copy`, so that is a
+/// flat memcpy.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Per-replication metrics of the unmodified platform.
+    pub baseline: Vec<RunMetrics>,
+    /// Per-replication metrics of the platform under the treatment.
+    pub treatment: Vec<RunMetrics>,
+}
+
+impl Comparison {
+    /// Pairs two already-computed replication series.
+    pub fn new(baseline: Vec<RunMetrics>, treatment: Vec<RunMetrics>) -> Self {
+        assert_eq!(
+            baseline.len(),
+            treatment.len(),
+            "paired series must have equal length"
+        );
+        Comparison {
+            baseline,
+            treatment,
+        }
+    }
+
+    fn rel<F: Fn(&RunMetrics) -> f64>(&self, metric: F) -> f64 {
+        let t: Vec<f64> = self.treatment.iter().map(&metric).collect();
+        let b: Vec<f64> = self.baseline.iter().map(&metric).collect();
+        mean_ratio(&t, &b)
+    }
+
+    /// Mean relative average stretch (the paper's headline metric).
+    pub fn rel_stretch(&self) -> f64 {
+        self.rel(|m| m.stretch_mean)
+    }
+
+    /// Mean relative CV of stretches (the fairness metric).
+    pub fn rel_cv(&self) -> f64 {
+        self.rel(|m| m.stretch_cv)
+    }
+
+    /// Mean relative maximum stretch.
+    pub fn rel_max_stretch(&self) -> f64 {
+        self.rel(|m| m.stretch_max)
+    }
+
+    /// Mean relative average turnaround.
+    pub fn rel_turnaround(&self) -> f64 {
+        self.rel(|m| m.turnaround_mean)
+    }
+
+    /// Mean baseline average stretch (the paper quotes it for context).
+    pub fn baseline_stretch(&self) -> f64 {
+        self.baseline.iter().map(|m| m.stretch_mean).sum::<f64>() / self.baseline.len() as f64
+    }
+
+    /// The per-replication stretch-ratio series, for win-fraction and
+    /// worst-case statistics.
+    pub fn stretch_series(&self) -> RelativeSeries {
+        RelativeSeries::from_ratios(
+            self.treatment
+                .iter()
+                .zip(&self.baseline)
+                .map(|(t, b)| t.stretch_mean / b.stretch_mean)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Cell;
+
+    struct Dummy;
+
+    impl Experiment for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn description(&self) -> &'static str {
+            "a framework test double"
+        }
+        fn paper_section(&self) -> &'static str {
+            "§0"
+        }
+        fn default_seed(&self) -> u64 {
+            1
+        }
+        fn tables(&self, _scale: Scale, seed: u64) -> Vec<TypedTable> {
+            let mut t = TypedTable::new("dummy", vec!["seed"]);
+            t.push(vec![Cell::int(seed as i64)]);
+            vec![t]
+        }
+    }
+
+    #[test]
+    fn provided_run_stamps_provenance() {
+        let report = Dummy.run(Scale::Smoke, 77);
+        assert_eq!(report.meta.experiment, "dummy");
+        assert_eq!(report.meta.scale, "smoke");
+        assert_eq!(report.meta.seed, 77);
+        assert_eq!(report.meta.replications, Scale::Smoke.reps());
+        assert!(report.meta.wall_time_secs >= 0.0);
+        assert_eq!(report.tables[0].rows[0][0], Cell::Int(77));
+    }
+
+    #[test]
+    fn comparison_reduces_paired_metrics() {
+        let m = |stretch: f64| RunMetrics {
+            stretch_mean: stretch,
+            stretch_cv: 0.5,
+            stretch_max: 2.0 * stretch,
+            turnaround_mean: 100.0 * stretch,
+            stretch_redundant: f64::NAN,
+            stretch_non_redundant: stretch,
+            max_queue_avg: 10.0,
+        };
+        let cmp = Comparison::new(vec![m(2.0), m(4.0)], vec![m(1.0), m(2.0)]);
+        assert!((cmp.rel_stretch() - 0.5).abs() < 1e-12);
+        assert!((cmp.rel_cv() - 1.0).abs() < 1e-12);
+        assert!((cmp.baseline_stretch() - 3.0).abs() < 1e-12);
+        let series = cmp.stretch_series();
+        assert_eq!(series.ratios().len(), 2);
+        assert!((series.win_fraction() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,42 +1,66 @@
-//! One reproducible runner per figure and table of the paper, plus
-//! ablations beyond it.
+//! The experiment layer: one declarative runner per figure and table of
+//! the paper, plus ablations beyond it, all registered in a single
+//! [`Registry`].
 //!
-//! | module | reproduces |
-//! |--------|------------|
-//! | [`fig1`] | Figure 1 (relative average stretch vs N) and Figure 2 (relative CV of stretches vs N) |
-//! | [`table1`] | Table 1 (EASY / CBF / FCFS × exact / real estimates) |
-//! | [`table2`] | Table 2 (non-uniformly distributed redundant requests) |
-//! | [`fig3`] | Figure 3 (relative stretch vs job interarrival time) |
-//! | [`table3`] | Table 3 (heterogeneous platforms) |
-//! | [`fig4`] | Figure 4 (r-jobs vs n-r jobs vs fraction p) |
-//! | [`fig5`] | Figure 5 (scheduler submit/cancel throughput vs queue size) |
-//! | [`table4`] | Table 4 (queue-wait over-prediction) |
-//! | [`queue_growth`] | §4.1's "<2 % larger max queue size" check |
-//! | [`conclusion`] | the N = 20, 80 %-ALL scenario quoted in the conclusion |
-//! | [`ablation`] | beyond the paper: load-regime, CBF-cycle, and selection-policy sensitivity |
-//! | [`forecast`] | beyond the paper: redundancy's effect on statistical (binomial quantile-bound) wait forecasting |
-//! | [`moldable`] | beyond the paper: option (iv) — redundant shape requests for moldable jobs |
-//! | [`dual_queue`] | beyond the paper: option (iii) — redundant requests across premium/standard queues |
-//! | [`trace_check`] | §3.1.1's trace cross-check: replay an SWF trace split across the clusters |
+//! Every entry implements the [`Experiment`] trait — `(scale, seed)` in,
+//! structured [`Report`](crate::report::Report) out — and the registry
+//! is the *only* list of experiments in the workspace: the CLI, the
+//! criterion benches, and the framework smoke test all iterate it.
+//!
+//! | registry name | module | reproduces |
+//! |---------------|--------|------------|
+//! | `fig1` (alias `fig2`) | [`fig1`] | Figure 1 (relative average stretch vs N) and Figure 2 (relative CV of stretches vs N) — one sweep, two tables |
+//! | `table1` | [`table1`] | Table 1 (EASY / CBF / FCFS × exact / real estimates) |
+//! | `table2` | [`table2`] | Table 2 (non-uniformly distributed redundant requests) |
+//! | `fig3` | [`fig3`] | Figure 3 (relative stretch vs job interarrival time) |
+//! | `table3` | [`table3`] | Table 3 (heterogeneous platforms) |
+//! | `fig4` | [`fig4`] | Figure 4 (r-jobs vs n-r jobs vs fraction p) |
+//! | `fig5` | [`fig5`] | Figure 5 (scheduler submit/cancel throughput vs queue size) |
+//! | `table4` | [`table4`] | Table 4 (queue-wait over-prediction) |
+//! | `queue-growth` | [`queue_growth`] | §4.1's "<2 % larger max queue size" check |
+//! | `conclusion` | [`conclusion`] | the N = 20, 80 %-ALL scenario quoted in the conclusion |
+//! | `ablations` | [`ablation`] | beyond the paper: load-regime, CBF-cycle, selection-policy, and inflation sensitivity |
+//! | `forecast` | [`forecast`] | beyond the paper: redundancy's effect on statistical (binomial quantile-bound) wait forecasting |
+//! | `moldable` | [`moldable`] | beyond the paper: option (iv) — redundant shape requests for moldable jobs |
+//! | `dual-queue` | [`dual_queue`] | beyond the paper: option (iii) — redundant requests across premium/standard queues |
+//! | `trace-check` | [`trace_check`] | §3.1.1's trace cross-check: replay an SWF trace split across the clusters |
 //!
 //! Every runner is a pure function of its `Config` (seeds included), so
 //! results are bit-reproducible across machines.
+//!
+//! # Adding an experiment
+//!
+//! 1. Write the module: a `Config` with `at_scale(Scale)`, a `run`
+//!    function, and a unit struct implementing [`Experiment`] whose
+//!    `tables()` builds [`TypedTable`](crate::report::TypedTable)s from
+//!    the run. Use [`run_reps`]/[`Comparison`] for the paired
+//!    replication harness.
+//! 2. Register the unit struct in [`Registry::standard`].
+//!
+//! That is the whole checklist: `rbr list`, `rbr run <name>`, `rbr run
+//! all`, the benches, and the registry smoke test pick it up from the
+//! registry.
 
 pub mod ablation;
 pub mod conclusion;
 pub mod dual_queue;
 pub mod fig1;
-pub mod forecast;
-pub mod moldable;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod forecast;
+pub mod framework;
+pub mod moldable;
 pub mod queue_growth;
+pub mod registry;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod trace_check;
+
+pub use framework::{Comparison, Experiment};
+pub use registry::Registry;
 
 use rayon::prelude::*;
 use rbr_grid::record::JobClass;
@@ -87,7 +111,12 @@ impl RunMetrics {
 /// `reduce`. Replication `k` always uses `seed.child(k)`, so two calls
 /// with the same seed but different schemes see identical job streams —
 /// the paper's paired design.
-pub(crate) fn run_reps<T, F>(config: &GridConfig, reps: usize, seed: SeedSequence, reduce: F) -> Vec<T>
+pub(crate) fn run_reps<T, F>(
+    config: &GridConfig,
+    reps: usize,
+    seed: SeedSequence,
+    reduce: F,
+) -> Vec<T>
 where
     T: Send,
     F: Fn(&RunResult) -> T + Sync,
@@ -96,6 +125,7 @@ where
         .into_par_iter()
         .map(|rep| {
             let run = GridSim::execute(config.clone(), seed.child(rep as u64));
+            framework::record_sim(&run);
             reduce(&run)
         })
         .collect()
@@ -119,6 +149,7 @@ where
         .into_par_iter()
         .map(|rep| {
             let run = GridSim::execute(make_config(rep), seed.child(rep as u64));
+            framework::record_sim(&run);
             reduce(&run)
         })
         .collect()

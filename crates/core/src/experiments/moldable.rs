@@ -10,8 +10,10 @@
 use rbr_grid::moldable::{self, MoldableConfig, ShapePolicy};
 use rbr_simcore::SeedSequence;
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
+
+use super::Experiment;
 
 /// Parameters of the moldable experiment.
 #[derive(Clone, Debug)]
@@ -86,23 +88,57 @@ pub fn run(config: &Config) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the comparison.
-pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec![
-        "policy",
-        "mean turnaround (s)",
-        "norm. stretch",
-        "mean nodes",
-    ]);
+/// The comparison as a typed table.
+pub fn table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Moldable — fixed shapes vs all-shapes redundancy",
+        vec!["policy", "mean turnaround (s)", "norm. stretch", "mean nodes"],
+    );
     for r in rows {
         t.push(vec![
-            r.policy.clone(),
-            format!("{:.0}", r.turnaround),
-            format!("{:.2}", r.normalized_stretch),
-            format!("{:.1}", r.mean_nodes),
+            Cell::text(r.policy.clone()),
+            Cell::float(r.turnaround, 0),
+            Cell::float(r.normalized_stretch, 2),
+            Cell::float(r.mean_nodes, 1),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the comparison.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).to_text()
+}
+
+/// The moldable study's registry entry.
+pub struct Moldable;
+
+impl Experiment for Moldable {
+    fn name(&self) -> &'static str {
+        "moldable"
+    }
+
+    fn description(&self) -> &'static str {
+        "beyond the paper: option (iv) moldable shape redundancy in one queue"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "beyond §2"
+    }
+
+    fn default_seed(&self) -> u64 {
+        57
+    }
+
+    fn replications(&self, scale: Scale) -> usize {
+        Config::at_scale(scale).reps
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 #[cfg(test)]

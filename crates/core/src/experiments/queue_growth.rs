@@ -11,10 +11,10 @@
 use rbr_grid::{GridConfig, Scheme};
 use rbr_simcore::{Duration, SeedSequence};
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::{mean_ratio, run_reps, RunMetrics};
+use super::{mean_ratio, run_reps, Experiment, RunMetrics};
 
 /// Parameters of the queue-growth measurement.
 #[derive(Clone, Debug)]
@@ -105,27 +105,66 @@ pub fn run(config: &Config) -> Output {
     }
 }
 
+/// The measurement as a typed table.
+pub fn table(out: &Output) -> TypedTable {
+    let mut t = TypedTable::new(
+        "§4.1 — maximum queue size with and without redundancy",
+        vec!["metric", "value"],
+    );
+    t.push(vec![
+        Cell::text("avg max queue, NONE"),
+        Cell::float(out.baseline_max_queue, 1),
+    ]);
+    t.push(vec![
+        Cell::text("avg max queue, scheme"),
+        Cell::float(out.scheme_max_queue, 1),
+    ]);
+    t.push(vec![Cell::text("ratio"), Cell::float(out.ratio, 3)]);
+    t.push(vec![
+        Cell::text("submissions ratio"),
+        Cell::float(out.submits_ratio, 2),
+    ]);
+    t.push(vec![
+        Cell::text("queue growth (jobs/h/cluster, NONE)"),
+        Cell::float(out.growth_per_hour, 0),
+    ]);
+    t
+}
+
 /// Renders the outcome.
 pub fn render(out: &Output) -> String {
-    let mut t = Table::new(vec!["metric", "value"]);
-    t.push(vec![
-        "avg max queue, NONE".to_string(),
-        format!("{:.1}", out.baseline_max_queue),
-    ]);
-    t.push(vec![
-        "avg max queue, scheme".to_string(),
-        format!("{:.1}", out.scheme_max_queue),
-    ]);
-    t.push(vec!["ratio".to_string(), format!("{:.3}", out.ratio)]);
-    t.push(vec![
-        "submissions ratio".to_string(),
-        format!("{:.2}", out.submits_ratio),
-    ]);
-    t.push(vec![
-        "queue growth (jobs/h/cluster, NONE)".to_string(),
-        format!("{:.0}", out.growth_per_hour),
-    ]);
-    t.render()
+    table(out).to_text()
+}
+
+/// The queue-growth check's registry entry.
+pub struct QueueGrowth;
+
+impl Experiment for QueueGrowth {
+    fn name(&self) -> &'static str {
+        "queue-growth"
+    }
+
+    fn description(&self) -> &'static str {
+        "§4.1 check: how much the ALL scheme inflates the maximum queue size"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "§4.1"
+    }
+
+    fn default_seed(&self) -> u64 {
+        50
+    }
+
+    fn replications(&self, scale: Scale) -> usize {
+        Config::at_scale(scale).reps
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 #[cfg(test)]

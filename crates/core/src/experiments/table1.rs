@@ -18,10 +18,10 @@ use rbr_sched::Algorithm;
 use rbr_simcore::{Duration, SeedSequence};
 use rbr_workload::EstimateModel;
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::{mean_ratio, run_reps, RunMetrics};
+use super::{run_reps, Comparison, Experiment, RunMetrics};
 
 /// Parameters of the Table 1 experiment.
 #[derive(Clone, Debug)]
@@ -55,7 +55,9 @@ impl Config {
     /// cost, so replications follow `Scale::cbf_reps`).
     pub fn at_scale(scale: Scale) -> Self {
         Config {
-            n: 10,
+            // 4 clusters keep the CBF cells affordable at smoke scale;
+            // the direction of every entry is already stable there.
+            n: if scale == Scale::Smoke { 4 } else { 10 },
             scheme: Scheme::Half,
             algorithms: vec![Algorithm::Easy, Algorithm::Cbf, Algorithm::Fcfs],
             estimates: vec![EstimateModel::Exact, EstimateModel::paper_real()],
@@ -102,50 +104,80 @@ pub fn run(config: &Config) -> Vec<Row> {
             } else {
                 config.reps
             };
-            let b = run_reps(&base, reps, seed, RunMetrics::from_run);
-            let t = run_reps(&treat, reps, seed, RunMetrics::from_run);
-            let bs: Vec<f64> = b.iter().map(|m| m.stretch_mean).collect();
+            let cmp = Comparison::new(
+                run_reps(&base, reps, seed, RunMetrics::from_run),
+                run_reps(&treat, reps, seed, RunMetrics::from_run),
+            );
             rows.push(Row {
                 algorithm: alg,
                 estimates: est,
-                rel_stretch: mean_ratio(
-                    &t.iter().map(|m| m.stretch_mean).collect::<Vec<_>>(),
-                    &bs,
-                ),
-                rel_cv: mean_ratio(
-                    &t.iter().map(|m| m.stretch_cv).collect::<Vec<_>>(),
-                    &b.iter().map(|m| m.stretch_cv).collect::<Vec<_>>(),
-                ),
-                baseline_stretch: bs.iter().sum::<f64>() / bs.len() as f64,
+                rel_stretch: cmp.rel_stretch(),
+                rel_cv: cmp.rel_cv(),
+                baseline_stretch: cmp.baseline_stretch(),
             });
         }
     }
     rows
 }
 
-/// Renders the rows in the paper's Table 1 layout.
-pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec![
-        "algorithm",
-        "estimates",
-        "rel stretch",
-        "rel CV",
-        "base stretch",
-    ]);
+/// Table 1 as a typed table.
+pub fn table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Table 1 — HALF vs NONE across algorithms and estimate models",
+        vec![
+            "algorithm",
+            "estimates",
+            "rel stretch",
+            "rel CV",
+            "base stretch",
+        ],
+    );
     for r in rows {
         let est = match r.estimates {
-            EstimateModel::Exact => "exact".to_string(),
-            _ => "real".to_string(),
+            EstimateModel::Exact => "exact",
+            _ => "real",
         };
         t.push(vec![
-            r.algorithm.to_string(),
-            est,
-            format!("{:.3}", r.rel_stretch),
-            format!("{:.3}", r.rel_cv),
-            format!("{:.1}", r.baseline_stretch),
+            Cell::text(r.algorithm.to_string()),
+            Cell::text(est),
+            Cell::float(r.rel_stretch, 3),
+            Cell::float(r.rel_cv, 3),
+            Cell::float(r.baseline_stretch, 1),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the rows in the paper's Table 1 layout.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).to_text()
+}
+
+/// Table 1's registry entry.
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn description(&self) -> &'static str {
+        "Table 1: the HALF scheme under EASY/CBF/FCFS with exact and real estimates"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "§3.4"
+    }
+
+    fn default_seed(&self) -> u64 {
+        43
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 #[cfg(test)]

@@ -15,10 +15,10 @@
 use rbr_grid::{GridConfig, Scheme, SelectionPolicy};
 use rbr_simcore::{Duration, SeedSequence};
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::{mean_ratio, run_reps, RunMetrics};
+use super::{run_reps, Comparison, Experiment, RunMetrics};
 
 /// Parameters of the Table 2 experiment.
 #[derive(Clone, Debug)]
@@ -72,9 +72,7 @@ pub fn run(config: &Config) -> Vec<Row> {
     let seed = SeedSequence::new(config.seed);
     let mut base = GridConfig::homogeneous(config.n, Scheme::None);
     base.window = config.window;
-    let b = run_reps(&base, config.reps, seed, RunMetrics::from_run);
-    let bs: Vec<f64> = b.iter().map(|m| m.stretch_mean).collect();
-    let bcv: Vec<f64> = b.iter().map(|m| m.stretch_cv).collect();
+    let baseline = run_reps(&base, config.reps, seed, RunMetrics::from_run);
 
     config
         .schemes
@@ -85,33 +83,65 @@ pub fn run(config: &Config) -> Vec<Row> {
                 ratio: config.bias_ratio,
             };
             cfg.window = config.window;
-            let t = run_reps(&cfg, config.reps, seed, RunMetrics::from_run);
+            let cmp = Comparison::new(
+                baseline.clone(),
+                run_reps(&cfg, config.reps, seed, RunMetrics::from_run),
+            );
             Row {
                 scheme,
-                rel_stretch: mean_ratio(
-                    &t.iter().map(|m| m.stretch_mean).collect::<Vec<_>>(),
-                    &bs,
-                ),
-                rel_cv: mean_ratio(
-                    &t.iter().map(|m| m.stretch_cv).collect::<Vec<_>>(),
-                    &bcv,
-                ),
+                rel_stretch: cmp.rel_stretch(),
+                rel_cv: cmp.rel_cv(),
             }
         })
         .collect()
 }
 
-/// Renders the rows in the paper's Table 2 layout.
-pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec!["scheme", "rel stretch", "rel CV"]);
+/// Table 2 as a typed table.
+pub fn table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Table 2 — geometrically biased target selection vs NONE",
+        vec!["scheme", "rel stretch", "rel CV"],
+    );
     for r in rows {
         t.push(vec![
-            r.scheme.to_string(),
-            format!("{:.3}", r.rel_stretch),
-            format!("{:.3}", r.rel_cv),
+            Cell::text(r.scheme.to_string()),
+            Cell::float(r.rel_stretch, 3),
+            Cell::float(r.rel_cv, 3),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the rows in the paper's Table 2 layout.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).to_text()
+}
+
+/// Table 2's registry entry.
+pub struct Table2;
+
+impl Experiment for Table2 {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn description(&self) -> &'static str {
+        "Table 2: redundant requests under a heavily biased account distribution"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "§3.4"
+    }
+
+    fn default_seed(&self) -> u64 {
+        44
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 #[cfg(test)]

@@ -13,10 +13,10 @@ use rbr_grid::{ClusterSpec, GridConfig, Scheme};
 use rbr_simcore::{Duration, SeedSequence};
 use rbr_workload::LublinConfig;
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::{mean_ratio, run_reps_with, RunMetrics};
+use super::{run_reps_with, Comparison, Experiment, RunMetrics};
 
 /// Parameters of the Table 3 experiment.
 #[derive(Clone, Debug)]
@@ -96,41 +96,71 @@ pub fn run(config: &Config) -> Vec<Row> {
             cfg
         }
     };
-    let b = run_reps_with(config.reps, seed, make(Scheme::None), RunMetrics::from_run);
-    let bs: Vec<f64> = b.iter().map(|m| m.stretch_mean).collect();
-    let bcv: Vec<f64> = b.iter().map(|m| m.stretch_cv).collect();
+    let baseline = run_reps_with(config.reps, seed, make(Scheme::None), RunMetrics::from_run);
 
     config
         .schemes
         .iter()
         .map(|&scheme| {
-            let t = run_reps_with(config.reps, seed, make(scheme), RunMetrics::from_run);
+            let cmp = Comparison::new(
+                baseline.clone(),
+                run_reps_with(config.reps, seed, make(scheme), RunMetrics::from_run),
+            );
             Row {
                 scheme,
-                rel_stretch: mean_ratio(
-                    &t.iter().map(|m| m.stretch_mean).collect::<Vec<_>>(),
-                    &bs,
-                ),
-                rel_cv: mean_ratio(
-                    &t.iter().map(|m| m.stretch_cv).collect::<Vec<_>>(),
-                    &bcv,
-                ),
+                rel_stretch: cmp.rel_stretch(),
+                rel_cv: cmp.rel_cv(),
             }
         })
         .collect()
 }
 
-/// Renders the rows in the paper's Table 3 layout.
-pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec!["scheme", "rel stretch", "rel CV"]);
+/// Table 3 as a typed table.
+pub fn table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Table 3 — heterogeneous platforms (random sizes and loads)",
+        vec!["scheme", "rel stretch", "rel CV"],
+    );
     for r in rows {
         t.push(vec![
-            r.scheme.to_string(),
-            format!("{:.3}", r.rel_stretch),
-            format!("{:.3}", r.rel_cv),
+            Cell::text(r.scheme.to_string()),
+            Cell::float(r.rel_stretch, 3),
+            Cell::float(r.rel_cv, 3),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the rows in the paper's Table 3 layout.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).to_text()
+}
+
+/// Table 3's registry entry.
+pub struct Table3;
+
+impl Experiment for Table3 {
+    fn name(&self) -> &'static str {
+        "table3"
+    }
+
+    fn description(&self) -> &'static str {
+        "Table 3: redundancy on heterogeneous platforms with per-replication random draws"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "§3.5"
+    }
+
+    fn default_seed(&self) -> u64 {
+        46
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 #[cfg(test)]

@@ -22,10 +22,10 @@ use rbr_sched::Algorithm;
 use rbr_simcore::{Duration, SeedSequence};
 use rbr_workload::EstimateModel;
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::run_reps;
+use super::{run_reps, Experiment};
 
 /// Parameters of the Table 4 experiment.
 #[derive(Clone, Debug)]
@@ -59,7 +59,9 @@ impl Config {
     /// `Scale::cbf_reps`).
     pub fn at_scale(scale: Scale) -> Self {
         Config {
-            n: 10,
+            // CBF with prediction collection is the most expensive cell
+            // in the campaign; 4 clusters keep smoke runs snappy.
+            n: if scale == Scale::Smoke { 4 } else { 10 },
             scheme: Scheme::All,
             fraction: 0.4,
             reps: scale.cbf_reps(),
@@ -131,17 +133,56 @@ pub fn run(config: &Config) -> Vec<Row> {
     ]
 }
 
-/// Renders the rows in the paper's Table 4 layout.
-pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec!["population", "avg over-prediction", "CV"]);
+/// Table 4 as a typed table.
+pub fn table(rows: &[Row]) -> TypedTable {
+    let mut t = TypedTable::new(
+        "Table 4 — queue-wait over-prediction under redundant churn",
+        vec!["population", "avg over-prediction", "CV"],
+    );
     for r in rows {
         t.push(vec![
-            r.case.clone(),
-            format!("{:.2}", r.mean_ratio),
-            format!("{:.0}%", r.cv * 100.0),
+            Cell::text(r.case.clone()),
+            Cell::float(r.mean_ratio, 2),
+            Cell::percent(r.cv, 0),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the rows in the paper's Table 4 layout.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).to_text()
+}
+
+/// Table 4's registry entry.
+pub struct Table4;
+
+impl Experiment for Table4 {
+    fn name(&self) -> &'static str {
+        "table4"
+    }
+
+    fn description(&self) -> &'static str {
+        "Table 4: CBF queue-wait over-prediction for r-jobs and n-r jobs"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "§5"
+    }
+
+    fn default_seed(&self) -> u64 {
+        49
+    }
+
+    fn replications(&self, scale: Scale) -> usize {
+        scale.cbf_reps()
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 #[cfg(test)]

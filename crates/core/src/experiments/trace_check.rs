@@ -12,10 +12,11 @@ use rbr_grid::{GridConfig, GridSim, Scheme};
 use rbr_simcore::{Duration, SeedSequence, SimTime};
 use rbr_workload::{EstimateModel, JobSpec, LublinConfig, LublinModel, SwfTrace};
 
-use crate::report::Table;
+use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::RunMetrics;
+use super::framework::record_sim;
+use super::{Experiment, RunMetrics};
 
 /// Parameters of the trace cross-check.
 #[derive(Clone, Debug)]
@@ -112,9 +113,12 @@ pub fn run(config: &Config) -> Output {
         let base_cfg = GridConfig::homogeneous(config.n, Scheme::None);
         let mut treat_cfg = base_cfg.clone();
         treat_cfg.scheme = config.scheme;
-        let base = RunMetrics::from_run(&GridSim::with_jobs(base_cfg, streams.clone(), seed).run());
-        let treat =
-            RunMetrics::from_run(&GridSim::with_jobs(treat_cfg, streams.clone(), seed).run());
+        let base_run = GridSim::with_jobs(base_cfg, streams.clone(), seed).run();
+        record_sim(&base_run);
+        let base = RunMetrics::from_run(&base_run);
+        let treat_run = GridSim::with_jobs(treat_cfg, streams.clone(), seed).run();
+        record_sim(&treat_run);
+        let treat = RunMetrics::from_run(&treat_run);
         rel_stretch += treat.stretch_mean / base.stretch_mean / config.reps as f64;
         rel_cv += treat.stretch_cv / base.stretch_cv / config.reps as f64;
     }
@@ -125,19 +129,55 @@ pub fn run(config: &Config) -> Output {
     }
 }
 
+/// The outcome as a typed table.
+pub fn table(out: &Output) -> TypedTable {
+    let mut t = TypedTable::new(
+        "§3.1.1 — SWF trace replay cross-check",
+        vec!["metric", "value"],
+    );
+    t.push(vec![Cell::text("jobs replayed"), Cell::int(out.jobs as i64)]);
+    t.push(vec![
+        Cell::text("rel stretch (trace)"),
+        Cell::float(out.rel_stretch, 3),
+    ]);
+    t.push(vec![Cell::text("rel CV (trace)"), Cell::float(out.rel_cv, 3)]);
+    t
+}
+
 /// Renders the outcome.
 pub fn render(out: &Output) -> String {
-    let mut t = Table::new(vec!["metric", "value"]);
-    t.push(vec!["jobs replayed".to_string(), out.jobs.to_string()]);
-    t.push(vec![
-        "rel stretch (trace)".to_string(),
-        format!("{:.3}", out.rel_stretch),
-    ]);
-    t.push(vec![
-        "rel CV (trace)".to_string(),
-        format!("{:.3}", out.rel_cv),
-    ]);
-    t.render()
+    table(out).to_text()
+}
+
+/// The trace cross-check's registry entry.
+pub struct TraceCheck;
+
+impl Experiment for TraceCheck {
+    fn name(&self) -> &'static str {
+        "trace-check"
+    }
+
+    fn description(&self) -> &'static str {
+        "§3.1.1 cross-check: replay an SWF trace split across clusters"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "§3.1.1"
+    }
+
+    fn default_seed(&self) -> u64 {
+        59
+    }
+
+    fn replications(&self, scale: Scale) -> usize {
+        Config::at_scale(scale).reps
+    }
+
+    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        vec![table(&run(&config))]
+    }
 }
 
 #[cfg(test)]

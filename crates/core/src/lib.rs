@@ -19,21 +19,28 @@
 //!
 //! The [`experiments`] module contains one parameterized, reproducible
 //! runner per figure and table of the paper (and several ablations beyond
-//! it); [`scale`] selects how much fidelity to spend, and [`report`]
-//! renders results as aligned text or CSV.
+//! it), all registered in a single [`Registry`]; [`scale`] selects how
+//! much fidelity to spend, and [`report`] carries the structured results
+//! (typed tables plus per-run provenance) with text, CSV, and JSON
+//! renderers.
 //!
 //! ```no_run
-//! use rbr::experiments::fig1;
-//! use rbr::scale::Scale;
+//! use rbr::experiments::Registry;
+//! use rbr::report::Format;
+//! use rbr::Scale;
 //!
-//! let rows = fig1::run(&fig1::Config::at_scale(Scale::Smoke));
-//! println!("{}", fig1::render(&rows));
+//! let registry = Registry::standard();
+//! let report = registry.get("fig1").unwrap().run(Scale::Smoke, 42);
+//! println!("{}", report.render(Format::Text));
 //! ```
 
 pub mod experiments;
 pub mod plot;
 pub mod report;
 pub mod scale;
+
+pub use experiments::{Experiment, Registry};
+pub use report::{Format, Report};
 
 pub use rbr_dist as dist;
 pub use rbr_forecast as forecast;

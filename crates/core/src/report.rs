@@ -1,4 +1,21 @@
-//! Plain-text and CSV rendering of experiment results.
+//! Structured experiment results and their renderers.
+//!
+//! Two layers live here:
+//!
+//! * [`Table`] — a plain string table, used for ad-hoc CLI output
+//!   (capacity arithmetic, throughput probes) and as the text-alignment
+//!   backend of the typed layer.
+//! * [`Report`] — the structured result of one experiment run: named
+//!   [`TypedTable`]s of typed [`Cell`]s plus [`RunMeta`] provenance
+//!   (scale, seed, replication and simulation counts, wall time). A
+//!   report renders to aligned text, CSV, or JSON ([`Format`]), and JSON
+//!   reports parse back with [`Report::from_json`] so downstream tooling
+//!   can consume artifacts mechanically instead of scraping stdout.
+//!
+//! JSON is the *data* interchange form: it carries cell values, not
+//! presentation precision. Percent cells serialize as raw fractions,
+//! non-finite floats as `null`, and a reparsed report re-serializes to
+//! the identical JSON string.
 
 /// A rectangular table with a header row.
 #[derive(Clone, Debug, Default)]
@@ -122,6 +139,755 @@ pub fn percent(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// One typed value in a [`TypedTable`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// A label (scheme name, policy, metric description, ...).
+    Text(String),
+    /// An integer quantity (cluster count, job count, queue size).
+    Int(i64),
+    /// A real-valued metric, displayed with `prec` decimals.
+    Float {
+        /// The value.
+        value: f64,
+        /// Decimals shown by the text renderer (JSON keeps full precision).
+        prec: u8,
+    },
+    /// A fraction in `[0, 1]` displayed as a percentage with `prec`
+    /// decimals; JSON serializes the raw fraction.
+    Percent {
+        /// The raw fraction.
+        value: f64,
+        /// Decimals shown by the text renderer.
+        prec: u8,
+    },
+    /// A metric that does not exist for this row (e.g. redundant-job
+    /// stretch when the redundant fraction is zero).
+    Missing,
+}
+
+impl Cell {
+    /// A text cell.
+    pub fn text(s: impl Into<String>) -> Cell {
+        Cell::Text(s.into())
+    }
+
+    /// An integer cell.
+    pub fn int(value: i64) -> Cell {
+        Cell::Int(value)
+    }
+
+    /// A float cell. The value is stored as-is — experiments that can
+    /// legitimately produce a non-finite value (an undefined population
+    /// mean, say) should use [`Cell::float_or_missing`] so the framework
+    /// smoke test can keep asserting that every `Float` cell is finite.
+    pub fn float(value: f64, prec: u8) -> Cell {
+        Cell::Float { value, prec }
+    }
+
+    /// A float cell for an *optional* metric: non-finite values become
+    /// [`Cell::Missing`] instead of poisoning the table.
+    pub fn float_or_missing(value: f64, prec: u8) -> Cell {
+        if value.is_finite() {
+            Cell::Float { value, prec }
+        } else {
+            Cell::Missing
+        }
+    }
+
+    /// A percent cell (raw fraction in, `xx.x%` out).
+    pub fn percent(value: f64, prec: u8) -> Cell {
+        Cell::Percent { value, prec }
+    }
+
+    /// A percent cell for an optional metric; non-finite → missing.
+    pub fn percent_or_missing(value: f64, prec: u8) -> Cell {
+        if value.is_finite() {
+            Cell::Percent { value, prec }
+        } else {
+            Cell::Missing
+        }
+    }
+
+    /// The aligned-text form.
+    fn to_text(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float { value, prec } if value.is_finite() => {
+                let p = *prec as usize;
+                format!("{value:.p$}")
+            }
+            Cell::Percent { value, prec } if value.is_finite() => {
+                let p = *prec as usize;
+                format!("{:.p$}%", value * 100.0)
+            }
+            Cell::Float { .. } | Cell::Percent { .. } | Cell::Missing => "-".to_string(),
+        }
+    }
+
+    /// The raw CSV form (full precision, empty string for missing).
+    fn to_csv(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float { value, .. } | Cell::Percent { value, .. } if value.is_finite() => {
+                format!("{value}")
+            }
+            Cell::Float { .. } | Cell::Percent { .. } | Cell::Missing => String::new(),
+        }
+    }
+
+    /// Appends the JSON form.
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Cell::Text(s) => write_json_string(out, s),
+            Cell::Int(v) => out.push_str(&v.to_string()),
+            Cell::Float { value, .. } | Cell::Percent { value, .. } if value.is_finite() => {
+                out.push_str(&format!("{value}"));
+            }
+            Cell::Float { .. } | Cell::Percent { .. } | Cell::Missing => out.push_str("null"),
+        }
+    }
+
+    /// Rebuilds a cell from a parsed JSON value. Number tokens without a
+    /// fractional or exponent part come back as `Int`; everything else
+    /// numeric comes back as `Float` with default display precision
+    /// (precision is presentation state and is not serialized).
+    fn from_value(v: &Json) -> Result<Cell, String> {
+        match v {
+            Json::Null => Ok(Cell::Missing),
+            Json::Str(s) => Ok(Cell::Text(s.clone())),
+            Json::Num(tok) => {
+                if !tok.contains(['.', 'e', 'E']) {
+                    if let Ok(i) = tok.parse::<i64>() {
+                        return Ok(Cell::Int(i));
+                    }
+                }
+                tok.parse::<f64>()
+                    .map(|value| Cell::Float { value, prec: 3 })
+                    .map_err(|e| format!("bad number {tok:?}: {e}"))
+            }
+            other => Err(format!("cell must be null/string/number, got {other:?}")),
+        }
+    }
+}
+
+/// A named table of typed cells — one logical figure or table of output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypedTable {
+    /// Table name, e.g. `"Figure 1 — relative average stretch"`.
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; every row has exactly `columns.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl TypedTable {
+    /// Creates an empty table with the given name and column headers.
+    pub fn new(name: impl Into<String>, columns: Vec<impl Into<String>>) -> Self {
+        TypedTable {
+            name: name.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the column count.
+    pub fn push(&mut self, row: Vec<Cell>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {} in table {:?}",
+            row.len(),
+            self.columns.len(),
+            self.name
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders as an aligned monospace table (no name line).
+    pub fn to_text(&self) -> String {
+        let mut t = Table::new(self.columns.clone());
+        for row in &self.rows {
+            t.push(row.iter().map(Cell::to_text).collect::<Vec<_>>());
+        }
+        t.render()
+    }
+
+    /// Renders as CSV with raw (full-precision) values.
+    pub fn to_csv(&self) -> String {
+        let mut t = Table::new(self.columns.clone());
+        for row in &self.rows {
+            t.push(row.iter().map(Cell::to_csv).collect::<Vec<_>>());
+        }
+        t.to_csv()
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        write_json_string(out, &self.name);
+        out.push_str(",\"columns\":[");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, c);
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                cell.write_json(out);
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+
+    fn from_value(v: &Json) -> Result<TypedTable, String> {
+        let name = v.get("name")?.str_()?.to_string();
+        let columns: Vec<String> = v
+            .get("columns")?
+            .arr()?
+            .iter()
+            .map(|c| c.str_().map(str::to_string))
+            .collect::<Result<_, _>>()?;
+        let mut rows = Vec::new();
+        for row in v.get("rows")?.arr()? {
+            let cells: Vec<Cell> = row
+                .arr()?
+                .iter()
+                .map(Cell::from_value)
+                .collect::<Result<_, _>>()?;
+            if cells.len() != columns.len() {
+                return Err(format!(
+                    "table {name:?}: row width {} != column count {}",
+                    cells.len(),
+                    columns.len()
+                ));
+            }
+            rows.push(cells);
+        }
+        Ok(TypedTable {
+            name,
+            columns,
+            rows,
+        })
+    }
+}
+
+/// Provenance of one experiment run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunMeta {
+    /// Registry name of the experiment.
+    pub experiment: String,
+    /// Paper section the experiment reproduces.
+    pub paper_section: String,
+    /// Scale name (`"smoke"` / `"quick"` / `"paper"`).
+    pub scale: String,
+    /// Master seed the run was derived from.
+    pub seed: u64,
+    /// Replications per configuration at this scale.
+    pub replications: usize,
+    /// Grid-simulator executions performed (0 for experiments that drive
+    /// the moldable, dual-queue, or middleware simulators instead).
+    pub sim_runs: u64,
+    /// Jobs completed across those grid-simulator executions.
+    pub jobs: u64,
+    /// Discrete events processed across those executions.
+    pub events: u64,
+    /// Wall-clock time of the run in seconds.
+    pub wall_time_secs: f64,
+}
+
+impl RunMeta {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"experiment\":");
+        write_json_string(out, &self.experiment);
+        out.push_str(",\"paper_section\":");
+        write_json_string(out, &self.paper_section);
+        out.push_str(",\"scale\":");
+        write_json_string(out, &self.scale);
+        out.push_str(&format!(
+            ",\"seed\":{},\"replications\":{},\"sim_runs\":{},\"jobs\":{},\"events\":{}",
+            self.seed, self.replications, self.sim_runs, self.jobs, self.events
+        ));
+        out.push_str(",\"wall_time_secs\":");
+        if self.wall_time_secs.is_finite() {
+            out.push_str(&format!("{}", self.wall_time_secs));
+        } else {
+            out.push_str("null");
+        }
+        out.push('}');
+    }
+
+    fn from_value(v: &Json) -> Result<RunMeta, String> {
+        Ok(RunMeta {
+            experiment: v.get("experiment")?.str_()?.to_string(),
+            paper_section: v.get("paper_section")?.str_()?.to_string(),
+            scale: v.get("scale")?.str_()?.to_string(),
+            seed: v.get("seed")?.u64_()?,
+            replications: v.get("replications")?.u64_()? as usize,
+            sim_runs: v.get("sim_runs")?.u64_()?,
+            jobs: v.get("jobs")?.u64_()?,
+            events: v.get("events")?.u64_()?,
+            wall_time_secs: match v.get("wall_time_secs")? {
+                Json::Null => f64::NAN,
+                other => other.f64_()?,
+            },
+        })
+    }
+
+    /// One-line human summary, used as the text footer.
+    fn summary_line(&self) -> String {
+        format!(
+            "# {} · {} · {} scale · seed {} · {} reps · {} sim runs · {} jobs · {} events · {:.2} s",
+            self.experiment,
+            self.paper_section,
+            self.scale,
+            self.seed,
+            self.replications,
+            self.sim_runs,
+            self.jobs,
+            self.events,
+            self.wall_time_secs
+        )
+    }
+}
+
+/// Output format of a rendered [`Report`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Aligned monospace tables with a provenance footer.
+    Text,
+    /// Comment-prefixed metadata followed by one CSV block per table.
+    Csv,
+    /// A single JSON object (`{"meta": ..., "tables": [...]}`).
+    Json,
+}
+
+impl Format {
+    /// Parses a format name (case-insensitive); `txt` is accepted for
+    /// `text`.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" | "txt" => Some(Format::Text),
+            "csv" => Some(Format::Csv),
+            "json" => Some(Format::Json),
+            _ => None,
+        }
+    }
+
+    /// File extension used by `--out`.
+    pub fn extension(self) -> &'static str {
+        match self {
+            Format::Text => "txt",
+            Format::Csv => "csv",
+            Format::Json => "json",
+        }
+    }
+}
+
+/// The structured result of one experiment run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Provenance of the run.
+    pub meta: RunMeta,
+    /// The experiment's output tables, in presentation order.
+    pub tables: Vec<TypedTable>,
+}
+
+impl Report {
+    /// Renders in the requested format.
+    pub fn render(&self, format: Format) -> String {
+        match format {
+            Format::Text => self.render_text(),
+            Format::Csv => self.render_csv(),
+            Format::Json => self.render_json(),
+        }
+    }
+
+    /// Aligned text: each table under a `== name ==` banner, then the
+    /// provenance footer.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for table in &self.tables {
+            out.push_str(&format!("== {} ==\n", table.name));
+            out.push_str(&table.to_text());
+            out.push('\n');
+        }
+        out.push_str(&self.meta.summary_line());
+        out.push('\n');
+        out
+    }
+
+    /// CSV: `# key: value` metadata comments, then one `# table: name`
+    /// block per table, separated by blank lines.
+    pub fn render_csv(&self) -> String {
+        let m = &self.meta;
+        let mut out = format!(
+            "# experiment: {}\n# paper_section: {}\n# scale: {}\n# seed: {}\n\
+             # replications: {}\n# sim_runs: {}\n# jobs: {}\n# events: {}\n\
+             # wall_time_secs: {}\n",
+            m.experiment,
+            m.paper_section,
+            m.scale,
+            m.seed,
+            m.replications,
+            m.sim_runs,
+            m.jobs,
+            m.events,
+            m.wall_time_secs
+        );
+        for table in &self.tables {
+            out.push_str(&format!("\n# table: {}\n", table.name));
+            out.push_str(&table.to_csv());
+        }
+        out
+    }
+
+    /// Compact JSON, deterministic key order. Parse it back with
+    /// [`Report::from_json`].
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"meta\":");
+        self.meta.write_json(&mut out);
+        out.push_str(",\"tables\":[");
+        for (i, table) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            table.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a report from its JSON rendering.
+    pub fn from_json(s: &str) -> Result<Report, String> {
+        let v = parse_json(s)?;
+        let meta = RunMeta::from_value(v.get("meta")?)?;
+        let tables = v
+            .get("tables")?
+            .arr()?
+            .iter()
+            .map(TypedTable::from_value)
+            .collect::<Result<_, _>>()?;
+        Ok(Report { meta, tables })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON support. The workspace deliberately carries no JSON crate;
+// reports only need objects/arrays/strings/numbers/null, so a ~150-line
+// recursive-descent parser keeps the renderer round-trippable without a
+// new dependency.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their raw token so integer-ness and
+/// full precision survive until a consumer picks a type.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Result<&Json, String> {
+        match self {
+            Json::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing key {key:?}")),
+            other => Err(format!("expected object with key {key:?}, got {other:?}")),
+        }
+    }
+
+    fn str_(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    fn u64_(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(tok) => tok
+                .parse::<u64>()
+                .map_err(|e| format!("expected unsigned integer, got {tok:?}: {e}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn f64_(&self) -> Result<f64, String> {
+        match self {
+            Json::Num(tok) => tok
+                .parse::<f64>()
+                .map_err(|e| format!("expected number, got {tok:?}: {e}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn parse_json(src: &str) -> Result<Json, String> {
+    let mut p = JsonParser { src, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct JsonParser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.as_bytes().get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.src[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        Ok(Json::Num(self.src[start..self.pos].to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let bytes = self.src.as_bytes();
+            let run_start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|c| c != b'"' && c != b'\\' && c >= 0x20)
+            {
+                self.pos += 1;
+            }
+            if self.pos > run_start {
+                // Safe slice: '"' and '\\' are ASCII, so run boundaries
+                // fall on UTF-8 character boundaries.
+                out.push_str(&self.src[run_start..self.pos]);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = bytes.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect a following \uXXXX.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let Some(hex) = self.src.get(self.pos..end) else {
+            return Err(self.err("truncated unicode escape"));
+        };
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +926,125 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(ratio(0.8567), "0.86");
         assert_eq!(percent(0.123), "12.3%");
+    }
+
+    fn sample_report() -> Report {
+        let mut t = TypedTable::new("Sample — \"quoted\", comma", vec!["label", "n", "metric"]);
+        t.push(vec![
+            Cell::text("plain"),
+            Cell::int(42),
+            Cell::float(0.8125, 3),
+        ]);
+        t.push(vec![
+            Cell::text("esc \\ \"\n\ttab · π"),
+            Cell::int(-7),
+            Cell::float_or_missing(f64::NAN, 2),
+        ]);
+        t.push(vec![
+            Cell::text("pct"),
+            Cell::int(0),
+            Cell::percent(0.875, 1),
+        ]);
+        Report {
+            meta: RunMeta {
+                experiment: "sample".to_string(),
+                paper_section: "§0".to_string(),
+                scale: "smoke".to_string(),
+                seed: u64::MAX,
+                replications: 2,
+                sim_runs: 4,
+                jobs: 123,
+                events: 4567,
+                wall_time_secs: 0.25,
+            },
+            tables: vec![t],
+        }
+    }
+
+    #[test]
+    fn cell_text_forms() {
+        assert_eq!(Cell::float(1.5, 2).to_text(), "1.50");
+        assert_eq!(Cell::percent(0.1234, 1).to_text(), "12.3%");
+        assert_eq!(Cell::float_or_missing(f64::NAN, 2), Cell::Missing);
+        assert_eq!(Cell::Missing.to_text(), "-");
+        assert_eq!(Cell::int(-3).to_csv(), "-3");
+        assert_eq!(Cell::percent(0.5, 0).to_csv(), "0.5");
+    }
+
+    #[test]
+    fn report_text_has_banners_and_footer() {
+        let text = sample_report().render_text();
+        assert!(text.contains("== Sample"));
+        assert!(text.contains("0.812"));
+        assert!(text.contains("87.5%"));
+        assert!(text.lines().last().unwrap().starts_with("# sample"));
+    }
+
+    #[test]
+    fn report_csv_carries_metadata_comments() {
+        let csv = sample_report().render_csv();
+        assert!(csv.starts_with("# experiment: sample\n"));
+        assert!(csv.contains("# seed: 18446744073709551615"));
+        assert!(csv.contains("# table: Sample"));
+        assert!(csv.contains("label,n,metric"));
+        assert!(csv.contains("0.8125"));
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let report = sample_report();
+        let json = report.render_json();
+        let reparsed = Report::from_json(&json).expect("parse back");
+        assert_eq!(reparsed.render_json(), json);
+        assert_eq!(reparsed.meta, report.meta);
+        assert_eq!(reparsed.tables[0].name, report.tables[0].name);
+        assert_eq!(reparsed.tables[0].rows[0][1], Cell::Int(42));
+        // NaN serialized as null comes back as Missing.
+        assert_eq!(reparsed.tables[0].rows[1][2], Cell::Missing);
+        // Full float precision survives.
+        match reparsed.tables[0].rows[0][2] {
+            Cell::Float { value, .. } => assert_eq!(value, 0.8125),
+            ref other => panic!("expected float, got {other:?}"),
+        }
+        // String escapes survive.
+        assert_eq!(
+            reparsed.tables[0].rows[1][0],
+            Cell::Text("esc \\ \"\n\ttab · π".to_string())
+        );
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(Report::from_json("").is_err());
+        assert!(Report::from_json("{\"meta\":{}}").is_err());
+        assert!(Report::from_json("{\"meta\":null,\"tables\":[]} trailing").is_err());
+    }
+
+    #[test]
+    fn json_parser_accepts_unicode_escapes() {
+        let report = Report::from_json(
+            "{\"meta\":{\"experiment\":\"\\u00e9\\ud83d\\ude00\",\"paper_section\":\"s\",\
+             \"scale\":\"smoke\",\"seed\":1,\"replications\":1,\"sim_runs\":0,\"jobs\":0,\
+             \"events\":0,\"wall_time_secs\":1.5},\"tables\":[]}",
+        )
+        .expect("parse");
+        assert_eq!(report.meta.experiment, "é😀");
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(Format::parse("json"), Some(Format::Json));
+        assert_eq!(Format::parse("TEXT"), Some(Format::Text));
+        assert_eq!(Format::parse("txt"), Some(Format::Text));
+        assert_eq!(Format::parse("csv"), Some(Format::Csv));
+        assert_eq!(Format::parse("yaml"), None);
+        assert_eq!(Format::Json.extension(), "json");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn typed_table_rejects_ragged_rows() {
+        let mut t = TypedTable::new("t", vec!["a", "b"]);
+        t.push(vec![Cell::int(1)]);
     }
 }

@@ -58,15 +58,32 @@ impl Scale {
         }
     }
 
+    /// Lower-case canonical name (`"smoke"` / `"quick"` / `"paper"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Parses a scale name, case-insensitively.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
     /// Reads `RBR_SCALE` (`smoke`/`quick`/`paper`), defaulting to the
     /// given scale when unset or unrecognised.
     pub fn from_env(default: Scale) -> Scale {
-        match std::env::var("RBR_SCALE").as_deref() {
-            Ok("smoke") | Ok("SMOKE") => Scale::Smoke,
-            Ok("quick") | Ok("QUICK") => Scale::Quick,
-            Ok("paper") | Ok("PAPER") => Scale::Paper,
-            _ => default,
-        }
+        std::env::var("RBR_SCALE")
+            .ok()
+            .and_then(|s| Scale::parse(&s))
+            .unwrap_or(default)
     }
 }
 
@@ -86,6 +103,15 @@ mod tests {
         assert!(Scale::Quick.reps() < Scale::Paper.reps());
         assert!(Scale::Smoke.window() < Scale::Quick.window());
         assert!(Scale::Quick.window() <= Scale::Paper.window());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for scale in [Scale::Smoke, Scale::Quick, Scale::Paper] {
+            assert_eq!(Scale::parse(scale.name()), Some(scale));
+        }
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! End-to-end smoke test of the experiment registry: every entry must
+//! complete at smoke scale, stamp its provenance, emit non-empty tables
+//! whose metric cells are finite, and survive a JSON round trip.
+
+use rbr::experiments::Registry;
+use rbr::report::{Cell, Format, Report};
+use rbr::Scale;
+
+#[test]
+fn every_registry_entry_completes_at_smoke_scale() {
+    let registry = Registry::standard();
+    assert!(!registry.is_empty());
+    for exp in registry.iter() {
+        let report = exp.run(Scale::Smoke, exp.default_seed());
+
+        assert_eq!(report.meta.experiment, exp.name());
+        assert_eq!(report.meta.paper_section, exp.paper_section());
+        assert_eq!(report.meta.scale, "smoke");
+        assert_eq!(report.meta.seed, exp.default_seed());
+        assert!(report.meta.replications > 0, "{}", exp.name());
+        assert!(report.meta.wall_time_secs >= 0.0, "{}", exp.name());
+
+        assert!(!report.tables.is_empty(), "{} produced no tables", exp.name());
+        for table in &report.tables {
+            assert!(
+                !table.rows.is_empty(),
+                "{}: table {:?} has no rows",
+                exp.name(),
+                table.name
+            );
+            for row in &table.rows {
+                for cell in row {
+                    if let Cell::Float { value, .. } | Cell::Percent { value, .. } = cell {
+                        assert!(
+                            value.is_finite(),
+                            "{}: non-finite metric cell in table {:?}",
+                            exp.name(),
+                            table.name
+                        );
+                    }
+                }
+            }
+        }
+
+        // Every renderer must produce something.
+        assert!(!report.render(Format::Text).is_empty());
+        assert!(!report.render(Format::Csv).is_empty());
+
+        // The JSON form must parse back to a report that re-serializes
+        // byte-identically.
+        let json = report.render(Format::Json);
+        let back = Report::from_json(&json)
+            .unwrap_or_else(|e| panic!("{}: JSON does not parse back: {e}", exp.name()));
+        assert_eq!(
+            back.render(Format::Json),
+            json,
+            "{}: JSON round trip is lossy",
+            exp.name()
+        );
+    }
+}
+
+#[test]
+fn fig1_entry_emits_both_figures() {
+    let registry = Registry::standard();
+    let exp = registry.get("fig2").expect("fig2 resolves via alias");
+    assert_eq!(exp.name(), "fig1");
+    let report = exp.run(Scale::Smoke, exp.default_seed());
+    assert_eq!(report.tables.len(), 2, "fig1 must emit Figure 1 and Figure 2");
+    assert!(report.tables[0].name.contains("Figure 1"));
+    assert!(report.tables[1].name.contains("Figure 2"));
+}

@@ -9,7 +9,7 @@
 //! the queues race. The rest submit to the standard queue only.
 
 use rbr_sched::{MultiQueueScheduler, Request, RequestId};
-use rbr_simcore::{Duration, Engine, SeedSequence, SimTime};
+use rbr_simcore::{unit, Duration, Engine, SeedSequence, SimTime};
 use rbr_stats::Summary;
 use rbr_workload::{EstimateModel, JobSpec, LublinConfig, LublinModel};
 
@@ -178,10 +178,6 @@ pub fn run(config: &DualQueueConfig, seed: SeedSequence) -> DualQueueResult {
     result
 }
 
-#[inline]
-fn unit<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
-    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
 
 #[cfg(test)]
 mod tests {

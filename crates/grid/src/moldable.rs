@@ -14,9 +14,8 @@
 //! same queue; the first to start wins and the rest are cancelled
 //! through the usual zero-latency callback.
 
-use rand::Rng;
 use rbr_sched::{Algorithm, Request, RequestId, Scheduler};
-use rbr_simcore::{Duration, Engine, SeedSequence, SimTime};
+use rbr_simcore::{unit, Duration, Engine, SeedSequence, SimTime};
 use rbr_stats::Summary;
 use rbr_workload::{LublinConfig, LublinModel};
 
@@ -317,10 +316,6 @@ fn drain(
     }
 }
 
-#[inline]
-fn unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
 
 #[cfg(test)]
 mod tests {

@@ -8,6 +8,7 @@
 //! a comparison baseline.
 
 use rand::Rng;
+use rbr_simcore::unit;
 
 /// How a redundant job picks its remote clusters.
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -97,10 +98,6 @@ fn weighted_without_replacement<R: Rng + ?Sized>(
     out
 }
 
-#[inline]
-fn unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
 
 #[cfg(test)]
 mod tests {

@@ -12,9 +12,8 @@
 use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
-use rand::Rng;
 use rbr_sched::{Request, RequestId, Scheduler};
-use rbr_simcore::{Duration, Engine, SeedSequence, SimTime};
+use rbr_simcore::{unit, Duration, Engine, SeedSequence, SimTime};
 use rbr_workload::{JobSpec, LublinModel};
 
 use crate::config::GridConfig;
@@ -325,10 +324,6 @@ impl GridSim {
     }
 }
 
-#[inline]
-fn unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
 
 #[cfg(test)]
 mod tests {

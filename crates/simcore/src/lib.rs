@@ -36,5 +36,5 @@ pub mod time;
 
 pub use engine::Engine;
 pub use queue::EventQueue;
-pub use rng::{derive_seed, stream_rng, SeedSequence};
+pub use rng::{derive_seed, stream_rng, unit, SeedSequence};
 pub use time::{Duration, SimTime};

@@ -34,6 +34,17 @@ pub fn stream_rng(master: u64, stream: u64) -> StdRng {
     StdRng::seed_from_u64(derive_seed(master, stream))
 }
 
+/// A uniform draw in `[0, 1)` with the full 53 bits of double precision.
+///
+/// Every sampler in the workspace (workload models, selection policies,
+/// churn processes) uses this one mapping from generator output to the
+/// unit interval, so distributional code never depends on which concrete
+/// `Rng` drives it.
+#[inline]
+pub fn unit<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// A hierarchical seed: experiments derive per-replication sequences, which
 /// derive per-cluster / per-role streams, and so on.
 ///
@@ -123,6 +134,30 @@ mod tests {
         // child(a).child(b) should differ from child(b).child(a) in general.
         assert_ne!(root.child(1).child(2).seed(), root.child(2).child(1).seed());
         assert_ne!(root.child(0).seed(), root.seed());
+    }
+
+    #[test]
+    fn unit_draws_stay_in_the_half_open_interval() {
+        let mut rng = SeedSequence::new(7).rng();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let u = unit(&mut rng);
+            min = min.min(u);
+            max = max.max(u);
+            assert!((0.0..1.0).contains(&u), "unit draw {u} out of range");
+        }
+        // With 10k draws the extremes should approach the interval ends.
+        assert!(min < 0.01 && max > 0.99, "min {min}, max {max}");
+    }
+
+    #[test]
+    fn unit_is_deterministic_per_seed() {
+        let mut a = SeedSequence::new(11).rng();
+        let mut b = SeedSequence::new(11).rng();
+        for _ in 0..64 {
+            assert_eq!(unit(&mut a).to_bits(), unit(&mut b).to_bits());
+        }
     }
 
     #[test]

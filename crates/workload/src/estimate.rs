@@ -8,7 +8,7 @@
 //! 2.16".
 
 use rand::Rng;
-use rbr_simcore::Duration;
+use rbr_simcore::{unit, Duration};
 
 /// A model mapping a job's actual runtime to the compute time its user
 /// requests.
@@ -91,10 +91,6 @@ impl EstimateModel {
     }
 }
 
-#[inline]
-fn unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
 
 #[cfg(test)]
 mod tests {

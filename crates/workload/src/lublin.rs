@@ -25,7 +25,7 @@
 
 use rand::Rng;
 use rbr_dist::{Gamma, HyperGamma, Sample, TwoStageUniform};
-use rbr_simcore::{Duration, SimTime};
+use rbr_simcore::{unit, Duration, SimTime};
 
 use crate::estimate::EstimateModel;
 use crate::job::JobSpec;
@@ -247,10 +247,6 @@ impl LublinModel {
     }
 }
 
-#[inline]
-fn unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
 
 #[cfg(test)]
 mod tests {

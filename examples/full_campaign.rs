@@ -1,6 +1,8 @@
-//! Runs the complete reproduction campaign — every figure, every table,
-//! every ablation — and prints the results in the order the paper
-//! presents them. This is the one-command regeneration of EXPERIMENTS.md.
+//! Runs the complete reproduction campaign — every experiment in the
+//! registry, in paper order — and prints the results the way
+//! EXPERIMENTS.md reports them, followed by two supplements (the Figure 1
+//! ASCII plot and the backfilling-mechanism sweep) that live outside the
+//! structured reports.
 //!
 //! ```sh
 //! cargo run --release --example full_campaign                 # quick
@@ -9,12 +11,8 @@
 
 use std::time::Instant;
 
-use redundant_batch_requests::experiments::{
-    ablation, conclusion, dual_queue, fig1, fig3, fig4, fig5, forecast, moldable, queue_growth,
-    table1, table2, table3, table4, trace_check,
-};
-use redundant_batch_requests::grid::Scheme;
-use redundant_batch_requests::report::Table;
+use redundant_batch_requests::experiments::{ablation, fig1, Registry};
+use redundant_batch_requests::report::Format;
 use redundant_batch_requests::Scale;
 
 fn banner(name: &str) {
@@ -24,82 +22,19 @@ fn banner(name: &str) {
 fn main() {
     let scale = Scale::from_env(Scale::Quick);
     let t0 = Instant::now();
-    eprintln!("running the full campaign at {scale:?} scale");
+    eprintln!("running the full campaign at {} scale", scale.name());
 
-    banner("Figure 1 — relative average stretch vs number of clusters");
+    for exp in Registry::standard().iter() {
+        banner(exp.description());
+        println!("{}", exp.run(scale, exp.default_seed()).render(Format::Text));
+    }
+
+    banner("Supplement — Figure 1 as an ASCII plot");
     let rows = fig1::run(&fig1::Config::at_scale(scale));
-    println!("{}", fig1::render(&rows));
     println!("{}", fig1::render_plot(&rows));
 
-    banner("Figure 2 — relative CV of stretches vs number of clusters");
-    let mut t = Table::new(vec!["N", "scheme", "rel CV"]);
-    for r in &rows {
-        t.push(vec![r.n.to_string(), r.scheme.to_string(), format!("{:.3}", r.rel_cv)]);
-    }
-    println!("{}", t.render());
+    banner("Supplement — backfilling activity per scheme (the §3.3 mechanism)");
+    println!("{}", ablation::render_backfills(&ablation::backfill_sweep(scale, 10, 56)));
 
-    banner("Table 1 — scheduling algorithms × estimate models");
-    println!("{}", table1::render(&table1::run(&table1::Config::at_scale(scale))));
-
-    banner("Table 2 — non-uniform redundant request distribution");
-    println!("{}", table2::render(&table2::run(&table2::Config::at_scale(scale))));
-
-    banner("Figure 3 — relative stretch vs job interarrival time");
-    println!("{}", fig3::render(&fig3::run(&fig3::Config::at_scale(scale))));
-
-    banner("Table 3 — heterogeneous platforms");
-    println!("{}", table3::render(&table3::run(&table3::Config::at_scale(scale))));
-
-    banner("Figure 4 — r-jobs vs n-r jobs vs percentage using redundancy");
-    println!("{}", fig4::render(&fig4::run(&fig4::Config::at_scale(scale))));
-
-    banner("Figure 5 — scheduler throughput vs queue size");
-    println!("{}", fig5::render(&fig5::run(&fig5::Config::at_scale(scale))));
-
-    banner("Table 4 — queue-wait over-prediction");
-    println!("{}", table4::render(&table4::run(&table4::Config::at_scale(scale))));
-
-    banner("§4.1 — maximum queue size, ALL vs NONE");
-    println!("{}", queue_growth::render(&queue_growth::run(&queue_growth::Config::at_scale(scale))));
-
-    banner("Conclusion scenario — N = 20, 80% redundant");
-    println!("{}", conclusion::render(&conclusion::run(&conclusion::Config::at_scale(scale))));
-
-    banner("Ablation — offered-load regime (ALL)");
-    println!(
-        "{}",
-        ablation::render(
-            "load",
-            &ablation::load_sweep(scale, Scheme::All, &[0.88, 0.95, 1.0, 1.05, 1.1, 1.2]),
-        )
-    );
-
-    banner("Ablation — CBF scheduling cycle");
-    println!(
-        "{}",
-        ablation::render("cycle", &ablation::cbf_cycle_sweep(scale, &[0.0, 30.0, 300.0]))
-    );
-
-    banner("Ablation — target-selection policy (R2)");
-    println!("{}", ablation::render("policy", &ablation::selection_sweep(scale, Scheme::R(2))));
-
-    banner("Ablation — §3.1.2 remote-request inflation (HALF)");
-    println!("{}", ablation::render("inflation", &ablation::inflation_sweep(scale, Scheme::Half)));
-
-    banner("Ablation — backfilling activity per scheme (the §3.3 mechanism)");
-    println!("{}", ablation::render_backfills(&ablation::backfill_sweep(scale, 10)));
-
-    banner("Extension — statistical wait forecasting under redundancy");
-    println!("{}", forecast::render(&forecast::run(&forecast::Config::at_scale(scale))));
-
-    banner("Extension — option (iv): moldable jobs, redundant shape requests");
-    println!("{}", moldable::render(&moldable::run(&moldable::Config::at_scale(scale))));
-
-    banner("Extension — option (iii): premium/standard dual-queue racing");
-    println!("{}", dual_queue::render(&dual_queue::run(&dual_queue::Config::at_scale(scale))));
-
-    banner("Cross-check — SWF trace replay (§3.1.1)");
-    println!("{}", trace_check::render(&trace_check::run(&trace_check::Config::at_scale(scale))));
-
-    eprintln!("\ncampaign finished in {:.1?} at {scale:?} scale", t0.elapsed());
+    eprintln!("\ncampaign finished in {:.1?} at {} scale", t0.elapsed(), scale.name());
 }
