@@ -1,0 +1,31 @@
+//! Regenerates the faulty-middleware sweep (lost/delayed cancellations
+//! vs the perfect-middleware baseline) and times the simulation kernel
+//! with the fault model engaged, so the cost of the message-level
+//! protocol shows up next to the perfect-middleware kernel numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::grid::{Delay, GridConfig, GridSim, Scheme};
+use rbr::sim::{Duration, SeedSequence};
+use rbr_bench::regenerate;
+
+fn bench(c: &mut Criterion) {
+    regenerate("faults");
+
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(10);
+    for (label, loss) in [("perfect", 0.0), ("lossy_cancels", 0.5)] {
+        let mut cfg = GridConfig::homogeneous(5, Scheme::All);
+        cfg.window = Duration::from_secs(1_800.0);
+        if loss > 0.0 {
+            cfg.faults.cancel_loss = loss;
+            cfg.faults.cancel_delay = Delay::Fixed(Duration::from_secs(10.0));
+        }
+        group.bench_function(format!("grid_30min_5c_all_{label}"), |b| {
+            b.iter(|| GridSim::execute(cfg.clone(), SeedSequence::new(57)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

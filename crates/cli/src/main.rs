@@ -5,6 +5,7 @@
 //! rbr run <name|all> [options]      run experiments through the registry
 //!     --scale smoke|quick|paper     fidelity (default: quick)
 //!     --seed N                      override the experiment's master seed
+//!     --reps N                      override replications per configuration
 //!     --format text|csv|json        output format (default: text)
 //!     --out DIR                     write <name>.<ext> files instead of stdout
 //! rbr capacity [--iat SECS]        the Section 4 capacity arithmetic
@@ -43,7 +44,7 @@ fn main() -> ExitCode {
         Some("run") => {
             let Some(name) = it.next() else {
                 eprintln!(
-                    "usage: rbr run <name|all> [--scale S] [--seed N] [--format F] [--out DIR]"
+                    "usage: rbr run <name|all> [--scale S] [--seed N] [--reps N] [--format F] [--out DIR]"
                 );
                 return ExitCode::FAILURE;
             };
@@ -80,6 +81,7 @@ fn main() -> ExitCode {
                  run <name|all> [options]       run experiments via the registry\n    \
                  --scale smoke|quick|paper    fidelity (default: quick)\n    \
                  --seed N                     override the master seed\n    \
+                 --reps N                     override replications per config\n    \
                  --format text|csv|json       output format (default: text)\n    \
                  --out DIR                    write <name>.<ext> files instead of stdout\n  \
                  capacity [--iat SECS]          Section 4 capacity arithmetic\n  \
@@ -101,17 +103,18 @@ fn run_command(name: &str, args: &[String]) -> Result<(), String> {
     let scale = parse_scale(args)?;
     let format = parse_format(args)?;
     let seed = parse_seed(args)?;
+    let reps = parse_reps(args)?;
     let out = flag_value(args, "--out");
     let registry = Registry::standard();
 
     if name == "all" {
         for e in registry.iter() {
-            run_one(e, scale, seed, format, out)?;
+            run_one(e, scale, seed, reps, format, out)?;
         }
         return Ok(());
     }
     match registry.get(name) {
-        Some(e) => run_one(e, scale, seed, format, out),
+        Some(e) => run_one(e, scale, seed, reps, format, out),
         None => Err(format!("unknown experiment {name:?}; try `rbr list`")),
     }
 }
@@ -122,12 +125,13 @@ fn run_one(
     exp: &dyn Experiment,
     scale: Scale,
     seed: Option<u64>,
+    reps: Option<usize>,
     format: Format,
     out: Option<&str>,
 ) -> Result<(), String> {
     let seed = seed.unwrap_or_else(|| exp.default_seed());
     eprintln!("running {} at {} scale (seed {seed})...", exp.name(), scale.name());
-    let report = exp.run(scale, seed);
+    let report = exp.run_with(scale, seed, reps);
     let mut rendered = report.render(format);
     if !rendered.ends_with('\n') {
         rendered.push('\n');
@@ -168,6 +172,17 @@ fn parse_seed(args: &[String]) -> Result<Option<u64>, String> {
             .parse::<u64>()
             .map(Some)
             .map_err(|e| format!("bad seed {s:?}: {e}")),
+    }
+}
+
+fn parse_reps(args: &[String]) -> Result<Option<usize>, String> {
+    match flag_value(args, "--reps") {
+        None => Ok(None),
+        Some(s) => match s.parse::<usize>() {
+            Ok(0) => Err("--reps must be at least 1".to_string()),
+            Ok(n) => Ok(Some(n)),
+            Err(e) => Err(format!("bad rep count {s:?}: {e}")),
+        },
     }
 }
 
@@ -282,6 +297,14 @@ mod tests {
         assert_eq!(parse_seed(&args(&[])).unwrap(), None);
         assert_eq!(parse_seed(&args(&["--seed", "7"])).unwrap(), Some(7));
         assert!(parse_seed(&args(&["--seed", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_reps_accepts_positive_integers_only() {
+        assert_eq!(parse_reps(&args(&[])).unwrap(), None);
+        assert_eq!(parse_reps(&args(&["--reps", "12"])).unwrap(), Some(12));
+        assert!(parse_reps(&args(&["--reps", "0"])).is_err());
+        assert!(parse_reps(&args(&["--reps", "x"])).is_err());
     }
 
     #[test]

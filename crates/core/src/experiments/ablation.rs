@@ -102,7 +102,13 @@ fn relative_rows(
 
 /// Sweeps the workload's `runtime_scale` (offered load ρ scales with it)
 /// and reports the relative stretch of `scheme` at each point.
-pub fn load_sweep(scale: Scale, scheme: Scheme, scales: &[f64], seed: u64) -> Vec<Row> {
+pub fn load_sweep(
+    scale: Scale,
+    scheme: Scheme,
+    scales: &[f64],
+    seed: u64,
+    reps: Option<usize>,
+) -> Vec<Row> {
     let seed = SeedSequence::new(seed);
     scales
         .iter()
@@ -119,7 +125,7 @@ pub fn load_sweep(scale: Scale, scheme: Scheme, scales: &[f64], seed: u64) -> Ve
                 format!("runtime_scale={rts:.2}"),
                 &base,
                 &treat,
-                scale.reps(),
+                reps.unwrap_or(scale.reps()),
                 seed.child(i as u64),
             )
         })
@@ -128,7 +134,12 @@ pub fn load_sweep(scale: Scale, scheme: Scheme, scales: &[f64], seed: u64) -> Ve
 
 /// Compares CBF scheduling-cycle lengths against the textbook
 /// (zero-cycle) scheduler on a small platform.
-pub fn cbf_cycle_sweep(scale: Scale, cycles_secs: &[f64], seed: u64) -> Vec<Row> {
+pub fn cbf_cycle_sweep(
+    scale: Scale,
+    cycles_secs: &[f64],
+    seed: u64,
+    reps: Option<usize>,
+) -> Vec<Row> {
     let seed = SeedSequence::new(seed);
     let mut base = GridConfig::homogeneous(4, Scheme::None);
     base.algorithm = Algorithm::Cbf;
@@ -145,7 +156,7 @@ pub fn cbf_cycle_sweep(scale: Scale, cycles_secs: &[f64], seed: u64) -> Vec<Row>
                 format!("cycle={cycle:.0}s"),
                 &base,
                 &treat,
-                scale.cbf_reps(),
+                reps.unwrap_or(scale.cbf_reps()),
                 seed.child(i as u64),
             )
         })
@@ -154,7 +165,7 @@ pub fn cbf_cycle_sweep(scale: Scale, cycles_secs: &[f64], seed: u64) -> Vec<Row>
 
 /// Compares selection policies for a fixed scheme (the metascheduler
 /// baseline of Subramani et al. picks the least-loaded clusters).
-pub fn selection_sweep(scale: Scale, scheme: Scheme, seed: u64) -> Vec<Row> {
+pub fn selection_sweep(scale: Scale, scheme: Scheme, seed: u64, reps: Option<usize>) -> Vec<Row> {
     let seed = SeedSequence::new(seed);
     let policies: [(&str, SelectionPolicy); 3] = [
         ("uniform", SelectionPolicy::Uniform),
@@ -171,7 +182,7 @@ pub fn selection_sweep(scale: Scale, scheme: Scheme, seed: u64) -> Vec<Row> {
             let mut treat = base.clone();
             treat.scheme = scheme;
             treat.selection = *policy;
-            relative_rows(name.to_string(), &base, &treat, scale.reps(), seed)
+            relative_rows(name.to_string(), &base, &treat, reps.unwrap_or(scale.reps()), seed)
         })
         .collect()
 }
@@ -180,7 +191,7 @@ pub fn selection_sweep(scale: Scale, scheme: Scheme, seed: u64) -> Vec<Row> {
 /// penalty to "a few lost opportunities for backfilling". This sweep
 /// counts actual backfilled starts per job under each scheme, making the
 /// mechanism observable instead of conjectural.
-pub fn backfill_sweep(scale: Scale, n: usize, seed: u64) -> Vec<Row> {
+pub fn backfill_sweep(scale: Scale, n: usize, seed: u64, reps: Option<usize>) -> Vec<Row> {
     use rbr_grid::GridSim;
     let seed = SeedSequence::new(seed);
     let mut out = Vec::new();
@@ -188,7 +199,7 @@ pub fn backfill_sweep(scale: Scale, n: usize, seed: u64) -> Vec<Row> {
     for scheme in schemes {
         let mut cfg = GridConfig::homogeneous(n, scheme);
         cfg.window = scale.window();
-        let per_rep: Vec<(f64, f64)> = (0..scale.reps())
+        let per_rep: Vec<(f64, f64)> = (0..reps.unwrap_or(scale.reps()))
             .map(|rep| {
                 let run = GridSim::execute(cfg.clone(), seed.child(rep as u64));
                 let per_job = run.backfills as f64 / run.records.len() as f64;
@@ -211,7 +222,7 @@ pub fn backfill_sweep(scale: Scale, n: usize, seed: u64) -> Vec<Row> {
 
 /// The §3.1.2 remote-request inflation check: +0 %, +10 %, +50 %
 /// requested time on remote copies.
-pub fn inflation_sweep(scale: Scale, scheme: Scheme, seed: u64) -> Vec<Row> {
+pub fn inflation_sweep(scale: Scale, scheme: Scheme, seed: u64, reps: Option<usize>) -> Vec<Row> {
     let seed = SeedSequence::new(seed);
     // One shared seed: the three rows differ only in the inflation factor.
     [0.0, 0.1, 0.5]
@@ -226,7 +237,7 @@ pub fn inflation_sweep(scale: Scale, scheme: Scheme, seed: u64) -> Vec<Row> {
                 format!("+{:.0}%", inflation * 100.0),
                 &base,
                 &treat,
-                scale.reps(),
+                reps.unwrap_or(scale.reps()),
                 seed,
             )
         })
@@ -256,27 +267,27 @@ impl Experiment for Ablations {
         52
     }
 
-    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+    fn tables(&self, scale: Scale, seed: u64, reps: Option<usize>) -> Vec<TypedTable> {
         vec![
             table(
                 "Ablation — offered-load regime (ALL vs NONE)",
                 "load",
-                &load_sweep(scale, Scheme::All, &[0.9, 1.0, 1.1, 1.2], seed),
+                &load_sweep(scale, Scheme::All, &[0.9, 1.0, 1.1, 1.2], seed, reps),
             ),
             table(
                 "Ablation — CBF scheduling-cycle length (HALF vs NONE)",
                 "cycle",
-                &cbf_cycle_sweep(scale, &[0.0, 30.0, 300.0], seed.wrapping_add(1)),
+                &cbf_cycle_sweep(scale, &[0.0, 30.0, 300.0], seed.wrapping_add(1), reps),
             ),
             table(
                 "Ablation — target selection policy (R2 vs NONE)",
                 "policy",
-                &selection_sweep(scale, Scheme::R(2), seed.wrapping_add(2)),
+                &selection_sweep(scale, Scheme::R(2), seed.wrapping_add(2), reps),
             ),
             table(
                 "Ablation — remote request inflation (HALF vs NONE)",
                 "inflation",
-                &inflation_sweep(scale, Scheme::Half, seed.wrapping_add(3)),
+                &inflation_sweep(scale, Scheme::Half, seed.wrapping_add(3), reps),
             ),
         ]
     }
@@ -288,7 +299,7 @@ mod tests {
 
     #[test]
     fn load_sweep_smoke() {
-        let rows = load_sweep(Scale::Smoke, Scheme::R(2), &[0.9, 1.1], 52);
+        let rows = load_sweep(Scale::Smoke, Scheme::R(2), &[0.9, 1.1], 52, None);
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.rel_stretch.is_finite()));
         assert!(render("load", &rows).contains("runtime_scale"));
@@ -296,7 +307,7 @@ mod tests {
 
     #[test]
     fn cbf_cycle_smoke() {
-        let rows = cbf_cycle_sweep(Scale::Smoke, &[0.0, 30.0], 53);
+        let rows = cbf_cycle_sweep(Scale::Smoke, &[0.0, 30.0], 53, None);
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.rel_stretch.is_finite() && r.rel_stretch > 0.0);
@@ -305,14 +316,14 @@ mod tests {
 
     #[test]
     fn selection_smoke() {
-        let rows = selection_sweep(Scale::Smoke, Scheme::R(2), 54);
+        let rows = selection_sweep(Scale::Smoke, Scheme::R(2), 54, None);
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[2].label, "least-loaded");
     }
 
     #[test]
     fn backfill_sweep_smoke() {
-        let rows = backfill_sweep(Scale::Smoke, 3, 56);
+        let rows = backfill_sweep(Scale::Smoke, 3, 56, None);
         assert_eq!(rows.len(), 4);
         // EASY backfills constantly on a loaded machine.
         assert!(rows[0].rel_stretch > 0.0, "NONE backfills/job {}", rows[0].rel_stretch);
@@ -321,7 +332,7 @@ mod tests {
 
     #[test]
     fn inflation_smoke() {
-        let rows = inflation_sweep(Scale::Smoke, Scheme::R(2), 55);
+        let rows = inflation_sweep(Scale::Smoke, Scheme::R(2), 55, None);
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r.rel_stretch.is_finite()));
     }

@@ -188,9 +188,12 @@ impl Experiment for Fig1 {
         42
     }
 
-    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+    fn tables(&self, scale: Scale, seed: u64, reps: Option<usize>) -> Vec<TypedTable> {
         let mut config = Config::at_scale(scale);
         config.seed = seed;
+        if let Some(r) = reps {
+            config.reps = r;
+        }
         let rows = run(&config);
         vec![table(&rows), cv_table(&rows)]
     }

@@ -181,9 +181,12 @@ impl Experiment for Fig5 {
         Config::at_scale(scale).curves
     }
 
-    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+    fn tables(&self, scale: Scale, seed: u64, reps: Option<usize>) -> Vec<TypedTable> {
         let mut config = Config::at_scale(scale);
         config.seed = seed;
+        if let Some(r) = reps {
+            config.curves = r;
+        }
         vec![table(&run(&config))]
     }
 }

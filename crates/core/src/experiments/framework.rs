@@ -80,14 +80,23 @@ pub trait Experiment: Send + Sync {
     }
 
     /// Builds the experiment's output tables at the given scale and
-    /// master seed.
-    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable>;
+    /// master seed. A `Some(reps)` overrides the scale's replication
+    /// count for every configuration the experiment sweeps (the CLI's
+    /// `--reps` flag).
+    fn tables(&self, scale: Scale, seed: u64, reps: Option<usize>) -> Vec<TypedTable>;
 
     /// Runs the experiment and stamps the result with provenance.
     fn run(&self, scale: Scale, seed: u64) -> Report {
+        self.run_with(scale, seed, None)
+    }
+
+    /// [`Experiment::run`] with an explicit replication override, which
+    /// is stamped into [`RunMeta::replications`] in place of the scale
+    /// preset.
+    fn run_with(&self, scale: Scale, seed: u64, reps: Option<usize>) -> Report {
         let (runs0, jobs0, events0) = sim_counters();
         let start = Instant::now();
-        let tables = self.tables(scale, seed);
+        let tables = self.tables(scale, seed, reps);
         let wall_time_secs = start.elapsed().as_secs_f64();
         let (runs1, jobs1, events1) = sim_counters();
         Report {
@@ -96,7 +105,7 @@ pub trait Experiment: Send + Sync {
                 paper_section: self.paper_section().to_string(),
                 scale: scale.name().to_string(),
                 seed,
-                replications: self.replications(scale),
+                replications: reps.unwrap_or_else(|| self.replications(scale)),
                 sim_runs: runs1 - runs0,
                 jobs: jobs1 - jobs0,
                 events: events1 - events0,
@@ -201,7 +210,7 @@ mod tests {
         fn default_seed(&self) -> u64 {
             1
         }
-        fn tables(&self, _scale: Scale, seed: u64) -> Vec<TypedTable> {
+        fn tables(&self, _scale: Scale, seed: u64, _reps: Option<usize>) -> Vec<TypedTable> {
             let mut t = TypedTable::new("dummy", vec!["seed"]);
             t.push(vec![Cell::int(seed as i64)]);
             vec![t]
@@ -220,6 +229,14 @@ mod tests {
     }
 
     #[test]
+    fn reps_override_is_stamped_into_meta() {
+        let report = Dummy.run_with(Scale::Smoke, 77, Some(9));
+        assert_eq!(report.meta.replications, 9);
+        let default = Dummy.run_with(Scale::Smoke, 77, None);
+        assert_eq!(default.meta.replications, Scale::Smoke.reps());
+    }
+
+    #[test]
     fn comparison_reduces_paired_metrics() {
         let m = |stretch: f64| RunMetrics {
             stretch_mean: stretch,
@@ -229,6 +246,9 @@ mod tests {
             stretch_redundant: f64::NAN,
             stretch_non_redundant: stretch,
             max_queue_avg: 10.0,
+            wasted_node_secs: 0.0,
+            waste_fraction: 0.0,
+            zombie_starts: 0.0,
         };
         let cmp = Comparison::new(vec![m(2.0), m(4.0)], vec![m(1.0), m(2.0)]);
         assert!((cmp.rel_stretch() - 0.5).abs() < 1e-12);

@@ -24,6 +24,7 @@
 //! | `moldable` | [`moldable`] | beyond the paper: option (iv) — redundant shape requests for moldable jobs |
 //! | `dual-queue` | [`dual_queue`] | beyond the paper: option (iii) — redundant requests across premium/standard queues |
 //! | `trace-check` | [`trace_check`] | §3.1.1's trace cross-check: replay an SWF trace split across the clusters |
+//! | `faults` | [`faults`] | beyond the paper: unreliable middleware — lost/delayed cancellations and outages vs the perfect-middleware baseline |
 //!
 //! Every runner is a pure function of its `Config` (seeds included), so
 //! results are bit-reproducible across machines.
@@ -33,7 +34,7 @@
 //! 1. Write the module: a `Config` with `at_scale(Scale)`, a `run`
 //!    function, and a unit struct implementing [`Experiment`] whose
 //!    `tables()` builds [`TypedTable`](crate::report::TypedTable)s from
-//!    the run. Use [`run_reps`]/[`Comparison`] for the paired
+//!    the run. Use `run_reps`/[`Comparison`] for the paired
 //!    replication harness.
 //! 2. Register the unit struct in [`Registry::standard`].
 //!
@@ -44,6 +45,7 @@
 pub mod ablation;
 pub mod conclusion;
 pub mod dual_queue;
+pub mod faults;
 pub mod fig1;
 pub mod fig3;
 pub mod fig4;
@@ -86,6 +88,13 @@ pub struct RunMetrics {
     pub stretch_non_redundant: f64,
     /// Average over clusters of the maximum queue length.
     pub max_queue_avg: f64,
+    /// Node-seconds thrown away (zombie executions, outage-killed runs);
+    /// 0 under perfect middleware.
+    pub wasted_node_secs: f64,
+    /// `wasted_node_secs` over the useful work delivered.
+    pub waste_fraction: f64,
+    /// Copies that started after their job had begun elsewhere.
+    pub zombie_starts: f64,
 }
 
 impl RunMetrics {
@@ -103,6 +112,9 @@ impl RunMetrics {
             stretch_non_redundant: if nr.is_empty() { f64::NAN } else { nr.mean() },
             max_queue_avg: run.max_queue_len.iter().sum::<usize>() as f64
                 / run.max_queue_len.len() as f64,
+            wasted_node_secs: run.wasted_node_secs,
+            waste_fraction: run.waste_fraction(),
+            zombie_starts: run.zombie_starts as f64,
         }
     }
 }

@@ -8,8 +8,8 @@
 
 use super::framework::Experiment;
 use super::{
-    ablation, conclusion, dual_queue, fig1, fig3, fig4, fig5, forecast, moldable, queue_growth,
-    table1, table2, table3, table4, trace_check,
+    ablation, conclusion, dual_queue, faults, fig1, fig3, fig4, fig5, forecast, moldable,
+    queue_growth, table1, table2, table3, table4, trace_check,
 };
 
 /// The set of registered experiments.
@@ -38,6 +38,7 @@ impl Registry {
                 Box::new(moldable::Moldable),
                 Box::new(dual_queue::DualQueue),
                 Box::new(trace_check::TraceCheck),
+                Box::new(faults::Faults),
             ],
         }
     }
@@ -93,7 +94,7 @@ mod tests {
                 assert!(seen.insert(alias), "duplicate alias {alias:?}");
             }
         }
-        assert_eq!(registry.len(), 15);
+        assert_eq!(registry.len(), 16);
     }
 
     #[test]

@@ -156,9 +156,12 @@ impl Experiment for Table3 {
         46
     }
 
-    fn tables(&self, scale: Scale, seed: u64) -> Vec<TypedTable> {
+    fn tables(&self, scale: Scale, seed: u64, reps: Option<usize>) -> Vec<TypedTable> {
         let mut config = Config::at_scale(scale);
         config.seed = seed;
+        if let Some(r) = reps {
+            config.reps = r;
+        }
         vec![table(&run(&config))]
     }
 }

@@ -4,6 +4,9 @@
 //! series, and this module renders those series as monospace plots so a
 //! terminal diff against the paper's curves is possible at a glance.
 
+/// One named series: label, marker character, and its (x, y) points.
+type Series = (String, char, Vec<(f64, f64)>);
+
 /// A scatter/line plot with one marker character per series.
 #[derive(Clone, Debug)]
 pub struct AsciiPlot {
@@ -12,7 +15,7 @@ pub struct AsciiPlot {
     y_label: String,
     width: usize,
     height: usize,
-    series: Vec<(String, char, Vec<(f64, f64)>)>,
+    series: Vec<Series>,
 }
 
 /// Marker characters assigned to series in order.

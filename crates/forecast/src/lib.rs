@@ -11,7 +11,7 @@
 //! on a target quantile of the next wait, with a stated confidence, using
 //! order statistics — no distributional assumptions.
 //!
-//! [`evaluate`] replays a finished grid run through the predictor
+//! [`evaluate()`] replays a finished grid run through the predictor
 //! (observations arrive when jobs start; queries happen at submission)
 //! and scores **correctness** (the fraction of waits that respected the
 //! bound — should be at least the target quantile) and **tightness**

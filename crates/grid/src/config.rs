@@ -1,5 +1,6 @@
 //! Grid simulation configuration.
 
+use rbr_faults::FaultSpec;
 use rbr_sched::Algorithm;
 use rbr_simcore::Duration;
 use rbr_workload::{EstimateModel, LublinConfig};
@@ -58,6 +59,10 @@ pub struct GridConfig {
     /// schedule compression is batched at this granularity, like a
     /// production scheduler's poll interval. Ignored by FCFS/EASY.
     pub cbf_cycle: Duration,
+    /// Middleware fault model (message delay/loss, retries, cluster
+    /// outages). The default is the paper's perfect middleware; see
+    /// `rbr_faults` for the determinism contract.
+    pub faults: FaultSpec,
 }
 
 impl GridConfig {
@@ -77,6 +82,7 @@ impl GridConfig {
             remote_inflation: 0.0,
             collect_predictions: false,
             cbf_cycle: Duration::from_secs(30.0),
+            faults: FaultSpec::default(),
         }
     }
 
@@ -103,6 +109,7 @@ impl GridConfig {
             self.remote_inflation
         );
         assert!(!self.window.is_zero(), "submission window must be positive");
+        self.faults.validate(self.clusters.len());
         for (i, c) in self.clusters.iter().enumerate() {
             assert!(c.nodes > 0, "cluster {i} has no nodes");
             assert_eq!(

@@ -19,6 +19,11 @@
 //! overhead, no request-processing overhead, requests to remote clusters
 //! identical to the local one (optionally inflated by the late-binding
 //! data-staging factor of §3.1.2).
+//!
+//! A non-default [`FaultSpec`] in [`GridConfig::faults`] relaxes the
+//! perfect-middleware assumption: control messages take time and get
+//! lost, and clusters suffer scheduled outages (see [`mod@sim`] and
+//! `rbr_faults` for the degraded protocol and determinism contract).
 
 pub mod config;
 pub mod dual_queue;
@@ -29,6 +34,7 @@ pub mod select;
 pub mod sim;
 
 pub use config::{ClusterSpec, GridConfig};
+pub use rbr_faults::{Delay, FaultSpec, Outage};
 pub use record::{JobRecord, RunResult};
 pub use scheme::Scheme;
 pub use select::SelectionPolicy;

@@ -14,6 +14,7 @@
 //! same queue; the first to start wins and the rest are cancelled
 //! through the usual zero-latency callback.
 
+use rand::Rng as _;
 use rbr_sched::{Algorithm, Request, RequestId, Scheduler};
 use rbr_simcore::{unit, Duration, Engine, SeedSequence, SimTime};
 use rbr_stats::Summary;

@@ -70,6 +70,22 @@ pub struct RunResult {
     pub events: u64,
     /// Backfilled (out-of-order) starts summed over all schedulers.
     pub backfills: u64,
+    /// Copies that began executing after their job had already started
+    /// (or finished) elsewhere — possible only with faulty middleware,
+    /// where the cancellation callback is late or lost.
+    pub zombie_starts: u64,
+    /// Node-seconds consumed by work that was thrown away: zombie
+    /// execution and partial runs killed by outages.
+    pub wasted_node_secs: f64,
+    /// Submission delivery attempts lost by the middleware.
+    pub lost_submits: u64,
+    /// Cancellation messages lost by the middleware.
+    pub lost_cancels: u64,
+    /// Remote copies dropped after exhausting submission retries.
+    pub dropped_copies: u64,
+    /// Requests destroyed by cluster outages (queued evaporated plus
+    /// running killed).
+    pub outage_kills: u64,
 }
 
 /// Which jobs to include in a metric.
@@ -153,6 +169,17 @@ impl RunResult {
             .iter()
             .map(|r| r.nodes as f64 * r.runtime.as_secs())
             .sum()
+    }
+
+    /// Wasted node-seconds as a fraction of the useful work delivered —
+    /// 0 under perfect middleware, where no copy ever executes twice.
+    pub fn waste_fraction(&self) -> f64 {
+        let useful = self.total_work();
+        if useful > 0.0 {
+            self.wasted_node_secs / useful
+        } else {
+            0.0
+        }
     }
 }
 

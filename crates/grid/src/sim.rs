@@ -8,10 +8,36 @@
 //! the engine commits them in deterministic event order and revokes the
 //! losers (`Scheduler::abort`), which is exactly what an instantaneous
 //! cancellation callback would do.
+//!
+//! # Faulty middleware
+//!
+//! With a non-default [`rbr_faults::FaultSpec`] in the configuration,
+//! the control traffic above flows through an unreliable middleware
+//! instead ([`FaultModel`]): submissions and cancellations take time,
+//! get lost (lost submissions retry with bounded exponential backoff;
+//! lost cancellations are gone for good), and clusters suffer scheduled
+//! outages that wipe their scheduler state. The protocol then changes in
+//! the ways real placeholder scheduling degrades:
+//!
+//! * every copy is dispatched at arrival (no zero-latency short-circuit)
+//!   and reaches its scheduler only when its submit message arrives;
+//! * the cancellation callback is sent once, when the first copy starts;
+//!   copies whose cancel message is lost or late keep queueing and may
+//!   start anyway — **zombies** whose node-time is wasted;
+//! * the first copy to *finish* completes the job (normally the winner;
+//!   after an outage killed the winner, possibly a surviving zombie);
+//! * outages kill running copies (partial work wasted) and evaporate
+//!   queued ones; the middleware re-delivers evaporated copies — and
+//!   resubmits a killed winner — at recovery.
+//!
+//! The faultless configuration takes exactly the original code path and
+//! never touches the fault stream, so its results are bit-identical to a
+//! build without fault support.
 
 use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
+use rbr_faults::FaultModel;
 use rbr_sched::{Request, RequestId, Scheduler};
 use rbr_simcore::{unit, Duration, Engine, SeedSequence, SimTime};
 use rbr_workload::{JobSpec, LublinModel};
@@ -31,12 +57,60 @@ enum Event {
         /// Dense request index.
         req: u64,
     },
+    /// Faulty middleware: a submit message reaches its scheduler.
+    DeliverSubmit {
+        /// Job index.
+        job: usize,
+        /// Copy index within the job.
+        copy: usize,
+    },
+    /// Faulty middleware: a cancel message reaches its scheduler.
+    DeliverCancel {
+        /// Job index.
+        job: usize,
+        /// Copy index within the job.
+        copy: usize,
+    },
+    /// A scheduled cluster outage begins.
+    OutageDown {
+        /// Affected cluster.
+        cluster: usize,
+        /// Instant the cluster accepts traffic again.
+        recover: SimTime,
+    },
 }
 
-/// Which job a request belongs to.
+/// Which job (and which of its copies) a request belongs to.
 #[derive(Clone, Copy, Debug)]
 struct ReqInfo {
     job: usize,
+    copy: usize,
+}
+
+/// Lifecycle of one copy under faulty middleware.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum CopyPhase {
+    /// Submit message travelling (or awaiting an outage recovery).
+    InFlight,
+    /// Waiting in a scheduler's queue.
+    Queued,
+    /// Granted nodes and executing since `start`.
+    Running {
+        /// Execution start instant.
+        start: SimTime,
+    },
+    /// Cancel overtook the submit; discarded on delivery.
+    Doomed,
+    /// Cancelled, killed, dropped, or finished.
+    Dead,
+}
+
+/// One copy of a job under faulty middleware.
+#[derive(Clone, Copy, Debug)]
+struct CopyState {
+    cluster: usize,
+    rid: Option<RequestId>,
+    phase: CopyPhase,
 }
 
 /// Mutable per-job state during the run.
@@ -47,6 +121,10 @@ struct JobState {
     redundant: bool,
     predicted_wait: Option<Duration>,
     done: bool,
+    /// Copy table (faulty-middleware runs only; empty otherwise).
+    copies: Vec<CopyState>,
+    /// Index of the copy whose start committed the job (faulty runs).
+    winner: Option<usize>,
 }
 
 /// The simulation: build with [`GridSim::new`], execute with
@@ -63,6 +141,15 @@ pub struct GridSim {
     records: Vec<Option<JobRecord>>,
     scratch: Vec<RequestId>,
     worklist: VecDeque<(usize, RequestId)>,
+    /// Fault sampler on its own seed stream; `None` runs the original
+    /// perfect-middleware protocol.
+    faults: Option<FaultModel>,
+    /// Per-cluster outage horizon: cluster `c` is down while
+    /// `now < outage_until[c]`.
+    outage_until: Vec<SimTime>,
+    /// Tombstones for killed requests whose `Complete` event is still in
+    /// the engine (it has no cancellation API).
+    dead: Vec<bool>,
 }
 
 impl GridSim {
@@ -116,6 +203,26 @@ impl GridSim {
         for (j, (spec, _)) in jobs.iter().enumerate() {
             engine.schedule(spec.arrival, Event::Submit(j));
         }
+        // The fault stream is child(n + 1): disjoint from the per-cluster
+        // workload streams child(0..n) and the redundancy/selection
+        // stream child(n), so enabling faults never perturbs either.
+        let faults = if config.faults.is_disabled() {
+            None
+        } else {
+            for o in &config.faults.outages {
+                engine.schedule(
+                    o.down,
+                    Event::OutageDown {
+                        cluster: o.cluster,
+                        recover: o.recover,
+                    },
+                );
+            }
+            Some(FaultModel::new(
+                config.faults.clone(),
+                seed.child(n as u64 + 1),
+            ))
+        };
         let scheds: Vec<Box<dyn Scheduler>> = config
             .clusters
             .iter()
@@ -138,6 +245,9 @@ impl GridSim {
             config,
             scratch: Vec::new(),
             worklist: VecDeque::new(),
+            faults,
+            outage_until: vec![SimTime::ZERO; n],
+            dead: Vec::new(),
         }
     }
 
@@ -161,8 +271,12 @@ impl GridSim {
             match event {
                 Event::Submit(j) => self.handle_submit(now, j),
                 Event::Complete { cluster, req } => self.handle_complete(now, cluster, req),
+                Event::DeliverSubmit { job, copy } => self.handle_deliver_submit(now, job, copy),
+                Event::DeliverCancel { job, copy } => self.handle_deliver_cancel(now, job, copy),
+                Event::OutageDown { cluster, recover } => {
+                    self.handle_outage_down(now, cluster, recover)
+                }
             }
-            self.result.makespan = now;
         }
         self.result.events = self.engine.processed();
         self.result.backfills = self.scheds.iter().map(|s| s.backfills()).sum();
@@ -199,7 +313,14 @@ impl GridSim {
         }
         self.states[j].redundant = targets.len() > 1;
 
-        for c in targets {
+        if self.faults.is_some() {
+            // Unreliable middleware: every copy becomes a message. No
+            // zero-latency short-circuit — all copies are dispatched.
+            self.dispatch_faulty_submits(now, j, &targets);
+            return;
+        }
+
+        for (copy, c) in targets.into_iter().enumerate() {
             if self.states[j].started.is_some() {
                 // The callback already fired: the remaining copies are
                 // never submitted (they would be cancelled in the same
@@ -207,7 +328,7 @@ impl GridSim {
                 break;
             }
             let rid = RequestId(self.reqs.len() as u64);
-            self.reqs.push(ReqInfo { job: j });
+            self.reqs.push(ReqInfo { job: j, copy });
             let estimate = if c == home {
                 spec.estimate
             } else {
@@ -238,6 +359,11 @@ impl GridSim {
     }
 
     fn handle_complete(&mut self, now: SimTime, cluster: usize, req: u64) {
+        self.result.makespan = now;
+        if self.faults.is_some() {
+            self.handle_complete_faulty(now, cluster, req);
+            return;
+        }
         let rid = RequestId(req);
         let j = self.reqs[req as usize].job;
         let state = &mut self.states[j];
@@ -270,10 +396,325 @@ impl GridSim {
         self.commit_starts(now);
     }
 
+    /// Faulty middleware: turns each copy of job `j` into a submit
+    /// message routed through the [`FaultModel`].
+    fn dispatch_faulty_submits(&mut self, now: SimTime, j: usize, targets: &[usize]) {
+        for (copy, &c) in targets.iter().enumerate() {
+            // Copy 0 is the home submission: it escalates to guaranteed
+            // delivery after the retry budget, so no job can vanish.
+            let plan = self
+                .faults
+                .as_mut()
+                .expect("faulty dispatch requires a fault model")
+                .plan_submit(now, copy == 0);
+            self.result.lost_submits += plan.lost_attempts as u64;
+            let phase = match plan.delivery {
+                Some(at) => {
+                    self.engine.schedule(at, Event::DeliverSubmit { job: j, copy });
+                    CopyPhase::InFlight
+                }
+                None => {
+                    self.result.dropped_copies += 1;
+                    CopyPhase::Dead
+                }
+            };
+            self.states[j].copies.push(CopyState {
+                cluster: c,
+                rid: None,
+                phase,
+            });
+        }
+    }
+
+    /// A submit message arrives at its scheduler (faulty runs only).
+    fn handle_deliver_submit(&mut self, now: SimTime, j: usize, copy: usize) {
+        let c = self.states[j].copies[copy].cluster;
+        if now < self.outage_until[c] {
+            // The cluster is down: the middleware holds the message and
+            // re-delivers at recovery.
+            self.engine.schedule(
+                self.outage_until[c],
+                Event::DeliverSubmit { job: j, copy },
+            );
+            return;
+        }
+        match self.states[j].copies[copy].phase {
+            CopyPhase::InFlight => {}
+            CopyPhase::Doomed => {
+                // The cancel overtook this submit; the broker discards it.
+                self.states[j].copies[copy].phase = CopyPhase::Dead;
+                return;
+            }
+            CopyPhase::Dead => return,
+            phase => unreachable!("submit delivered to copy in phase {phase:?}"),
+        }
+        if self.states[j].done {
+            // The job finished while this (retried or delayed) submission
+            // was in flight; the broker discards it on arrival.
+            self.states[j].copies[copy].phase = CopyPhase::Dead;
+            return;
+        }
+        let (spec, home) = self.jobs[j];
+        let rid = RequestId(self.reqs.len() as u64);
+        self.reqs.push(ReqInfo { job: j, copy });
+        self.dead.push(false);
+        let estimate = if c == home {
+            spec.estimate
+        } else {
+            spec.estimate.scale(1.0 + self.config.remote_inflation)
+        };
+        let req = Request::new(rid, spec.nodes, estimate, now);
+        self.result.submits += 1;
+        self.scratch.clear();
+        self.scheds[c].submit(now, req, &mut self.scratch);
+        self.states[j].copies[copy].rid = Some(rid);
+        self.states[j].copies[copy].phase = CopyPhase::Queued;
+        for &started in &self.scratch {
+            self.worklist.push_back((c, started));
+        }
+        if self.config.collect_predictions {
+            let wait = self.scheds[c]
+                .predicted_start(now, rid)
+                .map(|s| s.since(now))
+                .expect("request just submitted must be known");
+            let best = match self.states[j].predicted_wait {
+                Some(prev) => prev.min(wait),
+                None => wait,
+            };
+            self.states[j].predicted_wait = Some(best);
+        }
+        self.note_queue(c);
+        self.commit_starts(now);
+    }
+
+    /// A cancel message arrives at its scheduler (faulty runs only).
+    fn handle_deliver_cancel(&mut self, now: SimTime, j: usize, copy: usize) {
+        let cs = self.states[j].copies[copy];
+        if now < self.outage_until[cs.cluster] {
+            self.engine.schedule(
+                self.outage_until[cs.cluster],
+                Event::DeliverCancel { job: j, copy },
+            );
+            return;
+        }
+        match cs.phase {
+            CopyPhase::InFlight => {
+                self.states[j].copies[copy].phase = CopyPhase::Doomed;
+            }
+            CopyPhase::Queued => {
+                let rid = cs.rid.expect("queued copy has a request id");
+                self.scratch.clear();
+                if self.scheds[cs.cluster].cancel(now, rid, &mut self.scratch) {
+                    self.result.cancels += 1;
+                }
+                self.states[j].copies[copy].phase = CopyPhase::Dead;
+                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
+                for started in newly {
+                    self.worklist.push_back((cs.cluster, started));
+                }
+                self.note_queue(cs.cluster);
+                self.commit_starts(now);
+            }
+            CopyPhase::Running { start } => {
+                // Kill the running copy; its partial work is wasted.
+                let rid = cs.rid.expect("running copy has a request id");
+                let (spec, _) = self.jobs[j];
+                self.result.cancels += 1;
+                self.result.wasted_node_secs +=
+                    spec.nodes as f64 * now.since(start).as_secs();
+                self.dead[rid.0 as usize] = true;
+                self.states[j].copies[copy].phase = CopyPhase::Dead;
+                self.scratch.clear();
+                self.scheds[cs.cluster].complete(now, rid, &mut self.scratch);
+                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
+                for started in newly {
+                    self.worklist.push_back((cs.cluster, started));
+                }
+                let stale_winner_killed =
+                    self.states[j].winner == Some(copy) && !self.states[j].done;
+                if stale_winner_killed {
+                    // A stale cancel (sent before an outage restarted the
+                    // race) caught up with the copy that is now the
+                    // winner. The submitter notices the kill and
+                    // resubmits this copy with guaranteed delivery.
+                    self.states[j].started = None;
+                    self.states[j].winner = None;
+                    let plan = self
+                        .faults
+                        .as_mut()
+                        .expect("faulty path has a fault model")
+                        .plan_submit(now, true);
+                    self.result.lost_submits += plan.lost_attempts as u64;
+                    let at = plan.delivery.expect("guaranteed delivery");
+                    self.states[j].copies[copy].rid = None;
+                    self.states[j].copies[copy].phase = CopyPhase::InFlight;
+                    self.engine.schedule(at, Event::DeliverSubmit { job: j, copy });
+                }
+                self.note_queue(cs.cluster);
+                self.commit_starts(now);
+            }
+            CopyPhase::Doomed | CopyPhase::Dead => {}
+        }
+    }
+
+    /// A running request finished under faulty middleware: the first copy
+    /// of a job to finish completes the job; any later completion is a
+    /// zombie whose execution was pure waste.
+    fn handle_complete_faulty(&mut self, now: SimTime, cluster: usize, req: u64) {
+        if self.dead[req as usize] {
+            // Killed earlier (cancel or outage); stale engine event.
+            return;
+        }
+        let ReqInfo { job: j, copy } = self.reqs[req as usize];
+        let cs = self.states[j].copies[copy];
+        let CopyPhase::Running { start } = cs.phase else {
+            unreachable!("completing copy must be running, was {:?}", cs.phase)
+        };
+        self.states[j].copies[copy].phase = CopyPhase::Dead;
+        self.scratch.clear();
+        self.scheds[cluster].complete(now, RequestId(req), &mut self.scratch);
+        let newly: Vec<RequestId> = self.scratch.drain(..).collect();
+        for started in newly {
+            self.worklist.push_back((cluster, started));
+        }
+        let (spec, home) = self.jobs[j];
+        if self.states[j].done {
+            // Zombie ran to natural completion: its whole execution is
+            // wasted node-time.
+            self.result.wasted_node_secs += spec.nodes as f64 * spec.runtime.as_secs();
+        } else {
+            self.states[j].done = true;
+            self.records[j] = Some(JobRecord {
+                job: j,
+                home,
+                ran_on: cluster,
+                nodes: spec.nodes,
+                arrival: spec.arrival,
+                start,
+                completion: now,
+                runtime: spec.runtime,
+                redundant: self.states[j].redundant,
+                copies: self.states[j].copies.len() as u32,
+                predicted_wait: self.states[j].predicted_wait,
+            });
+        }
+        self.note_queue(cluster);
+        self.commit_starts(now);
+    }
+
+    /// A scheduled outage begins: the cluster's scheduler loses all
+    /// state. Running copies are killed (the job restarts if the winner
+    /// died), queued copies evaporate and are re-delivered at recovery.
+    fn handle_outage_down(&mut self, now: SimTime, c: usize, recover: SimTime) {
+        self.outage_until[c] = recover;
+        self.scheds[c] = self
+            .config
+            .algorithm
+            .build_with_cycle(self.config.clusters[c].nodes, self.config.cbf_cycle);
+        for j in 0..self.states.len() {
+            for copy in 0..self.states[j].copies.len() {
+                let cs = self.states[j].copies[copy];
+                if cs.cluster != c {
+                    continue;
+                }
+                match cs.phase {
+                    CopyPhase::Queued => {
+                        // Evaporated with the scheduler; the middleware
+                        // notices at recovery and re-delivers.
+                        self.result.outage_kills += 1;
+                        self.states[j].copies[copy].rid = None;
+                        self.states[j].copies[copy].phase = CopyPhase::InFlight;
+                        self.engine.schedule(recover, Event::DeliverSubmit { job: j, copy });
+                    }
+                    CopyPhase::Running { start } => {
+                        let rid = cs.rid.expect("running copy has a request id");
+                        let (spec, _) = self.jobs[j];
+                        self.result.outage_kills += 1;
+                        self.result.wasted_node_secs +=
+                            spec.nodes as f64 * now.since(start).as_secs();
+                        self.dead[rid.0 as usize] = true;
+                        if self.states[j].winner == Some(copy) && !self.states[j].done {
+                            // The job itself died with the cluster; the
+                            // submitter resubmits this copy at recovery.
+                            self.states[j].started = None;
+                            self.states[j].winner = None;
+                            self.states[j].copies[copy].rid = None;
+                            self.states[j].copies[copy].phase = CopyPhase::InFlight;
+                            self.engine
+                                .schedule(recover, Event::DeliverSubmit { job: j, copy });
+                        } else {
+                            self.states[j].copies[copy].phase = CopyPhase::Dead;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Faulty middleware's cancellation callback: fired once, when the
+    /// first copy of job `j` starts. Each live sibling gets its own
+    /// cancel message through the fault model.
+    fn send_cancels(&mut self, now: SimTime, j: usize, winner_copy: usize) {
+        for copy in 0..self.states[j].copies.len() {
+            if copy == winner_copy {
+                continue;
+            }
+            match self.states[j].copies[copy].phase {
+                CopyPhase::InFlight | CopyPhase::Queued | CopyPhase::Running { .. } => {}
+                CopyPhase::Doomed | CopyPhase::Dead => continue,
+            }
+            let plan = self
+                .faults
+                .as_mut()
+                .expect("faulty path has a fault model")
+                .plan_cancel(now);
+            match plan.delivery {
+                Some(at) => {
+                    self.engine.schedule(at, Event::DeliverCancel { job: j, copy });
+                }
+                None => self.result.lost_cancels += 1,
+            }
+        }
+    }
+
+    /// Faulty variant of the start worklist: a start commits the job if
+    /// it is the first, otherwise the copy becomes a zombie (no
+    /// zero-latency revocation — the cancellation callback travels as a
+    /// message like everything else).
+    fn commit_starts_faulty(&mut self, now: SimTime) {
+        while let Some((c, rid)) = self.worklist.pop_front() {
+            let ReqInfo { job: j, copy } = self.reqs[rid.0 as usize];
+            debug_assert!(!self.dead[rid.0 as usize], "dead request started");
+            debug_assert_eq!(self.states[j].copies[copy].phase, CopyPhase::Queued);
+            self.states[j].copies[copy].phase = CopyPhase::Running { start: now };
+            let (spec, _) = self.jobs[j];
+            self.engine.schedule(
+                now + spec.runtime,
+                Event::Complete {
+                    cluster: c,
+                    req: rid.0,
+                },
+            );
+            if self.states[j].started.is_none() && !self.states[j].done {
+                self.states[j].started = Some((c, now));
+                self.states[j].winner = Some(copy);
+                self.send_cancels(now, j, copy);
+            } else {
+                self.result.zombie_starts += 1;
+            }
+            self.note_queue(c);
+        }
+    }
+
     /// Drains the start worklist: commits job starts, cancels siblings,
     /// revokes starts whose job already began elsewhere, and follows any
     /// cascade of new starts those actions release.
     fn commit_starts(&mut self, now: SimTime) {
+        if self.faults.is_some() {
+            self.commit_starts_faulty(now);
+            return;
+        }
         while let Some((c, rid)) = self.worklist.pop_front() {
             let j = self.reqs[rid.0 as usize].job;
             if self.states[j].started.is_some() {
@@ -481,5 +922,157 @@ mod tests {
         for r in &result.records {
             assert!(r.stretch() >= 1.0 - 1e-12);
         }
+    }
+
+    // ---- faulty middleware ------------------------------------------
+
+    use rbr_faults::{Delay, Outage};
+
+    #[test]
+    fn faultless_run_never_touches_fault_counters() {
+        let result = GridSim::execute(small_config(3, Scheme::All), SeedSequence::new(90));
+        assert_eq!(result.zombie_starts, 0);
+        assert_eq!(result.wasted_node_secs, 0.0);
+        assert_eq!(result.lost_submits, 0);
+        assert_eq!(result.lost_cancels, 0);
+        assert_eq!(result.dropped_copies, 0);
+        assert_eq!(result.outage_kills, 0);
+        assert_eq!(result.waste_fraction(), 0.0);
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic() {
+        let faulty = || {
+            let mut cfg = small_config(3, Scheme::All);
+            cfg.faults.cancel_loss = 0.5;
+            cfg.faults.cancel_delay = Delay::Exp {
+                mean: Duration::from_secs(30.0),
+            };
+            cfg.faults.submit_delay = Delay::Uniform {
+                lo: Duration::from_secs(0.1),
+                hi: Duration::from_secs(2.0),
+            };
+            GridSim::execute(cfg, SeedSequence::new(91))
+        };
+        let a = faulty();
+        let b = faulty();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.zombie_starts, b.zombie_starts);
+        assert_eq!(a.wasted_node_secs, b.wasted_node_secs);
+        assert_eq!(a.lost_cancels, b.lost_cancels);
+        assert_eq!(a.submits, b.submits);
+    }
+
+    #[test]
+    fn fault_stream_does_not_perturb_the_workload() {
+        // The fault stream is disjoint from the workload and selection
+        // streams, so the paired design survives enabling faults: same
+        // jobs, same arrivals, same sizes.
+        let clean = GridSim::execute(small_config(3, Scheme::All), SeedSequence::new(92));
+        let mut cfg = small_config(3, Scheme::All);
+        cfg.faults.cancel_loss = 1.0;
+        let dirty = GridSim::execute(cfg, SeedSequence::new(92));
+        assert_eq!(clean.records.len(), dirty.records.len());
+        for (a, b) in clean.records.iter().zip(&dirty.records) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.home, b.home);
+        }
+    }
+
+    #[test]
+    fn lost_cancels_create_zombies_and_waste() {
+        let mut cfg = small_config(3, Scheme::All);
+        cfg.faults.cancel_loss = 1.0; // every cancellation vanishes
+        let result = GridSim::execute(cfg, SeedSequence::new(93));
+        assert!(result.lost_cancels > 0);
+        assert!(result.zombie_starts > 0, "uncancelled copies must start");
+        assert!(result.wasted_node_secs > 0.0, "zombies waste node time");
+        assert!(result.waste_fraction() > 0.0);
+        // Every job still completes exactly once.
+        assert_eq!(
+            result.records.len(),
+            result.records.iter().map(|r| r.job).collect::<std::collections::HashSet<_>>().len()
+        );
+        for r in &result.records {
+            assert_eq!(r.completion, r.start + r.runtime);
+        }
+    }
+
+    #[test]
+    fn certain_submit_loss_drops_remote_copies_but_jobs_survive() {
+        let mut cfg = small_config(3, Scheme::All);
+        cfg.faults.submit_loss = 1.0;
+        cfg.faults.max_retries = 2;
+        let result = GridSim::execute(cfg, SeedSequence::new(94));
+        // Remote copies exhaust their retries and are dropped; the home
+        // copy escalates to guaranteed delivery, so every job completes.
+        assert!(result.dropped_copies > 0);
+        assert!(result.lost_submits > 0);
+        assert!(!result.records.is_empty());
+        for r in &result.records {
+            assert_eq!(r.home, r.ran_on, "only home copies can be delivered");
+        }
+    }
+
+    #[test]
+    fn outage_kills_work_and_every_job_still_completes() {
+        let mut cfg = small_config(2, Scheme::None);
+        // Make the outage bite: down long enough to catch running jobs.
+        cfg.faults.outages = vec![Outage {
+            cluster: 0,
+            down: SimTime::from_secs(600.0),
+            recover: SimTime::from_secs(1200.0),
+        }];
+        let result = GridSim::execute(cfg, SeedSequence::new(95));
+        assert!(result.outage_kills > 0, "a mid-run outage must kill work");
+        assert!(result.wasted_node_secs > 0.0);
+        assert!(!result.records.is_empty());
+        for r in &result.records {
+            assert_eq!(r.completion, r.start + r.runtime);
+            assert!(r.start >= r.arrival);
+        }
+        // Determinism holds with outages too.
+        let mut cfg2 = small_config(2, Scheme::None);
+        cfg2.faults.outages = vec![Outage {
+            cluster: 0,
+            down: SimTime::from_secs(600.0),
+            recover: SimTime::from_secs(1200.0),
+        }];
+        let again = GridSim::execute(cfg2, SeedSequence::new(95));
+        assert_eq!(result.records, again.records);
+        assert_eq!(result.outage_kills, again.outage_kills);
+    }
+
+    #[test]
+    fn delayed_cancels_still_complete_every_job() {
+        let mut cfg = small_config(4, Scheme::All);
+        cfg.faults.cancel_delay = Delay::Fixed(Duration::from_secs(120.0));
+        cfg.faults.submit_delay = Delay::Fixed(Duration::from_secs(1.0));
+        let result = GridSim::execute(cfg, SeedSequence::new(96));
+        assert!(!result.records.is_empty());
+        for r in &result.records {
+            assert_eq!(r.completion, r.start + r.runtime);
+        }
+        // A 2-minute cancellation lag on an ALL scheme must leak some
+        // starts that the zero-latency callback would have prevented.
+        assert!(result.zombie_starts > 0 || result.wasted_node_secs > 0.0);
+    }
+
+    #[test]
+    fn waste_grows_with_cancellation_loss() {
+        let run = |loss: f64| {
+            let mut cfg = small_config(3, Scheme::All);
+            cfg.faults.cancel_loss = loss;
+            cfg.faults.cancel_delay = Delay::Fixed(Duration::from_secs(5.0));
+            GridSim::execute(cfg, SeedSequence::new(97)).wasted_node_secs
+        };
+        let w0 = run(0.0);
+        let w5 = run(0.5);
+        let w10 = run(1.0);
+        assert!(w0 <= w5 + 1e-9, "waste({w0}) at loss 0 vs {w5} at 0.5");
+        assert!(w5 <= w10 + 1e-9, "waste({w5}) at loss 0.5 vs {w10} at 1.0");
+        assert!(w10 > 0.0);
     }
 }

@@ -109,7 +109,7 @@ proptest! {
     /// start times agree event for event.
     #[test]
     fn single_queue_equals_easy(reqs in gen_reqs(40, 1)) {
-        use rbr_sched::{Algorithm, Scheduler};
+        use rbr_sched::Algorithm;
         // Drive both side by side and compare start sets per event.
         let mut mq = MultiQueueScheduler::new(16, 1);
         let mut easy = Algorithm::Easy.build(16);

@@ -1,0 +1,92 @@
+//! Property tests for the seed hierarchy: the paired-replication design
+//! of every experiment rests on `derive_seed`/`SeedSequence::child`
+//! being pure, order-independent, and collision-free over the index
+//! ranges the simulator actually uses (cluster streams, replication
+//! indices, the fault stream at `n + 1`).
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rbr_simcore::{derive_seed, SeedSequence};
+
+proptest! {
+    /// Derivation is a pure function: same inputs, same child seed,
+    /// regardless of how many other derivations happen in between.
+    #[test]
+    fn child_derivation_is_pure_and_order_independent(
+        master in 0u64..u64::MAX,
+        a in 0u64..1_000,
+        b in 0u64..1_000,
+    ) {
+        let root = SeedSequence::new(master);
+        let first = root.child(a);
+        // Interleave unrelated derivations; they must not perturb `a`.
+        let _ = root.child(b);
+        let _ = root.child(a.wrapping_add(b));
+        prop_assert_eq!(first, root.child(a));
+        prop_assert_eq!(
+            derive_seed(master, a),
+            derive_seed(master, a)
+        );
+    }
+
+    /// Sibling streams never collide over a realistic index range — the
+    /// grid simulator hands out `child(0..=n+1)` for workloads,
+    /// selection, and the fault stream, so a collision would silently
+    /// correlate two supposedly independent streams.
+    #[test]
+    fn sibling_streams_do_not_collide(master in 0u64..u64::MAX) {
+        let root = SeedSequence::new(master);
+        let mut seen = HashSet::new();
+        for index in 0..512u64 {
+            prop_assert!(
+                seen.insert(root.child(index).seed()),
+                "child({index}) collided under master {master}"
+            );
+        }
+    }
+
+    /// Distinct masters produce distinct roots and (overwhelmingly)
+    /// distinct child grids — replications re-seeded from different
+    /// masters must not share job streams.
+    #[test]
+    fn distinct_masters_diverge(master in 0u64..u64::MAX, offset in 1u64..1_000) {
+        let a = SeedSequence::new(master);
+        let b = SeedSequence::new(master.wrapping_add(offset));
+        prop_assert_ne!(a.seed(), b.seed());
+        for index in 0..16u64 {
+            prop_assert_ne!(a.child(index).seed(), b.child(index).seed());
+        }
+    }
+
+    /// Tree levels are distinguished: a node never equals its own child,
+    /// and grandchildren via different paths differ (`child(a).child(b)`
+    /// vs `child(b).child(a)` for a ≠ b).
+    #[test]
+    fn tree_paths_are_distinguished(
+        master in 0u64..u64::MAX,
+        a in 0u64..100,
+        b in 0u64..100,
+    ) {
+        let root = SeedSequence::new(master);
+        prop_assert_ne!(root.child(a).seed(), root.seed());
+        if a != b {
+            prop_assert_ne!(
+                root.child(a).child(b).seed(),
+                root.child(b).child(a).seed()
+            );
+        }
+    }
+
+    /// Identical sequences drive identical generators: the first draws
+    /// of two independently constructed rngs from the same node agree.
+    #[test]
+    fn same_node_yields_identical_generators(master in 0u64..u64::MAX, index in 0u64..1_000) {
+        use rand::Rng as _;
+        let mut x = SeedSequence::new(master).child(index).rng();
+        let mut y = SeedSequence::new(master).child(index).rng();
+        for _ in 0..8 {
+            prop_assert_eq!(x.next_u64(), y.next_u64());
+        }
+    }
+}

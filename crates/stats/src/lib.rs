@@ -10,13 +10,17 @@
 //!   paper reports a redundant-request scheme *relative to* the
 //!   no-redundancy scheme on the same random job streams.
 //! * [`Histogram`] — fixed-bin histogram for distributional sanity checks.
+//! * [`WasteAccount`] — useful vs wasted node-seconds under faulty
+//!   middleware, mergeable across replications.
 
 pub mod histogram;
 pub mod percentile;
 pub mod relative;
 pub mod summary;
+pub mod waste;
 
 pub use histogram::Histogram;
 pub use percentile::Percentiles;
 pub use relative::{mean_relative, RelativeSeries};
 pub use summary::Summary;
+pub use waste::WasteAccount;

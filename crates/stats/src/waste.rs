@@ -1,0 +1,118 @@
+//! Wasted-work accounting for faulty-middleware runs.
+//!
+//! Under perfect middleware no copy of a job ever executes twice, so
+//! every consumed node-second is useful. Unreliable middleware breaks
+//! that: zombie copies run to completion, outages kill partial runs.
+//! [`WasteAccount`] accumulates useful and wasted node-seconds — per run
+//! or merged across replications — and reduces them to the overhead
+//! ratios the fault experiments report.
+
+/// Accumulator of useful vs wasted node-seconds.
+///
+/// Mergeable like [`Summary`](crate::Summary), so parallel replications
+/// can be combined: `fraction` of the merged account is the
+/// work-weighted mean of the per-run fractions.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WasteAccount {
+    useful: f64,
+    wasted: f64,
+}
+
+impl WasteAccount {
+    /// An empty account.
+    pub fn new() -> Self {
+        WasteAccount::default()
+    }
+
+    /// Records one run's useful and wasted node-seconds.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite inputs.
+    pub fn add(&mut self, useful_node_secs: f64, wasted_node_secs: f64) {
+        assert!(
+            useful_node_secs >= 0.0 && useful_node_secs.is_finite(),
+            "useful work must be finite and non-negative, got {useful_node_secs}"
+        );
+        assert!(
+            wasted_node_secs >= 0.0 && wasted_node_secs.is_finite(),
+            "wasted work must be finite and non-negative, got {wasted_node_secs}"
+        );
+        self.useful += useful_node_secs;
+        self.wasted += wasted_node_secs;
+    }
+
+    /// Folds another account into this one.
+    pub fn merge(&mut self, other: &WasteAccount) {
+        self.useful += other.useful;
+        self.wasted += other.wasted;
+    }
+
+    /// Total useful node-seconds recorded.
+    pub fn useful(&self) -> f64 {
+        self.useful
+    }
+
+    /// Total wasted node-seconds recorded.
+    pub fn wasted(&self) -> f64 {
+        self.wasted
+    }
+
+    /// Wasted work as a fraction of useful work (0 when nothing useful
+    /// ran — an empty platform wastes nothing).
+    pub fn fraction(&self) -> f64 {
+        if self.useful > 0.0 {
+            self.wasted / self.useful
+        } else {
+            0.0
+        }
+    }
+
+    /// Total consumed over useful node-seconds (`1 + fraction()`): how
+    /// much bigger the platform bill is than the work delivered.
+    pub fn overhead(&self) -> f64 {
+        1.0 + self.fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_account_wastes_nothing() {
+        let w = WasteAccount::new();
+        assert_eq!(w.fraction(), 0.0);
+        assert_eq!(w.overhead(), 1.0);
+        assert_eq!(w.useful(), 0.0);
+        assert_eq!(w.wasted(), 0.0);
+    }
+
+    #[test]
+    fn fraction_is_wasted_over_useful() {
+        let mut w = WasteAccount::new();
+        w.add(100.0, 25.0);
+        assert!((w.fraction() - 0.25).abs() < 1e-12);
+        assert!((w.overhead() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_sequential_adds() {
+        let mut a = WasteAccount::new();
+        a.add(10.0, 1.0);
+        let mut b = WasteAccount::new();
+        b.add(30.0, 9.0);
+        let mut merged = a;
+        merged.merge(&b);
+        let mut seq = WasteAccount::new();
+        seq.add(10.0, 1.0);
+        seq.add(30.0, 9.0);
+        assert_eq!(merged, seq);
+        assert!((merged.fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_waste_rejected() {
+        WasteAccount::new().add(1.0, -0.5);
+    }
+}

@@ -34,7 +34,7 @@ fn main() {
     println!("{}", fig1::render_plot(&rows));
 
     banner("Supplement — backfilling activity per scheme (the §3.3 mechanism)");
-    println!("{}", ablation::render_backfills(&ablation::backfill_sweep(scale, 10, 56)));
+    println!("{}", ablation::render_backfills(&ablation::backfill_sweep(scale, 10, 56, None)));
 
     eprintln!("\ncampaign finished in {:.1?} at {} scale", t0.elapsed(), scale.name());
 }

@@ -1,8 +1,8 @@
 //! Umbrella crate for the reproduction of Casanova, *On the Harmfulness of
 //! Redundant Batch Requests* (HPDC 2006).
 //!
-//! This package exists to host the runnable [`examples/`] and the
-//! cross-crate integration tests in [`tests/`]; the library surface is a
+//! This package exists to host the runnable `examples/` and the
+//! cross-crate integration tests in `tests/`; the library surface is a
 //! re-export of [`rbr`], the top-level crate of the workspace.
 
 pub use rbr::*;

@@ -1,0 +1,167 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the surface this workspace's benches use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `sample_size` / `finish`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros — as a simple wall-clock harness: each benchmark is warmed up
+//! once, timed over `samples` batches, and the median batch time is
+//! printed. No statistics, plots, or baselines; numbers are indicative
+//! only. See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First CLI arg (as the real crate does) filters benchmarks by
+        // substring; `--bench`-style flags are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            filter: self.filter.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    filter: Option<String>,
+    // Ties the group's lifetime to the `Criterion` it came from, matching
+    // the real API's signature.
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints the median per-iteration wall-clock time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for sample in 0..=self.samples {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if sample > 0 {
+                // Sample 0 is warm-up.
+                times.push(if b.iters > 0 {
+                    b.elapsed / b.iters as u32
+                } else {
+                    Duration::ZERO
+                });
+            }
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        println!("{full:<48} median {median:>12.3?} ({} samples)", times.len());
+        self
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the closure given to `bench_function`; runs the payload.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const ITERS: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = <$crate::Criterion as ::core::default::Default>::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_payload() {
+        let mut calls = 0u64;
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2).bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut calls = 0u64;
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("skipped", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+    }
+}

@@ -1,0 +1,497 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Supports exactly the API surface this workspace's property tests use:
+//! the [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//! header), `prop_assert!` / `prop_assert_eq!`, the [`Strategy`] trait
+//! with `prop_map`, integer and float range strategies, strategy tuples,
+//! `prop::collection::vec`, and `prop::option::weighted`.
+//!
+//! Differences from the real crate: inputs are drawn from a fixed
+//! deterministic stream (seeded from the test name), there is **no
+//! shrinking** — a failing case panics with the generated inputs'
+//! debug representation instead of a minimised one — and no failure
+//! persistence. See `vendor/README.md`.
+
+/// Failure raised by `prop_assert!`-style macros inside a test case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps an assertion message.
+    pub fn new(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-`proptest!`-block configuration. Only `cases` is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the suite quick while
+        // still exercising plenty of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic generator driving input generation.
+
+    /// SplitMix64 stream; deterministic for a given test name, so every
+    //  run explores the same inputs (reproducible CI failures).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from a test's name.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name, so distinct tests get distinct streams.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)` with 53-bit precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of test-case inputs.
+///
+/// Unlike the real crate there is no value tree: strategies produce
+/// final values directly and nothing shrinks.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+/// String strategies from regex patterns, as in the real crate but
+/// restricted to the one form this workspace uses: `.{lo,hi}` (any
+/// non-newline chars, length in `[lo, hi]`). Other patterns panic.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repetition(self).unwrap_or_else(|| {
+            panic!("proptest shim supports only `.{{lo,hi}}` string patterns, got {self:?}")
+        });
+        let len = lo + rng.below((hi - lo) as u64 + 1) as usize;
+        (0..len).map(|_| arbitrary_char(rng)).collect()
+    }
+}
+
+/// Parses `.{lo,hi}` into its bounds.
+fn parse_dot_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// One char matching `.`: printable ASCII most of the time, with control
+/// characters (sans `\n`) and non-ASCII code points mixed in so parsers
+/// see genuinely hostile input.
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        0 => {
+            // Control char, excluding newline.
+            let c = rng.below(31) as u8; // 0..=30, skipping 0x0A below
+            (if c == b'\n' { 0x0B } else { c }) as char
+        }
+        1 => loop {
+            // Arbitrary scalar value outside ASCII.
+            if let Some(c) = char::from_u32(0x80 + rng.below(0x10_F000 - 0x80) as u32) {
+                if c != '\n' {
+                    return c;
+                }
+            }
+        },
+        _ => (0x20 + rng.below(0x5F) as u8) as char, // printable ASCII
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Generates `Vec`s of `elem` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Generates `Some(inner)` with probability `p`, else `None`.
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> WeightedOption<S> {
+        WeightedOption { p, inner }
+    }
+
+    /// Strategy returned by [`weighted`].
+    pub struct WeightedOption<S> {
+        p: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for WeightedOption<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.unit_f64() < self.p {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the workspace's tests import with
+    //! `use proptest::prelude::*;`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+    /// The `prop::` path alias (`prop::collection::vec`, ...).
+    pub use crate as prop;
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each function body runs once per case; `prop_assert!` failures abort
+/// that case with the generated inputs printed (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let strategy = ($($strat,)+);
+            for case in 0..config.cases {
+                let ($($arg,)+) = $crate::Strategy::generate(&strategy, &mut rng);
+                let inputs = format!(concat!($(stringify!($arg), " = {:?}; ",)+), $(&$arg,)+);
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1, config.cases, e, inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` that reports through proptest's case machinery.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::new(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::new(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through proptest's case machinery.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through proptest's case machinery.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Generated values respect their range bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u32..=9, y in -5i64..5, f in 0.25f64..0.75) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        /// Vec lengths respect the size range; fixed sizes are exact.
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u64..10, 2..6), w in prop::collection::vec(0u64..10, 4usize)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5, "len {}", v.len());
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        /// prop_map and option::weighted compose.
+        #[test]
+        fn map_and_option(p in prop::option::weighted(1.0, (1u32..3).prop_map(|n| n * 10))) {
+            let v = p.expect("weight 1.0 always generates Some");
+            prop_assert!(v == 10 || v == 20);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let mut c = crate::test_runner::TestRng::for_test("u");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

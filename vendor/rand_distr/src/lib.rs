@@ -1,0 +1,133 @@
+//! Offline shim for the `rand_distr` crate.
+//!
+//! Provides only what the workspace uses: the [`Distribution`] trait and
+//! a correct [`Gamma`] sampler (Marsaglia–Tsang squeeze method, with the
+//! standard boost for shape < 1), which `rbr-dist` cross-validates its
+//! own Gamma implementation against. See `vendor/README.md`.
+
+use rand::Rng;
+
+/// Types that sample values of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error;
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[inline]
+fn unit_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Uniform in (0, 1): never 0, so logs are finite.
+    ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One standard-normal draw via the Marsaglia polar method.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * unit_open(rng) - 1.0;
+        let v = 2.0 * unit_open(rng) - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * ((-2.0 * s.ln()) / s).sqrt();
+        }
+    }
+}
+
+/// The Gamma distribution with the given shape and scale.
+#[derive(Clone, Copy, Debug)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a Gamma distribution; errors on non-positive or non-finite
+    /// parameters.
+    pub fn new(shape: f64, scale: f64) -> Result<Gamma, Error> {
+        if shape > 0.0 && scale > 0.0 && shape.is_finite() && scale.is_finite() {
+            Ok(Gamma { shape, scale })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia–Tsang (2000). For shape < 1, sample at shape + 1 and
+        // multiply by U^(1/shape).
+        let boost = if self.shape < 1.0 {
+            unit_open(rng).powf(1.0 / self.shape)
+        } else {
+            1.0
+        };
+        let a = if self.shape < 1.0 {
+            self.shape + 1.0
+        } else {
+            self.shape
+        };
+        let d = a - 1.0 / 3.0;
+        let c = 1.0 / (3.0 * d.sqrt());
+        loop {
+            let x = standard_normal(rng);
+            let t = 1.0 + c * x;
+            if t <= 0.0 {
+                continue;
+            }
+            let v = t * t * t;
+            let u = unit_open(rng);
+            let x2 = x * x;
+            if u < 1.0 - 0.0331 * x2 * x2
+                || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln())
+            {
+                return d * v * boost * self.scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gamma_moments_match_theory() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(shape, scale) in &[(0.5, 2.0), (2.0, 3.0), (10.23, 0.49)] {
+            let d = Gamma::new(shape, scale).unwrap();
+            let n = 200_000;
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for _ in 0..n {
+                let x = d.sample(&mut rng);
+                assert!(x > 0.0);
+                sum += x;
+                sum_sq += x * x;
+            }
+            let mean = sum / n as f64;
+            let var = sum_sq / n as f64 - mean * mean;
+            let (m, v) = (shape * scale, shape * scale * scale);
+            assert!((mean - m).abs() / m < 0.02, "mean {mean} vs {m}");
+            assert!((var - v).abs() / v < 0.05, "var {var} vs {v}");
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+    }
+}

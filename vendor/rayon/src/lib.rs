@@ -1,0 +1,115 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Implements the one pattern this workspace uses —
+//! `collection.into_par_iter().map(f).collect()` — with real parallelism:
+//! items are split into contiguous chunks, one per available core, and
+//! mapped on scoped `std::thread`s. Output order matches input order, so
+//! results are identical to the sequential (and to the real rayon)
+//! evaluation. See `vendor/README.md`.
+
+pub mod prelude {
+    //! The traits needed for `into_par_iter()` chains.
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+/// Conversion into a (shim) parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+
+    /// Collects the elements eagerly; subsequent `map` fans out on
+    /// threads.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+
+    fn into_par_iter(self) -> ParIter<C::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// An eagerly evaluated, order-preserving stand-in for rayon's parallel
+/// iterators.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every element, fanning the work out over the available cores
+    /// in contiguous chunks. Order is preserved.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 {
+            return ParIter {
+                items: self.items.into_iter().map(f).collect(),
+            };
+        }
+        // Split the items into per-thread chunks (by value), keeping a
+        // parallel vector of output slots to write into.
+        let chunk_len = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = self.items;
+        while !items.is_empty() {
+            let tail = items.split_off(items.len().saturating_sub(chunk_len));
+            chunks.push(tail);
+        }
+        chunks.reverse(); // split_off peeled chunks from the back
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest: &mut [Option<R>] = &mut results;
+            for chunk in chunks {
+                let (head, tail) = rest.split_at_mut(chunk.len());
+                rest = tail;
+                scope.spawn(move || {
+                    for (item, slot) in chunk.into_iter().zip(head) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+        ParIter {
+            items: results
+                .into_iter()
+                .map(|slot| slot.expect("worker thread filled every slot"))
+                .collect(),
+        }
+    }
+
+    /// Collects the mapped elements, in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_empty_and_tiny_inputs() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

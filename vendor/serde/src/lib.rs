@@ -1,0 +1,17 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! record types but serializes through its own hand-rolled JSON/CSV
+//! writers, so the traits here are empty markers and the derives (from
+//! the sibling `serde_derive` shim) expand to nothing. If real serde
+//! serialization is ever needed, replace these shims with the actual
+//! crates. See `vendor/README.md`.
+
+/// Marker stand-in for serde's `Serialize` trait.
+pub trait Serialize {}
+
+/// Marker stand-in for serde's `Deserialize` trait.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
