@@ -4,6 +4,14 @@
 //! The sweep varies the fraction of users racing both queues and reports
 //! what they gain, what the single-queue users lose, and how often the
 //! expensive queue ends up billed.
+//!
+//! Because the dual-queue simulator runs on the shared
+//! [`SimDriver`](rbr_grid::SimDriver) core, each replication reduces to
+//! the same [`RunMetrics`] as every other experiment: dual users are the
+//! "redundant" job class, standard-only users the "non-redundant" class,
+//! and the utilization/waste columns come from the unified accounting
+//! (waste is identically zero here — the racing protocol runs under
+//! perfect middleware).
 
 use rbr_grid::dual_queue::{self, DualQueueConfig};
 use rbr_simcore::SeedSequence;
@@ -11,7 +19,7 @@ use rbr_simcore::SeedSequence;
 use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::Experiment;
+use super::{Experiment, RunMetrics};
 
 /// Parameters of the dual-queue experiment.
 #[derive(Clone, Debug)]
@@ -56,6 +64,11 @@ pub struct Row {
     pub premium_win_fraction: f64,
     /// Mean price multiplier paid by dual users.
     pub dual_mean_price: f64,
+    /// Mean pool utilization (useful work over capacity × makespan).
+    pub utilization: f64,
+    /// Mean wasted-work fraction; 0 under the perfect middleware this
+    /// experiment assumes.
+    pub waste_fraction: f64,
 }
 
 /// Runs the sweep.
@@ -70,32 +83,51 @@ pub fn run(config: &Config) -> Vec<Row> {
             let mut single_n = 0usize;
             let mut wins = 0.0;
             let mut price = 0.0;
+            let mut utilization = 0.0;
+            let mut waste = 0.0;
             for rep in 0..config.reps {
                 let mut cfg = config.base.clone();
                 cfg.dual_fraction = fraction;
                 let result =
                     dual_queue::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
-                if result.dual_stretch.n() > 0 {
-                    dual += result.dual_stretch.mean();
-                    wins += result.premium_win_fraction;
-                    price += result.dual_mean_price;
+                let m = RunMetrics::from_run(&result.run);
+                utilization += m.utilization / config.reps as f64;
+                waste += m.waste_fraction / config.reps as f64;
+                if !m.stretch_redundant.is_nan() {
+                    dual += m.stretch_redundant;
+                    wins += result.premium_win_fraction();
+                    price += result.dual_mean_price();
                     dual_n += 1;
                 }
-                if result.single_stretch.n() > 0 {
-                    single += result.single_stretch.mean();
+                if !m.stretch_non_redundant.is_nan() {
+                    single += m.stretch_non_redundant;
                     single_n += 1;
                 }
             }
             Row {
                 fraction,
-                dual_stretch: if dual_n > 0 { dual / dual_n as f64 } else { f64::NAN },
+                dual_stretch: if dual_n > 0 {
+                    dual / dual_n as f64
+                } else {
+                    f64::NAN
+                },
                 single_stretch: if single_n > 0 {
                     single / single_n as f64
                 } else {
                     f64::NAN
                 },
-                premium_win_fraction: if dual_n > 0 { wins / dual_n as f64 } else { f64::NAN },
-                dual_mean_price: if dual_n > 0 { price / dual_n as f64 } else { f64::NAN },
+                premium_win_fraction: if dual_n > 0 {
+                    wins / dual_n as f64
+                } else {
+                    f64::NAN
+                },
+                dual_mean_price: if dual_n > 0 {
+                    price / dual_n as f64
+                } else {
+                    f64::NAN
+                },
+                utilization,
+                waste_fraction: waste,
             }
         })
         .collect()
@@ -112,6 +144,8 @@ pub fn table(rows: &[Row]) -> TypedTable {
             "single stretch",
             "premium wins",
             "mean price",
+            "utilization",
+            "waste frac",
         ],
     );
     for r in rows {
@@ -121,6 +155,8 @@ pub fn table(rows: &[Row]) -> TypedTable {
             Cell::float_or_missing(r.single_stretch, 2),
             Cell::percent_or_missing(r.premium_win_fraction, 0),
             Cell::float_or_missing(r.dual_mean_price, 2),
+            Cell::percent(r.utilization, 1),
+            Cell::percent(r.waste_fraction, 2),
         ]);
     }
     t
@@ -181,6 +217,14 @@ mod tests {
         assert!(rows[1].dual_stretch.is_finite());
         // Dual users should not do worse than single users in the same runs.
         assert!(rows[1].dual_stretch <= rows[1].single_stretch * 1.1);
-        assert!(render(&rows).contains("premium wins"));
+        // Unified accounting: the racing protocol never wastes node-time
+        // under perfect middleware, and the pool does real work.
+        for r in &rows {
+            assert_eq!(r.waste_fraction, 0.0);
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+        }
+        let text = render(&rows);
+        assert!(text.contains("premium wins"));
+        assert!(text.contains("utilization"));
     }
 }

@@ -114,14 +114,7 @@ pub fn run(config: &Config) -> Vec<Row> {
                 let treatment = run_reps(&cfg, config.reps, seed, RunMetrics::from_run);
                 let mut waste = WasteAccount::new();
                 for m in &treatment {
-                    // RunMetrics carries fraction = wasted/useful, so the
-                    // useful work reconstructs exactly.
-                    let useful = if m.waste_fraction > 0.0 {
-                        m.wasted_node_secs / m.waste_fraction
-                    } else {
-                        0.0
-                    };
-                    waste.add(useful, m.wasted_node_secs);
+                    waste.add(m.useful_node_secs, m.wasted_node_secs);
                 }
                 let reps = treatment.len() as f64;
                 let wasted_mean = treatment.iter().map(|m| m.wasted_node_secs).sum::<f64>() / reps;

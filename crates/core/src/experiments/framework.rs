@@ -249,6 +249,8 @@ mod tests {
             wasted_node_secs: 0.0,
             waste_fraction: 0.0,
             zombie_starts: 0.0,
+            useful_node_secs: 1_000.0 * stretch,
+            utilization: 0.5,
         };
         let cmp = Comparison::new(vec![m(2.0), m(4.0)], vec![m(1.0), m(2.0)]);
         assert!((cmp.rel_stretch() - 0.5).abs() < 1e-12);

@@ -95,6 +95,11 @@ pub struct RunMetrics {
     pub waste_fraction: f64,
     /// Copies that started after their job had begun elsewhere.
     pub zombie_starts: f64,
+    /// Useful node-seconds delivered (completed-job work areas).
+    pub useful_node_secs: f64,
+    /// Useful work over total pool capacity × makespan (0 when either
+    /// is unknown).
+    pub utilization: f64,
 }
 
 impl RunMetrics {
@@ -110,11 +115,16 @@ impl RunMetrics {
             turnaround_mean: run.turnaround(JobClass::All).mean(),
             stretch_redundant: if r.is_empty() { f64::NAN } else { r.mean() },
             stretch_non_redundant: if nr.is_empty() { f64::NAN } else { nr.mean() },
-            max_queue_avg: run.max_queue_len.iter().sum::<usize>() as f64
-                / run.max_queue_len.len() as f64,
+            max_queue_avg: if run.max_queue_len.is_empty() {
+                0.0
+            } else {
+                run.max_queue_len.iter().sum::<usize>() as f64 / run.max_queue_len.len() as f64
+            },
             wasted_node_secs: run.wasted_node_secs,
             waste_fraction: run.waste_fraction(),
             zombie_starts: run.zombie_starts as f64,
+            useful_node_secs: run.total_work(),
+            utilization: run.overall_utilization(),
         }
     }
 }
@@ -201,5 +211,15 @@ mod tests {
         assert!(m[0].stretch_redundant.is_finite());
         assert!(m[0].stretch_non_redundant.is_finite());
         assert!(m[0].max_queue_avg >= 0.0);
+        assert!(m[0].useful_node_secs > 0.0);
+        assert!(m[0].utilization > 0.0 && m[0].utilization <= 1.0);
+    }
+
+    #[test]
+    fn zero_cluster_run_yields_zeros_not_nan() {
+        let m = RunMetrics::from_run(&RunResult::default());
+        assert_eq!(m.max_queue_avg, 0.0);
+        assert_eq!(m.useful_node_secs, 0.0);
+        assert_eq!(m.utilization, 0.0);
     }
 }

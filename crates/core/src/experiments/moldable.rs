@@ -13,7 +13,7 @@ use rbr_simcore::SeedSequence;
 use crate::report::{Cell, TypedTable};
 use crate::scale::Scale;
 
-use super::Experiment;
+use super::{Experiment, RunMetrics};
 
 /// Parameters of the moldable experiment.
 #[derive(Clone, Debug)]
@@ -50,6 +50,12 @@ pub struct Row {
     pub normalized_stretch: f64,
     /// Mean nodes actually used.
     pub mean_nodes: f64,
+    /// Mean machine utilization (useful work over capacity × makespan),
+    /// from the unified [`RunMetrics`] accounting.
+    pub utilization: f64,
+    /// Mean wasted-work fraction; 0 because shape racing cancels losing
+    /// shapes before they start.
+    pub waste_fraction: f64,
 }
 
 /// Runs the comparison: each fixed shape, then all-shapes redundancy.
@@ -69,20 +75,26 @@ pub fn run(config: &Config) -> Vec<Row> {
             let mut turnaround = 0.0;
             let mut stretch = 0.0;
             let mut nodes = 0.0;
+            let mut utilization = 0.0;
+            let mut waste = 0.0;
             for rep in 0..config.reps {
                 let mut cfg = config.base.clone();
                 cfg.policy = policy;
-                let result =
-                    moldable::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
+                let result = moldable::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
+                let m = RunMetrics::from_run(&result.run);
                 turnaround += result.turnaround().mean() / config.reps as f64;
                 stretch += result.normalized_stretch().mean() / config.reps as f64;
                 nodes += result.mean_nodes() / config.reps as f64;
+                utilization += m.utilization / config.reps as f64;
+                waste += m.waste_fraction / config.reps as f64;
             }
             Row {
                 policy: label,
                 turnaround,
                 normalized_stretch: stretch,
                 mean_nodes: nodes,
+                utilization,
+                waste_fraction: waste,
             }
         })
         .collect()
@@ -92,7 +104,14 @@ pub fn run(config: &Config) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> TypedTable {
     let mut t = TypedTable::new(
         "Moldable — fixed shapes vs all-shapes redundancy",
-        vec!["policy", "mean turnaround (s)", "norm. stretch", "mean nodes"],
+        vec![
+            "policy",
+            "mean turnaround (s)",
+            "norm. stretch",
+            "mean nodes",
+            "utilization",
+            "waste frac",
+        ],
     );
     for r in rows {
         t.push(vec![
@@ -100,6 +119,8 @@ pub fn table(rows: &[Row]) -> TypedTable {
             Cell::float(r.turnaround, 0),
             Cell::float(r.normalized_stretch, 2),
             Cell::float(r.mean_nodes, 1),
+            Cell::percent(r.utilization, 1),
+            Cell::percent(r.waste_fraction, 2),
         ]);
     }
     t
@@ -164,6 +185,14 @@ mod tests {
             .fold(f64::NEG_INFINITY, f64::max);
         let redundant = rows.last().unwrap().turnaround;
         assert!(redundant <= worst_fixed * 1.05);
-        assert!(render(&rows).contains("all shapes"));
+        // Unified accounting: shape racing cancels losers before they
+        // start, so no node-time is wasted.
+        for r in &rows {
+            assert_eq!(r.waste_fraction, 0.0);
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+        }
+        let text = render(&rows);
+        assert!(text.contains("all shapes"));
+        assert!(text.contains("utilization"));
     }
 }

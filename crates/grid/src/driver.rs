@@ -1,0 +1,807 @@
+//! The protocol-parameterized simulation core.
+//!
+//! Section 2 of the paper enumerates four ways to issue redundant batch
+//! requests: to multiple clusters, to multiple queues of one cluster,
+//! for multiple node counts, and combinations thereof. They differ only
+//! in *where copies go* — the race itself (submit copies, first start
+//! wins, cancel the losers, account the damage) is one protocol. This
+//! module implements that race once:
+//!
+//! * [`SubmissionProtocol`] — the per-variant decision hooks: how many
+//!   jobs, when each arrives, and which [`CopyPlan`]s (target, shape,
+//!   estimate, runtime) a job submits;
+//! * [`SimDriver`] — the event loop that owns the engine pump, the
+//!   scheduler set, the copy/request bookkeeping, the faulty-middleware
+//!   message layer, and the [`RunResult`] accounting.
+//!
+//! Targets are indices into a [`SchedulerSet`]: independent clusters for
+//! the multi-cluster variant, priority queues for the dual-queue
+//! variant, the same single cluster for every shape of a moldable job.
+//!
+//! # Perfect vs faulty middleware
+//!
+//! Under perfect middleware (no [`FaultModel`]), cancellation is the
+//! zero-latency callback of placeholder scheduling: the instant a copy
+//! is granted nodes, the job starts there and every sibling is
+//! cancelled. Copies not yet submitted when the callback fires are never
+//! submitted at all, and same-instant double grants are resolved by
+//! deterministic event order (the losers are revoked via `abort`).
+//!
+//! With a [`FaultModel`], control traffic becomes messages that take
+//! time and get lost, clusters suffer scheduled outages, and losing
+//! copies may run anyway (zombies) — see the module docs of
+//! [`crate::sim`] for the degraded protocol.
+//!
+//! # Adding a fourth protocol
+//!
+//! Implement [`SubmissionProtocol`] and hand it to [`SimDriver`] with a
+//! scheduler set; everything else — winner commit, loser cancellation,
+//! waste accounting, [`JobRecord`] synthesis — is inherited:
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rbr_grid::driver::{CopyPlan, SimDriver, SubmissionProtocol};
+//! use rbr_sched::{Algorithm, ClusterSet, SchedulerSet};
+//! use rbr_simcore::{Duration, SeedSequence, SimTime};
+//!
+//! /// Option (i) taken to the extreme: every job races on every cluster.
+//! struct Flood {
+//!     arrivals: Vec<SimTime>,
+//!     runtime: Duration,
+//! }
+//!
+//! impl SubmissionProtocol for Flood {
+//!     fn name(&self) -> &'static str {
+//!         "flood"
+//!     }
+//!     fn n_jobs(&self) -> usize {
+//!         self.arrivals.len()
+//!     }
+//!     fn arrival(&self, job: usize) -> SimTime {
+//!         self.arrivals[job]
+//!     }
+//!     fn home(&self, job: usize) -> usize {
+//!         job % 2
+//!     }
+//!     fn place(
+//!         &mut self,
+//!         job: usize,
+//!         _now: SimTime,
+//!         _rng: &mut StdRng,
+//!         scheds: &dyn SchedulerSet,
+//!     ) -> Vec<CopyPlan> {
+//!         let home = self.home(job);
+//!         // Home cluster first — copy 0 is the guaranteed submission.
+//!         (0..scheds.n_targets())
+//!             .map(|c| (c + home) % scheds.n_targets())
+//!             .map(|target| CopyPlan {
+//!                 target,
+//!                 nodes: 1,
+//!                 estimate: self.runtime,
+//!                 runtime: self.runtime,
+//!             })
+//!             .collect()
+//!     }
+//! }
+//!
+//! let protocol = Flood {
+//!     arrivals: vec![SimTime::ZERO, SimTime::from_secs(1.0)],
+//!     runtime: Duration::from_secs(60.0),
+//! };
+//! let scheds = ClusterSet::new(Algorithm::Easy, Duration::ZERO, &[4, 4]);
+//! let driver = SimDriver::new(
+//!     protocol,
+//!     Box::new(scheds),
+//!     SeedSequence::new(1).rng(),
+//!     None,  // perfect middleware
+//!     false, // no wait predictions
+//! );
+//! let result = driver.run();
+//! assert_eq!(result.records.len(), 2);
+//! assert_eq!(result.zombie_starts, 0);
+//! ```
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rbr_faults::FaultModel;
+use rbr_sched::{Request, RequestId, SchedulerSet};
+use rbr_simcore::{Duration, Engine, SimTime};
+
+use crate::record::{JobRecord, RunResult};
+
+/// One planned copy of a job: where it goes and what it asks for.
+///
+/// The multi-cluster variant plans identical copies on different
+/// clusters (modulo remote estimate inflation); the moldable variant
+/// plans different `(nodes, runtime)` shapes on the same cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CopyPlan {
+    /// Submission target (index into the [`SchedulerSet`]).
+    pub target: usize,
+    /// Nodes requested.
+    pub nodes: u32,
+    /// Compute-time estimate handed to the scheduler.
+    pub estimate: Duration,
+    /// Actual runtime if this copy wins the race.
+    pub runtime: Duration,
+}
+
+/// The decision hooks that distinguish one redundant-request variant
+/// from another. Everything else — the race, the cancellation callback,
+/// the faulty-middleware message layer, the accounting — lives in
+/// [`SimDriver`].
+///
+/// See the [module docs](self) for a complete fourth-protocol example.
+pub trait SubmissionProtocol {
+    /// Protocol name (for diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Number of jobs in the run.
+    fn n_jobs(&self) -> usize;
+
+    /// Arrival instant of job `job`.
+    fn arrival(&self, job: usize) -> SimTime;
+
+    /// The job's home target, recorded in its [`JobRecord`].
+    fn home(&self, job: usize) -> usize;
+
+    /// Plans the copies job `job` submits on arrival, in submission
+    /// order. Must return at least one plan; the first entry is the home
+    /// submission (under faulty middleware it is the one copy whose
+    /// delivery escalates to guaranteed, so no job can vanish).
+    ///
+    /// This is the only hook that may draw randomness; the driver never
+    /// touches `rng` itself, so a protocol's draw sequence is exactly
+    /// its own.
+    fn place(
+        &mut self,
+        job: usize,
+        now: SimTime,
+        rng: &mut StdRng,
+        scheds: &dyn SchedulerSet,
+    ) -> Vec<CopyPlan>;
+}
+
+/// Engine events.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A job arrives (index into the job table).
+    Submit(usize),
+    /// A running request finishes (dense request index; its target is
+    /// recovered from the copy plan).
+    Complete {
+        /// Dense request index.
+        req: u64,
+    },
+    /// Faulty middleware: a submit message reaches its scheduler.
+    DeliverSubmit {
+        /// Job index.
+        job: usize,
+        /// Copy index within the job.
+        copy: usize,
+    },
+    /// Faulty middleware: a cancel message reaches its scheduler.
+    DeliverCancel {
+        /// Job index.
+        job: usize,
+        /// Copy index within the job.
+        copy: usize,
+    },
+    /// A scheduled target outage begins.
+    OutageDown {
+        /// Affected target.
+        cluster: usize,
+        /// Instant the target accepts traffic again.
+        recover: SimTime,
+    },
+}
+
+/// Which job (and which of its copies) a request belongs to.
+#[derive(Clone, Copy, Debug)]
+struct ReqInfo {
+    job: usize,
+    copy: usize,
+}
+
+/// Lifecycle of one copy under faulty middleware.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum CopyPhase {
+    /// Submit message travelling (or awaiting an outage recovery).
+    InFlight,
+    /// Waiting in a scheduler's queue.
+    Queued,
+    /// Granted nodes and executing since `start`.
+    Running {
+        /// Execution start instant.
+        start: SimTime,
+    },
+    /// Cancel overtook the submit; discarded on delivery.
+    Doomed,
+    /// Cancelled, killed, dropped, or finished.
+    Dead,
+}
+
+/// One copy of a job under faulty middleware.
+#[derive(Clone, Copy, Debug)]
+struct CopyState {
+    rid: Option<RequestId>,
+    phase: CopyPhase,
+}
+
+/// Mutable per-job state during the run.
+#[derive(Clone, Debug, Default)]
+struct JobState {
+    started: Option<(usize, SimTime)>,
+    requests: Vec<RequestId>,
+    redundant: bool,
+    predicted_wait: Option<Duration>,
+    done: bool,
+    /// Copy table (faulty-middleware runs only; empty otherwise).
+    copies: Vec<CopyState>,
+    /// Index of the copy whose start committed the job (faulty runs).
+    winner: Option<usize>,
+}
+
+/// The shared event loop: owns the engine pump, the scheduler set, the
+/// request bookkeeping, and the [`RunResult`] accounting for every
+/// [`SubmissionProtocol`].
+pub struct SimDriver<P: SubmissionProtocol> {
+    protocol: P,
+    engine: Engine<Event>,
+    scheds: Box<dyn SchedulerSet>,
+    /// Copy plans per job, filled at arrival by the protocol.
+    plans: Vec<Vec<CopyPlan>>,
+    states: Vec<JobState>,
+    reqs: Vec<ReqInfo>,
+    rng: StdRng,
+    result: RunResult,
+    records: Vec<Option<JobRecord>>,
+    scratch: Vec<RequestId>,
+    worklist: VecDeque<RequestId>,
+    collect_predictions: bool,
+    /// Fault sampler on its own seed stream; `None` runs the original
+    /// perfect-middleware protocol.
+    faults: Option<FaultModel>,
+    /// Per-target outage horizon: target `c` is down while
+    /// `now < outage_until[c]`.
+    outage_until: Vec<SimTime>,
+    /// Tombstones for killed requests whose `Complete` event is still in
+    /// the engine (it has no cancellation API).
+    dead: Vec<bool>,
+}
+
+impl<P: SubmissionProtocol> SimDriver<P> {
+    /// Builds the driver: schedules every job's arrival, then (with
+    /// faulty middleware) the configured outages.
+    ///
+    /// `rng` is handed to [`SubmissionProtocol::place`] untouched, so the
+    /// protocol fully owns its draw sequence. `collect_predictions`
+    /// records each request's scheduler wait forecast (the set must
+    /// support prediction).
+    pub fn new(
+        protocol: P,
+        scheds: Box<dyn SchedulerSet>,
+        rng: StdRng,
+        faults: Option<FaultModel>,
+        collect_predictions: bool,
+    ) -> Self {
+        let n_jobs = protocol.n_jobs();
+        let n_targets = scheds.n_targets();
+        let mut engine = Engine::new();
+        for j in 0..n_jobs {
+            engine.schedule(protocol.arrival(j), Event::Submit(j));
+        }
+        if let Some(model) = &faults {
+            for o in &model.spec().outages {
+                engine.schedule(
+                    o.down,
+                    Event::OutageDown {
+                        cluster: o.cluster,
+                        recover: o.recover,
+                    },
+                );
+            }
+        }
+        SimDriver {
+            result: RunResult {
+                max_queue_len: vec![0; n_targets],
+                pool_nodes: scheds.pool_nodes(),
+                ..Default::default()
+            },
+            engine,
+            scheds,
+            plans: vec![Vec::new(); n_jobs],
+            states: vec![JobState::default(); n_jobs],
+            reqs: Vec::with_capacity(n_jobs * 2),
+            rng,
+            records: vec![None; n_jobs],
+            scratch: Vec::new(),
+            worklist: VecDeque::new(),
+            collect_predictions,
+            faults,
+            outage_until: vec![SimTime::ZERO; n_targets],
+            dead: Vec::new(),
+            protocol,
+        }
+    }
+
+    /// Runs the simulation to completion and returns the results.
+    ///
+    /// # Panics
+    /// Panics if any job fails to start or complete — that would be a
+    /// scheduler bug, not a valid outcome.
+    pub fn run(mut self) -> RunResult {
+        while let Some((now, event)) = self.engine.pop() {
+            match event {
+                Event::Submit(j) => self.handle_submit(now, j),
+                Event::Complete { req } => self.handle_complete(now, req),
+                Event::DeliverSubmit { job, copy } => self.handle_deliver_submit(now, job, copy),
+                Event::DeliverCancel { job, copy } => self.handle_deliver_cancel(now, job, copy),
+                Event::OutageDown { cluster, recover } => {
+                    self.handle_outage_down(now, cluster, recover)
+                }
+            }
+        }
+        self.result.events = self.engine.processed();
+        self.result.backfills = self.scheds.backfills();
+        let records = std::mem::take(&mut self.records);
+        self.result.records = records
+            .into_iter()
+            .enumerate()
+            .map(|(j, r)| r.unwrap_or_else(|| panic!("job {j} never completed")))
+            .collect();
+        self.result
+    }
+
+    /// The protocol driving this run.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The plan of one request's copy.
+    fn plan_of(&self, rid: RequestId) -> CopyPlan {
+        let ReqInfo { job, copy } = self.reqs[rid.0 as usize];
+        self.plans[job][copy]
+    }
+
+    fn handle_submit(&mut self, now: SimTime, j: usize) {
+        let plans = self
+            .protocol
+            .place(j, now, &mut self.rng, self.scheds.as_ref());
+        debug_assert!(!plans.is_empty(), "a job must submit at least one copy");
+        self.states[j].redundant = plans.len() > 1;
+        self.plans[j] = plans;
+
+        if self.faults.is_some() {
+            // Unreliable middleware: every copy becomes a message. No
+            // zero-latency short-circuit — all copies are dispatched.
+            self.dispatch_faulty_submits(now, j);
+            return;
+        }
+
+        for copy in 0..self.plans[j].len() {
+            if self.states[j].started.is_some() {
+                // The callback already fired: the remaining copies are
+                // never submitted (they would be cancelled in the same
+                // instant with no effect on any schedule).
+                break;
+            }
+            let plan = self.plans[j][copy];
+            let rid = RequestId(self.reqs.len() as u64);
+            self.reqs.push(ReqInfo { job: j, copy });
+            let req = Request::new(rid, plan.nodes, plan.estimate, now);
+            self.result.submits += 1;
+            self.scratch.clear();
+            self.scheds.submit(now, plan.target, req, &mut self.scratch);
+            self.states[j].requests.push(rid);
+            for &started in &self.scratch {
+                self.worklist.push_back(started);
+            }
+            if self.collect_predictions {
+                let wait = self
+                    .scheds
+                    .predicted_start(now, plan.target, rid)
+                    .map(|s| s.since(now))
+                    .expect("request just submitted must be known");
+                let best = match self.states[j].predicted_wait {
+                    Some(prev) => prev.min(wait),
+                    None => wait,
+                };
+                self.states[j].predicted_wait = Some(best);
+            }
+            self.note_queue(plan.target);
+            self.commit_starts(now);
+        }
+    }
+
+    fn handle_complete(&mut self, now: SimTime, req: u64) {
+        self.result.makespan = now;
+        if self.faults.is_some() {
+            self.handle_complete_faulty(now, req);
+            return;
+        }
+        let rid = RequestId(req);
+        let j = self.reqs[req as usize].job;
+        let plan = self.plan_of(rid);
+        let state = &mut self.states[j];
+        debug_assert_eq!(state.started.map(|(c, _)| c), Some(plan.target));
+        debug_assert!(!state.done, "job {j} completed twice");
+        state.done = true;
+
+        let (_, start) = state.started.expect("completing job must have started");
+        self.records[j] = Some(JobRecord {
+            job: j,
+            home: self.protocol.home(j),
+            ran_on: plan.target,
+            nodes: plan.nodes,
+            arrival: self.protocol.arrival(j),
+            start,
+            completion: now,
+            runtime: plan.runtime,
+            redundant: state.redundant,
+            copies: state.requests.len() as u32,
+            predicted_wait: state.predicted_wait,
+        });
+
+        self.scratch.clear();
+        self.scheds
+            .complete(now, plan.target, rid, &mut self.scratch);
+        let newly: Vec<RequestId> = self.scratch.drain(..).collect();
+        for started in newly {
+            self.worklist.push_back(started);
+        }
+        self.commit_starts(now);
+    }
+
+    /// Faulty middleware: turns each copy of job `j` into a submit
+    /// message routed through the [`FaultModel`].
+    fn dispatch_faulty_submits(&mut self, now: SimTime, j: usize) {
+        for copy in 0..self.plans[j].len() {
+            // Copy 0 is the home submission: it escalates to guaranteed
+            // delivery after the retry budget, so no job can vanish.
+            let plan = self
+                .faults
+                .as_mut()
+                .expect("faulty dispatch requires a fault model")
+                .plan_submit(now, copy == 0);
+            self.result.lost_submits += plan.lost_attempts as u64;
+            let phase = match plan.delivery {
+                Some(at) => {
+                    self.engine
+                        .schedule(at, Event::DeliverSubmit { job: j, copy });
+                    CopyPhase::InFlight
+                }
+                None => {
+                    self.result.dropped_copies += 1;
+                    CopyPhase::Dead
+                }
+            };
+            self.states[j].copies.push(CopyState { rid: None, phase });
+        }
+    }
+
+    /// A submit message arrives at its scheduler (faulty runs only).
+    fn handle_deliver_submit(&mut self, now: SimTime, j: usize, copy: usize) {
+        let plan = self.plans[j][copy];
+        let c = plan.target;
+        if now < self.outage_until[c] {
+            // The target is down: the middleware holds the message and
+            // re-delivers at recovery.
+            self.engine
+                .schedule(self.outage_until[c], Event::DeliverSubmit { job: j, copy });
+            return;
+        }
+        match self.states[j].copies[copy].phase {
+            CopyPhase::InFlight => {}
+            CopyPhase::Doomed => {
+                // The cancel overtook this submit; the broker discards it.
+                self.states[j].copies[copy].phase = CopyPhase::Dead;
+                return;
+            }
+            CopyPhase::Dead => return,
+            phase => unreachable!("submit delivered to copy in phase {phase:?}"),
+        }
+        if self.states[j].done {
+            // The job finished while this (retried or delayed) submission
+            // was in flight; the broker discards it on arrival.
+            self.states[j].copies[copy].phase = CopyPhase::Dead;
+            return;
+        }
+        let rid = RequestId(self.reqs.len() as u64);
+        self.reqs.push(ReqInfo { job: j, copy });
+        self.dead.push(false);
+        let req = Request::new(rid, plan.nodes, plan.estimate, now);
+        self.result.submits += 1;
+        self.scratch.clear();
+        self.scheds.submit(now, c, req, &mut self.scratch);
+        self.states[j].copies[copy].rid = Some(rid);
+        self.states[j].copies[copy].phase = CopyPhase::Queued;
+        for &started in &self.scratch {
+            self.worklist.push_back(started);
+        }
+        if self.collect_predictions {
+            let wait = self
+                .scheds
+                .predicted_start(now, c, rid)
+                .map(|s| s.since(now))
+                .expect("request just submitted must be known");
+            let best = match self.states[j].predicted_wait {
+                Some(prev) => prev.min(wait),
+                None => wait,
+            };
+            self.states[j].predicted_wait = Some(best);
+        }
+        self.note_queue(c);
+        self.commit_starts(now);
+    }
+
+    /// A cancel message arrives at its scheduler (faulty runs only).
+    fn handle_deliver_cancel(&mut self, now: SimTime, j: usize, copy: usize) {
+        let plan = self.plans[j][copy];
+        let cs = self.states[j].copies[copy];
+        if now < self.outage_until[plan.target] {
+            self.engine.schedule(
+                self.outage_until[plan.target],
+                Event::DeliverCancel { job: j, copy },
+            );
+            return;
+        }
+        match cs.phase {
+            CopyPhase::InFlight => {
+                self.states[j].copies[copy].phase = CopyPhase::Doomed;
+            }
+            CopyPhase::Queued => {
+                let rid = cs.rid.expect("queued copy has a request id");
+                self.scratch.clear();
+                if self.scheds.cancel(now, plan.target, rid, &mut self.scratch) {
+                    self.result.cancels += 1;
+                }
+                self.states[j].copies[copy].phase = CopyPhase::Dead;
+                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
+                for started in newly {
+                    self.worklist.push_back(started);
+                }
+                self.note_queue(plan.target);
+                self.commit_starts(now);
+            }
+            CopyPhase::Running { start } => {
+                // Kill the running copy; its partial work is wasted.
+                let rid = cs.rid.expect("running copy has a request id");
+                self.result.cancels += 1;
+                self.result.wasted_node_secs += plan.nodes as f64 * now.since(start).as_secs();
+                self.dead[rid.0 as usize] = true;
+                self.states[j].copies[copy].phase = CopyPhase::Dead;
+                self.scratch.clear();
+                self.scheds
+                    .complete(now, plan.target, rid, &mut self.scratch);
+                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
+                for started in newly {
+                    self.worklist.push_back(started);
+                }
+                let stale_winner_killed =
+                    self.states[j].winner == Some(copy) && !self.states[j].done;
+                if stale_winner_killed {
+                    // A stale cancel (sent before an outage restarted the
+                    // race) caught up with the copy that is now the
+                    // winner. The submitter notices the kill and
+                    // resubmits this copy with guaranteed delivery.
+                    self.states[j].started = None;
+                    self.states[j].winner = None;
+                    let plan = self
+                        .faults
+                        .as_mut()
+                        .expect("faulty path has a fault model")
+                        .plan_submit(now, true);
+                    self.result.lost_submits += plan.lost_attempts as u64;
+                    let at = plan.delivery.expect("guaranteed delivery");
+                    self.states[j].copies[copy].rid = None;
+                    self.states[j].copies[copy].phase = CopyPhase::InFlight;
+                    self.engine
+                        .schedule(at, Event::DeliverSubmit { job: j, copy });
+                }
+                self.note_queue(plan.target);
+                self.commit_starts(now);
+            }
+            CopyPhase::Doomed | CopyPhase::Dead => {}
+        }
+    }
+
+    /// A running request finished under faulty middleware: the first copy
+    /// of a job to finish completes the job; any later completion is a
+    /// zombie whose execution was pure waste.
+    fn handle_complete_faulty(&mut self, now: SimTime, req: u64) {
+        if self.dead[req as usize] {
+            // Killed earlier (cancel or outage); stale engine event.
+            return;
+        }
+        let ReqInfo { job: j, copy } = self.reqs[req as usize];
+        let plan = self.plans[j][copy];
+        let cs = self.states[j].copies[copy];
+        let CopyPhase::Running { start } = cs.phase else {
+            unreachable!("completing copy must be running, was {:?}", cs.phase)
+        };
+        self.states[j].copies[copy].phase = CopyPhase::Dead;
+        self.scratch.clear();
+        self.scheds
+            .complete(now, plan.target, RequestId(req), &mut self.scratch);
+        let newly: Vec<RequestId> = self.scratch.drain(..).collect();
+        for started in newly {
+            self.worklist.push_back(started);
+        }
+        if self.states[j].done {
+            // Zombie ran to natural completion: its whole execution is
+            // wasted node-time.
+            self.result.wasted_node_secs += plan.nodes as f64 * plan.runtime.as_secs();
+        } else {
+            self.states[j].done = true;
+            self.records[j] = Some(JobRecord {
+                job: j,
+                home: self.protocol.home(j),
+                ran_on: plan.target,
+                nodes: plan.nodes,
+                arrival: self.protocol.arrival(j),
+                start,
+                completion: now,
+                runtime: plan.runtime,
+                redundant: self.states[j].redundant,
+                copies: self.states[j].copies.len() as u32,
+                predicted_wait: self.states[j].predicted_wait,
+            });
+        }
+        self.note_queue(plan.target);
+        self.commit_starts(now);
+    }
+
+    /// A scheduled outage begins: the target's scheduler loses all
+    /// state. Running copies are killed (the job restarts if the winner
+    /// died), queued copies evaporate and are re-delivered at recovery.
+    fn handle_outage_down(&mut self, now: SimTime, c: usize, recover: SimTime) {
+        self.outage_until[c] = recover;
+        self.scheds.restart(c);
+        for j in 0..self.states.len() {
+            for copy in 0..self.states[j].copies.len() {
+                let plan = self.plans[j][copy];
+                let cs = self.states[j].copies[copy];
+                if plan.target != c {
+                    continue;
+                }
+                match cs.phase {
+                    CopyPhase::Queued => {
+                        // Evaporated with the scheduler; the middleware
+                        // notices at recovery and re-delivers.
+                        self.result.outage_kills += 1;
+                        self.states[j].copies[copy].rid = None;
+                        self.states[j].copies[copy].phase = CopyPhase::InFlight;
+                        self.engine
+                            .schedule(recover, Event::DeliverSubmit { job: j, copy });
+                    }
+                    CopyPhase::Running { start } => {
+                        let rid = cs.rid.expect("running copy has a request id");
+                        self.result.outage_kills += 1;
+                        self.result.wasted_node_secs +=
+                            plan.nodes as f64 * now.since(start).as_secs();
+                        self.dead[rid.0 as usize] = true;
+                        if self.states[j].winner == Some(copy) && !self.states[j].done {
+                            // The job itself died with the cluster; the
+                            // submitter resubmits this copy at recovery.
+                            self.states[j].started = None;
+                            self.states[j].winner = None;
+                            self.states[j].copies[copy].rid = None;
+                            self.states[j].copies[copy].phase = CopyPhase::InFlight;
+                            self.engine
+                                .schedule(recover, Event::DeliverSubmit { job: j, copy });
+                        } else {
+                            self.states[j].copies[copy].phase = CopyPhase::Dead;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Faulty middleware's cancellation callback: fired once, when the
+    /// first copy of job `j` starts. Each live sibling gets its own
+    /// cancel message through the fault model.
+    fn send_cancels(&mut self, now: SimTime, j: usize, winner_copy: usize) {
+        for copy in 0..self.states[j].copies.len() {
+            if copy == winner_copy {
+                continue;
+            }
+            match self.states[j].copies[copy].phase {
+                CopyPhase::InFlight | CopyPhase::Queued | CopyPhase::Running { .. } => {}
+                CopyPhase::Doomed | CopyPhase::Dead => continue,
+            }
+            let plan = self
+                .faults
+                .as_mut()
+                .expect("faulty path has a fault model")
+                .plan_cancel(now);
+            match plan.delivery {
+                Some(at) => {
+                    self.engine
+                        .schedule(at, Event::DeliverCancel { job: j, copy });
+                }
+                None => self.result.lost_cancels += 1,
+            }
+        }
+    }
+
+    /// Faulty variant of the start worklist: a start commits the job if
+    /// it is the first, otherwise the copy becomes a zombie (no
+    /// zero-latency revocation — the cancellation callback travels as a
+    /// message like everything else).
+    fn commit_starts_faulty(&mut self, now: SimTime) {
+        while let Some(rid) = self.worklist.pop_front() {
+            let ReqInfo { job: j, copy } = self.reqs[rid.0 as usize];
+            let plan = self.plans[j][copy];
+            debug_assert!(!self.dead[rid.0 as usize], "dead request started");
+            debug_assert_eq!(self.states[j].copies[copy].phase, CopyPhase::Queued);
+            self.states[j].copies[copy].phase = CopyPhase::Running { start: now };
+            self.engine
+                .schedule(now + plan.runtime, Event::Complete { req: rid.0 });
+            if self.states[j].started.is_none() && !self.states[j].done {
+                self.states[j].started = Some((plan.target, now));
+                self.states[j].winner = Some(copy);
+                self.send_cancels(now, j, copy);
+            } else {
+                self.result.zombie_starts += 1;
+            }
+            self.note_queue(plan.target);
+        }
+    }
+
+    /// Drains the start worklist: commits job starts, cancels siblings,
+    /// revokes starts whose job already began elsewhere, and follows any
+    /// cascade of new starts those actions release.
+    fn commit_starts(&mut self, now: SimTime) {
+        if self.faults.is_some() {
+            self.commit_starts_faulty(now);
+            return;
+        }
+        while let Some(rid) = self.worklist.pop_front() {
+            let j = self.reqs[rid.0 as usize].job;
+            let plan = self.plan_of(rid);
+            if self.states[j].started.is_some() {
+                // Lost the same-instant race: revoke.
+                self.result.aborts += 1;
+                self.scratch.clear();
+                self.scheds.abort(now, plan.target, rid, &mut self.scratch);
+                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
+                for started in newly {
+                    self.worklist.push_back(started);
+                }
+                continue;
+            }
+            // Commit: the job starts here, now.
+            self.states[j].started = Some((plan.target, now));
+            self.engine
+                .schedule(now + plan.runtime, Event::Complete { req: rid.0 });
+            // The callback: cancel every sibling copy.
+            let siblings = self.states[j].requests.clone();
+            for rid2 in siblings {
+                if rid2 == rid {
+                    continue;
+                }
+                let target2 = self.plan_of(rid2).target;
+                self.scratch.clear();
+                if self.scheds.cancel(now, target2, rid2, &mut self.scratch) {
+                    self.result.cancels += 1;
+                }
+                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
+                for started in newly {
+                    self.worklist.push_back(started);
+                }
+                self.note_queue(target2);
+            }
+        }
+    }
+
+    fn note_queue(&mut self, c: usize) {
+        let len = self.scheds.queue_len(c);
+        if len > self.result.max_queue_len[c] {
+            self.result.max_queue_len[c] = len;
+        }
+    }
+}

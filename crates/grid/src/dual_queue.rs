@@ -1,5 +1,6 @@
 //! Option (iii) of Section 2: redundant requests to multiple batch queues
-//! of a single resource.
+//! of a single resource, expressed as a [`SubmissionProtocol`] over the
+//! shared [`SimDriver`] event loop.
 //!
 //! The cluster runs two queues: a *premium* queue (served first, billed
 //! at a higher service-unit rate) and a *standard* queue. A fraction of
@@ -7,11 +8,20 @@
 //! when one starts — dodging the paper's conundrum "should one wait
 //! possibly a long time for a cheaper resource allocation?" by letting
 //! the queues race. The rest submit to the standard queue only.
+//!
+//! Because the run flows through the shared driver, it reports the full
+//! [`RunResult`]: stretch by class (dual users are the "redundant" class),
+//! utilization, waste, and zombie counters — all zero-waste under the
+//! perfect middleware this experiment assumes.
 
-use rbr_sched::{MultiQueueScheduler, Request, RequestId};
-use rbr_simcore::{unit, Duration, Engine, SeedSequence, SimTime};
+use rand::rngs::StdRng;
+use rbr_sched::{MultiQueueSet, SchedulerSet};
+use rbr_simcore::{unit, Duration, SeedSequence, SimTime};
 use rbr_stats::Summary;
 use rbr_workload::{EstimateModel, JobSpec, LublinConfig, LublinModel};
+
+use crate::driver::{CopyPlan, SimDriver, SubmissionProtocol};
+use crate::record::{JobClass, RunResult};
 
 /// Queue indices.
 const PREMIUM: usize = 0;
@@ -46,28 +56,118 @@ impl DualQueueConfig {
     }
 }
 
-/// Outcome of a dual-queue run.
-#[derive(Clone, Debug, Default)]
-pub struct DualQueueResult {
-    /// Stretch of jobs that used both queues.
-    pub dual_stretch: Summary,
-    /// Stretch of standard-only jobs.
-    pub single_stretch: Summary,
-    /// Fraction of dual jobs whose premium copy won.
-    pub premium_win_fraction: f64,
-    /// Mean service-unit cost per node-second across dual jobs (1 =
-    /// always standard, `premium_price` = always premium).
-    pub dual_mean_price: f64,
+/// The dual-queue placement policy: option-(iii) users race a premium
+/// copy against a standard copy; everyone else queues standard-only.
+struct DualQueue {
+    jobs: Vec<JobSpec>,
+    dual: Vec<bool>,
 }
 
-/// Engine events.
-#[derive(Clone, Copy)]
-enum Ev {
-    Submit(usize),
-    Complete(u64),
+impl SubmissionProtocol for DualQueue {
+    fn name(&self) -> &'static str {
+        "dual-queue"
+    }
+
+    fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn arrival(&self, job: usize) -> SimTime {
+        self.jobs[job].arrival
+    }
+
+    fn home(&self, _job: usize) -> usize {
+        STANDARD
+    }
+
+    fn place(
+        &mut self,
+        job: usize,
+        _now: SimTime,
+        _rng: &mut StdRng,
+        _scheds: &dyn SchedulerSet,
+    ) -> Vec<CopyPlan> {
+        let spec = self.jobs[job];
+        let queues: &[usize] = if self.dual[job] {
+            &[PREMIUM, STANDARD]
+        } else {
+            &[STANDARD]
+        };
+        queues
+            .iter()
+            .map(|&q| CopyPlan {
+                target: q,
+                nodes: spec.nodes,
+                estimate: spec.estimate,
+                runtime: spec.runtime,
+            })
+            .collect()
+    }
+}
+
+/// Outcome of a dual-queue run: the unified [`RunResult`] plus the
+/// pricing context needed to interpret it.
+#[derive(Clone, Debug)]
+pub struct DualQueueResult {
+    /// The full run: dual users are the `Redundant` job class, standard
+    /// users the `NonRedundant` class; `ran_on` is the winning queue.
+    pub run: RunResult,
+    /// Service-unit price multiplier of the premium queue.
+    pub premium_price: f64,
+}
+
+impl DualQueueResult {
+    /// Stretch of jobs that used both queues.
+    pub fn dual_stretch(&self) -> Summary {
+        self.run.stretch(JobClass::Redundant)
+    }
+
+    /// Stretch of standard-only jobs.
+    pub fn single_stretch(&self) -> Summary {
+        self.run.stretch(JobClass::NonRedundant)
+    }
+
+    /// Fraction of dual jobs whose premium copy won.
+    pub fn premium_win_fraction(&self) -> f64 {
+        let duals = self.run.records.iter().filter(|r| r.redundant).count();
+        if duals == 0 {
+            return 0.0;
+        }
+        let wins = self
+            .run
+            .records
+            .iter()
+            .filter(|r| r.redundant && r.ran_on == PREMIUM)
+            .count();
+        wins as f64 / duals as f64
+    }
+
+    /// Mean service-unit cost per node-second across dual jobs (1 =
+    /// always standard, `premium_price` = always premium).
+    pub fn dual_mean_price(&self) -> f64 {
+        let mut duals = 0usize;
+        let mut price = 0.0;
+        for r in self.run.records.iter().filter(|r| r.redundant) {
+            duals += 1;
+            price += if r.ran_on == PREMIUM {
+                self.premium_price
+            } else {
+                1.0
+            };
+        }
+        if duals == 0 {
+            0.0
+        } else {
+            price / duals as f64
+        }
+    }
 }
 
 /// Runs the experiment on one cluster.
+///
+/// Stream `seed.child(0)` drives the workload, `seed.child(1)` the
+/// dual-user coin-flips; the driver's own stream (`seed.child(2)`) is
+/// untouched because placement draws no randomness.
 pub fn run(config: &DualQueueConfig, seed: SeedSequence) -> DualQueueResult {
     assert!(
         (0.0..=1.0).contains(&config.dual_fraction),
@@ -82,102 +182,14 @@ pub fn run(config: &DualQueueConfig, seed: SeedSequence) -> DualQueueResult {
         .map(|_| unit(&mut coin) < config.dual_fraction)
         .collect();
 
-    let mut sched = MultiQueueScheduler::new(config.nodes, 2);
-    let mut engine: Engine<Ev> = Engine::new();
-    for (j, job) in jobs.iter().enumerate() {
-        engine.schedule(job.arrival, Ev::Submit(j));
+    let protocol = DualQueue { jobs, dual };
+    let scheds = MultiQueueSet::new(config.nodes, 2);
+    let driver = SimDriver::new(protocol, Box::new(scheds), seed.child(2).rng(), None, false);
+    DualQueueResult {
+        run: driver.run(),
+        premium_price: config.premium_price,
     }
-
-    // Request id encoding: job index × 2 + queue.
-    let mut started: Vec<Option<(usize, SimTime)>> = vec![None; jobs.len()];
-    let mut scratch: Vec<RequestId> = Vec::new();
-    let mut worklist: Vec<RequestId> = Vec::new();
-
-    let commit =
-        |worklist: &mut Vec<RequestId>,
-         sched: &mut MultiQueueScheduler,
-         engine: &mut Engine<Ev>,
-         started: &mut Vec<Option<(usize, SimTime)>>,
-         now: SimTime| {
-            let mut scratch = Vec::new();
-            while let Some(rid) = worklist.pop() {
-                let j = (rid.0 / 2) as usize;
-                let queue = (rid.0 % 2) as usize;
-                if started[j].is_some() {
-                    scratch.clear();
-                    sched.abort(now, rid, &mut scratch);
-                    worklist.append(&mut scratch);
-                    continue;
-                }
-                started[j] = Some((queue, now));
-                engine.schedule(now + jobs[j].runtime, Ev::Complete(rid.0));
-                let sibling = RequestId(j as u64 * 2 + (1 - queue) as u64);
-                scratch.clear();
-                sched.cancel(now, sibling, &mut scratch);
-                worklist.append(&mut scratch);
-            }
-        };
-
-    while let Some((now, ev)) = engine.pop() {
-        scratch.clear();
-        match ev {
-            Ev::Submit(j) => {
-                let job = &jobs[j];
-                let queues: &[usize] = if dual[j] {
-                    &[PREMIUM, STANDARD]
-                } else {
-                    &[STANDARD]
-                };
-                for &q in queues {
-                    if started[j].is_some() {
-                        break;
-                    }
-                    let req = Request::new(
-                        RequestId(j as u64 * 2 + q as u64),
-                        job.nodes,
-                        job.estimate,
-                        now,
-                    );
-                    sched.submit(now, q, req, &mut scratch);
-                    worklist.append(&mut scratch);
-                    commit(&mut worklist, &mut sched, &mut engine, &mut started, now);
-                }
-            }
-            Ev::Complete(rid) => {
-                sched.complete(now, RequestId(rid), &mut scratch);
-                worklist.append(&mut scratch);
-                commit(&mut worklist, &mut sched, &mut engine, &mut started, now);
-            }
-        }
-    }
-
-    let mut result = DualQueueResult::default();
-    let mut premium_wins = 0usize;
-    let mut duals = 0usize;
-    let mut price = 0.0;
-    for (j, job) in jobs.iter().enumerate() {
-        let (queue, start) = started[j].unwrap_or_else(|| panic!("job {j} never started"));
-        let stretch = (start.since(job.arrival) + job.runtime) / job.runtime;
-        if dual[j] {
-            result.dual_stretch.push(stretch);
-            duals += 1;
-            if queue == PREMIUM {
-                premium_wins += 1;
-                price += config.premium_price;
-            } else {
-                price += 1.0;
-            }
-        } else {
-            result.single_stretch.push(stretch);
-        }
-    }
-    if duals > 0 {
-        result.premium_win_fraction = premium_wins as f64 / duals as f64;
-        result.dual_mean_price = price / duals as f64;
-    }
-    result
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -188,11 +200,32 @@ mod tests {
         let mut cfg = DualQueueConfig::new(0.3);
         cfg.window = Duration::from_secs(1_200.0);
         let result = run(&cfg, SeedSequence::new(200));
-        assert!(result.dual_stretch.n() > 0);
-        assert!(result.single_stretch.n() > 0);
-        assert!((0.0..=1.0).contains(&result.premium_win_fraction));
-        assert!(result.dual_mean_price >= 1.0);
-        assert!(result.dual_mean_price <= cfg.premium_price);
+        assert!(result.dual_stretch().n() > 0);
+        assert!(result.single_stretch().n() > 0);
+        assert!((0.0..=1.0).contains(&result.premium_win_fraction()));
+        assert!(result.dual_mean_price() >= 1.0);
+        assert!(result.dual_mean_price() <= cfg.premium_price);
+        for r in &result.run.records {
+            assert!(r.start >= r.arrival);
+            assert_eq!(r.completion, r.start + r.runtime);
+            assert!(r.ran_on == PREMIUM || r.ran_on == STANDARD);
+        }
+    }
+
+    #[test]
+    fn unified_metrics_come_for_free() {
+        let mut cfg = DualQueueConfig::new(0.4);
+        cfg.window = Duration::from_secs(1_200.0);
+        let result = run(&cfg, SeedSequence::new(200));
+        // Perfect middleware: the race never wastes node-time.
+        assert_eq!(result.run.zombie_starts, 0);
+        assert_eq!(result.run.wasted_node_secs, 0.0);
+        assert_eq!(result.run.waste_fraction(), 0.0);
+        // One shared pool behind two queues.
+        assert_eq!(result.run.pool_nodes, vec![cfg.nodes]);
+        assert_eq!(result.run.max_queue_len.len(), 2);
+        let u = result.run.overall_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
     }
 
     #[test]
@@ -201,10 +234,10 @@ mod tests {
         cfg.window = Duration::from_secs(3_600.0);
         let result = run(&cfg, SeedSequence::new(201));
         assert!(
-            result.dual_stretch.mean() <= result.single_stretch.mean(),
+            result.dual_stretch().mean() <= result.single_stretch().mean(),
             "dual {} vs single {}",
-            result.dual_stretch.mean(),
-            result.single_stretch.mean()
+            result.dual_stretch().mean(),
+            result.single_stretch().mean()
         );
     }
 
@@ -213,8 +246,8 @@ mod tests {
         let mut cfg = DualQueueConfig::new(0.0);
         cfg.window = Duration::from_secs(900.0);
         let result = run(&cfg, SeedSequence::new(202));
-        assert_eq!(result.dual_stretch.n(), 0);
-        assert!(result.single_stretch.n() > 0);
+        assert_eq!(result.dual_stretch().n(), 0);
+        assert!(result.single_stretch().n() > 0);
     }
 
     #[test]
@@ -223,7 +256,7 @@ mod tests {
         cfg.window = Duration::from_secs(900.0);
         let a = run(&cfg, SeedSequence::new(203));
         let b = run(&cfg, SeedSequence::new(203));
-        assert_eq!(a.dual_stretch.mean(), b.dual_stretch.mean());
-        assert_eq!(a.premium_win_fraction, b.premium_win_fraction);
+        assert_eq!(a.run.records, b.run.records);
+        assert_eq!(a.premium_win_fraction(), b.premium_win_fraction());
     }
 }

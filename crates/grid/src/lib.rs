@@ -26,6 +26,7 @@
 //! `rbr_faults` for the degraded protocol and determinism contract).
 
 pub mod config;
+pub mod driver;
 pub mod dual_queue;
 pub mod moldable;
 pub mod record;
@@ -34,8 +35,9 @@ pub mod select;
 pub mod sim;
 
 pub use config::{ClusterSpec, GridConfig};
+pub use driver::{CopyPlan, SimDriver, SubmissionProtocol};
 pub use rbr_faults::{Delay, FaultSpec, Outage};
-pub use record::{JobRecord, RunResult};
+pub use record::{JobClass, JobRecord, RunResult};
 pub use scheme::Scheme;
 pub use select::SelectionPolicy;
 pub use sim::GridSim;

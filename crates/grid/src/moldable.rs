@@ -1,5 +1,6 @@
 //! Option (iv) of Section 2: redundant requests *for different numbers of
-//! nodes* sent to a single batch queue.
+//! nodes* sent to a single batch queue, expressed as a
+//! [`SubmissionProtocol`] over the shared [`SimDriver`] event loop.
 //!
 //! "Option (iv) can be useful for 'moldable' jobs that can accommodate
 //! various numbers of compute nodes... Typically, a larger number will
@@ -12,13 +13,19 @@
 //! `seq · ((1 − f) + f/n)` where `f` is its parallel fraction. A
 //! redundant submission places one request per candidate shape into the
 //! same queue; the first to start wins and the rest are cancelled
-//! through the usual zero-latency callback.
+//! through the usual zero-latency callback. Each copy's [`CopyPlan`]
+//! carries its own `(nodes, runtime)` pair — the one place the shared
+//! driver's per-copy plans genuinely differ within a job.
 
+use rand::rngs::StdRng;
 use rand::Rng as _;
-use rbr_sched::{Algorithm, Request, RequestId, Scheduler};
-use rbr_simcore::{unit, Duration, Engine, SeedSequence, SimTime};
+use rbr_sched::{Algorithm, ClusterSet, SchedulerSet};
+use rbr_simcore::{unit, Duration, SeedSequence, SimTime};
 use rbr_stats::Summary;
 use rbr_workload::{LublinConfig, LublinModel};
+
+use crate::driver::{CopyPlan, SimDriver, SubmissionProtocol};
+use crate::record::RunResult;
 
 /// A job that can run on any of several node counts.
 #[derive(Clone, Debug, PartialEq)]
@@ -87,55 +94,42 @@ impl MoldableConfig {
     }
 }
 
-/// Per-job outcome of a moldable run.
-#[derive(Clone, Copy, Debug)]
-pub struct MoldableRecord {
-    /// Shape that actually ran.
-    pub nodes: u32,
-    /// Queue wait.
-    pub wait: Duration,
-    /// Actual runtime at the chosen shape.
-    pub runtime: Duration,
-    /// Turnaround ÷ best achievable runtime — comparable across
-    /// policies because the denominator does not depend on the shape the
-    /// policy picked.
-    pub normalized_stretch: f64,
-}
-
-/// Result of a moldable run.
-#[derive(Clone, Debug, Default)]
+/// Result of a moldable run: the unified [`RunResult`] plus the job
+/// table needed for shape-aware normalization.
+#[derive(Clone, Debug)]
 pub struct MoldableResult {
-    /// One record per job.
-    pub records: Vec<MoldableRecord>,
+    /// The full run; each record's `nodes`/`runtime` are those of the
+    /// winning shape.
+    pub run: RunResult,
+    /// The moldable jobs, indexed like `run.records`.
+    pub jobs: Vec<MoldableJob>,
 }
 
 impl MoldableResult {
-    /// Summary of normalized stretches.
+    /// Summary of normalized stretches: turnaround ÷ best achievable
+    /// runtime — comparable across policies because the denominator does
+    /// not depend on the shape the policy picked.
     pub fn normalized_stretch(&self) -> Summary {
-        Summary::of(
-            &self
-                .records
-                .iter()
-                .map(|r| r.normalized_stretch)
-                .collect::<Vec<_>>(),
-        )
+        let mut s = Summary::new();
+        for r in &self.run.records {
+            s.push(r.turnaround() / self.jobs[r.job].best_runtime());
+        }
+        s
     }
 
     /// Summary of turnaround times in seconds.
     pub fn turnaround(&self) -> Summary {
-        Summary::of(
-            &self
-                .records
-                .iter()
-                .map(|r| (r.wait + r.runtime).as_secs())
-                .collect::<Vec<_>>(),
-        )
+        let mut s = Summary::new();
+        for r in &self.run.records {
+            s.push(r.turnaround().as_secs());
+        }
+        s
     }
 
     /// Mean nodes used per job.
     pub fn mean_nodes(&self) -> f64 {
-        self.records.iter().map(|r| r.nodes as f64).sum::<f64>()
-            / self.records.len().max(1) as f64
+        self.run.records.iter().map(|r| r.nodes as f64).sum::<f64>()
+            / self.run.records.len().max(1) as f64
     }
 }
 
@@ -167,156 +161,94 @@ pub fn generate_jobs(config: &MoldableConfig, seed: SeedSequence) -> Vec<Moldabl
     }
 }
 
+/// The moldable placement policy: one copy per candidate shape (or one
+/// fixed shape), all racing in the same queue.
+struct Moldable {
+    jobs: Vec<MoldableJob>,
+    policy: ShapePolicy,
+    max_nodes: u32,
+}
+
+impl Moldable {
+    fn plan(&self, job: usize, shape_idx: usize) -> CopyPlan {
+        let j = &self.jobs[job];
+        let nodes = j.shapes[shape_idx].min(self.max_nodes);
+        let runtime = j.runtime(nodes);
+        CopyPlan {
+            target: 0,
+            nodes,
+            estimate: runtime,
+            runtime,
+        }
+    }
+}
+
+impl SubmissionProtocol for Moldable {
+    fn name(&self) -> &'static str {
+        "moldable"
+    }
+
+    fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn arrival(&self, job: usize) -> SimTime {
+        self.jobs[job].arrival
+    }
+
+    fn home(&self, _job: usize) -> usize {
+        0
+    }
+
+    /// Redundant copies are submitted in a random per-job order:
+    /// submission order is also queue order, and a deterministic order
+    /// degenerates (a narrow-first user always wins with the narrow
+    /// shape on any free node; a wide-first user saturates an idle
+    /// machine with wide allocations). Random order models a user who
+    /// has no reason to prefer one `qsub` ordering over another and lets
+    /// the queue state decide.
+    fn place(
+        &mut self,
+        job: usize,
+        _now: SimTime,
+        rng: &mut StdRng,
+        _scheds: &dyn SchedulerSet,
+    ) -> Vec<CopyPlan> {
+        let n_shapes = self.jobs[job].shapes.len();
+        let indices: Vec<usize> = match self.policy {
+            ShapePolicy::Fixed(i) => vec![i.min(n_shapes - 1)],
+            ShapePolicy::AllShapes => {
+                let mut order: Vec<usize> = (0..n_shapes).collect();
+                // Fisher–Yates with the run's order stream.
+                for k in (1..order.len()).rev() {
+                    let j = (rng.next_u64() % (k as u64 + 1)) as usize;
+                    order.swap(k, j);
+                }
+                order
+            }
+        };
+        indices.into_iter().map(|i| self.plan(job, i)).collect()
+    }
+}
+
 /// Runs the experiment: one cluster, every job submitted per the policy.
 ///
-/// Redundant copies are submitted in a random per-job order: submission
-/// order is also queue order, and a deterministic order degenerates (a
-/// narrow-first user always wins with the narrow shape on any free node;
-/// a wide-first user saturates an idle machine with wide allocations).
-/// Random order models a user who has no reason to prefer one `qsub`
-/// ordering over another and lets the queue state decide.
+/// Stream `seed.child(0)` drives the workload; `seed.child(1)` drives
+/// the per-job shape-submission order.
 pub fn run(config: &MoldableConfig, seed: SeedSequence) -> MoldableResult {
     let jobs = generate_jobs(config, seed.child(0));
-    let mut order_rng = seed.child(1).rng();
-    let mut sched = config.algorithm.build_with_cycle(config.nodes, Duration::from_secs(30.0));
-
-    let mut engine: Engine<Ev> = Engine::new();
-    for (j, job) in jobs.iter().enumerate() {
-        engine.schedule(job.arrival, Ev::Submit(j));
-    }
-
-    // Request id encoding: job index × stride + shape index.
-    let stride = config.shapes.len() as u64;
-    let mut started: Vec<Option<(u32, SimTime)>> = vec![None; jobs.len()];
-    let mut records: Vec<Option<MoldableRecord>> = vec![None; jobs.len()];
-    let mut scratch: Vec<RequestId> = Vec::new();
-    let mut worklist: Vec<RequestId> = Vec::new();
-
-    while let Some((now, ev)) = engine.pop() {
-        scratch.clear();
-        match ev {
-            Ev::Submit(j) => {
-                let job = &jobs[j];
-                let indices: Vec<usize> = match config.policy {
-                    ShapePolicy::Fixed(i) => vec![i.min(job.shapes.len() - 1)],
-                    ShapePolicy::AllShapes => {
-                        let mut order: Vec<usize> = (0..job.shapes.len()).collect();
-                        // Fisher–Yates with the run's order stream.
-                        for k in (1..order.len()).rev() {
-                            let j = (order_rng.next_u64() % (k as u64 + 1)) as usize;
-                            order.swap(k, j);
-                        }
-                        order
-                    }
-                };
-                for i in indices {
-                    if started[j].is_some() {
-                        break; // callback already fired
-                    }
-                    let nodes = job.shapes[i].min(config.nodes);
-                    let req = Request::new(
-                        RequestId(j as u64 * stride + i as u64),
-                        nodes,
-                        job.runtime(nodes),
-                        now,
-                    );
-                    sched.submit(now, req, &mut scratch);
-                    worklist.append(&mut scratch);
-                    drain(
-                        &mut worklist,
-                        &mut sched,
-                        &mut engine,
-                        &jobs,
-                        stride,
-                        &mut started,
-                        now,
-                    );
-                }
-            }
-            Ev::Complete(rid) => {
-                let j = (rid / stride) as usize;
-                let shape_idx = (rid % stride) as usize;
-                let job = &jobs[j];
-                let (nodes, start) = started[j].expect("completing job started");
-                debug_assert_eq!(nodes, job.shapes[shape_idx].min(config.nodes));
-                let runtime = job.runtime(nodes);
-                records[j] = Some(MoldableRecord {
-                    nodes,
-                    wait: start.since(job.arrival),
-                    runtime,
-                    normalized_stretch: (start.since(job.arrival) + runtime)
-                        / job.best_runtime(),
-                });
-                sched.complete(now, RequestId(rid), &mut scratch);
-                worklist.append(&mut scratch);
-                drain(
-                    &mut worklist,
-                    &mut sched,
-                    &mut engine,
-                    &jobs,
-                    stride,
-                    &mut started,
-                    now,
-                );
-            }
-        }
-    }
-
+    let protocol = Moldable {
+        jobs: jobs.clone(),
+        policy: config.policy,
+        max_nodes: config.nodes,
+    };
+    let scheds = ClusterSet::new(config.algorithm, Duration::from_secs(30.0), &[config.nodes]);
+    let driver = SimDriver::new(protocol, Box::new(scheds), seed.child(1).rng(), None, false);
     MoldableResult {
-        records: records
-            .into_iter()
-            .enumerate()
-            .map(|(j, r)| r.unwrap_or_else(|| panic!("moldable job {j} never completed")))
-            .collect(),
+        run: driver.run(),
+        jobs,
     }
 }
-
-/// Engine events of the moldable run.
-#[derive(Clone, Copy)]
-enum Ev {
-    /// A moldable job arrives.
-    Submit(usize),
-    /// A started shape finishes (encoded request id).
-    Complete(u64),
-}
-
-/// Commits starts: winner runs, sibling shapes are cancelled, same-instant
-/// losers are aborted.
-fn drain(
-    worklist: &mut Vec<RequestId>,
-    sched: &mut Box<dyn Scheduler>,
-    engine: &mut Engine<Ev>,
-    jobs: &[MoldableJob],
-    stride: u64,
-    started: &mut [Option<(u32, SimTime)>],
-    now: SimTime,
-) {
-    let mut scratch = Vec::new();
-    while let Some(rid) = worklist.pop() {
-        let j = (rid.0 / stride) as usize;
-        let shape_idx = (rid.0 % stride) as usize;
-        if started[j].is_some() {
-            scratch.clear();
-            sched.abort(now, rid, &mut scratch);
-            worklist.append(&mut scratch);
-            continue;
-        }
-        let job = &jobs[j];
-        let nodes = job.shapes[shape_idx].min(sched.total_nodes());
-        started[j] = Some((nodes, now));
-        engine.schedule(now + job.runtime(nodes), Ev::Complete(rid.0));
-        // Cancel sibling shapes.
-        for i in 0..job.shapes.len() as u64 {
-            let sibling = RequestId(j as u64 * stride + i);
-            if sibling != rid {
-                scratch.clear();
-                sched.cancel(now, sibling, &mut scratch);
-                worklist.append(&mut scratch);
-            }
-        }
-    }
-}
-
 
 #[cfg(test)]
 mod tests {
@@ -360,12 +292,32 @@ mod tests {
             let mut cfg = MoldableConfig::new(policy);
             cfg.window = Duration::from_secs(900.0);
             let result = run(&cfg, SeedSequence::new(61));
-            assert!(!result.records.is_empty(), "{policy:?}");
-            for r in &result.records {
-                assert!(r.normalized_stretch >= 1.0 - 1e-9);
+            assert!(!result.run.records.is_empty(), "{policy:?}");
+            let stretches = result.normalized_stretch();
+            assert!(stretches.min() >= 1.0 - 1e-9, "{policy:?}");
+            for r in &result.run.records {
                 assert!(cfg.shapes.contains(&r.nodes));
+                assert_eq!(r.completion, r.start + r.runtime);
+                assert_eq!(
+                    r.redundant,
+                    policy == ShapePolicy::AllShapes,
+                    "redundancy class tracks the policy"
+                );
             }
         }
+    }
+
+    #[test]
+    fn unified_metrics_come_for_free() {
+        let mut cfg = MoldableConfig::new(ShapePolicy::AllShapes);
+        cfg.window = Duration::from_secs(900.0);
+        let result = run(&cfg, SeedSequence::new(61));
+        // Perfect middleware: the shape race never wastes node-time.
+        assert_eq!(result.run.zombie_starts, 0);
+        assert_eq!(result.run.wasted_node_secs, 0.0);
+        assert_eq!(result.run.pool_nodes, vec![cfg.nodes]);
+        let u = result.run.overall_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
     }
 
     #[test]

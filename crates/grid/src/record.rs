@@ -54,9 +54,13 @@ impl JobRecord {
 pub struct RunResult {
     /// One record per job, in job order.
     pub records: Vec<JobRecord>,
-    /// Maximum queue length observed at each cluster (§4.1's queue-growth
-    /// question).
+    /// Maximum queue length observed at each submission target (§4.1's
+    /// queue-growth question). One entry per cluster (multi-cluster) or
+    /// per queue (dual-queue).
     pub max_queue_len: Vec<usize>,
+    /// Sizes of the distinct node pools behind the run: one entry per
+    /// cluster, or a single entry when several queues share one pool.
+    pub pool_nodes: Vec<u32>,
     /// Requests actually submitted to schedulers.
     pub submits: u64,
     /// Cancellations delivered to schedulers (losing redundant copies).
@@ -177,6 +181,19 @@ impl RunResult {
         let useful = self.total_work();
         if useful > 0.0 {
             self.wasted_node_secs / useful
+        } else {
+            0.0
+        }
+    }
+
+    /// Useful work delivered over the total capacity offered during the
+    /// run: `total_work / (Σ pool nodes × makespan)`. Returns 0 for an
+    /// empty run (no capacity recorded or zero makespan).
+    pub fn overall_utilization(&self) -> f64 {
+        let capacity: f64 = self.pool_nodes.iter().map(|&n| n as f64).sum();
+        let horizon = self.makespan.as_secs();
+        if capacity > 0.0 && horizon > 0.0 {
+            self.total_work() / (capacity * horizon)
         } else {
             0.0
         }
@@ -302,10 +319,7 @@ impl RunResult {
             .zip(nodes_per_cluster)
             .map(|(w, &n)| w / (n as f64 * horizon))
             .collect();
-        let sum: f64 = utilization.iter().sum();
-        let sum_sq: f64 = utilization.iter().map(|u| u * u).sum();
-        let n = utilization.len() as f64;
-        let balance_index = if sum_sq > 0.0 { sum * sum / (n * sum_sq) } else { 1.0 };
+        let balance_index = rbr_stats::jain_index(&utilization);
         UtilizationReport {
             work,
             utilization,
@@ -359,6 +373,20 @@ mod utilization_tests {
         };
         let u = result.utilization(&[8, 8]);
         assert!((u.balance_index - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overall_utilization_uses_pool_capacity() {
+        let result = RunResult {
+            records: vec![rec_on(0, 10, 100.0), rec_on(1, 5, 100.0)],
+            max_queue_len: vec![0, 0],
+            pool_nodes: vec![10, 10],
+            makespan: SimTime::from_secs(100.0),
+            ..Default::default()
+        };
+        // 1500 node-seconds of work over 20 nodes × 100 s of capacity.
+        assert!((result.overall_utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(RunResult::default().overall_utilization(), 0.0);
     }
 
     #[test]
@@ -420,8 +448,8 @@ mod growth_tests {
     fn pending_counts_waiting_jobs() {
         let result = RunResult {
             records: vec![
-                rec_span(0.0, 100.0),  // pending during (0, 100)
-                rec_span(10.0, 20.0),  // pending during (10, 20)
+                rec_span(0.0, 100.0), // pending during (0, 100)
+                rec_span(10.0, 20.0), // pending during (10, 20)
                 rec_span(200.0, 210.0),
             ],
             ..Default::default()

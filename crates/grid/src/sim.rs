@@ -1,4 +1,6 @@
-//! The multi-cluster discrete-event simulation.
+//! The multi-cluster redundant-request protocol (options (i)/(ii) of
+//! Section 2), expressed as a [`SubmissionProtocol`] over the shared
+//! [`SimDriver`] event loop.
 //!
 //! Each cluster runs its own batch scheduler and receives its own job
 //! stream. A redundant job submits copies to its home cluster plus
@@ -6,8 +8,12 @@
 //! job starts there and every other copy is cancelled (the zero-latency
 //! callback). If two clusters grant copies at the same simulated instant,
 //! the engine commits them in deterministic event order and revokes the
-//! losers (`Scheduler::abort`), which is exactly what an instantaneous
-//! cancellation callback would do.
+//! losers, which is exactly what an instantaneous cancellation callback
+//! would do. All of that machinery lives in [`crate::driver`]; this
+//! module only decides *where copies go*: the home cluster first, then
+//! remotes drawn by the configured [`SelectionPolicy`] among clusters
+//! big enough for the job, with remote estimates optionally inflated by
+//! the late-binding data-staging factor of §3.1.2.
 //!
 //! # Faulty middleware
 //!
@@ -34,122 +40,91 @@
 //! never touches the fault stream, so its results are bit-identical to a
 //! build without fault support.
 
-use std::collections::VecDeque;
-
 use rand::rngs::StdRng;
 use rbr_faults::FaultModel;
-use rbr_sched::{Request, RequestId, Scheduler};
-use rbr_simcore::{unit, Duration, Engine, SeedSequence, SimTime};
+use rbr_sched::{ClusterSet, SchedulerSet};
+use rbr_simcore::{unit, SeedSequence, SimTime};
 use rbr_workload::{JobSpec, LublinModel};
 
 use crate::config::GridConfig;
-use crate::record::{JobRecord, RunResult};
+use crate::driver::{CopyPlan, SimDriver, SubmissionProtocol};
+use crate::record::RunResult;
+use crate::scheme::Scheme;
+use crate::select::SelectionPolicy;
 
-/// Engine events.
-#[derive(Clone, Copy, Debug)]
-enum Event {
-    /// A job arrives (index into the job table).
-    Submit(usize),
-    /// A running request finishes.
-    Complete {
-        /// Cluster it ran on.
-        cluster: usize,
-        /// Dense request index.
-        req: u64,
-    },
-    /// Faulty middleware: a submit message reaches its scheduler.
-    DeliverSubmit {
-        /// Job index.
+/// The multi-cluster placement policy: home first, then scheme-many
+/// remotes drawn by the selection policy among big-enough clusters.
+struct MultiCluster {
+    jobs: Vec<(JobSpec, usize)>,
+    cluster_nodes: Vec<u32>,
+    scheme: Scheme,
+    selection: SelectionPolicy,
+    redundant_fraction: f64,
+    remote_inflation: f64,
+}
+
+impl SubmissionProtocol for MultiCluster {
+    fn name(&self) -> &'static str {
+        "multi-cluster"
+    }
+
+    fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn arrival(&self, job: usize) -> SimTime {
+        self.jobs[job].0.arrival
+    }
+
+    fn home(&self, job: usize) -> usize {
+        self.jobs[job].1
+    }
+
+    fn place(
+        &mut self,
         job: usize,
-        /// Copy index within the job.
-        copy: usize,
-    },
-    /// Faulty middleware: a cancel message reaches its scheduler.
-    DeliverCancel {
-        /// Job index.
-        job: usize,
-        /// Copy index within the job.
-        copy: usize,
-    },
-    /// A scheduled cluster outage begins.
-    OutageDown {
-        /// Affected cluster.
-        cluster: usize,
-        /// Instant the cluster accepts traffic again.
-        recover: SimTime,
-    },
-}
+        _now: SimTime,
+        rng: &mut StdRng,
+        scheds: &dyn SchedulerSet,
+    ) -> Vec<CopyPlan> {
+        let (spec, home) = self.jobs[job];
+        let n = self.cluster_nodes.len();
 
-/// Which job (and which of its copies) a request belongs to.
-#[derive(Clone, Copy, Debug)]
-struct ReqInfo {
-    job: usize,
-    copy: usize,
-}
-
-/// Lifecycle of one copy under faulty middleware.
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum CopyPhase {
-    /// Submit message travelling (or awaiting an outage recovery).
-    InFlight,
-    /// Waiting in a scheduler's queue.
-    Queued,
-    /// Granted nodes and executing since `start`.
-    Running {
-        /// Execution start instant.
-        start: SimTime,
-    },
-    /// Cancel overtook the submit; discarded on delivery.
-    Doomed,
-    /// Cancelled, killed, dropped, or finished.
-    Dead,
-}
-
-/// One copy of a job under faulty middleware.
-#[derive(Clone, Copy, Debug)]
-struct CopyState {
-    cluster: usize,
-    rid: Option<RequestId>,
-    phase: CopyPhase,
-}
-
-/// Mutable per-job state during the run.
-#[derive(Clone, Debug, Default)]
-struct JobState {
-    started: Option<(usize, SimTime)>,
-    requests: Vec<(usize, RequestId)>,
-    redundant: bool,
-    predicted_wait: Option<Duration>,
-    done: bool,
-    /// Copy table (faulty-middleware runs only; empty otherwise).
-    copies: Vec<CopyState>,
-    /// Index of the copy whose start committed the job (faulty runs).
-    winner: Option<usize>,
+        // Does this job use redundancy, and where do its copies go?
+        let wants_redundancy = self.scheme.is_redundant(n)
+            && (self.redundant_fraction >= 1.0 || unit(rng) < self.redundant_fraction);
+        let mut targets = vec![home];
+        if wants_redundancy {
+            let copies = self.scheme.copies(n);
+            let eligible: Vec<usize> = (0..n)
+                .filter(|&c| c != home && self.cluster_nodes[c] >= spec.nodes)
+                .collect();
+            let queue_lens: Vec<usize> = (0..n).map(|c| scheds.queue_len(c)).collect();
+            targets.extend(
+                self.selection
+                    .choose(rng, &eligible, copies - 1, &queue_lens),
+            );
+        }
+        targets
+            .into_iter()
+            .map(|c| CopyPlan {
+                target: c,
+                nodes: spec.nodes,
+                estimate: if c == home {
+                    spec.estimate
+                } else {
+                    spec.estimate.scale(1.0 + self.remote_inflation)
+                },
+                runtime: spec.runtime,
+            })
+            .collect()
+    }
 }
 
 /// The simulation: build with [`GridSim::new`], execute with
 /// [`GridSim::run`], or do both with [`GridSim::execute`].
 pub struct GridSim {
-    config: GridConfig,
-    engine: Engine<Event>,
-    scheds: Vec<Box<dyn Scheduler>>,
-    jobs: Vec<(JobSpec, usize)>,
-    states: Vec<JobState>,
-    reqs: Vec<ReqInfo>,
-    rng: StdRng,
-    result: RunResult,
-    records: Vec<Option<JobRecord>>,
-    scratch: Vec<RequestId>,
-    worklist: VecDeque<(usize, RequestId)>,
-    /// Fault sampler on its own seed stream; `None` runs the original
-    /// perfect-middleware protocol.
-    faults: Option<FaultModel>,
-    /// Per-cluster outage horizon: cluster `c` is down while
-    /// `now < outage_until[c]`.
-    outage_until: Vec<SimTime>,
-    /// Tombstones for killed requests whose `Complete` event is still in
-    /// the engine (it has no cancellation API).
-    dead: Vec<bool>,
+    driver: SimDriver<MultiCluster>,
 }
 
 impl GridSim {
@@ -183,11 +158,7 @@ impl GridSim {
     /// # Panics
     /// Panics if a home cluster index is out of range or a job requests
     /// more nodes than its home cluster has.
-    pub fn with_jobs(
-        config: GridConfig,
-        jobs: Vec<(JobSpec, usize)>,
-        seed: SeedSequence,
-    ) -> Self {
+    pub fn with_jobs(config: GridConfig, jobs: Vec<(JobSpec, usize)>, seed: SeedSequence) -> Self {
         config.validate();
         let n = config.n_clusters();
         for (spec, home) in &jobs {
@@ -199,55 +170,35 @@ impl GridSim {
                 config.clusters[*home].nodes
             );
         }
-        let mut engine = Engine::new();
-        for (j, (spec, _)) in jobs.iter().enumerate() {
-            engine.schedule(spec.arrival, Event::Submit(j));
-        }
         // The fault stream is child(n + 1): disjoint from the per-cluster
         // workload streams child(0..n) and the redundancy/selection
         // stream child(n), so enabling faults never perturbs either.
         let faults = if config.faults.is_disabled() {
             None
         } else {
-            for o in &config.faults.outages {
-                engine.schedule(
-                    o.down,
-                    Event::OutageDown {
-                        cluster: o.cluster,
-                        recover: o.recover,
-                    },
-                );
-            }
             Some(FaultModel::new(
                 config.faults.clone(),
                 seed.child(n as u64 + 1),
             ))
         };
-        let scheds: Vec<Box<dyn Scheduler>> = config
-            .clusters
-            .iter()
-            .map(|c| config.algorithm.build_with_cycle(c.nodes, config.cbf_cycle))
-            .collect();
-        let states = vec![JobState::default(); jobs.len()];
-        let records = vec![None; jobs.len()];
-        GridSim {
-            rng: seed.child(n as u64).rng(),
-            result: RunResult {
-                max_queue_len: vec![0; n],
-                ..Default::default()
-            },
-            engine,
-            scheds,
-            states,
-            records,
-            reqs: Vec::with_capacity(jobs.len() * 2),
+        let cluster_nodes: Vec<u32> = config.clusters.iter().map(|c| c.nodes).collect();
+        let scheds = ClusterSet::new(config.algorithm, config.cbf_cycle, &cluster_nodes);
+        let protocol = MultiCluster {
             jobs,
-            config,
-            scratch: Vec::new(),
-            worklist: VecDeque::new(),
-            faults,
-            outage_until: vec![SimTime::ZERO; n],
-            dead: Vec::new(),
+            cluster_nodes,
+            scheme: config.scheme,
+            selection: config.selection,
+            redundant_fraction: config.redundant_fraction,
+            remote_inflation: config.remote_inflation,
+        };
+        GridSim {
+            driver: SimDriver::new(
+                protocol,
+                Box::new(scheds),
+                seed.child(n as u64).rng(),
+                faults,
+                config.collect_predictions,
+            ),
         }
     }
 
@@ -258,7 +209,7 @@ impl GridSim {
 
     /// Number of jobs in the run.
     pub fn n_jobs(&self) -> usize {
-        self.jobs.len()
+        self.driver.protocol().n_jobs()
     }
 
     /// Runs the simulation to completion and returns the results.
@@ -266,512 +217,17 @@ impl GridSim {
     /// # Panics
     /// Panics if any job fails to start or complete — that would be a
     /// scheduler bug, not a valid outcome.
-    pub fn run(mut self) -> RunResult {
-        while let Some((now, event)) = self.engine.pop() {
-            match event {
-                Event::Submit(j) => self.handle_submit(now, j),
-                Event::Complete { cluster, req } => self.handle_complete(now, cluster, req),
-                Event::DeliverSubmit { job, copy } => self.handle_deliver_submit(now, job, copy),
-                Event::DeliverCancel { job, copy } => self.handle_deliver_cancel(now, job, copy),
-                Event::OutageDown { cluster, recover } => {
-                    self.handle_outage_down(now, cluster, recover)
-                }
-            }
-        }
-        self.result.events = self.engine.processed();
-        self.result.backfills = self.scheds.iter().map(|s| s.backfills()).sum();
-        let records = std::mem::take(&mut self.records);
-        self.result.records = records
-            .into_iter()
-            .enumerate()
-            .map(|(j, r)| r.unwrap_or_else(|| panic!("job {j} never completed")))
-            .collect();
-        self.result
-    }
-
-    fn handle_submit(&mut self, now: SimTime, j: usize) {
-        let (spec, home) = self.jobs[j];
-        let n = self.config.n_clusters();
-
-        // Does this job use redundancy, and where do its copies go?
-        let wants_redundancy = self.config.scheme.is_redundant(n)
-            && (self.config.redundant_fraction >= 1.0
-                || unit(&mut self.rng) < self.config.redundant_fraction);
-        let mut targets = vec![home];
-        if wants_redundancy {
-            let copies = self.config.scheme.copies(n);
-            let eligible: Vec<usize> = (0..n)
-                .filter(|&c| c != home && self.config.clusters[c].nodes >= spec.nodes)
-                .collect();
-            let queue_lens: Vec<usize> = self.scheds.iter().map(|s| s.queue_len()).collect();
-            targets.extend(self.config.selection.choose(
-                &mut self.rng,
-                &eligible,
-                copies - 1,
-                &queue_lens,
-            ));
-        }
-        self.states[j].redundant = targets.len() > 1;
-
-        if self.faults.is_some() {
-            // Unreliable middleware: every copy becomes a message. No
-            // zero-latency short-circuit — all copies are dispatched.
-            self.dispatch_faulty_submits(now, j, &targets);
-            return;
-        }
-
-        for (copy, c) in targets.into_iter().enumerate() {
-            if self.states[j].started.is_some() {
-                // The callback already fired: the remaining copies are
-                // never submitted (they would be cancelled in the same
-                // instant with no effect on any schedule).
-                break;
-            }
-            let rid = RequestId(self.reqs.len() as u64);
-            self.reqs.push(ReqInfo { job: j, copy });
-            let estimate = if c == home {
-                spec.estimate
-            } else {
-                spec.estimate.scale(1.0 + self.config.remote_inflation)
-            };
-            let req = Request::new(rid, spec.nodes, estimate, now);
-            self.result.submits += 1;
-            self.scratch.clear();
-            self.scheds[c].submit(now, req, &mut self.scratch);
-            self.states[j].requests.push((c, rid));
-            for &started in &self.scratch {
-                self.worklist.push_back((c, started));
-            }
-            if self.config.collect_predictions {
-                let wait = self.scheds[c]
-                    .predicted_start(now, rid)
-                    .map(|s| s.since(now))
-                    .expect("request just submitted must be known");
-                let best = match self.states[j].predicted_wait {
-                    Some(prev) => prev.min(wait),
-                    None => wait,
-                };
-                self.states[j].predicted_wait = Some(best);
-            }
-            self.note_queue(c);
-            self.commit_starts(now);
-        }
-    }
-
-    fn handle_complete(&mut self, now: SimTime, cluster: usize, req: u64) {
-        self.result.makespan = now;
-        if self.faults.is_some() {
-            self.handle_complete_faulty(now, cluster, req);
-            return;
-        }
-        let rid = RequestId(req);
-        let j = self.reqs[req as usize].job;
-        let state = &mut self.states[j];
-        debug_assert_eq!(state.started.map(|(c, _)| c), Some(cluster));
-        debug_assert!(!state.done, "job {j} completed twice");
-        state.done = true;
-
-        let (spec, home) = self.jobs[j];
-        let (_, start) = state.started.expect("completing job must have started");
-        self.records[j] = Some(JobRecord {
-            job: j,
-            home,
-            ran_on: cluster,
-            nodes: spec.nodes,
-            arrival: spec.arrival,
-            start,
-            completion: now,
-            runtime: spec.runtime,
-            redundant: state.redundant,
-            copies: state.requests.len() as u32,
-            predicted_wait: state.predicted_wait,
-        });
-
-        self.scratch.clear();
-        self.scheds[cluster].complete(now, rid, &mut self.scratch);
-        let newly: Vec<RequestId> = self.scratch.drain(..).collect();
-        for started in newly {
-            self.worklist.push_back((cluster, started));
-        }
-        self.commit_starts(now);
-    }
-
-    /// Faulty middleware: turns each copy of job `j` into a submit
-    /// message routed through the [`FaultModel`].
-    fn dispatch_faulty_submits(&mut self, now: SimTime, j: usize, targets: &[usize]) {
-        for (copy, &c) in targets.iter().enumerate() {
-            // Copy 0 is the home submission: it escalates to guaranteed
-            // delivery after the retry budget, so no job can vanish.
-            let plan = self
-                .faults
-                .as_mut()
-                .expect("faulty dispatch requires a fault model")
-                .plan_submit(now, copy == 0);
-            self.result.lost_submits += plan.lost_attempts as u64;
-            let phase = match plan.delivery {
-                Some(at) => {
-                    self.engine.schedule(at, Event::DeliverSubmit { job: j, copy });
-                    CopyPhase::InFlight
-                }
-                None => {
-                    self.result.dropped_copies += 1;
-                    CopyPhase::Dead
-                }
-            };
-            self.states[j].copies.push(CopyState {
-                cluster: c,
-                rid: None,
-                phase,
-            });
-        }
-    }
-
-    /// A submit message arrives at its scheduler (faulty runs only).
-    fn handle_deliver_submit(&mut self, now: SimTime, j: usize, copy: usize) {
-        let c = self.states[j].copies[copy].cluster;
-        if now < self.outage_until[c] {
-            // The cluster is down: the middleware holds the message and
-            // re-delivers at recovery.
-            self.engine.schedule(
-                self.outage_until[c],
-                Event::DeliverSubmit { job: j, copy },
-            );
-            return;
-        }
-        match self.states[j].copies[copy].phase {
-            CopyPhase::InFlight => {}
-            CopyPhase::Doomed => {
-                // The cancel overtook this submit; the broker discards it.
-                self.states[j].copies[copy].phase = CopyPhase::Dead;
-                return;
-            }
-            CopyPhase::Dead => return,
-            phase => unreachable!("submit delivered to copy in phase {phase:?}"),
-        }
-        if self.states[j].done {
-            // The job finished while this (retried or delayed) submission
-            // was in flight; the broker discards it on arrival.
-            self.states[j].copies[copy].phase = CopyPhase::Dead;
-            return;
-        }
-        let (spec, home) = self.jobs[j];
-        let rid = RequestId(self.reqs.len() as u64);
-        self.reqs.push(ReqInfo { job: j, copy });
-        self.dead.push(false);
-        let estimate = if c == home {
-            spec.estimate
-        } else {
-            spec.estimate.scale(1.0 + self.config.remote_inflation)
-        };
-        let req = Request::new(rid, spec.nodes, estimate, now);
-        self.result.submits += 1;
-        self.scratch.clear();
-        self.scheds[c].submit(now, req, &mut self.scratch);
-        self.states[j].copies[copy].rid = Some(rid);
-        self.states[j].copies[copy].phase = CopyPhase::Queued;
-        for &started in &self.scratch {
-            self.worklist.push_back((c, started));
-        }
-        if self.config.collect_predictions {
-            let wait = self.scheds[c]
-                .predicted_start(now, rid)
-                .map(|s| s.since(now))
-                .expect("request just submitted must be known");
-            let best = match self.states[j].predicted_wait {
-                Some(prev) => prev.min(wait),
-                None => wait,
-            };
-            self.states[j].predicted_wait = Some(best);
-        }
-        self.note_queue(c);
-        self.commit_starts(now);
-    }
-
-    /// A cancel message arrives at its scheduler (faulty runs only).
-    fn handle_deliver_cancel(&mut self, now: SimTime, j: usize, copy: usize) {
-        let cs = self.states[j].copies[copy];
-        if now < self.outage_until[cs.cluster] {
-            self.engine.schedule(
-                self.outage_until[cs.cluster],
-                Event::DeliverCancel { job: j, copy },
-            );
-            return;
-        }
-        match cs.phase {
-            CopyPhase::InFlight => {
-                self.states[j].copies[copy].phase = CopyPhase::Doomed;
-            }
-            CopyPhase::Queued => {
-                let rid = cs.rid.expect("queued copy has a request id");
-                self.scratch.clear();
-                if self.scheds[cs.cluster].cancel(now, rid, &mut self.scratch) {
-                    self.result.cancels += 1;
-                }
-                self.states[j].copies[copy].phase = CopyPhase::Dead;
-                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
-                for started in newly {
-                    self.worklist.push_back((cs.cluster, started));
-                }
-                self.note_queue(cs.cluster);
-                self.commit_starts(now);
-            }
-            CopyPhase::Running { start } => {
-                // Kill the running copy; its partial work is wasted.
-                let rid = cs.rid.expect("running copy has a request id");
-                let (spec, _) = self.jobs[j];
-                self.result.cancels += 1;
-                self.result.wasted_node_secs +=
-                    spec.nodes as f64 * now.since(start).as_secs();
-                self.dead[rid.0 as usize] = true;
-                self.states[j].copies[copy].phase = CopyPhase::Dead;
-                self.scratch.clear();
-                self.scheds[cs.cluster].complete(now, rid, &mut self.scratch);
-                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
-                for started in newly {
-                    self.worklist.push_back((cs.cluster, started));
-                }
-                let stale_winner_killed =
-                    self.states[j].winner == Some(copy) && !self.states[j].done;
-                if stale_winner_killed {
-                    // A stale cancel (sent before an outage restarted the
-                    // race) caught up with the copy that is now the
-                    // winner. The submitter notices the kill and
-                    // resubmits this copy with guaranteed delivery.
-                    self.states[j].started = None;
-                    self.states[j].winner = None;
-                    let plan = self
-                        .faults
-                        .as_mut()
-                        .expect("faulty path has a fault model")
-                        .plan_submit(now, true);
-                    self.result.lost_submits += plan.lost_attempts as u64;
-                    let at = plan.delivery.expect("guaranteed delivery");
-                    self.states[j].copies[copy].rid = None;
-                    self.states[j].copies[copy].phase = CopyPhase::InFlight;
-                    self.engine.schedule(at, Event::DeliverSubmit { job: j, copy });
-                }
-                self.note_queue(cs.cluster);
-                self.commit_starts(now);
-            }
-            CopyPhase::Doomed | CopyPhase::Dead => {}
-        }
-    }
-
-    /// A running request finished under faulty middleware: the first copy
-    /// of a job to finish completes the job; any later completion is a
-    /// zombie whose execution was pure waste.
-    fn handle_complete_faulty(&mut self, now: SimTime, cluster: usize, req: u64) {
-        if self.dead[req as usize] {
-            // Killed earlier (cancel or outage); stale engine event.
-            return;
-        }
-        let ReqInfo { job: j, copy } = self.reqs[req as usize];
-        let cs = self.states[j].copies[copy];
-        let CopyPhase::Running { start } = cs.phase else {
-            unreachable!("completing copy must be running, was {:?}", cs.phase)
-        };
-        self.states[j].copies[copy].phase = CopyPhase::Dead;
-        self.scratch.clear();
-        self.scheds[cluster].complete(now, RequestId(req), &mut self.scratch);
-        let newly: Vec<RequestId> = self.scratch.drain(..).collect();
-        for started in newly {
-            self.worklist.push_back((cluster, started));
-        }
-        let (spec, home) = self.jobs[j];
-        if self.states[j].done {
-            // Zombie ran to natural completion: its whole execution is
-            // wasted node-time.
-            self.result.wasted_node_secs += spec.nodes as f64 * spec.runtime.as_secs();
-        } else {
-            self.states[j].done = true;
-            self.records[j] = Some(JobRecord {
-                job: j,
-                home,
-                ran_on: cluster,
-                nodes: spec.nodes,
-                arrival: spec.arrival,
-                start,
-                completion: now,
-                runtime: spec.runtime,
-                redundant: self.states[j].redundant,
-                copies: self.states[j].copies.len() as u32,
-                predicted_wait: self.states[j].predicted_wait,
-            });
-        }
-        self.note_queue(cluster);
-        self.commit_starts(now);
-    }
-
-    /// A scheduled outage begins: the cluster's scheduler loses all
-    /// state. Running copies are killed (the job restarts if the winner
-    /// died), queued copies evaporate and are re-delivered at recovery.
-    fn handle_outage_down(&mut self, now: SimTime, c: usize, recover: SimTime) {
-        self.outage_until[c] = recover;
-        self.scheds[c] = self
-            .config
-            .algorithm
-            .build_with_cycle(self.config.clusters[c].nodes, self.config.cbf_cycle);
-        for j in 0..self.states.len() {
-            for copy in 0..self.states[j].copies.len() {
-                let cs = self.states[j].copies[copy];
-                if cs.cluster != c {
-                    continue;
-                }
-                match cs.phase {
-                    CopyPhase::Queued => {
-                        // Evaporated with the scheduler; the middleware
-                        // notices at recovery and re-delivers.
-                        self.result.outage_kills += 1;
-                        self.states[j].copies[copy].rid = None;
-                        self.states[j].copies[copy].phase = CopyPhase::InFlight;
-                        self.engine.schedule(recover, Event::DeliverSubmit { job: j, copy });
-                    }
-                    CopyPhase::Running { start } => {
-                        let rid = cs.rid.expect("running copy has a request id");
-                        let (spec, _) = self.jobs[j];
-                        self.result.outage_kills += 1;
-                        self.result.wasted_node_secs +=
-                            spec.nodes as f64 * now.since(start).as_secs();
-                        self.dead[rid.0 as usize] = true;
-                        if self.states[j].winner == Some(copy) && !self.states[j].done {
-                            // The job itself died with the cluster; the
-                            // submitter resubmits this copy at recovery.
-                            self.states[j].started = None;
-                            self.states[j].winner = None;
-                            self.states[j].copies[copy].rid = None;
-                            self.states[j].copies[copy].phase = CopyPhase::InFlight;
-                            self.engine
-                                .schedule(recover, Event::DeliverSubmit { job: j, copy });
-                        } else {
-                            self.states[j].copies[copy].phase = CopyPhase::Dead;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-    }
-
-    /// Faulty middleware's cancellation callback: fired once, when the
-    /// first copy of job `j` starts. Each live sibling gets its own
-    /// cancel message through the fault model.
-    fn send_cancels(&mut self, now: SimTime, j: usize, winner_copy: usize) {
-        for copy in 0..self.states[j].copies.len() {
-            if copy == winner_copy {
-                continue;
-            }
-            match self.states[j].copies[copy].phase {
-                CopyPhase::InFlight | CopyPhase::Queued | CopyPhase::Running { .. } => {}
-                CopyPhase::Doomed | CopyPhase::Dead => continue,
-            }
-            let plan = self
-                .faults
-                .as_mut()
-                .expect("faulty path has a fault model")
-                .plan_cancel(now);
-            match plan.delivery {
-                Some(at) => {
-                    self.engine.schedule(at, Event::DeliverCancel { job: j, copy });
-                }
-                None => self.result.lost_cancels += 1,
-            }
-        }
-    }
-
-    /// Faulty variant of the start worklist: a start commits the job if
-    /// it is the first, otherwise the copy becomes a zombie (no
-    /// zero-latency revocation — the cancellation callback travels as a
-    /// message like everything else).
-    fn commit_starts_faulty(&mut self, now: SimTime) {
-        while let Some((c, rid)) = self.worklist.pop_front() {
-            let ReqInfo { job: j, copy } = self.reqs[rid.0 as usize];
-            debug_assert!(!self.dead[rid.0 as usize], "dead request started");
-            debug_assert_eq!(self.states[j].copies[copy].phase, CopyPhase::Queued);
-            self.states[j].copies[copy].phase = CopyPhase::Running { start: now };
-            let (spec, _) = self.jobs[j];
-            self.engine.schedule(
-                now + spec.runtime,
-                Event::Complete {
-                    cluster: c,
-                    req: rid.0,
-                },
-            );
-            if self.states[j].started.is_none() && !self.states[j].done {
-                self.states[j].started = Some((c, now));
-                self.states[j].winner = Some(copy);
-                self.send_cancels(now, j, copy);
-            } else {
-                self.result.zombie_starts += 1;
-            }
-            self.note_queue(c);
-        }
-    }
-
-    /// Drains the start worklist: commits job starts, cancels siblings,
-    /// revokes starts whose job already began elsewhere, and follows any
-    /// cascade of new starts those actions release.
-    fn commit_starts(&mut self, now: SimTime) {
-        if self.faults.is_some() {
-            self.commit_starts_faulty(now);
-            return;
-        }
-        while let Some((c, rid)) = self.worklist.pop_front() {
-            let j = self.reqs[rid.0 as usize].job;
-            if self.states[j].started.is_some() {
-                // Lost the same-instant race: revoke.
-                self.result.aborts += 1;
-                self.scratch.clear();
-                self.scheds[c].abort(now, rid, &mut self.scratch);
-                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
-                for started in newly {
-                    self.worklist.push_back((c, started));
-                }
-                continue;
-            }
-            // Commit: the job starts here, now.
-            self.states[j].started = Some((c, now));
-            let (spec, _) = self.jobs[j];
-            self.engine.schedule(
-                now + spec.runtime,
-                Event::Complete {
-                    cluster: c,
-                    req: rid.0,
-                },
-            );
-            // The callback: cancel every sibling copy.
-            let siblings = self.states[j].requests.clone();
-            for (c2, rid2) in siblings {
-                if rid2 == rid {
-                    continue;
-                }
-                self.scratch.clear();
-                if self.scheds[c2].cancel(now, rid2, &mut self.scratch) {
-                    self.result.cancels += 1;
-                }
-                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
-                for started in newly {
-                    self.worklist.push_back((c2, started));
-                }
-                self.note_queue(c2);
-            }
-        }
-    }
-
-    fn note_queue(&mut self, c: usize) {
-        let len = self.scheds[c].queue_len();
-        if len > self.result.max_queue_len[c] {
-            self.result.max_queue_len[c] = len;
-        }
+    pub fn run(self) -> RunResult {
+        self.driver.run()
     }
 }
-
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::record::JobClass;
-    use crate::scheme::Scheme;
     use rbr_sched::Algorithm;
+    use rbr_simcore::Duration;
 
     fn small_config(n: usize, scheme: Scheme) -> GridConfig {
         let mut cfg = GridConfig::homogeneous(n, scheme);
@@ -862,10 +318,7 @@ mod tests {
         cfg.collect_predictions = true;
         cfg.window = Duration::from_secs(900.0);
         let result = GridSim::execute(cfg, SeedSequence::new(76));
-        assert!(result
-            .records
-            .iter()
-            .all(|r| r.predicted_wait.is_some()));
+        assert!(result.records.iter().all(|r| r.predicted_wait.is_some()));
         // Jobs that started instantly predicted zero wait.
         for r in &result.records {
             if r.wait().is_zero() && r.copies == 1 {
@@ -896,7 +349,11 @@ mod tests {
         let result = GridSim::execute(cfg, SeedSequence::new(78));
         for r in &result.records {
             if r.ran_on == 0 {
-                assert!(r.nodes <= 16, "{} nodes ran on the 16-node cluster", r.nodes);
+                assert!(
+                    r.nodes <= 16,
+                    "{} nodes ran on the 16-node cluster",
+                    r.nodes
+                );
             }
             // Jobs from the big cluster wider than 16 nodes must run home.
             if r.home == 1 && r.nodes > 16 {
@@ -993,7 +450,12 @@ mod tests {
         // Every job still completes exactly once.
         assert_eq!(
             result.records.len(),
-            result.records.iter().map(|r| r.job).collect::<std::collections::HashSet<_>>().len()
+            result
+                .records
+                .iter()
+                .map(|r| r.job)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
         );
         for r in &result.records {
             assert_eq!(r.completion, r.start + r.runtime);

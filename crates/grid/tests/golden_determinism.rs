@@ -100,8 +100,7 @@ fn check_golden(label: &str, make: fn() -> GridConfig) {
         let want = fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
         assert_eq!(
-            got,
-            want,
+            got, want,
             "faultless multi-cluster run diverged from pre-refactor golden \
              ({label}, seed {seed})"
         );
@@ -125,5 +124,36 @@ fn multicluster_same_seed_is_bit_identical() {
         let a = GridSim::execute(all3(), SeedSequence::new(seed));
         let b = GridSim::execute(all3(), SeedSequence::new(seed));
         assert_eq!(digest(&a), digest(&b), "seed {seed}");
+    }
+}
+
+/// The dual-queue protocol runs on the same [`rbr_grid::SimDriver`] core,
+/// so it inherits the same determinism contract: same seed → identical
+/// digest, including the unified counters.
+#[test]
+fn dual_queue_same_seed_is_bit_identical() {
+    use rbr_grid::dual_queue::{self, DualQueueConfig};
+    let mut cfg = DualQueueConfig::new(0.4);
+    cfg.window = Duration::from_secs(1_200.0);
+    for seed in [0u64, 1, 2, 3] {
+        let a = dual_queue::run(&cfg, SeedSequence::new(seed));
+        let b = dual_queue::run(&cfg, SeedSequence::new(seed));
+        assert_eq!(digest(&a.run), digest(&b.run), "seed {seed}");
+    }
+}
+
+/// Moldable shape racing draws shape order from the driver rng; same seed
+/// → identical digest for both the fixed-shape and all-shapes policies.
+#[test]
+fn moldable_same_seed_is_bit_identical() {
+    use rbr_grid::moldable::{self, MoldableConfig, ShapePolicy};
+    for policy in [ShapePolicy::Fixed(0), ShapePolicy::AllShapes] {
+        let mut cfg = MoldableConfig::new(policy);
+        cfg.window = Duration::from_secs(1_200.0);
+        for seed in [0u64, 1, 2, 3] {
+            let a = moldable::run(&cfg, SeedSequence::new(seed));
+            let b = moldable::run(&cfg, SeedSequence::new(seed));
+            assert_eq!(digest(&a.run), digest(&b.run), "seed {seed} {policy:?}");
+        }
     }
 }

@@ -1,0 +1,89 @@
+//! Property tests for the protocol-trait simulation core: for arbitrary
+//! seeds and redundancy fractions, every protocol driven by the shared
+//! [`SimDriver`](rbr_grid::SimDriver) must start each job exactly once,
+//! never cancel a committed winner, produce non-negative waits, and waste
+//! zero node-seconds under perfect middleware.
+
+use proptest::prelude::*;
+use rbr_grid::dual_queue::{self, DualQueueConfig};
+use rbr_grid::moldable::{self, MoldableConfig, ShapePolicy};
+use rbr_grid::{GridConfig, GridSim, RunResult, Scheme};
+use rbr_simcore::{Duration, SeedSequence};
+
+/// The invariants every protocol inherits from the shared driver.
+fn check_invariants(run: &RunResult) {
+    let n_targets = run.max_queue_len.len();
+    for (i, r) in run.records.iter().enumerate() {
+        // Every job starts exactly once: one record per job, in job
+        // order, each naming a valid winning target.
+        assert_eq!(r.job, i, "records must be one per job, in job order");
+        assert!(
+            r.ran_on < n_targets,
+            "job {i} ran on unknown target {}",
+            r.ran_on
+        );
+        // Non-negative wait, and the committed winner ran to completion.
+        assert!(r.start >= r.arrival, "job {i} started before its arrival");
+        assert_eq!(
+            r.completion,
+            r.start + r.runtime,
+            "job {i} completion drifted"
+        );
+        assert!(r.copies >= 1, "job {i} submitted no copies");
+        // copies can stay at 1 for a redundant job whose first copy
+        // started instantly (remaining plans are skipped), but more than
+        // one submitted copy always means the job raced redundantly.
+        assert!(r.copies == 1 || r.redundant, "job {i} redundancy flag");
+        assert!(
+            run.makespan >= r.completion,
+            "makespan before job {i} finished"
+        );
+    }
+    // Perfect middleware: the race never wastes node-time.
+    assert_eq!(
+        run.zombie_starts, 0,
+        "zombie start under perfect middleware"
+    );
+    assert_eq!(run.wasted_node_secs, 0.0, "waste under perfect middleware");
+    // A committed winner is never cancelled: every submitted copy is
+    // accounted as exactly one of winner / cancelled loser / same-instant
+    // abort, so winners and cancellations are disjoint.
+    assert_eq!(
+        run.submits,
+        run.records.len() as u64 + run.cancels + run.aborts,
+        "copy accounting must partition submits into winners, cancels, aborts"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn multicluster_protocol_invariants(seed in 0u64..1_000_000, frac in 0.0f64..=1.0) {
+        let mut cfg = GridConfig::homogeneous(3, Scheme::All);
+        cfg.redundant_fraction = frac;
+        cfg.window = Duration::from_secs(900.0);
+        let run = GridSim::execute(cfg, SeedSequence::new(seed));
+        prop_assert!(!run.records.is_empty());
+        check_invariants(&run);
+    }
+
+    #[test]
+    fn dual_queue_protocol_invariants(seed in 0u64..1_000_000, frac in 0.0f64..=1.0) {
+        let mut cfg = DualQueueConfig::new(frac);
+        cfg.window = Duration::from_secs(900.0);
+        let result = dual_queue::run(&cfg, SeedSequence::new(seed));
+        prop_assert!(!result.run.records.is_empty());
+        check_invariants(&result.run);
+    }
+
+    #[test]
+    fn moldable_protocol_invariants(seed in 0u64..1_000_000, shape in 0usize..3) {
+        let policy = if shape == 0 { ShapePolicy::AllShapes } else { ShapePolicy::Fixed(shape - 1) };
+        let mut cfg = MoldableConfig::new(policy);
+        cfg.window = Duration::from_secs(900.0);
+        let result = moldable::run(&cfg, SeedSequence::new(seed));
+        prop_assert!(!result.run.records.is_empty());
+        check_invariants(&result.run);
+    }
+}

@@ -30,6 +30,7 @@
 pub mod cbf;
 pub mod core;
 pub mod easy;
+pub mod facade;
 pub mod fcfs;
 pub mod multi_queue;
 pub mod profile;
@@ -38,6 +39,7 @@ pub mod types;
 
 pub use cbf::CbfScheduler;
 pub use easy::EasyScheduler;
+pub use facade::{ClusterSet, MultiQueueSet, SchedulerSet};
 pub use fcfs::FcfsScheduler;
 pub use multi_queue::MultiQueueScheduler;
 pub use profile::Profile;

@@ -28,6 +28,7 @@ pub type QueueId = usize;
 pub struct MultiQueueScheduler {
     core: ClusterCore,
     queues: Vec<VecDeque<Request>>,
+    backfills: u64,
 }
 
 impl MultiQueueScheduler {
@@ -41,7 +42,13 @@ impl MultiQueueScheduler {
         MultiQueueScheduler {
             core: ClusterCore::new(nodes),
             queues: vec![VecDeque::new(); n_queues],
+            backfills: 0,
         }
+    }
+
+    /// Number of requests started out of priority order (phase-2 starts).
+    pub fn backfills(&self) -> u64 {
+        self.backfills
     }
 
     /// Machine size.
@@ -87,7 +94,13 @@ impl MultiQueueScheduler {
     /// # Panics
     /// Panics if the queue does not exist or the request cannot ever fit
     /// the machine.
-    pub fn submit(&mut self, now: SimTime, queue: QueueId, req: Request, starts: &mut Vec<RequestId>) {
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        queue: QueueId,
+        req: Request,
+        starts: &mut Vec<RequestId>,
+    ) {
         assert!(queue < self.queues.len(), "queue {queue} does not exist");
         assert!(
             req.nodes <= self.core.total(),
@@ -164,6 +177,7 @@ impl MultiQueueScheduler {
                         }
                         self.queues[queue].remove(i).expect("index in bounds");
                         self.core.start(now, cand);
+                        self.backfills += 1;
                         starts.push(cand.id);
                         continue;
                     }
@@ -188,7 +202,12 @@ mod tests {
     use rbr_simcore::Duration;
 
     fn req(id: u64, nodes: u32, est: f64) -> Request {
-        Request::new(RequestId(id), nodes, Duration::from_secs(est), SimTime::ZERO)
+        Request::new(
+            RequestId(id),
+            nodes,
+            Duration::from_secs(est),
+            SimTime::ZERO,
+        )
     }
     fn t(s: f64) -> SimTime {
         SimTime::from_secs(s)
@@ -217,8 +236,8 @@ mod tests {
         let mut starts = Vec::new();
         s.submit(t(0.0), 0, req(1, 8, 100.0), &mut starts); // runs
         s.submit(t(0.0), 0, req(2, 8, 50.0), &mut starts); // premium head, blocked
-        // A standard short narrow job backfills under the premium head's
-        // shadow.
+                                                           // A standard short narrow job backfills under the premium head's
+                                                           // shadow.
         s.submit(t(0.0), 1, req(3, 2, 50.0), &mut starts);
         assert_eq!(starts, vec![RequestId(1), RequestId(3)]);
     }

@@ -1,0 +1,41 @@
+//! Fairness indices over per-entity allocations.
+
+/// Jain's fairness index `(Σx)² / (n · Σx²)` over non-negative values:
+/// 1 when all values are equal, `1/n` when a single entity holds
+/// everything. An empty or all-zero input is perfectly fair (1).
+pub fn jain_index(values: &[f64]) -> f64 {
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq > 0.0 {
+        sum * sum / (values.len() as f64 * sum_sq)
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_are_perfectly_fair() {
+        assert!((jain_index(&[0.5, 0.5, 0.5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_holder_scores_one_over_n() {
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_two_value_case() {
+        // (1.5)² / (2 × 1.25) = 0.9.
+        assert!((jain_index(&[1.0, 0.5]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_fair() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+}

@@ -12,13 +12,16 @@
 //! * [`Histogram`] — fixed-bin histogram for distributional sanity checks.
 //! * [`WasteAccount`] — useful vs wasted node-seconds under faulty
 //!   middleware, mergeable across replications.
+//! * [`jain_index`] — Jain's fairness index over per-cluster loads.
 
+pub mod fairness;
 pub mod histogram;
 pub mod percentile;
 pub mod relative;
 pub mod summary;
 pub mod waste;
 
+pub use fairness::jain_index;
 pub use histogram::Histogram;
 pub use percentile::Percentiles;
 pub use relative::{mean_relative, RelativeSeries};
