@@ -1,0 +1,44 @@
+//! Process-wide violation collection for audited registry runs.
+//!
+//! The experiment registry constructs its own [`rbr_grid::SimDriver`]s
+//! deep inside each experiment, so the auditor cannot be attached by
+//! hand. [`install`] registers an observer factory that equips every
+//! subsequently built driver with a fresh [`Auditor`]; each auditor
+//! drains its violations into a shared sink when its run ends, and
+//! [`harvest`] collects everything found since the last call.
+//!
+//! The sink is process-global (experiments replicate runs across worker
+//! threads), so audited runs of *different* experiments must be
+//! serialized: install → run → harvest → [`uninstall`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Mutex;
+
+use crate::auditor::{Auditor, Violation};
+
+static SINK: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
+
+pub(crate) fn push(violations: Vec<Violation>) {
+    SINK.lock().expect("audit sink lock").extend(violations);
+}
+
+/// Clears the sink and installs an observer factory attaching a fresh
+/// sink-reporting [`Auditor`] to every driver built from now on.
+pub fn install() {
+    SINK.lock().expect("audit sink lock").clear();
+    rbr_grid::install_observer_factory(Box::new(|| {
+        Rc::new(RefCell::new(Auditor::reporting_to_sink()))
+    }));
+}
+
+/// Takes every violation reported since [`install`] (or the previous
+/// harvest), leaving the sink empty.
+pub fn harvest() -> Vec<Violation> {
+    std::mem::take(&mut *SINK.lock().expect("audit sink lock"))
+}
+
+/// Removes the auditing factory; subsequent drivers run unobserved.
+pub fn uninstall() {
+    rbr_grid::clear_observer_factory();
+}

@@ -1,0 +1,277 @@
+//! The auditor must catch broken schedulers, not just bless working
+//! ones: each test drives the [`Auditor`] through the hook sequence a
+//! buggy scheduler implementation would emit and asserts the specific
+//! invariant fires, with the offending event trace attached.
+
+use rbr_audit::Auditor;
+use rbr_sched::{Request, RequestId, SchedObserver, StartKind};
+use rbr_simcore::{Duration, SimTime};
+
+fn req(id: u64, nodes: u32, est: f64, submit: f64) -> Request {
+    Request::new(
+        RequestId(id),
+        nodes,
+        Duration::from_secs(est),
+        SimTime::from_secs(submit),
+    )
+}
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+/// A scheduler double that admits jobs beyond the machine size: three
+/// 2-node starts on a 4-node machine. The auditor must report the
+/// oversubscription and carry the trace of the decisions leading there.
+#[test]
+fn capacity_oversubscription_is_detected_with_trace() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 4, "BUGGY");
+    for id in 1..=3 {
+        a.on_submit(0, t(0.0), 0, &req(id, 2, 100.0, 0.0));
+    }
+    a.on_start(0, t(0.0), &req(1, 2, 100.0, 0.0), StartKind::FifoHead);
+    a.on_start(0, t(0.0), &req(2, 2, 100.0, 0.0), StartKind::FifoHead);
+    assert!(a.violations().is_empty(), "4 nodes hold two 2-node jobs");
+
+    // The buggy double starts the third job anyway.
+    a.on_start(0, t(0.0), &req(3, 2, 100.0, 0.0), StartKind::FifoHead);
+    let violations = a.take_violations();
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    let v = &violations[0];
+    assert_eq!(v.kind, "capacity");
+    assert_eq!(v.sched, 0);
+    assert!(
+        v.message.contains("oversubscribed by 2"),
+        "message: {}",
+        v.message
+    );
+    // The trace must show how the machine got here: the submits, the two
+    // legitimate starts, and the offending start itself as the last line.
+    assert!(!v.trace.is_empty());
+    assert!(v.trace.iter().any(|l| l.contains("submit r1")));
+    assert!(v.trace.iter().any(|l| l.contains("start r2")));
+    let last = v.trace.last().expect("non-empty trace");
+    assert!(last.contains("start r3"), "last trace line: {last}");
+    // And the report renders with the trace inline.
+    let report = v.to_string();
+    assert!(report.contains("[capacity]"));
+    assert!(report.contains("event trace"));
+}
+
+/// A double that starts a later arrival as "FIFO head" while an earlier
+/// request is still waiting.
+#[test]
+fn fifo_order_violation_is_detected() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 8, "BUGGY");
+    a.on_submit(0, t(0.0), 0, &req(1, 8, 100.0, 0.0));
+    a.on_submit(0, t(1.0), 0, &req(2, 4, 100.0, 1.0));
+    a.on_start(0, t(1.0), &req(2, 4, 100.0, 1.0), StartKind::FifoHead);
+    let violations = a.take_violations();
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    assert_eq!(violations[0].kind, "fifo-order");
+    assert!(violations[0].message.contains("request r1"));
+}
+
+/// The same out-of-order start declared as a backfill is legitimate —
+/// only *head* starts claim FIFO rank.
+#[test]
+fn declared_backfills_are_exempt_from_fifo_order() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 8, "EASY-LIKE");
+    a.on_submit(0, t(0.0), 0, &req(1, 8, 100.0, 0.0));
+    a.on_submit(0, t(1.0), 0, &req(2, 4, 100.0, 1.0));
+    a.on_start(0, t(1.0), &req(2, 4, 100.0, 1.0), StartKind::Backfill);
+    assert!(a.violations().is_empty());
+}
+
+/// A double whose backfilling delays the guaranteed head: the head's
+/// shadow promised a start by t=100 but it only starts at t=150.
+#[test]
+fn easy_head_delay_is_detected() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 10, "BUGGY-EASY");
+    a.on_submit(0, t(0.0), 0, &req(1, 10, 100.0, 0.0));
+    a.on_start(0, t(0.0), &req(1, 10, 100.0, 0.0), StartKind::FifoHead);
+    a.on_submit(0, t(0.0), 0, &req(2, 10, 50.0, 0.0));
+    a.on_shadow(0, t(0.0), &req(2, 10, 50.0, 0.0), t(100.0), 0);
+    a.on_finish(0, t(100.0), RequestId(1), 10);
+    a.on_start(0, t(150.0), &req(2, 10, 50.0, 0.0), StartKind::FifoHead);
+    let violations = a.take_violations();
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    assert_eq!(violations[0].kind, "easy-head-delay");
+    assert!(violations[0].message.contains("100.000s"));
+}
+
+/// The head guarantee tracks the *tightest* shadow: a later, looser
+/// recomputation must not launder an earlier promise.
+#[test]
+fn easy_head_bound_keeps_the_minimum_shadow() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 10, "BUGGY-EASY");
+    a.on_submit(0, t(0.0), 0, &req(1, 10, 200.0, 0.0));
+    a.on_start(0, t(0.0), &req(1, 10, 200.0, 0.0), StartKind::FifoHead);
+    a.on_submit(0, t(0.0), 0, &req(2, 10, 50.0, 0.0));
+    a.on_shadow(0, t(0.0), &req(2, 10, 50.0, 0.0), t(100.0), 0);
+    a.on_shadow(0, t(10.0), &req(2, 10, 50.0, 0.0), t(200.0), 0);
+    a.on_finish(0, t(150.0), RequestId(1), 10);
+    a.on_start(0, t(150.0), &req(2, 10, 50.0, 0.0), StartKind::FifoHead);
+    let violations = a.take_violations();
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    assert_eq!(violations[0].kind, "easy-head-delay");
+}
+
+/// A double that lets a CBF reservation slip with no compression to
+/// excuse it: first reserved at 100, silently re-reserved at 200.
+#[test]
+fn cbf_reservation_slip_is_detected() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 8, "BUGGY-CBF");
+    a.on_submit(0, t(0.0), 0, &req(1, 4, 100.0, 0.0));
+    a.on_reserve(0, t(0.0), RequestId(1), t(100.0));
+    a.on_reserve(0, t(10.0), RequestId(1), t(200.0));
+    let violations = a.take_violations();
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    assert_eq!(violations[0].kind, "cbf-reservation");
+    assert!(violations[0].message.contains("100.000s → 200.000s"));
+}
+
+/// The documented excuse: once a reservation's own anchor has passed
+/// (the running job it stacked on outlived its phantom requested end),
+/// re-anchoring later is legal, and so is the cascade it pushes at the
+/// same compression instant.
+#[test]
+fn overdue_compression_cascade_is_excused() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 8, "CBF");
+    a.on_submit(0, t(0.0), 0, &req(1, 4, 100.0, 0.0));
+    a.on_submit(0, t(0.0), 0, &req(2, 4, 100.0, 0.0));
+    a.on_reserve(0, t(0.0), RequestId(1), t(50.0));
+    a.on_reserve(0, t(0.0), RequestId(2), t(50.0));
+    // t = 60: request 1's reservation (50) is overdue — the job ahead of
+    // it ran past its estimate. Re-anchoring at now and pushing request 2
+    // at the same instant is the compression cascade, not a violation.
+    a.on_reserve(0, t(60.0), RequestId(1), t(60.0));
+    a.on_reserve(0, t(60.0), RequestId(2), t(75.0));
+    assert!(a.violations().is_empty(), "{:#?}", a.violations());
+    // The excuse does not carry to later instants.
+    a.on_reserve(0, t(70.0), RequestId(2), t(90.0));
+    let violations = a.take_violations();
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    assert_eq!(violations[0].kind, "cbf-reservation");
+}
+
+/// A submit-time reservation can fill a hole in the stale profile ahead
+/// of earlier-submitted requests; the next compression re-reserves in
+/// submission order and may legally hand that hole to an earlier
+/// request, pushing the hole-filler later. Only re-reservations *after*
+/// the first of a pass get this excuse — and an excused slip also
+/// excuses the eventual late start.
+#[test]
+fn compression_may_displace_later_submissions_within_a_pass() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 8, "CBF");
+    a.on_submit(0, t(0.0), 0, &req(1, 8, 100.0, 0.0));
+    a.on_reserve(0, t(0.0), RequestId(1), t(100.0));
+    // Request 2 fills a hole the stale profile shows before request 1.
+    a.on_submit(0, t(10.0), 0, &req(2, 4, 30.0, 10.0));
+    a.on_reserve(0, t(10.0), RequestId(2), t(40.0));
+    // Compression at t=20: request 1 re-reserved first (earlier, it may
+    // only move up), then request 2 is displaced behind it.
+    a.on_reserve(0, t(20.0), RequestId(1), t(40.0));
+    a.on_reserve(0, t(20.0), RequestId(2), t(140.0));
+    assert!(a.violations().is_empty(), "{:#?}", a.violations());
+    // The displaced request starting past its first reservation is the
+    // consequence of that excused slip, not a fresh violation.
+    a.on_start(0, t(40.0), &req(1, 8, 100.0, 0.0), StartKind::Reservation);
+    a.on_finish(0, t(140.0), RequestId(1), 8);
+    a.on_reserve(0, t(140.0), RequestId(2), t(140.0));
+    a.on_start(0, t(140.0), &req(2, 4, 30.0, 10.0), StartKind::Reservation);
+    assert!(a.violations().is_empty(), "{:#?}", a.violations());
+}
+
+/// A start later than the first reservation with no slip history.
+#[test]
+fn cbf_late_start_is_detected() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 8, "BUGGY-CBF");
+    a.on_submit(0, t(0.0), 0, &req(1, 4, 100.0, 0.0));
+    a.on_reserve(0, t(0.0), RequestId(1), t(50.0));
+    a.on_reserve(0, t(20.0), RequestId(1), t(50.0));
+    a.on_start(0, t(80.0), &req(1, 4, 100.0, 0.0), StartKind::Reservation);
+    let violations = a.take_violations();
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    assert_eq!(violations[0].kind, "cbf-reservation");
+    assert!(violations[0].message.contains("first"));
+}
+
+/// Releasing nodes twice (or for a request that never started) is how
+/// free-node counters silently drift upward.
+#[test]
+fn unknown_finish_and_double_start_are_detected() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 8, "BUGGY");
+    a.on_submit(0, t(0.0), 0, &req(1, 4, 10.0, 0.0));
+    a.on_start(0, t(0.0), &req(1, 4, 10.0, 0.0), StartKind::FifoHead);
+    a.on_finish(0, t(10.0), RequestId(1), 4);
+    a.on_finish(0, t(10.0), RequestId(1), 4);
+    let violations = a.take_violations();
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    assert_eq!(violations[0].kind, "unknown-finish");
+
+    a.on_submit(0, t(20.0), 0, &req(2, 4, 10.0, 20.0));
+    a.on_start(0, t(20.0), &req(2, 4, 10.0, 20.0), StartKind::FifoHead);
+    a.on_start(0, t(20.0), &req(2, 4, 10.0, 20.0), StartKind::FifoHead);
+    let violations = a.take_violations();
+    assert!(
+        violations.iter().any(|v| v.kind == "duplicate-start"),
+        "{violations:#?}"
+    );
+}
+
+/// A start of a request the scheduler was never given.
+#[test]
+fn unknown_start_is_detected() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 8, "BUGGY");
+    a.on_start(0, t(0.0), &req(7, 2, 10.0, 0.0), StartKind::FifoHead);
+    let violations = a.take_violations();
+    assert!(
+        violations.iter().any(|v| v.kind == "unknown-start"),
+        "{violations:#?}"
+    );
+}
+
+/// Starting before submission means time ran backwards somewhere.
+#[test]
+fn negative_wait_is_detected() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 8, "BUGGY");
+    a.on_submit(0, t(10.0), 0, &req(1, 2, 10.0, 10.0));
+    // The double claims the start happened at t=5, before the submit
+    // time carried by the request itself.
+    a.on_start(0, t(5.0), &req(1, 2, 10.0, 10.0), StartKind::FifoHead);
+    let violations = a.take_violations();
+    assert!(
+        violations.iter().any(|v| v.kind == "negative-wait"),
+        "{violations:#?}"
+    );
+}
+
+/// Scheduler indices are independent: cluster 1's load never counts
+/// against cluster 0's capacity.
+#[test]
+fn clusters_are_audited_independently() {
+    let mut a = Auditor::new();
+    a.on_attach(0, 4, "FCFS");
+    a.on_attach(1, 4, "FCFS");
+    a.on_submit(0, t(0.0), 0, &req(1, 4, 10.0, 0.0));
+    a.on_submit(1, t(0.0), 0, &req(2, 4, 10.0, 0.0));
+    a.on_start(0, t(0.0), &req(1, 4, 10.0, 0.0), StartKind::FifoHead);
+    a.on_start(1, t(0.0), &req(2, 4, 10.0, 0.0), StartKind::FifoHead);
+    a.on_finish(0, t(10.0), RequestId(1), 4);
+    a.on_finish(1, t(10.0), RequestId(2), 4);
+    assert!(a.violations().is_empty(), "{:#?}", a.violations());
+    assert!((a.occupied_node_secs() - 80.0).abs() < 1e-9);
+}

@@ -1,0 +1,32 @@
+//! The acceptance gate for the auditor: every experiment in the standard
+//! registry runs at smoke scale under full auditing with zero
+//! violations. This is the same check `rbr audit all --scale smoke`
+//! performs, wired into the test suite.
+//!
+//! A single `#[test]` because the observer factory and sink are
+//! process-global (see `grid_runs_audited.rs`).
+
+use rbr::{Registry, Scale};
+use rbr_audit::sink;
+
+#[test]
+fn full_registry_smoke_audit_is_clean() {
+    let registry = Registry::standard();
+    sink::install();
+    for name in registry.names() {
+        let exp = registry.get(name).expect("registry name resolves");
+        let _ = exp.run(Scale::Smoke, exp.default_seed());
+        let violations = sink::harvest();
+        assert!(
+            violations.is_empty(),
+            "experiment {name}: {} invariant violation(s):\n{}",
+            violations.len(),
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+    sink::uninstall();
+}

@@ -24,9 +24,8 @@ fn bench(c: &mut Criterion) {
 
     // Kernel: one 20-minute moldable run.
     group.sample_size(10);
-    let mut cfg = rbr::grid::moldable::MoldableConfig::new(
-        rbr::grid::moldable::ShapePolicy::AllShapes,
-    );
+    let mut cfg =
+        rbr::grid::moldable::MoldableConfig::new(rbr::grid::moldable::ShapePolicy::AllShapes);
     cfg.window = rbr::sim::Duration::from_secs(1_200.0);
     group.bench_function("moldable_all_shapes_20min", |b| {
         b.iter(|| rbr::grid::moldable::run(&cfg, SeedSequence::new(14)))

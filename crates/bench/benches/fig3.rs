@@ -12,9 +12,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3");
     group.sample_size(20);
     for alpha in [4.0, 10.23, 20.0] {
-        let model = LublinModel::new(
-            LublinConfig::paper_2006().with_interarrival_shape(alpha),
-        );
+        let model = LublinModel::new(LublinConfig::paper_2006().with_interarrival_shape(alpha));
         group.bench_function(format!("lublin_generate_1h_alpha{alpha}"), |b| {
             b.iter(|| {
                 model.generate(

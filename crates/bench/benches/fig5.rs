@@ -12,7 +12,12 @@ use rbr_bench::{print_artifact, regenerate};
 
 fn native_sweep() -> String {
     let sizes = [0usize, 1_000, 5_000, 10_000, 20_000];
-    let mut t = Table::new(vec!["queue size", "EASY pairs/s", "CBF pairs/s", "FCFS pairs/s"]);
+    let mut t = Table::new(vec![
+        "queue size",
+        "EASY pairs/s",
+        "CBF pairs/s",
+        "FCFS pairs/s",
+    ]);
     for &q in &sizes {
         let mut row = vec![q.to_string()];
         for alg in [Algorithm::Easy, Algorithm::Cbf, Algorithm::Fcfs] {
@@ -44,7 +49,12 @@ fn bench(c: &mut Criterion) {
         // Blocker on all but one node, then the standing queue.
         sched.submit(
             SimTime::ZERO,
-            Request::new(RequestId(u64::MAX), nodes - 1, Duration::from_hours(10_000), now),
+            Request::new(
+                RequestId(u64::MAX),
+                nodes - 1,
+                Duration::from_hours(10_000),
+                now,
+            ),
             &mut starts,
         );
         starts.clear();

@@ -8,6 +8,9 @@
 //!     --reps N                      override replications per configuration
 //!     --format text|csv|json        output format (default: text)
 //!     --out DIR                     write <name>.<ext> files instead of stdout
+//! rbr audit <name|all> [options]    run experiments under the invariant
+//!     --scale smoke|quick|paper     auditor and report any violations
+//!     --seed N                      (default scale: smoke)
 //! rbr capacity [--iat SECS]        the Section 4 capacity arithmetic
 //! rbr swf-export <path> [--hours H] export a synthetic SWF trace
 //! rbr throughput                   native scheduler submit/cancel rates
@@ -56,6 +59,19 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("audit") => {
+            let Some(name) = it.next() else {
+                eprintln!("usage: rbr audit <name|all> [--scale S] [--seed N]");
+                return ExitCode::FAILURE;
+            };
+            match audit_command(name, &args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("capacity") => {
             let iat = parse_flag_value(&args, "--iat").unwrap_or(5.0);
             capacity(iat);
@@ -84,6 +100,9 @@ fn main() -> ExitCode {
                  --reps N                     override replications per config\n    \
                  --format text|csv|json       output format (default: text)\n    \
                  --out DIR                    write <name>.<ext> files instead of stdout\n  \
+                 audit <name|all> [options]     run experiments under the invariant auditor\n    \
+                 --scale smoke|quick|paper    fidelity (default: smoke)\n    \
+                 --seed N                     override the master seed\n  \
                  capacity [--iat SECS]          Section 4 capacity arithmetic\n  \
                  swf-export <path> [--hours H]  export a synthetic SWF trace\n  \
                  throughput                     native scheduler throughput sweep"
@@ -130,7 +149,11 @@ fn run_one(
     out: Option<&str>,
 ) -> Result<(), String> {
     let seed = seed.unwrap_or_else(|| exp.default_seed());
-    eprintln!("running {} at {} scale (seed {seed})...", exp.name(), scale.name());
+    eprintln!(
+        "running {} at {} scale (seed {seed})...",
+        exp.name(),
+        scale.name()
+    );
     let report = exp.run_with(scale, seed, reps);
     let mut rendered = report.render(format);
     if !rendered.ends_with('\n') {
@@ -147,6 +170,62 @@ fn run_one(
         }
     }
     Ok(())
+}
+
+/// Runs `name` (or every registry entry, for `all`) with the runtime
+/// invariant auditor attached, printing any violations with their event
+/// traces. Exits non-zero when any run is dirty. Audits default to smoke
+/// scale: the auditor checks every scheduling decision, so the cheapest
+/// fidelity already exercises every invariant.
+fn audit_command(name: &str, args: &[String]) -> Result<(), String> {
+    let scale = match flag_value(args, "--scale") {
+        None => Scale::Smoke,
+        Some(s) => {
+            Scale::parse(s).ok_or_else(|| format!("unknown scale {s:?} (smoke|quick|paper)"))?
+        }
+    };
+    let seed = parse_seed(args)?;
+    let registry = Registry::standard();
+    if name != "all" && registry.get(name).is_none() {
+        return Err(format!("unknown experiment {name:?}; try `rbr list`"));
+    }
+
+    rbr_audit::sink::install();
+    let mut total_violations = 0usize;
+    for exp in registry.iter() {
+        if name != "all" && registry.get(name).map(|e| e.name()) != Some(exp.name()) {
+            continue;
+        }
+        let seed = seed.unwrap_or_else(|| exp.default_seed());
+        eprintln!(
+            "auditing {} at {} scale (seed {seed})...",
+            exp.name(),
+            scale.name()
+        );
+        let _ = exp.run_with(scale, seed, None);
+        let violations = rbr_audit::sink::harvest();
+        if violations.is_empty() {
+            println!("{}: clean", exp.name());
+        } else {
+            total_violations += violations.len();
+            println!(
+                "{}: {} invariant violation(s)",
+                exp.name(),
+                violations.len()
+            );
+            for v in &violations {
+                println!("{v}");
+            }
+        }
+    }
+    rbr_audit::sink::uninstall();
+    if total_violations > 0 {
+        Err(format!(
+            "{total_violations} invariant violation(s) detected"
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 fn parse_scale(args: &[String]) -> Result<Scale, String> {
@@ -247,7 +326,12 @@ fn swf_export(path: &str, hours: f64) -> ExitCode {
 }
 
 fn throughput() {
-    let mut t = Table::new(vec!["queue size", "EASY pairs/s", "CBF pairs/s", "FCFS pairs/s"]);
+    let mut t = Table::new(vec![
+        "queue size",
+        "EASY pairs/s",
+        "CBF pairs/s",
+        "FCFS pairs/s",
+    ]);
     for q in [0usize, 1_000, 5_000, 10_000] {
         let mut row = vec![q.to_string()];
         for alg in [Algorithm::Easy, Algorithm::Cbf, Algorithm::Fcfs] {
@@ -278,17 +362,32 @@ mod tests {
 
     #[test]
     fn parse_scale_accepts_all_levels() {
-        assert_eq!(parse_scale(&args(&["--scale", "smoke"])).unwrap(), Scale::Smoke);
-        assert_eq!(parse_scale(&args(&["--scale", "quick"])).unwrap(), Scale::Quick);
-        assert_eq!(parse_scale(&args(&["--scale", "paper"])).unwrap(), Scale::Paper);
+        assert_eq!(
+            parse_scale(&args(&["--scale", "smoke"])).unwrap(),
+            Scale::Smoke
+        );
+        assert_eq!(
+            parse_scale(&args(&["--scale", "quick"])).unwrap(),
+            Scale::Quick
+        );
+        assert_eq!(
+            parse_scale(&args(&["--scale", "paper"])).unwrap(),
+            Scale::Paper
+        );
         assert!(parse_scale(&args(&["--scale", "huge"])).is_err());
     }
 
     #[test]
     fn parse_format_accepts_all_formats() {
         assert_eq!(parse_format(&args(&[])).unwrap(), Format::Text);
-        assert_eq!(parse_format(&args(&["--format", "csv"])).unwrap(), Format::Csv);
-        assert_eq!(parse_format(&args(&["--format", "json"])).unwrap(), Format::Json);
+        assert_eq!(
+            parse_format(&args(&["--format", "csv"])).unwrap(),
+            Format::Csv
+        );
+        assert_eq!(
+            parse_format(&args(&["--format", "json"])).unwrap(),
+            Format::Json
+        );
         assert!(parse_format(&args(&["--format", "xml"])).is_err());
     }
 
@@ -309,7 +408,10 @@ mod tests {
 
     #[test]
     fn parse_flag_value_parses_numbers() {
-        assert_eq!(parse_flag_value(&args(&["--iat", "2.5"]), "--iat"), Some(2.5));
+        assert_eq!(
+            parse_flag_value(&args(&["--iat", "2.5"]), "--iat"),
+            Some(2.5)
+        );
         assert_eq!(parse_flag_value(&args(&["--iat", "x"]), "--iat"), None);
     }
 
@@ -319,15 +421,37 @@ mod tests {
     }
 
     #[test]
+    fn audit_command_rejects_unknown_names_and_scales() {
+        assert!(audit_command("nope", &args(&["audit", "nope"])).is_err());
+        assert!(audit_command("fig1", &args(&["audit", "fig1", "--scale", "huge"])).is_err());
+    }
+
+    #[test]
     fn the_old_cli_names_still_resolve() {
         // Every name the pre-registry CLI accepted must keep working.
         let registry = Registry::standard();
         for name in [
-            "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4",
-            "queue-growth", "conclusion", "ablations", "forecast", "moldable", "dual-queue",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "queue-growth",
+            "conclusion",
+            "ablations",
+            "forecast",
+            "moldable",
+            "dual-queue",
             "trace-check",
         ] {
-            assert!(registry.get(name).is_some(), "{name} fell out of the registry");
+            assert!(
+                registry.get(name).is_some(),
+                "{name} fell out of the registry"
+            );
         }
     }
 }

@@ -182,7 +182,13 @@ pub fn selection_sweep(scale: Scale, scheme: Scheme, seed: u64, reps: Option<usi
             let mut treat = base.clone();
             treat.scheme = scheme;
             treat.selection = *policy;
-            relative_rows(name.to_string(), &base, &treat, reps.unwrap_or(scale.reps()), seed)
+            relative_rows(
+                name.to_string(),
+                &base,
+                &treat,
+                reps.unwrap_or(scale.reps()),
+                seed,
+            )
         })
         .collect()
 }
@@ -326,7 +332,11 @@ mod tests {
         let rows = backfill_sweep(Scale::Smoke, 3, 56, None);
         assert_eq!(rows.len(), 4);
         // EASY backfills constantly on a loaded machine.
-        assert!(rows[0].rel_stretch > 0.0, "NONE backfills/job {}", rows[0].rel_stretch);
+        assert!(
+            rows[0].rel_stretch > 0.0,
+            "NONE backfills/job {}",
+            rows[0].rel_stretch
+        );
         assert!(render_backfills(&rows).contains("backfills/job"));
     }
 

@@ -118,7 +118,14 @@ pub fn table(rows: &[Row]) -> TypedTable {
     let mut t = TypedTable::new(
         "Figure 1 — stretch relative to NONE vs number of clusters",
         vec![
-            "N", "scheme", "rel stretch", "rel CV", "rel max", "rel TAT", "wins", "worst",
+            "N",
+            "scheme",
+            "rel stretch",
+            "rel CV",
+            "rel max",
+            "rel TAT",
+            "wins",
+            "worst",
             "base stretch",
         ],
     );

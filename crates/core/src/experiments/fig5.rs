@@ -240,7 +240,10 @@ pub fn native_throughput(alg: Algorithm, queue_size: usize, pairs: usize, seed: 
         now += tick;
         let req = alloc(&mut rng, &mut next_id, now);
         sched.submit(now, req, &mut starts);
-        assert!(starts.is_empty(), "no queued request fits the single free node");
+        assert!(
+            starts.is_empty(),
+            "no queued request fits the single free node"
+        );
     }
 
     // Timed churn: submit one, cancel the oldest (maximum churn, like
@@ -268,8 +271,12 @@ mod tests {
         let cfg = Config::at_scale(Scale::Smoke);
         let rows = run(&cfg);
         assert_eq!(rows.len(), 3); // 0, 10k, 20k
-        // Empty queue ≈ 11 pairs/s, 20 k ≈ 5.2.
-        assert!((10.0..12.0).contains(&rows[0].average), "{}", rows[0].average);
+                                   // Empty queue ≈ 11 pairs/s, 20 k ≈ 5.2.
+        assert!(
+            (10.0..12.0).contains(&rows[0].average),
+            "{}",
+            rows[0].average
+        );
         assert!(rows.last().unwrap().average < 6.0);
         // Monotone decay of the average.
         assert!(rows[0].average > rows[1].average);
@@ -284,8 +291,7 @@ mod tests {
         let mut cfg = Config::at_scale(Scale::Smoke);
         cfg.duration = Duration::from_hours(2); // long enough to exceed the ops budget
         let rows = run(&cfg);
-        let last_curve: Vec<Option<f64>> =
-            rows.iter().map(|r| *r.curves.last().unwrap()).collect();
+        let last_curve: Vec<Option<f64>> = rows.iter().map(|r| *r.curves.last().unwrap()).collect();
         assert!(
             last_curve.iter().any(|c| c.is_none()),
             "the crash-injected curve should lose its tail"

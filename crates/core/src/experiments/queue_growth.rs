@@ -89,7 +89,11 @@ pub fn run(config: &Config) -> Output {
         )
     });
     let t = run_reps(&treat, config.reps, seed, |run| {
-        (RunMetrics::from_run(run).max_queue_avg, run.submits as f64, 0.0)
+        (
+            RunMetrics::from_run(run).max_queue_avg,
+            run.submits as f64,
+            0.0,
+        )
     });
     let bq: Vec<f64> = b.iter().map(|x| x.0).collect();
     let tq: Vec<f64> = t.iter().map(|x| x.0).collect();

@@ -107,7 +107,10 @@ mod tests {
         assert_eq!(registry.get("queue_growth").unwrap().name(), "queue-growth");
         assert_eq!(registry.get("Trace-Check").unwrap().name(), "trace-check");
         assert!(registry.get("nope").is_none());
-        assert!(registry.get("all").is_none(), "'all' is CLI sugar, not an entry");
+        assert!(
+            registry.get("all").is_none(),
+            "'all' is CLI sugar, not an entry"
+        );
     }
 
     #[test]

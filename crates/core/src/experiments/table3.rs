@@ -68,7 +68,10 @@ impl Config {
             .map(|_| {
                 let nodes = self.size_choices[rng.random_range(0..self.size_choices.len())];
                 let iat = rng.random_range(self.iat_range.0..self.iat_range.1);
-                ClusterSpec::new(nodes, LublinConfig::paper_2006().with_mean_interarrival(iat))
+                ClusterSpec::new(
+                    nodes,
+                    LublinConfig::paper_2006().with_mean_interarrival(iat),
+                )
             })
             .collect()
     }

@@ -135,12 +135,18 @@ pub fn table(out: &Output) -> TypedTable {
         "§3.1.1 — SWF trace replay cross-check",
         vec!["metric", "value"],
     );
-    t.push(vec![Cell::text("jobs replayed"), Cell::int(out.jobs as i64)]);
+    t.push(vec![
+        Cell::text("jobs replayed"),
+        Cell::int(out.jobs as i64),
+    ]);
     t.push(vec![
         Cell::text("rel stretch (trace)"),
         Cell::float(out.rel_stretch, 3),
     ]);
-    t.push(vec![Cell::text("rel CV (trace)"), Cell::float(out.rel_cv, 3)]);
+    t.push(vec![
+        Cell::text("rel CV (trace)"),
+        Cell::float(out.rel_cv, 3),
+    ]);
     t
 }
 

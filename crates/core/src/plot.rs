@@ -39,7 +39,10 @@ impl AsciiPlot {
     /// # Panics
     /// Panics on degenerate sizes (needs at least 8×4).
     pub fn with_size(mut self, width: usize, height: usize) -> Self {
-        assert!(width >= 8 && height >= 4, "canvas too small: {width}x{height}");
+        assert!(
+            width >= 8 && height >= 4,
+            "canvas too small: {width}x{height}"
+        );
         self.width = width;
         self.height = height;
         self
@@ -82,10 +85,10 @@ impl AsciiPlot {
         let mut grid = vec![vec![' '; self.width]; self.height];
         for (_, marker, pts) in &self.series {
             for &(x, y) in pts {
-                let col = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let row = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let col =
+                    ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let row =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - row; // y grows upward
                 let cell = &mut grid[row][col.min(self.width - 1)];
                 // Overlapping series show the later marker.
@@ -175,8 +178,7 @@ mod tests {
 
     #[test]
     fn non_finite_points_are_dropped() {
-        let plot =
-            AsciiPlot::new("nan", "x", "y").series("a", &[(0.0, f64::NAN), (1.0, 2.0)]);
+        let plot = AsciiPlot::new("nan", "x", "y").series("a", &[(0.0, f64::NAN), (1.0, 2.0)]);
         let s = plot.render();
         assert!(s.contains('o'));
     }

@@ -881,8 +881,7 @@ impl JsonParser<'_> {
         let Some(hex) = self.src.get(self.pos..end) else {
             return Err(self.err("truncated unicode escape"));
         };
-        let code =
-            u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
         self.pos = end;
         Ok(code)
     }

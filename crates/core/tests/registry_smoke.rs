@@ -20,7 +20,11 @@ fn every_registry_entry_completes_at_smoke_scale() {
         assert!(report.meta.replications > 0, "{}", exp.name());
         assert!(report.meta.wall_time_secs >= 0.0, "{}", exp.name());
 
-        assert!(!report.tables.is_empty(), "{} produced no tables", exp.name());
+        assert!(
+            !report.tables.is_empty(),
+            "{} produced no tables",
+            exp.name()
+        );
         for table in &report.tables {
             assert!(
                 !table.rows.is_empty(),
@@ -66,7 +70,11 @@ fn fig1_entry_emits_both_figures() {
     let exp = registry.get("fig2").expect("fig2 resolves via alias");
     assert_eq!(exp.name(), "fig1");
     let report = exp.run(Scale::Smoke, exp.default_seed());
-    assert_eq!(report.tables.len(), 2, "fig1 must emit Figure 1 and Figure 2");
+    assert_eq!(
+        report.tables.len(),
+        2,
+        "fig1 must emit Figure 1 and Figure 2"
+    );
     assert!(report.tables[0].name.contains("Figure 1"));
     assert!(report.tables[1].name.contains("Figure 2"));
 }

@@ -105,7 +105,11 @@ mod tests {
         let mut rng = SeedSequence::new(18).rng();
         let n = 300_000;
         let m: f64 = (0..n).map(|_| hg.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((m - hg.mean()).abs() / hg.mean() < 0.01, "mean {m} vs {}", hg.mean());
+        assert!(
+            (m - hg.mean()).abs() / hg.mean() < 0.01,
+            "mean {m} vs {}",
+            hg.mean()
+        );
     }
 
     #[test]

@@ -101,13 +101,16 @@
 //! assert_eq!(result.zombie_starts, 0);
 //! ```
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use rand::rngs::StdRng;
 use rbr_faults::FaultModel;
 use rbr_sched::{Request, RequestId, SchedulerSet};
 use rbr_simcore::{Duration, Engine, SimTime};
 
+use crate::observe::{observer_from_factory, ObserverAdapter, RunObserver};
 use crate::record::{JobRecord, RunResult};
 
 /// One planned copy of a job: where it goes and what it asks for.
@@ -269,6 +272,8 @@ pub struct SimDriver<P: SubmissionProtocol> {
     /// Tombstones for killed requests whose `Complete` event is still in
     /// the engine (it has no cancellation API).
     dead: Vec<bool>,
+    /// Run-level observer (the invariant auditor); `None` in normal runs.
+    observer: Option<Rc<RefCell<dyn RunObserver>>>,
 }
 
 impl<P: SubmissionProtocol> SimDriver<P> {
@@ -303,7 +308,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                 );
             }
         }
-        SimDriver {
+        let mut driver = SimDriver {
             result: RunResult {
                 max_queue_len: vec![0; n_targets],
                 pool_nodes: scheds.pool_nodes(),
@@ -322,8 +327,22 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             faults,
             outage_until: vec![SimTime::ZERO; n_targets],
             dead: Vec::new(),
+            observer: None,
             protocol,
+        };
+        if let Some(obs) = observer_from_factory() {
+            driver.attach_run_observer(obs);
         }
+        driver
+    }
+
+    /// Attaches a run observer (see [`crate::observe`]): the driver
+    /// forwards its own milestones and wires the scheduler-level hooks
+    /// through the set, replacing any previously attached observer.
+    pub fn attach_run_observer(&mut self, obs: Rc<RefCell<dyn RunObserver>>) {
+        self.scheds
+            .attach_observer(Rc::new(RefCell::new(ObserverAdapter(obs.clone()))));
+        self.observer = Some(obs);
     }
 
     /// Runs the simulation to completion and returns the results.
@@ -333,6 +352,16 @@ impl<P: SubmissionProtocol> SimDriver<P> {
     /// scheduler bug, not a valid outcome.
     pub fn run(mut self) -> RunResult {
         while let Some((now, event)) = self.engine.pop() {
+            if let Some(obs) = &self.observer {
+                let kind = match event {
+                    Event::Submit(_) => "submit",
+                    Event::Complete { .. } => "complete",
+                    Event::DeliverSubmit { .. } => "deliver-submit",
+                    Event::DeliverCancel { .. } => "deliver-cancel",
+                    Event::OutageDown { .. } => "outage-down",
+                };
+                obs.borrow_mut().on_event(now, kind);
+            }
             match event {
                 Event::Submit(j) => self.handle_submit(now, j),
                 Event::Complete { req } => self.handle_complete(now, req),
@@ -351,6 +380,9 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             .enumerate()
             .map(|(j, r)| r.unwrap_or_else(|| panic!("job {j} never completed")))
             .collect();
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().on_run_end(&self.result);
+        }
         self.result
     }
 
@@ -430,7 +462,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
         state.done = true;
 
         let (_, start) = state.started.expect("completing job must have started");
-        self.records[j] = Some(JobRecord {
+        let rec = JobRecord {
             job: j,
             home: self.protocol.home(j),
             ran_on: plan.target,
@@ -442,7 +474,11 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             redundant: state.redundant,
             copies: state.requests.len() as u32,
             predicted_wait: state.predicted_wait,
-        });
+        };
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().on_job_record(&rec);
+        }
+        self.records[j] = Some(rec);
 
         self.scratch.clear();
         self.scheds
@@ -635,7 +671,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             self.result.wasted_node_secs += plan.nodes as f64 * plan.runtime.as_secs();
         } else {
             self.states[j].done = true;
-            self.records[j] = Some(JobRecord {
+            let rec = JobRecord {
                 job: j,
                 home: self.protocol.home(j),
                 ran_on: plan.target,
@@ -647,7 +683,11 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                 redundant: self.states[j].redundant,
                 copies: self.states[j].copies.len() as u32,
                 predicted_wait: self.states[j].predicted_wait,
-            });
+            };
+            if let Some(obs) = &self.observer {
+                obs.borrow_mut().on_job_record(&rec);
+            }
+            self.records[j] = Some(rec);
         }
         self.note_queue(plan.target);
         self.commit_starts(now);

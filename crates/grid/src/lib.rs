@@ -29,6 +29,7 @@ pub mod config;
 pub mod driver;
 pub mod dual_queue;
 pub mod moldable;
+pub mod observe;
 pub mod record;
 pub mod scheme;
 pub mod select;
@@ -36,6 +37,7 @@ pub mod sim;
 
 pub use config::{ClusterSpec, GridConfig};
 pub use driver::{CopyPlan, SimDriver, SubmissionProtocol};
+pub use observe::{clear_observer_factory, install_observer_factory, RunObserver};
 pub use rbr_faults::{Delay, FaultSpec, Outage};
 pub use record::{JobClass, JobRecord, RunResult};
 pub use scheme::Scheme;

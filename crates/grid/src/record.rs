@@ -175,6 +175,14 @@ impl RunResult {
             .sum()
     }
 
+    /// Every node-second the run accounts for: useful work delivered to
+    /// the winning copies plus the wasted node-seconds of zombies and
+    /// killed partial runs. The invariant auditor compares this ledger
+    /// against the node-occupancy it observed at the schedulers.
+    pub fn accounted_node_secs(&self) -> f64 {
+        self.total_work() + self.wasted_node_secs
+    }
+
     /// Wasted node-seconds as a fraction of the useful work delivered —
     /// 0 under perfect middleware, where no copy ever executes twice.
     pub fn waste_fraction(&self) -> f64 {

@@ -57,12 +57,7 @@ impl SelectionPolicy {
             }
             SelectionPolicy::LeastLoaded => {
                 let mut sorted: Vec<usize> = eligible.to_vec();
-                sorted.sort_by_key(|&c| {
-                    (
-                        queue_lens.get(c).copied().unwrap_or(usize::MAX),
-                        c,
-                    )
-                });
+                sorted.sort_by_key(|&c| (queue_lens.get(c).copied().unwrap_or(usize::MAX), c));
                 sorted.truncate(k);
                 sorted
             }
@@ -97,7 +92,6 @@ fn weighted_without_replacement<R: Rng + ?Sized>(
     }
     out
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -172,8 +166,7 @@ mod tests {
     fn least_loaded_picks_shortest_queues() {
         let mut rng = SeedSequence::new(64).rng();
         let queue_lens = vec![9, 2, 7, 0, 5];
-        let picks =
-            SelectionPolicy::LeastLoaded.choose(&mut rng, &[0, 1, 2, 3, 4], 2, &queue_lens);
+        let picks = SelectionPolicy::LeastLoaded.choose(&mut rng, &[0, 1, 2, 3, 4], 2, &queue_lens);
         assert_eq!(picks, vec![3, 1]);
     }
 

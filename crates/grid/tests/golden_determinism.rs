@@ -86,9 +86,9 @@ fn golden_path(name: &str) -> PathBuf {
         .join(name)
 }
 
-fn check_golden(label: &str, make: fn() -> GridConfig) {
+fn check_golden_runs(label: &str, run_seed: impl Fn(u64) -> RunResult) {
     for seed in 0u64..4 {
-        let run = GridSim::execute(make(), SeedSequence::new(seed));
+        let run = run_seed(seed);
         let got = digest(&run);
         let path = golden_path(&format!("{label}_s{seed}.txt"));
         if std::env::var_os("RBR_BLESS").is_some() {
@@ -101,10 +101,15 @@ fn check_golden(label: &str, make: fn() -> GridConfig) {
             .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
         assert_eq!(
             got, want,
-            "faultless multi-cluster run diverged from pre-refactor golden \
-             ({label}, seed {seed})"
+            "faultless run diverged from recorded golden ({label}, seed {seed})"
         );
     }
+}
+
+fn check_golden(label: &str, make: fn() -> GridConfig) {
+    check_golden_runs(label, |seed| {
+        GridSim::execute(make(), SeedSequence::new(seed))
+    });
 }
 
 #[test]
@@ -115,6 +120,35 @@ fn faultless_all_scheme_matches_pre_refactor_golden() {
 #[test]
 fn faultless_cbf_predictions_match_pre_refactor_golden() {
     check_golden("cbf2", cbf2);
+}
+
+/// The dual-queue protocol locked down the same way: two queues over one
+/// pool, short/long split at 0.4 of the estimate distribution.
+#[test]
+fn dual_queue_matches_recorded_golden() {
+    use rbr_grid::dual_queue::{self, DualQueueConfig};
+    let mut cfg = DualQueueConfig::new(0.4);
+    cfg.window = Duration::from_secs(1_200.0);
+    check_golden_runs("dual_queue", |seed| {
+        dual_queue::run(&cfg, SeedSequence::new(seed)).run
+    });
+}
+
+/// Moldable shape racing locked down for both policies: the fixed-shape
+/// baseline and the all-shapes race.
+#[test]
+fn moldable_matches_recorded_golden() {
+    use rbr_grid::moldable::{self, MoldableConfig, ShapePolicy};
+    for (label, policy) in [
+        ("moldable_fixed", ShapePolicy::Fixed(0)),
+        ("moldable_race", ShapePolicy::AllShapes),
+    ] {
+        let mut cfg = MoldableConfig::new(policy);
+        cfg.window = Duration::from_secs(1_200.0);
+        check_golden_runs(label, |seed| {
+            moldable::run(&cfg, SeedSequence::new(seed)).run
+        });
+    }
 }
 
 /// Same seed twice → identical digest, for every seed in a small sweep.

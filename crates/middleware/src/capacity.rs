@@ -115,7 +115,10 @@ impl SystemCapacity {
                 Bottleneck::Scheduler,
                 self.scheduler.throughput(self.queue_size),
             ),
-            (Bottleneck::Middleware, self.middleware.submissions_per_sec()),
+            (
+                Bottleneck::Middleware,
+                self.middleware.submissions_per_sec(),
+            ),
             (
                 Bottleneck::Soap,
                 self.soap.rate_for_payload(self.payload) / 2.0,
@@ -210,10 +213,8 @@ mod tests {
     #[test]
     fn scheduler_constrains_before_soap_and_network() {
         let sys = SystemCapacity::paper_2006();
-        let per: std::collections::HashMap<_, _> = sys
-            .max_redundancy_per_component(5.0)
-            .into_iter()
-            .collect();
+        let per: std::collections::HashMap<_, _> =
+            sys.max_redundancy_per_component(5.0).into_iter().collect();
         assert!(per[&Bottleneck::Scheduler] < per[&Bottleneck::Soap]);
         assert!(per[&Bottleneck::Scheduler] < per[&Bottleneck::Network]);
     }

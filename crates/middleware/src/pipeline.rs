@@ -139,7 +139,15 @@ pub fn run(config: &PipelineConfig, seed: SeedSequence) -> PipelineResult {
                     serve(&mut busy, &mut engine, now, next, stage, &service);
                 }
                 if stage + 1 < STAGES {
-                    enqueue(&mut queues, &mut busy, &mut engine, now, op, stage + 1, &service);
+                    enqueue(
+                        &mut queues,
+                        &mut busy,
+                        &mut engine,
+                        now,
+                        op,
+                        stage + 1,
+                        &service,
+                    );
                 } else {
                     latency.push(now.since(entered[op as usize]).as_secs());
                     completed += 1;
@@ -200,7 +208,11 @@ mod tests {
         assert!(result.sustainable, "backlog {}", result.backlog);
         assert!(result.completed > 500);
         // Latency near the raw service time (~1.1 s, GRAM-dominated).
-        assert!(result.latency.mean() < 10.0, "latency {}", result.latency.mean());
+        assert!(
+            result.latency.mean() < 10.0,
+            "latency {}",
+            result.latency.mean()
+        );
     }
 
     #[test]

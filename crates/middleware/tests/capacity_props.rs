@@ -1,0 +1,158 @@
+//! Property tests for the Section 4 capacity models: the steady-state
+//! arithmetic, the component throughput curves, and the end-to-end
+//! bottleneck analysis must satisfy their defining identities across the
+//! whole parameter space, not just at the paper's calibration points.
+
+use proptest::prelude::*;
+use rbr_middleware::{
+    max_redundancy, steady_state_load, Bottleneck, GramModel, GsoapModel, NetworkModel,
+    PbsThroughputModel, SystemCapacity,
+};
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    /// The paper's formulas verbatim: `r/iat` submissions, `(r − 1)/iat`
+    /// cancellations, so ops = `(2r − 1)/iat` and the gap between the
+    /// streams is exactly one job per interarrival.
+    #[test]
+    fn steady_state_load_matches_the_paper_formula(r in 1.0f64..64.0, iat in 0.1f64..60.0) {
+        let load = steady_state_load(r, iat);
+        prop_assert!(close(load.submissions_per_sec, r / iat));
+        prop_assert!(close(load.cancellations_per_sec, (r - 1.0) / iat));
+        prop_assert!(close(load.ops_per_sec(), (2.0 * r - 1.0) / iat));
+        // Every submission is eventually either useful or cancelled, but
+        // there is always exactly one more submission stream than
+        // cancellation stream: the winning request is never cancelled.
+        prop_assert!(load.submissions_per_sec >= load.cancellations_per_sec);
+        prop_assert!(close(load.submissions_per_sec - load.cancellations_per_sec, 1.0 / iat));
+    }
+
+    /// Load grows monotonically with redundancy at fixed interarrival.
+    #[test]
+    fn steady_state_load_is_monotone_in_r(r in 1.0f64..32.0, dr in 0.01f64..32.0, iat in 0.1f64..60.0) {
+        let lo = steady_state_load(r, iat);
+        let hi = steady_state_load(r + dr, iat);
+        prop_assert!(hi.submissions_per_sec > lo.submissions_per_sec);
+        prop_assert!(hi.cancellations_per_sec > lo.cancellations_per_sec);
+    }
+
+    /// `max_redundancy` is the exact inverse of the load formula: running
+    /// at the returned level saturates the component's rate precisely.
+    #[test]
+    fn max_redundancy_saturates_the_component(iat in 0.1f64..60.0, rate in 0.01f64..100.0) {
+        let r = max_redundancy(iat, rate);
+        if r >= 1.0 {
+            let load = steady_state_load(r, iat);
+            prop_assert!(close(load.submissions_per_sec, rate));
+        }
+    }
+
+    /// The Figure 5 curve decays monotonically with queue size and stays
+    /// within the (floor, floor + range] band.
+    #[test]
+    fn pbs_throughput_is_monotone_and_bounded(q in 0usize..50_000, dq in 1usize..50_000) {
+        let m = PbsThroughputModel::openpbs_maui_2006();
+        let near = m.throughput(q);
+        let far = m.throughput(q + dq);
+        prop_assert!(far < near, "throughput must strictly decay: {far} !< {near}");
+        for t in [near, far] {
+            prop_assert!(t > m.floor && t <= m.floor + m.range);
+        }
+    }
+
+    /// Service time is the reciprocal of throughput, up to the
+    /// microsecond quantization of [`rbr_simcore::Duration`].
+    #[test]
+    fn pbs_service_time_inverts_throughput(q in 0usize..50_000) {
+        let m = PbsThroughputModel::openpbs_maui_2006();
+        let product = m.service_time(q).as_secs() * m.throughput(q);
+        prop_assert!((product - 1.0).abs() < 2e-5, "product {product}");
+    }
+
+    /// gSOAP marshalling rate never increases with payload size, never
+    /// exceeds the 10× small-message cap, and a layer always sustains
+    /// its own rated throughput.
+    #[test]
+    fn gsoap_rate_is_monotone_capped_and_self_consistent(
+        payload in 1u64..10_000_000,
+        extra in 1u64..10_000_000,
+    ) {
+        let m = GsoapModel::sc05_benchmark();
+        let near = m.rate_for_payload(payload);
+        let far = m.rate_for_payload(payload + extra);
+        prop_assert!(far <= near);
+        prop_assert!(near <= m.benchmark_rate * 10.0);
+        prop_assert!(m.sustains(near, payload));
+        prop_assert!(!m.sustains(near * 1.01, payload) || close(near, m.benchmark_rate * 10.0));
+    }
+
+    /// The GRAM split: submissions get exactly half the transaction
+    /// budget (each job costs a submission and a cancellation).
+    #[test]
+    fn gram_submissions_are_half_the_transactions(tpm in 0.1f64..10_000.0) {
+        let m = GramModel::with_rate(tpm);
+        prop_assert!(close(m.transactions_per_sec(), tpm / 60.0));
+        prop_assert!(close(m.submissions_per_sec() * 2.0, m.transactions_per_sec()));
+    }
+
+    /// The network link is bandwidth-bound: message rate × message bits
+    /// equals the link rate, and `sustains` agrees with that rate.
+    #[test]
+    fn network_rate_is_bandwidth_bound(payload in 1u64..10_000_000, ops in 0.01f64..1_000.0) {
+        let net = NetworkModel::fast_ethernet();
+        let rate = net.messages_per_sec(payload);
+        prop_assert!(close(rate * payload as f64 * 8.0, net.bandwidth_bps));
+        prop_assert_eq!(net.sustains(ops, payload), rate >= ops);
+        // Transfer time is never below the propagation latency.
+        prop_assert!(net.transfer_time(payload).as_secs() >= net.latency_s);
+    }
+
+    /// The bottleneck is the component with the smallest per-component
+    /// sustainable redundancy, and the system-wide bound equals that
+    /// minimum.
+    #[test]
+    fn bottleneck_is_the_componentwise_minimum(iat in 0.1f64..60.0) {
+        let sys = SystemCapacity::paper_2006();
+        let per = sys.max_redundancy_per_component(iat);
+        let min = per
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(close(sys.max_redundancy(iat), min));
+        let (bottleneck, _) = sys.bottleneck();
+        let (worst, _) = per
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("four components");
+        prop_assert_eq!(bottleneck, worst);
+    }
+
+    /// Sustainable redundancy scales linearly with interarrival time:
+    /// doubling the gap between jobs doubles the budget for copies.
+    #[test]
+    fn max_redundancy_scales_linearly_with_iat(iat in 0.1f64..30.0, k in 1.0f64..10.0) {
+        let sys = SystemCapacity::paper_2006();
+        prop_assert!(close(sys.max_redundancy(iat * k), sys.max_redundancy(iat) * k));
+    }
+}
+
+/// The 2006 calibration points, cross-module: GT4 WS-GRAM at 57
+/// transactions/minute is the bottleneck of the full stack, far below
+/// the scheduler, and the paper's two headline bounds come out.
+#[test]
+fn the_2006_stack_reproduces_the_headline_bounds() {
+    let sys = SystemCapacity::paper_2006();
+    assert_eq!(sys.middleware, GramModel::gt4_ws_gram());
+    assert!((sys.middleware.transactions_per_minute - 57.0).abs() < 1e-12);
+    let (component, rate) = sys.bottleneck();
+    assert_eq!(component, Bottleneck::Middleware);
+    assert!(rate < 0.5);
+    // r < 3 via the middleware, r < 30 if only the scheduler mattered.
+    assert!(sys.max_redundancy(5.0) < 3.0);
+    let scheduler_r = max_redundancy(5.0, sys.scheduler.throughput(sys.queue_size));
+    assert!((29.0..31.0).contains(&scheduler_r));
+}

@@ -1,0 +1,85 @@
+//! Property tests for the tandem-queue submission pipeline: latency is
+//! bounded below by the raw service path, sustainability flips exactly
+//! where the analytic bottleneck arithmetic says it should, and the
+//! offered-load formula holds everywhere.
+
+use proptest::prelude::*;
+use rbr_middleware::pipeline::{self, PipelineConfig};
+use rbr_simcore::SeedSequence;
+
+/// The raw (queue-free) end-to-end service time of one operation: SOAP,
+/// then GRAM, then half a scheduler submit/cancel pair — mirrors the
+/// pipeline's own stage derivation from the stack.
+fn path_secs(cfg: &PipelineConfig) -> f64 {
+    let soap = 1.0 / cfg.stack.soap.rate_for_payload(cfg.stack.payload);
+    let gram = 1.0 / cfg.stack.middleware.transactions_per_sec();
+    let sched = 0.5 / cfg.stack.scheduler.throughput(cfg.stack.queue_size);
+    soap + gram + sched
+}
+
+/// The slowest single stage, which caps the pipeline's drain rate.
+fn slowest_stage_secs(cfg: &PipelineConfig) -> f64 {
+    let soap = 1.0 / cfg.stack.soap.rate_for_payload(cfg.stack.payload);
+    let gram = 1.0 / cfg.stack.middleware.transactions_per_sec();
+    let sched = 0.5 / cfg.stack.scheduler.throughput(cfg.stack.queue_size);
+    soap.max(gram).max(sched)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `(2r − 1)/iat`: r submissions plus r − 1 cancellations per job.
+    #[test]
+    fn offered_load_matches_the_formula(r in 1.0f64..32.0) {
+        let cfg = PipelineConfig::paper_2006(r);
+        let want = (2.0 * r - 1.0) / cfg.iat;
+        prop_assert!((cfg.offered_ops_per_sec() - want).abs() < 1e-12);
+    }
+
+    /// No operation can traverse three sequential servers faster than
+    /// the sum of their service times, so even the *minimum* observed
+    /// latency respects the raw path — and the mean respects the
+    /// slowest stage alone.
+    #[test]
+    fn latency_is_bounded_below_by_the_service_path(r in 1.0f64..2.5, seed in 0u64..1_000) {
+        let cfg = PipelineConfig::paper_2006(r);
+        let result = pipeline::run(&cfg, SeedSequence::new(seed));
+        prop_assert!(result.completed > 0);
+        let floor = path_secs(&cfg);
+        prop_assert!(
+            result.latency.min() >= floor - 1e-9,
+            "min latency {} under the raw path {floor}",
+            result.latency.min()
+        );
+        prop_assert!(result.latency.mean() >= slowest_stage_secs(&cfg) - 1e-9);
+    }
+
+    /// Below the bottleneck rate the stack keeps up, regardless of seed:
+    /// GT4 WS-GRAM sustains 0.95 tx/s and a job costs 2r − 1
+    /// transactions every 5 s, so r ≤ 2 offers at most 0.6 ops/s.
+    #[test]
+    fn under_the_analytic_bound_the_stack_is_sustainable(r in 1.0f64..2.0, seed in 0u64..1_000) {
+        let result = pipeline::run(&PipelineConfig::paper_2006(r), SeedSequence::new(seed));
+        prop_assert!(result.sustainable, "r={r} backlog {}", result.backlog);
+    }
+
+    /// Above it the backlog grows without bound: r ≥ 3.5 offers at least
+    /// 1.2 ops/s against a 0.95 tx/s middleware.
+    #[test]
+    fn over_the_analytic_bound_the_stack_saturates(r in 3.5f64..8.0, seed in 0u64..1_000) {
+        let result = pipeline::run(&PipelineConfig::paper_2006(r), SeedSequence::new(seed));
+        prop_assert!(!result.sustainable, "r={r} backlog {}", result.backlog);
+    }
+}
+
+/// Same seed → identical pipeline outcome: the simulation draws all its
+/// randomness from the seeded generator.
+#[test]
+fn pipeline_runs_are_deterministic() {
+    let cfg = PipelineConfig::paper_2006(2.0);
+    let a = pipeline::run(&cfg, SeedSequence::new(77));
+    let b = pipeline::run(&cfg, SeedSequence::new(77));
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.backlog, b.backlog);
+    assert_eq!(a.latency.mean().to_bits(), b.latency.mean().to_bits());
+}

@@ -25,6 +25,7 @@
 use rbr_simcore::{Duration, SimTime};
 
 use crate::core::ClusterCore;
+use crate::observe::{ObserverSlot, StartKind};
 use crate::profile::Profile;
 use crate::scheduler::Scheduler;
 use crate::types::{Request, RequestId};
@@ -44,6 +45,7 @@ pub struct CbfScheduler {
     last_compress: SimTime,
     /// True when capacity was freed earlier than the profile assumed.
     dirty: bool,
+    observer: ObserverSlot,
 }
 
 impl CbfScheduler {
@@ -67,6 +69,7 @@ impl CbfScheduler {
             cycle,
             last_compress: SimTime::ZERO,
             dirty: false,
+            observer: ObserverSlot::empty(),
         }
     }
 
@@ -90,6 +93,8 @@ impl CbfScheduler {
                     self.backfills += 1;
                 }
                 self.core.start(now, req);
+                self.observer
+                    .with(|s, o| o.on_start(s, now, &req, StartKind::Reservation));
                 starts.push(req.id);
             } else {
                 i += 1;
@@ -112,11 +117,15 @@ impl CbfScheduler {
         for (req, _old) in queued {
             let start = profile.earliest_fit(now, req.estimate, req.nodes);
             profile.reserve(start, req.estimate, req.nodes);
+            self.observer
+                .with(|s, o| o.on_reserve(s, now, req.id, start));
             if start == now {
                 if skipped_earlier {
                     self.backfills += 1;
                 }
                 self.core.start(now, req);
+                self.observer
+                    .with(|s, o| o.on_start(s, now, &req, StartKind::Reservation));
                 starts.push(req.id);
             } else {
                 skipped_earlier = true;
@@ -185,10 +194,15 @@ impl Scheduler for CbfScheduler {
         // Refresh the plan first if it is stale and due — the new request
         // then reserves against the freshest view.
         self.pass(now, starts);
+        self.observer.with(|s, o| o.on_submit(s, now, 0, &req));
         let start = self.profile.earliest_fit(now, req.estimate, req.nodes);
         self.profile.reserve(start, req.estimate, req.nodes);
+        self.observer
+            .with(|s, o| o.on_reserve(s, now, req.id, start));
         if start == now {
             self.core.start(now, req);
+            self.observer
+                .with(|s, o| o.on_start(s, now, &req, StartKind::Reservation));
             starts.push(req.id);
         } else {
             self.queue.push((req, start));
@@ -198,6 +212,7 @@ impl Scheduler for CbfScheduler {
     fn cancel(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) -> bool {
         if let Some(pos) = self.queue.iter().position(|(r, _)| r.id == id) {
             self.queue.remove(pos);
+            self.observer.with(|s, o| o.on_cancel(s, now, id));
             // The phantom reservation stays in the stale profile until the
             // next compression — conservative in the meantime.
             self.dirty = true;
@@ -210,6 +225,8 @@ impl Scheduler for CbfScheduler {
 
     fn complete(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) {
         let rec = self.core.remove(id);
+        self.observer
+            .with(|s, o| o.on_finish(s, now, id, rec.request.nodes));
         if rec.requested_end > now {
             // Early completion: capacity freed ahead of plan.
             self.dirty = true;
@@ -218,7 +235,9 @@ impl Scheduler for CbfScheduler {
     }
 
     fn abort(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) {
-        self.core.remove(id);
+        let rec = self.core.remove(id);
+        self.observer
+            .with(|s, o| o.on_finish(s, now, id, rec.request.nodes));
         // The aborted allocation occupied `[now, now + estimate)` in the
         // plan; that window is now free.
         self.dirty = true;
@@ -246,6 +265,11 @@ impl Scheduler for CbfScheduler {
     fn is_running(&self, id: RequestId) -> bool {
         self.core.is_running(id)
     }
+
+    fn attach_observer(&mut self, slot: ObserverSlot) {
+        slot.with(|s, o| o.on_attach(s, self.core.total(), self.name()));
+        self.observer = slot;
+    }
 }
 
 #[cfg(test)]
@@ -255,7 +279,12 @@ mod tests {
     use rbr_simcore::Duration;
 
     fn req(id: u64, nodes: u32, est: f64) -> Request {
-        Request::new(RequestId(id), nodes, Duration::from_secs(est), SimTime::ZERO)
+        Request::new(
+            RequestId(id),
+            nodes,
+            Duration::from_secs(est),
+            SimTime::ZERO,
+        )
     }
     fn t(s: f64) -> SimTime {
         SimTime::from_secs(s)
@@ -279,11 +308,15 @@ mod tests {
         let mut starts = Vec::new();
         s.submit(t(0.0), req(1, 8, 100.0), &mut starts); // runs until 100
         s.submit(t(0.0), req(2, 8, 100.0), &mut starts); // reserved [100, 200)
-        // Short narrow job: 2 nodes free now, ends before 100 → starts
-        // immediately (backfills).
+                                                         // Short narrow job: 2 nodes free now, ends before 100 → starts
+                                                         // immediately (backfills).
         s.submit(t(0.0), req(3, 2, 50.0), &mut starts);
         assert_eq!(starts, vec![RequestId(1), RequestId(3)]);
-        assert_eq!(s.backfills(), 0, "submit-time starts are not jumps over the queue");
+        assert_eq!(
+            s.backfills(),
+            0,
+            "submit-time starts are not jumps over the queue"
+        );
         // Long narrow job: 2 nodes free now but would collide with the
         // reservation of request 2 at t=100 → must wait until 200.
         s.submit(t(0.0), req(4, 4, 150.0), &mut starts);

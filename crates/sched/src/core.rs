@@ -235,8 +235,8 @@ mod tests {
         let mut c = ClusterCore::new(10);
         c.start(SimTime::ZERO, req(1, 4, 100.0, 0.0)); // ends 100
         c.start(SimTime::ZERO, req(2, 4, 50.0, 0.0)); // ends 50
-        // free = 2; head wants 8: needs release at 50 (free 6) then 100
-        // (free 10).
+                                                      // free = 2; head wants 8: needs release at 50 (free 6) then 100
+                                                      // (free 10).
         let head = req(3, 8, 10.0, 0.0);
         let (shadow, extra) = c.shadow(&head);
         assert_eq!(shadow, SimTime::from_secs(100.0));

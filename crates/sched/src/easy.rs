@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 use rbr_simcore::SimTime;
 
 use crate::core::ClusterCore;
+use crate::observe::{ObserverSlot, StartKind};
 use crate::scheduler::{fifo_predicted_start, Scheduler};
 use crate::types::{Request, RequestId};
 
@@ -24,6 +25,7 @@ pub struct EasyScheduler {
     core: ClusterCore,
     queue: VecDeque<Request>,
     backfills: u64,
+    observer: ObserverSlot,
 }
 
 impl EasyScheduler {
@@ -33,6 +35,7 @@ impl EasyScheduler {
             core: ClusterCore::new(nodes),
             queue: VecDeque::new(),
             backfills: 0,
+            observer: ObserverSlot::empty(),
         }
     }
 
@@ -46,6 +49,8 @@ impl EasyScheduler {
             }
             let req = self.queue.pop_front().expect("front checked above");
             self.core.start(now, req);
+            self.observer
+                .with(|s, o| o.on_start(s, now, &req, StartKind::FifoHead));
             starts.push(req.id);
         }
         if self.queue.is_empty() || self.core.free() == 0 {
@@ -55,6 +60,8 @@ impl EasyScheduler {
         // Phase 2: backfill behind the (blocked) head.
         let head = *self.queue.front().expect("queue checked non-empty");
         let (shadow, mut extra) = self.core.shadow(&head);
+        self.observer
+            .with(|s, o| o.on_shadow(s, now, &head, shadow, extra));
         let mut i = 1;
         while i < self.queue.len() {
             if self.core.free() == 0 {
@@ -72,6 +79,8 @@ impl EasyScheduler {
                     self.queue.remove(i).expect("index in bounds");
                     self.core.start(now, cand);
                     self.backfills += 1;
+                    self.observer
+                        .with(|s, o| o.on_start(s, now, &cand, StartKind::Backfill));
                     starts.push(cand.id);
                     continue; // i now points at the next candidate
                 }
@@ -119,6 +128,7 @@ impl Scheduler for EasyScheduler {
             req.nodes,
             self.core.total()
         );
+        self.observer.with(|s, o| o.on_submit(s, now, 0, &req));
         self.queue.push_back(req);
         self.try_schedule(now, starts);
     }
@@ -126,18 +136,23 @@ impl Scheduler for EasyScheduler {
     fn cancel(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) -> bool {
         let removed = self.remove_queued(id);
         if removed {
+            self.observer.with(|s, o| o.on_cancel(s, now, id));
             self.try_schedule(now, starts);
         }
         removed
     }
 
     fn complete(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) {
-        self.core.remove(id);
+        let rec = self.core.remove(id);
+        self.observer
+            .with(|s, o| o.on_finish(s, now, id, rec.request.nodes));
         self.try_schedule(now, starts);
     }
 
     fn abort(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) {
-        self.core.remove(id);
+        let rec = self.core.remove(id);
+        self.observer
+            .with(|s, o| o.on_finish(s, now, id, rec.request.nodes));
         self.try_schedule(now, starts);
     }
 
@@ -159,6 +174,11 @@ impl Scheduler for EasyScheduler {
     fn is_running(&self, id: RequestId) -> bool {
         self.core.is_running(id)
     }
+
+    fn attach_observer(&mut self, slot: ObserverSlot) {
+        slot.with(|s, o| o.on_attach(s, self.core.total(), self.name()));
+        self.observer = slot;
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +187,12 @@ mod tests {
     use rbr_simcore::Duration;
 
     fn req(id: u64, nodes: u32, est: f64) -> Request {
-        Request::new(RequestId(id), nodes, Duration::from_secs(est), SimTime::ZERO)
+        Request::new(
+            RequestId(id),
+            nodes,
+            Duration::from_secs(est),
+            SimTime::ZERO,
+        )
     }
     fn t(s: f64) -> SimTime {
         SimTime::from_secs(s)
@@ -192,8 +217,8 @@ mod tests {
         let mut starts = Vec::new();
         s.submit(t(0.0), req(1, 8, 100.0), &mut starts); // ends 100
         s.submit(t(0.0), req(2, 4, 50.0), &mut starts); // head: shadow 100, extra 6
-        // Candidate: fits now (2 free)? No — only 2 free, needs 2. Ends at
-        // 200 > shadow, but nodes 2 ≤ extra 6 → may backfill.
+                                                        // Candidate: fits now (2 free)? No — only 2 free, needs 2. Ends at
+                                                        // 200 > shadow, but nodes 2 ≤ extra 6 → may backfill.
         s.submit(t(0.0), req(3, 2, 200.0), &mut starts);
         assert_eq!(starts, vec![RequestId(1), RequestId(3)]);
 
@@ -209,7 +234,7 @@ mod tests {
         let mut starts = Vec::new();
         s.submit(t(0.0), req(1, 6, 100.0), &mut starts); // ends 100, 4 free
         s.submit(t(0.0), req(2, 8, 100.0), &mut starts); // head blocked; shadow 100, extra 2
-        // Long candidate using 2 ≤ extra: allowed, consumes the budget.
+                                                         // Long candidate using 2 ≤ extra: allowed, consumes the budget.
         s.submit(t(0.0), req(3, 2, 500.0), &mut starts);
         // Second long candidate needing 2 > remaining extra 0: refused
         // even though 2 nodes are free.

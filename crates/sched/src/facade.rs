@@ -20,6 +20,7 @@
 use rbr_simcore::{Duration, SimTime};
 
 use crate::multi_queue::MultiQueueScheduler;
+use crate::observe::{ObserverSlot, SharedObserver};
 use crate::scheduler::{Algorithm, Scheduler};
 use crate::types::{Request, RequestId};
 
@@ -77,6 +78,12 @@ pub trait SchedulerSet {
     /// accounting. Independent clusters contribute one entry each; a
     /// multi-queue scheduler contributes a single shared entry.
     fn pool_nodes(&self) -> Vec<u32>;
+
+    /// Attaches one observer to every scheduler of the set, tagged with
+    /// its target index, and keeps it attached across [`Self::restart`]s
+    /// (a restart fires a fresh `on_attach` for the rebuilt scheduler).
+    /// The default implementation discards the observer.
+    fn attach_observer(&mut self, _obs: SharedObserver) {}
 }
 
 /// One independent scheduler per target: the multi-cluster platform (and
@@ -86,6 +93,7 @@ pub struct ClusterSet {
     nodes: Vec<u32>,
     algorithm: Algorithm,
     cbf_cycle: Duration,
+    observer: Option<SharedObserver>,
 }
 
 impl ClusterSet {
@@ -99,6 +107,7 @@ impl ClusterSet {
             nodes: nodes.to_vec(),
             algorithm,
             cbf_cycle,
+            observer: None,
         }
     }
 }
@@ -156,10 +165,21 @@ impl SchedulerSet for ClusterSet {
         self.scheds[target] = self
             .algorithm
             .build_with_cycle(self.nodes[target], self.cbf_cycle);
+        if let Some(obs) = &self.observer {
+            // Re-attach so the observer learns the target was wiped.
+            self.scheds[target].attach_observer(ObserverSlot::new(target, obs.clone()));
+        }
     }
 
     fn pool_nodes(&self) -> Vec<u32> {
         self.nodes.clone()
+    }
+
+    fn attach_observer(&mut self, obs: SharedObserver) {
+        for (i, sched) in self.scheds.iter_mut().enumerate() {
+            sched.attach_observer(ObserverSlot::new(i, obs.clone()));
+        }
+        self.observer = Some(obs);
     }
 }
 
@@ -169,6 +189,7 @@ pub struct MultiQueueSet {
     sched: MultiQueueScheduler,
     nodes: u32,
     n_queues: usize,
+    observer: Option<SharedObserver>,
 }
 
 impl MultiQueueSet {
@@ -179,6 +200,7 @@ impl MultiQueueSet {
             sched: MultiQueueScheduler::new(nodes, n_queues),
             nodes,
             n_queues,
+            observer: None,
         }
     }
 }
@@ -237,10 +259,21 @@ impl SchedulerSet for MultiQueueSet {
         // The queues share one pool and one scheduler: an outage takes
         // down all of them.
         self.sched = MultiQueueScheduler::new(self.nodes, self.n_queues);
+        if let Some(obs) = &self.observer {
+            self.sched
+                .attach_observer(ObserverSlot::new(0, obs.clone()));
+        }
     }
 
     fn pool_nodes(&self) -> Vec<u32> {
         vec![self.nodes]
+    }
+
+    fn attach_observer(&mut self, obs: SharedObserver) {
+        // One shared-pool scheduler: all queues report as scheduler 0.
+        self.sched
+            .attach_observer(ObserverSlot::new(0, obs.clone()));
+        self.observer = Some(obs);
     }
 }
 

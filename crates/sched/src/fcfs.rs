@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 use rbr_simcore::SimTime;
 
 use crate::core::ClusterCore;
+use crate::observe::{ObserverSlot, StartKind};
 use crate::scheduler::{fifo_predicted_start, Scheduler};
 use crate::types::{Request, RequestId};
 
@@ -17,6 +18,7 @@ use crate::types::{Request, RequestId};
 pub struct FcfsScheduler {
     core: ClusterCore,
     queue: VecDeque<Request>,
+    observer: ObserverSlot,
 }
 
 impl FcfsScheduler {
@@ -25,6 +27,7 @@ impl FcfsScheduler {
         FcfsScheduler {
             core: ClusterCore::new(nodes),
             queue: VecDeque::new(),
+            observer: ObserverSlot::empty(),
         }
     }
 
@@ -36,6 +39,8 @@ impl FcfsScheduler {
             }
             let req = self.queue.pop_front().expect("front checked above");
             self.core.start(now, req);
+            self.observer
+                .with(|s, o| o.on_start(s, now, &req, StartKind::FifoHead));
             starts.push(req.id);
         }
     }
@@ -79,6 +84,7 @@ impl Scheduler for FcfsScheduler {
             req.nodes,
             self.core.total()
         );
+        self.observer.with(|s, o| o.on_submit(s, now, 0, &req));
         self.queue.push_back(req);
         self.try_schedule(now, starts);
     }
@@ -86,6 +92,7 @@ impl Scheduler for FcfsScheduler {
     fn cancel(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) -> bool {
         let removed = self.remove_queued(id);
         if removed {
+            self.observer.with(|s, o| o.on_cancel(s, now, id));
             // Removing the head may unblock successors.
             self.try_schedule(now, starts);
         }
@@ -93,12 +100,16 @@ impl Scheduler for FcfsScheduler {
     }
 
     fn complete(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) {
-        self.core.remove(id);
+        let rec = self.core.remove(id);
+        self.observer
+            .with(|s, o| o.on_finish(s, now, id, rec.request.nodes));
         self.try_schedule(now, starts);
     }
 
     fn abort(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) {
-        self.core.remove(id);
+        let rec = self.core.remove(id);
+        self.observer
+            .with(|s, o| o.on_finish(s, now, id, rec.request.nodes));
         self.try_schedule(now, starts);
     }
 
@@ -116,6 +127,11 @@ impl Scheduler for FcfsScheduler {
     fn is_running(&self, id: RequestId) -> bool {
         self.core.is_running(id)
     }
+
+    fn attach_observer(&mut self, slot: ObserverSlot) {
+        slot.with(|s, o| o.on_attach(s, self.core.total(), self.name()));
+        self.observer = slot;
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +140,12 @@ mod tests {
     use rbr_simcore::Duration;
 
     fn req(id: u64, nodes: u32, est: f64) -> Request {
-        Request::new(RequestId(id), nodes, Duration::from_secs(est), SimTime::ZERO)
+        Request::new(
+            RequestId(id),
+            nodes,
+            Duration::from_secs(est),
+            SimTime::ZERO,
+        )
     }
     fn t(s: f64) -> SimTime {
         SimTime::from_secs(s)

@@ -33,6 +33,7 @@ pub mod easy;
 pub mod facade;
 pub mod fcfs;
 pub mod multi_queue;
+pub mod observe;
 pub mod profile;
 pub mod scheduler;
 pub mod types;
@@ -42,6 +43,7 @@ pub use easy::EasyScheduler;
 pub use facade::{ClusterSet, MultiQueueSet, SchedulerSet};
 pub use fcfs::FcfsScheduler;
 pub use multi_queue::MultiQueueScheduler;
+pub use observe::{ObserverSlot, SchedObserver, SharedObserver, StartKind};
 pub use profile::Profile;
 pub use scheduler::{Algorithm, Scheduler};
 pub use types::{Request, RequestId};

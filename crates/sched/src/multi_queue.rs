@@ -17,6 +17,7 @@ use std::collections::VecDeque;
 use rbr_simcore::SimTime;
 
 use crate::core::ClusterCore;
+use crate::observe::{ObserverSlot, StartKind};
 use crate::types::{Request, RequestId};
 
 /// Identifier of a queue within the scheduler; lower values are served
@@ -29,6 +30,7 @@ pub struct MultiQueueScheduler {
     core: ClusterCore,
     queues: Vec<VecDeque<Request>>,
     backfills: u64,
+    observer: ObserverSlot,
 }
 
 impl MultiQueueScheduler {
@@ -43,7 +45,15 @@ impl MultiQueueScheduler {
             core: ClusterCore::new(nodes),
             queues: vec![VecDeque::new(); n_queues],
             backfills: 0,
+            observer: ObserverSlot::empty(),
         }
+    }
+
+    /// Attaches an observer slot delivering this scheduler's hook events
+    /// (see [`crate::observe`]).
+    pub fn attach_observer(&mut self, slot: ObserverSlot) {
+        slot.with(|s, o| o.on_attach(s, self.core.total(), "MULTI-QUEUE"));
+        self.observer = slot;
     }
 
     /// Number of requests started out of priority order (phase-2 starts).
@@ -109,6 +119,7 @@ impl MultiQueueScheduler {
             req.nodes,
             self.core.total()
         );
+        self.observer.with(|s, o| o.on_submit(s, now, queue, &req));
         self.queues[queue].push_back(req);
         self.try_schedule(now, starts);
     }
@@ -119,6 +130,7 @@ impl MultiQueueScheduler {
         for q in &mut self.queues {
             if let Some(pos) = q.iter().position(|r| r.id == id) {
                 q.remove(pos);
+                self.observer.with(|s, o| o.on_cancel(s, now, id));
                 self.try_schedule(now, starts);
                 return true;
             }
@@ -128,13 +140,17 @@ impl MultiQueueScheduler {
 
     /// Reports the completion of a running request.
     pub fn complete(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) {
-        self.core.remove(id);
+        let rec = self.core.remove(id);
+        self.observer
+            .with(|s, o| o.on_finish(s, now, id, rec.request.nodes));
         self.try_schedule(now, starts);
     }
 
     /// Revokes a same-instant start (the job began elsewhere).
     pub fn abort(&mut self, now: SimTime, id: RequestId, starts: &mut Vec<RequestId>) {
-        self.core.remove(id);
+        let rec = self.core.remove(id);
+        self.observer
+            .with(|s, o| o.on_finish(s, now, id, rec.request.nodes));
         self.try_schedule(now, starts);
     }
 
@@ -152,6 +168,8 @@ impl MultiQueueScheduler {
             }
             self.queues[queue].pop_front();
             self.core.start(now, head);
+            self.observer
+                .with(|s, o| o.on_start(s, now, &head, StartKind::FifoHead));
             starts.push(head.id);
         }
         if self.core.free() == 0 {
@@ -162,6 +180,8 @@ impl MultiQueueScheduler {
         let (head_queue, _) = self.ranked_head().expect("head checked above");
         let head = *self.queues[head_queue].front().expect("head exists");
         let (shadow, mut extra) = self.core.shadow(&head);
+        self.observer
+            .with(|s, o| o.on_shadow(s, now, &head, shadow, extra));
         for queue in 0..self.queues.len() {
             let mut i = if queue == head_queue { 1 } else { 0 };
             while i < self.queues[queue].len() {
@@ -178,6 +198,8 @@ impl MultiQueueScheduler {
                         self.queues[queue].remove(i).expect("index in bounds");
                         self.core.start(now, cand);
                         self.backfills += 1;
+                        self.observer
+                            .with(|s, o| o.on_start(s, now, &cand, StartKind::Backfill));
                         starts.push(cand.id);
                         continue;
                     }

@@ -41,12 +41,31 @@ impl Profile {
         &self.steps
     }
 
+    /// A compact rendering of the profile for panic messages: origin,
+    /// machine size, and the step list — enough context to make an audit
+    /// report or assertion failure actionable without a debugger.
+    fn context(&self) -> String {
+        let steps: Vec<String> = self
+            .steps
+            .iter()
+            .map(|&(t, f)| format!("{t}→{f}"))
+            .collect();
+        format!(
+            "profile[origin {}, total {}, {} steps: {}]",
+            self.steps[0].0,
+            self.total,
+            self.steps.len(),
+            steps.join(", ")
+        )
+    }
+
     /// Free nodes at instant `t` (must not precede the profile origin).
     pub fn free_at(&self, t: SimTime) -> u32 {
         assert!(
             t >= self.steps[0].0,
-            "query at {t} precedes profile origin {}",
-            self.steps[0].0
+            "free_at query at {t} precedes profile origin {}; {}",
+            self.steps[0].0,
+            self.context()
         );
         match self.steps.binary_search_by(|&(s, _)| s.cmp(&t)) {
             Ok(i) => self.steps[i].1,
@@ -89,15 +108,17 @@ impl Profile {
         let end = start + dur;
         let from = self.ensure_step(start);
         let to = self.ensure_step(end);
-        for step in &mut self.steps[from..to] {
+        for i in from..to {
             assert!(
-                step.1 >= nodes,
-                "reservation underflow at {}: {} free < {} needed",
-                step.0,
-                step.1,
-                nodes
+                self.steps[i].1 >= nodes,
+                "reservation underflow at {}: {} free < {} needed \
+                 (reserving {nodes} nodes over [{start}, {end}) on {})",
+                self.steps[i].0,
+                self.steps[i].1,
+                nodes,
+                self.context()
             );
-            step.1 -= nodes;
+            self.steps[i].1 -= nodes;
         }
     }
 
@@ -110,12 +131,17 @@ impl Profile {
     pub fn earliest_fit(&self, not_before: SimTime, dur: Duration, nodes: u32) -> SimTime {
         assert!(
             nodes <= self.total,
-            "request for {nodes} nodes on a {}-node machine",
-            self.total
+            "request for {nodes} nodes on a {}-node machine \
+             (earliest_fit from {not_before} for {dur}; {})",
+            self.total,
+            self.context()
         );
         assert!(
             not_before >= self.steps[0].0,
-            "earliest_fit from {not_before} precedes profile origin"
+            "earliest_fit from {not_before} precedes profile origin {} \
+             (request: {nodes} nodes for {dur}; {})",
+            self.steps[0].0,
+            self.context()
         );
         if nodes == 0 || dur.is_zero() {
             return not_before;
@@ -147,7 +173,9 @@ impl Profile {
                         let (t, f) = *self.steps.last().expect("profile never empty");
                         assert!(
                             f >= nodes,
-                            "profile tail has {f} free nodes forever; request for {nodes} can never fit"
+                            "profile tail has {f} free nodes forever; request for \
+                             {nodes} nodes for {dur} from {not_before} can never fit ({})",
+                            self.context()
                         );
                         anchor = t;
                         i = self.steps.len() - 1;
@@ -227,7 +255,7 @@ mod tests {
     fn fit_slides_past_busy_windows() {
         let mut p = Profile::new(t(0.0), 8, 8);
         p.reserve(t(10.0), d(20.0), 8); // machine fully busy [10, 30)
-        // A long job starting now would overlap the busy window.
+                                        // A long job starting now would overlap the busy window.
         assert_eq!(p.earliest_fit(t(0.0), d(15.0), 1), t(30.0));
         // A short job fits in the initial hole.
         assert_eq!(p.earliest_fit(t(0.0), d(10.0), 1), t(0.0));
@@ -240,7 +268,7 @@ mod tests {
         let mut p = Profile::new(t(0.0), 4, 4);
         p.reserve(t(0.0), d(10.0), 4); // busy [0,10)
         p.reserve(t(20.0), d(10.0), 4); // busy [20,30)
-        // 10-second hole at [10,20) fits a 10 s job exactly.
+                                        // 10-second hole at [10,20) fits a 10 s job exactly.
         assert_eq!(p.earliest_fit(t(0.0), d(10.0), 4), t(10.0));
         // An 11-second job cannot use the hole.
         assert_eq!(p.earliest_fit(t(0.0), d(11.0), 4), t(30.0));
@@ -283,6 +311,38 @@ mod tests {
         p.reserve(t(0.0), Duration::from_hours(1_000_000), 2);
         let fit = p.earliest_fit(t(0.0), d(1.0), 3);
         assert_eq!(fit, t(0.0) + Duration::from_hours(1_000_000));
+    }
+
+    /// Regression: queries exactly at a step boundary must return the
+    /// level *starting* at that boundary, not the level before it, for
+    /// every query entry point.
+    #[test]
+    fn queries_exactly_at_step_boundaries() {
+        let mut p = Profile::new(t(0.0), 8, 4);
+        p.release_at(t(100.0), 4); // boundary at exactly t=100
+                                   // free_at at the boundary sees the post-release level.
+        assert_eq!(p.free_at(t(100.0)), 8);
+        // free_at at the origin boundary sees the origin level.
+        assert_eq!(p.free_at(t(0.0)), 4);
+        // earliest_fit anchored exactly at the boundary fits immediately.
+        assert_eq!(p.earliest_fit(t(100.0), d(10.0), 8), t(100.0));
+        // earliest_fit for a job needing the boundary release lands on it.
+        assert_eq!(p.earliest_fit(t(0.0), d(10.0), 8), t(100.0));
+    }
+
+    #[test]
+    fn panic_messages_carry_profile_context() {
+        let mut p = Profile::new(t(5.0), 8, 4);
+        p.release_at(t(100.0), 4);
+        // A query before the origin must name the origin, the query, and
+        // the step list — the context an audit report needs.
+        let err = std::panic::catch_unwind(|| p.free_at(t(1.0))).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("assert! panics with a String");
+        assert!(msg.contains("precedes profile origin"), "{msg}");
+        assert!(msg.contains("origin 5.000s"), "{msg}");
+        assert!(msg.contains("2 steps"), "{msg}");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::cbf::CbfScheduler;
 use crate::core::ClusterCore;
 use crate::easy::EasyScheduler;
 use crate::fcfs::FcfsScheduler;
+use crate::observe::ObserverSlot;
 use crate::profile::Profile;
 use crate::types::{Request, RequestId};
 
@@ -71,6 +72,11 @@ pub trait Scheduler {
 
     /// Whether the request is running.
     fn is_running(&self, id: RequestId) -> bool;
+
+    /// Attaches an observer slot delivering this scheduler's hook events
+    /// (see [`crate::observe`]). The default implementation discards the
+    /// slot: a scheduler without hook points simply cannot be audited.
+    fn attach_observer(&mut self, _slot: ObserverSlot) {}
 }
 
 /// The three algorithms evaluated in the paper (Table 1).

@@ -4,7 +4,9 @@ use rbr_simcore::{Duration, SimTime};
 
 /// Globally unique identifier of one request (one copy of a job at one
 /// cluster — a job using `r` redundant requests owns `r` distinct ids).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct RequestId(pub u64);
 
 impl std::fmt::Display for RequestId {
@@ -59,12 +61,7 @@ mod tests {
 
     #[test]
     fn end_if_started() {
-        let r = Request::new(
-            RequestId(1),
-            4,
-            Duration::from_secs(100.0),
-            SimTime::ZERO,
-        );
+        let r = Request::new(RequestId(1), 4, Duration::from_secs(100.0), SimTime::ZERO);
         assert_eq!(
             r.end_if_started(SimTime::from_secs(50.0)),
             SimTime::from_secs(150.0)

@@ -17,7 +17,13 @@ struct GenReq {
 
 fn gen_reqs(max: usize, n_queues: usize) -> impl Strategy<Value = Vec<GenReq>> {
     prop::collection::vec(
-        (1u32..=16, 1u32..=1_000, 0.1f64..=1.0, 0u32..=20, 0..n_queues)
+        (
+            1u32..=16,
+            1u32..=1_000,
+            0.1f64..=1.0,
+            0u32..=20,
+            0..n_queues,
+        )
             .prop_map(|(nodes, estimate_s, run_fraction, gap_s, queue)| GenReq {
                 nodes,
                 estimate_s,
@@ -78,9 +84,8 @@ fn drive(total_nodes: u32, n_queues: usize, reqs: &[GenReq]) {
             started[i] = true;
             busy += reqs[i].nodes as i64;
             assert!(busy <= total_nodes as i64, "capacity exceeded");
-            let actual = Duration::from_secs(
-                (reqs[i].estimate_s as f64 * reqs[i].run_fraction).max(1e-6),
-            );
+            let actual =
+                Duration::from_secs((reqs[i].estimate_s as f64 * reqs[i].run_fraction).max(1e-6));
             engine.push(now + actual, Ev::Complete(i));
         }
         assert_eq!(sched.free_nodes() as i64, total_nodes as i64 - busy);

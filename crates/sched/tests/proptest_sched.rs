@@ -28,13 +28,15 @@ fn gen_reqs(max: usize) -> impl Strategy<Value = Vec<GenReq>> {
             0u32..=30,
             prop::option::weighted(0.2, 0u32..=500),
         )
-            .prop_map(|(nodes, estimate_s, run_fraction, gap_s, cancel_after_s)| GenReq {
-                nodes,
-                estimate_s,
-                run_fraction,
-                gap_s,
-                cancel_after_s,
-            }),
+            .prop_map(
+                |(nodes, estimate_s, run_fraction, gap_s, cancel_after_s)| GenReq {
+                    nodes,
+                    estimate_s,
+                    run_fraction,
+                    gap_s,
+                    cancel_after_s,
+                },
+            ),
         1..max,
     )
 }
@@ -125,7 +127,10 @@ fn drive(alg: Algorithm, total_nodes: u32, reqs: &[GenReq]) -> (usize, usize) {
             "{alg:?}: request {i} neither started nor cancelled"
         );
         if started[i] {
-            assert!(finished[i], "{alg:?}: request {i} started but never finished");
+            assert!(
+                finished[i],
+                "{alg:?}: request {i} started but never finished"
+            );
         }
     }
     assert_eq!(sched.queue_len(), 0);

@@ -70,7 +70,10 @@ impl<E> Engine<E> {
     /// Returns `None` when no events remain (simulation has drained).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let (t, e) = self.queue.pop()?;
-        debug_assert!(t >= self.now, "event queue delivered an event from the past");
+        debug_assert!(
+            t >= self.now,
+            "event queue delivered an event from the past"
+        );
         self.now = t;
         self.processed += 1;
         Some((t, e))

@@ -14,11 +14,15 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 const MICROS_PER_SEC: f64 = 1_000_000.0;
 
 /// An absolute instant in simulated time (microseconds since t = 0).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time (microseconds).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Duration(u64);
 
 impl SimTime {
@@ -269,10 +273,7 @@ mod tests {
         let t = SimTime::from_secs(10.0) + Duration::from_secs(5.0);
         assert_eq!(t, SimTime::from_secs(15.0));
         assert_eq!(t.since(SimTime::from_secs(4.0)), Duration::from_secs(11.0));
-        assert_eq!(
-            Duration::from_secs(4.0) / Duration::from_secs(2.0),
-            2.0
-        );
+        assert_eq!(Duration::from_secs(4.0) / Duration::from_secs(2.0), 2.0);
     }
 
     #[test]
@@ -309,6 +310,9 @@ mod tests {
 
     #[test]
     fn saturating_add_caps_at_max() {
-        assert_eq!(SimTime::MAX.saturating_add(Duration::from_secs(1.0)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(Duration::from_secs(1.0)),
+            SimTime::MAX
+        );
     }
 }

@@ -81,7 +81,10 @@ impl RelativeSeries {
     /// The worst (largest) ratio across replications; the paper reports
     /// "worse by at most 0.4 %" style figures from this.
     pub fn worst(&self) -> f64 {
-        self.ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.ratios
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The best (smallest) ratio across replications.

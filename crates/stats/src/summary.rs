@@ -197,7 +197,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let all: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 20.0).collect();
+        let all: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 20.0)
+            .collect();
         let seq = Summary::of(&all);
         let mut a = Summary::of(&all[..317]);
         let b = Summary::of(&all[317..]);

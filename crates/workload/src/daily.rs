@@ -69,10 +69,7 @@ impl DailyCycle {
     /// Panics if any weight is outside `(0, 1]`.
     pub fn validate(&self) {
         for (h, &w) in self.weights.iter().enumerate() {
-            assert!(
-                w > 0.0 && w <= 1.0,
-                "hour {h}: weight {w} outside (0, 1]"
-            );
+            assert!(w > 0.0 && w <= 1.0, "hour {h}: weight {w} outside (0, 1]");
         }
     }
 }
@@ -141,7 +138,11 @@ mod tests {
         );
         let hour_of = |j: &JobSpec| (j.arrival.as_secs() / 3_600.0) as usize % 24;
         let night = jobs.iter().filter(|j| hour_of(j) < 6).count() as f64 / 6.0;
-        let day = jobs.iter().filter(|j| (9..18).contains(&hour_of(j))).count() as f64 / 9.0;
+        let day = jobs
+            .iter()
+            .filter(|j| (9..18).contains(&hour_of(j)))
+            .count() as f64
+            / 9.0;
         // Working hours must be several times busier per hour than night.
         assert!(
             day > 2.5 * night,

@@ -65,10 +65,7 @@ impl EstimateModel {
                 lo + (hi - lo) * unit(rng)
             }
             EstimateModel::Phi { phi } => {
-                assert!(
-                    phi > 0.0 && phi <= 1.0,
-                    "phi must be in (0, 1], got {phi}"
-                );
+                assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1], got {phi}");
                 let u = phi + (1.0 - phi) * unit(rng);
                 1.0 / u
             }
@@ -90,7 +87,6 @@ impl EstimateModel {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

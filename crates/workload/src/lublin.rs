@@ -247,7 +247,6 @@ impl LublinModel {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,7 +319,10 @@ mod tests {
         let m = model();
         let mut rng = SeedSequence::new(44).rng();
         let n = 100_000;
-        let serial = (0..n).map(|_| m.sample_nodes(&mut rng)).filter(|&s| s == 1).count();
+        let serial = (0..n)
+            .map(|_| m.sample_nodes(&mut rng))
+            .filter(|&s| s == 1)
+            .count();
         let frac = serial as f64 / n as f64;
         // serial_prob plus a tiny mass of parallel jobs rounded down to 1.
         let expected = LublinConfig::paper_2006().serial_prob;
@@ -347,7 +349,10 @@ mod tests {
         let mut rng = SeedSequence::new(46).rng();
         let n = 40_000;
         let mean_rt = |nodes: u32, rng: &mut rand::rngs::StdRng| {
-            (0..n).map(|_| m.sample_runtime(rng, nodes).as_secs()).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| m.sample_runtime(rng, nodes).as_secs())
+                .sum::<f64>()
+                / n as f64
         };
         let small = mean_rt(1, &mut rng);
         let large = mean_rt(120, &mut rng);

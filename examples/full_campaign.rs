@@ -26,7 +26,10 @@ fn main() {
 
     for exp in Registry::standard().iter() {
         banner(exp.description());
-        println!("{}", exp.run(scale, exp.default_seed()).render(Format::Text));
+        println!(
+            "{}",
+            exp.run(scale, exp.default_seed()).render(Format::Text)
+        );
     }
 
     banner("Supplement — Figure 1 as an ASCII plot");
@@ -34,7 +37,14 @@ fn main() {
     println!("{}", fig1::render_plot(&rows));
 
     banner("Supplement — backfilling activity per scheme (the §3.3 mechanism)");
-    println!("{}", ablation::render_backfills(&ablation::backfill_sweep(scale, 10, 56, None)));
+    println!(
+        "{}",
+        ablation::render_backfills(&ablation::backfill_sweep(scale, 10, 56, None))
+    );
 
-    eprintln!("\ncampaign finished in {:.1?} at {} scale", t0.elapsed(), scale.name());
+    eprintln!(
+        "\ncampaign finished in {:.1?} at {} scale",
+        t0.elapsed(),
+        scale.name()
+    );
 }

@@ -43,9 +43,16 @@ fn main() {
     let sys = SystemCapacity::paper_2006();
     let (bottleneck, rate) = sys.bottleneck();
     println!("\nfull-stack bottleneck: {bottleneck:?} at {rate:.2} submissions/s");
-    println!("system-wide sustainable redundancy at peak: r < {:.1}\n", sys.max_redundancy(iat));
+    println!(
+        "system-wide sustainable redundancy at peak: r < {:.1}\n",
+        sys.max_redundancy(iat)
+    );
     for (component, r) in sys.max_redundancy_per_component(iat) {
-        let marker = if component == bottleneck { "  <-- bottleneck" } else { "" };
+        let marker = if component == bottleneck {
+            "  <-- bottleneck"
+        } else {
+            ""
+        };
         println!("  {component:?}: r < {r:.1}{marker}");
     }
 
@@ -67,7 +74,11 @@ fn main() {
             "r = {r:.1}: mean latency {:8.1} s, backlog at window end {:5}, {}",
             result.latency.mean(),
             result.backlog,
-            if result.sustainable { "sustainable" } else { "SATURATED" }
+            if result.sustainable {
+                "sustainable"
+            } else {
+                "SATURATED"
+            }
         );
     }
 

@@ -16,7 +16,10 @@ fn main() {
     base.window = Duration::from_hours(1);
     let seed = SeedSequence::new(2006);
 
-    println!("simulating {} clusters, 1 hour of submissions...\n", base.n_clusters());
+    println!(
+        "simulating {} clusters, 1 hour of submissions...\n",
+        base.n_clusters()
+    );
 
     // Baseline: everyone submits to their local cluster only.
     let none = GridSim::execute(base.clone(), seed);
@@ -30,21 +33,32 @@ fn main() {
     let s0 = none.stretch(JobClass::All);
     let s1 = all.stretch(JobClass::All);
     println!("jobs simulated        : {}", none.records.len());
-    println!("scheme NONE           : avg stretch {:6.2}, CV {:5.1}%, max {:7.1}",
-        s0.mean(), s0.cv() * 100.0, s0.max());
-    println!("scheme ALL            : avg stretch {:6.2}, CV {:5.1}%, max {:7.1}",
-        s1.mean(), s1.cv() * 100.0, s1.max());
-    println!("relative avg stretch  : {:.3}  (< 1 means redundancy helped)",
-        s1.mean() / s0.mean());
+    println!(
+        "scheme NONE           : avg stretch {:6.2}, CV {:5.1}%, max {:7.1}",
+        s0.mean(),
+        s0.cv() * 100.0,
+        s0.max()
+    );
+    println!(
+        "scheme ALL            : avg stretch {:6.2}, CV {:5.1}%, max {:7.1}",
+        s1.mean(),
+        s1.cv() * 100.0,
+        s1.max()
+    );
+    println!(
+        "relative avg stretch  : {:.3}  (< 1 means redundancy helped)",
+        s1.mean() / s0.mean()
+    );
     println!("relative CV (fairness): {:.3}", s1.cv() / s0.cv());
     println!();
-    println!("request traffic under ALL: {} submissions, {} cancellations, {} same-instant aborts",
-        all.submits, all.cancels, all.aborts);
-    let migrated = all
-        .records
-        .iter()
-        .filter(|r| r.ran_on != r.home)
-        .count();
-    println!("{} of {} jobs ended up running away from their home cluster",
-        migrated, all.records.len());
+    println!(
+        "request traffic under ALL: {} submissions, {} cancellations, {} same-instant aborts",
+        all.submits, all.cancels, all.aborts
+    );
+    let migrated = all.records.iter().filter(|r| r.ran_on != r.home).count();
+    println!(
+        "{} of {} jobs ended up running away from their home cluster",
+        migrated,
+        all.records.len()
+    );
 }

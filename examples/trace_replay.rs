@@ -25,9 +25,8 @@ fn main() {
         }
         None => {
             eprintln!("no trace given; exporting 30 minutes of the workload model to SWF");
-            let model = LublinModel::new(
-                redundant_batch_requests::workload::LublinConfig::paper_2006(),
-            );
+            let model =
+                LublinModel::new(redundant_batch_requests::workload::LublinConfig::paper_2006());
             let jobs = model.generate(
                 &mut SeedSequence::new(77).rng(),
                 Duration::from_secs(1_800.0),

@@ -32,10 +32,7 @@ fn assert_capacity_respected(cfg: &GridConfig, run: &redundant_batch_requests::g
         let b = busy.entry(c).or_insert(0);
         *b += d;
         let cap = cfg.clusters[c].nodes as i64;
-        assert!(
-            *b >= 0 && *b <= cap,
-            "cluster {c} busy {b}/{cap} at {t}"
-        );
+        assert!(*b >= 0 && *b <= cap, "cluster {c} busy {b}/{cap} at {t}");
     }
 }
 

@@ -4,7 +4,9 @@
 
 use redundant_batch_requests::sched::{Algorithm, Request, RequestId};
 use redundant_batch_requests::sim::{Duration, Engine, SeedSequence, SimTime};
-use redundant_batch_requests::workload::{EstimateModel, JobSpec, LublinConfig, LublinModel, SwfTrace};
+use redundant_batch_requests::workload::{
+    EstimateModel, JobSpec, LublinConfig, LublinModel, SwfTrace,
+};
 
 /// Drives one cluster with the given jobs and returns each job's start.
 fn replay(jobs: &[JobSpec], alg: Algorithm) -> Vec<SimTime> {
@@ -35,7 +37,10 @@ fn replay(jobs: &[JobSpec], alg: Algorithm) -> Vec<SimTime> {
             engine.schedule(now + jobs[id.0 as usize].runtime, Ev::Complete(id.0));
         }
     }
-    assert!(starts.iter().all(|&s| s != SimTime::MAX), "all jobs started");
+    assert!(
+        starts.iter().all(|&s| s != SimTime::MAX),
+        "all jobs started"
+    );
     starts
 }
 
@@ -59,7 +64,14 @@ fn swf_roundtrip_preserves_the_schedule() {
     let t0 = jobs[0].arrival;
     let shifted: Vec<JobSpec> = jobs
         .iter()
-        .map(|j| JobSpec::new(SimTime::ZERO + j.arrival.since(t0), j.nodes, j.runtime, j.estimate))
+        .map(|j| {
+            JobSpec::new(
+                SimTime::ZERO + j.arrival.since(t0),
+                j.nodes,
+                j.runtime,
+                j.estimate,
+            )
+        })
         .collect();
     assert_eq!(back, shifted, "SWF roundtrip must be lossless");
 

@@ -41,6 +41,20 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count to actually run: the `PROPTEST_CASES` environment
+    /// variable overrides whatever the test requested (mirroring the
+    /// real crate), so CI can run elevated sweeps of the same suites.
+    /// Invalid or zero values are ignored.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => match v.trim().parse::<u32>() {
+                Ok(n) if n > 0 => n,
+                _ => self.cases,
+            },
+            Err(_) => self.cases,
+        }
+    }
 }
 
 impl Default for ProptestConfig {
@@ -370,11 +384,12 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
+            let cases = config.resolved_cases();
             let mut rng = $crate::test_runner::TestRng::for_test(concat!(
                 module_path!(), "::", stringify!($name)
             ));
             let strategy = ($($strat,)+);
-            for case in 0..config.cases {
+            for case in 0..cases {
                 let ($($arg,)+) = $crate::Strategy::generate(&strategy, &mut rng);
                 let inputs = format!(concat!($(stringify!($arg), " = {:?}; ",)+), $(&$arg,)+);
                 let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
@@ -384,7 +399,7 @@ macro_rules! __proptest_impl {
                 if let ::core::result::Result::Err(e) = outcome {
                     panic!(
                         "proptest case {}/{} failed: {}\n  inputs: {}",
-                        case + 1, config.cases, e, inputs
+                        case + 1, cases, e, inputs
                     );
                 }
             }
