@@ -1,0 +1,98 @@
+//! The campaign engine's perf trajectory: times a registry campaign
+//! serially and on a multi-lane pool, writes the comparison to
+//! `BENCH_exec.json` at the repository root (so later changes can track
+//! the speedup), and lets criterion time the pool's map kernels.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbr::experiments::campaign::{run, Plan, RunOptions};
+use rbr::experiments::Registry;
+use rbr::report::Format;
+use rbr_bench::{bench_scale, print_artifact};
+use rbr_exec::{with_pool, Pool};
+
+/// Runs the campaign once on `pool`, returning (wall seconds, cells).
+fn time_campaign(pool: &Pool, plan: &Plan<'_>) -> (f64, usize) {
+    let started = Instant::now();
+    let result = with_pool(pool, || run(plan, &RunOptions::default(), &|_| {}))
+        .expect("unjournalled campaign cannot fail");
+    assert!(result.complete);
+    (started.elapsed().as_secs_f64(), result.outcomes.len())
+}
+
+/// Times the full-registry campaign serial vs parallel and records the
+/// comparison in `BENCH_exec.json`.
+fn record_speedup() {
+    let registry = Registry::standard();
+    let scale = bench_scale();
+    let plan = Plan {
+        experiments: registry.iter().collect(),
+        scale,
+        seed: None,
+        reps: None,
+        format: Format::Json,
+    };
+    let jobs = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .max(2);
+    let serial = Pool::new(1);
+    let parallel = Pool::new(jobs);
+    let (serial_secs, cells) = time_campaign(&serial, &plan);
+    let (parallel_secs, _) = time_campaign(&parallel, &plan);
+
+    let body = format!(
+        "{{\"campaign\":\"run all\",\"scale\":\"{}\",\"cells\":{cells},\
+         \"serial_secs\":{serial_secs:.3},\"parallel_jobs\":{jobs},\
+         \"parallel_secs\":{parallel_secs:.3},\"speedup\":{:.3}}}\n",
+        scale.name(),
+        serial_secs / parallel_secs.max(1e-9),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+    std::fs::write(path, &body).expect("write BENCH_exec.json");
+    print_artifact("campaign engine speedup (BENCH_exec.json)", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    record_speedup();
+
+    let mut group = c.benchmark_group("exec");
+    group.sample_size(20);
+    let pool = Pool::new(
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .max(2),
+    );
+
+    // Pure engine overhead: scheduling cost per trivial cell.
+    group.bench_function("map_1k_trivial_cells", |b| {
+        b.iter(|| pool.map((0..1_000u64).collect(), |_, x| x.wrapping_mul(2)))
+    });
+
+    // Heterogeneous cells — the shape that motivates stealing: one cell
+    // in sixteen costs ~50x the rest.
+    group.bench_function("map_heterogeneous_cells", |b| {
+        b.iter(|| {
+            pool.map((0..64u64).collect(), |_, x| {
+                let spins = if x % 16 == 0 { 50_000 } else { 1_000 };
+                let mut acc = x;
+                for i in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                acc
+            })
+        })
+    });
+
+    // Serial baseline for the same trivial cells: what jobs=1 costs.
+    let serial = Pool::new(1);
+    group.bench_function("map_1k_trivial_cells_serial", |b| {
+        b.iter(|| serial.map((0..1_000u64).collect(), |_, x| x.wrapping_mul(2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,7 +7,12 @@
 //!     --seed N                      override the experiment's master seed
 //!     --reps N                      override replications per configuration
 //!     --format text|csv|json        output format (default: text)
-//!     --out DIR                     write <name>.<ext> files instead of stdout
+//!     --jobs N                      parallel execution lanes (default:
+//!                                   available parallelism; 1 = serial)
+//!     --out DIR                     campaign directory: write <name>.<ext>
+//!                                   files + a crash-safe journal there
+//!     --resume DIR                  resume an interrupted campaign, replaying
+//!                                   journalled cells and running the rest
 //! rbr audit <name|all> [options]    run experiments under the invariant
 //!     --scale smoke|quick|paper     auditor and report any violations
 //!     --seed N                      (default scale: smoke)
@@ -18,10 +23,14 @@
 //!
 //! Every experiment — name, description, seed, tables — comes from
 //! [`Registry::standard`]; the CLI holds no experiment list of its own.
+//! `run` executes on the `rbr-exec` campaign engine: experiments and
+//! their replications become work-stealing cells, merged in a fixed
+//! order, so any `--jobs` count produces byte-identical reports.
 
-use std::path::Path;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use rbr::experiments::campaign::{Plan, RunOptions};
 use rbr::experiments::{fig5, Experiment, Registry};
 use rbr::middleware::{max_redundancy, steady_state_load, SystemCapacity};
 use rbr::report::{Format, Table};
@@ -47,7 +56,8 @@ fn main() -> ExitCode {
         Some("run") => {
             let Some(name) = it.next() else {
                 eprintln!(
-                    "usage: rbr run <name|all> [--scale S] [--seed N] [--reps N] [--format F] [--out DIR]"
+                    "usage: rbr run <name|all> [--scale S] [--seed N] [--reps N] [--format F] \
+                     [--jobs N] [--out DIR] [--resume DIR]"
                 );
                 return ExitCode::FAILURE;
             };
@@ -99,7 +109,9 @@ fn main() -> ExitCode {
                  --seed N                     override the master seed\n    \
                  --reps N                     override replications per config\n    \
                  --format text|csv|json       output format (default: text)\n    \
-                 --out DIR                    write <name>.<ext> files instead of stdout\n  \
+                 --jobs N                     parallel lanes (default: available cores)\n    \
+                 --out DIR                    campaign dir: <name>.<ext> files + journal\n    \
+                 --resume DIR                 resume an interrupted campaign from its journal\n  \
                  audit <name|all> [options]     run experiments under the invariant auditor\n    \
                  --scale smoke|quick|paper    fidelity (default: smoke)\n    \
                  --seed N                     override the master seed\n  \
@@ -117,59 +129,113 @@ fn main() -> ExitCode {
 }
 
 /// Resolves the run flags and dispatches `name` (or every entry, for
-/// `all`) through the registry.
+/// `all`) through the registry, as one campaign on the `rbr-exec`
+/// engine: each experiment is a cell, journalled under `--out`/`--resume`
+/// and executed across `--jobs` lanes with a fixed merge order.
 fn run_command(name: &str, args: &[String]) -> Result<(), String> {
     let scale = parse_scale(args)?;
     let format = parse_format(args)?;
     let seed = parse_seed(args)?;
     let reps = parse_reps(args)?;
-    let out = flag_value(args, "--out");
+    if let Some(jobs) = parse_jobs(args)? {
+        if !rbr_exec::configure(jobs) {
+            return Err("--jobs must be set before the execution pool starts".to_string());
+        }
+    }
+    let (dir, resume) = campaign_dir(args)?;
     let registry = Registry::standard();
 
-    if name == "all" {
-        for e in registry.iter() {
-            run_one(e, scale, seed, reps, format, out)?;
+    let experiments: Vec<&dyn Experiment> = if name == "all" {
+        registry.iter().collect()
+    } else {
+        match registry.get(name) {
+            Some(e) => vec![e],
+            None => return Err(format!("unknown experiment {name:?}; try `rbr list`")),
         }
-        return Ok(());
-    }
-    match registry.get(name) {
-        Some(e) => run_one(e, scale, seed, reps, format, out),
-        None => Err(format!("unknown experiment {name:?}; try `rbr list`")),
-    }
-}
-
-/// Runs one experiment and prints it, or writes `<name>.<ext>` under
-/// `--out`.
-fn run_one(
-    exp: &dyn Experiment,
-    scale: Scale,
-    seed: Option<u64>,
-    reps: Option<usize>,
-    format: Format,
-    out: Option<&str>,
-) -> Result<(), String> {
-    let seed = seed.unwrap_or_else(|| exp.default_seed());
+    };
+    let plan = Plan {
+        experiments,
+        scale,
+        seed,
+        reps,
+        format,
+    };
+    let total = plan.experiments.len();
     eprintln!(
-        "running {} at {} scale (seed {seed})...",
-        exp.name(),
-        scale.name()
-    );
-    let report = exp.run_with(scale, seed, reps);
-    let mut rendered = report.render(format);
-    if !rendered.ends_with('\n') {
-        rendered.push('\n');
-    }
-    match out {
-        None => print!("{rendered}"),
-        Some(dir) => {
-            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
-            let path = Path::new(dir).join(format!("{}.{}", exp.name(), format.extension()));
-            std::fs::write(&path, rendered)
-                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-            eprintln!("wrote {}", path.display());
+        "campaign: {total} experiment(s) at {} scale, {} lane(s){}",
+        scale.name(),
+        rbr_exec::pool::global().jobs(),
+        match &dir {
+            Some(d) if resume => format!(", resuming from {}", d.display()),
+            Some(d) => format!(", journal in {}", d.display()),
+            None => String::new(),
         }
+    );
+
+    let options = RunOptions {
+        dir: dir.clone(),
+        resume,
+        cell_budget: None,
+    };
+    let before = rbr_exec::pool::global().metrics();
+    let result = rbr::experiments::campaign::run(&plan, &options, &|p| {
+        if p.replayed {
+            eprintln!("[{}/{}] {} replayed from journal", p.done, p.total, p.key);
+        } else {
+            eprintln!(
+                "[{}/{}] {} finished in {:.2}s ({:.2} cells/s, ETA {:.0}s)",
+                p.done, p.total, p.key, p.cell_secs, p.cells_per_sec, p.eta_secs
+            );
+        }
+    })?;
+    let after = rbr_exec::pool::global().metrics();
+
+    for outcome in &result.outcomes {
+        match &dir {
+            None => print!("{}", outcome.payload),
+            Some(d) => {
+                let path = d.join(format!("{}.{}", outcome.key, format.extension()));
+                std::fs::write(&path, &outcome.payload)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+    if after.jobs > 1 {
+        let busy = after
+            .since(&before)
+            .iter()
+            .map(|b| format!("{:.0}%", b * 100.0))
+            .collect::<Vec<_>>()
+            .join(" ");
+        eprintln!(
+            "pool: {} lanes, {} cell(s) executed, {} replayed; worker busy [{busy}]",
+            after.jobs, result.executed, result.replayed
+        );
     }
     Ok(())
+}
+
+/// Resolves `--out`/`--resume` into the campaign directory and whether
+/// to replay its journal. `--resume DIR` implies `--out DIR`; giving
+/// both with different directories is an error.
+fn campaign_dir(args: &[String]) -> Result<(Option<PathBuf>, bool), String> {
+    let out = flag_value(args, "--out");
+    let resume = flag_value(args, "--resume");
+    match (out, resume) {
+        (Some(o), Some(r)) if o != r => Err(format!(
+            "--out {o} and --resume {r} name different directories; pass just --resume"
+        )),
+        (_, Some(r)) => {
+            std::fs::create_dir_all(r).map_err(|e| format!("cannot create {r}: {e}"))?;
+            Ok((Some(PathBuf::from(r)), true))
+        }
+        (Some(o), None) => {
+            std::fs::create_dir_all(o).map_err(|e| format!("cannot create {o}: {e}"))?;
+            Ok((Some(PathBuf::from(o)), false))
+        }
+        (None, None) => Ok((None, false)),
+    }
 }
 
 /// Runs `name` (or every registry entry, for `all`) with the runtime
@@ -261,6 +327,17 @@ fn parse_reps(args: &[String]) -> Result<Option<usize>, String> {
             Ok(0) => Err("--reps must be at least 1".to_string()),
             Ok(n) => Ok(Some(n)),
             Err(e) => Err(format!("bad rep count {s:?}: {e}")),
+        },
+    }
+}
+
+fn parse_jobs(args: &[String]) -> Result<Option<usize>, String> {
+    match flag_value(args, "--jobs") {
+        None => Ok(None),
+        Some(s) => match s.parse::<usize>() {
+            Ok(0) => Err("--jobs must be at least 1".to_string()),
+            Ok(n) => Ok(Some(n)),
+            Err(e) => Err(format!("bad job count {s:?}: {e}")),
         },
     }
 }
@@ -413,6 +490,37 @@ mod tests {
             Some(2.5)
         );
         assert_eq!(parse_flag_value(&args(&["--iat", "x"]), "--iat"), None);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs(&args(&[])).unwrap(), None);
+        assert_eq!(parse_jobs(&args(&["--jobs", "4"])).unwrap(), Some(4));
+        assert!(parse_jobs(&args(&["--jobs", "0"])).is_err());
+        assert!(parse_jobs(&args(&["--jobs", "x"])).is_err());
+    }
+
+    #[test]
+    fn campaign_dir_resolves_out_and_resume() {
+        let base = std::env::temp_dir().join(format!("rbr-cli-campaign-{}", std::process::id()));
+        let dir = base.to_string_lossy().into_owned();
+        assert_eq!(campaign_dir(&args(&[])).unwrap(), (None, false));
+        assert_eq!(
+            campaign_dir(&args(&["--out", &dir])).unwrap(),
+            (Some(base.clone()), false)
+        );
+        assert_eq!(
+            campaign_dir(&args(&["--resume", &dir])).unwrap(),
+            (Some(base.clone()), true)
+        );
+        // --resume implies --out of the same directory; both is fine…
+        assert_eq!(
+            campaign_dir(&args(&["--out", &dir, "--resume", &dir])).unwrap(),
+            (Some(base.clone()), true)
+        );
+        // …but two different directories is a contradiction.
+        assert!(campaign_dir(&args(&["--out", &dir, "--resume", "/elsewhere"])).is_err());
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Registry-level campaigns: a set of experiments run as cells on the
+//! `rbr-exec` engine, with optional journalling and checkpoint/resume.
+//!
+//! One campaign cell is one experiment at a fixed `(scale, seed, reps)`,
+//! rendered in the campaign's output format. Cells are pure functions of
+//! their index — every experiment derives its randomness hierarchically
+//! from its master seed — so the engine may run them on any thread in
+//! any order, journal each completion, and replay finished cells on
+//! resume, while the merged output stays byte-identical to a serial,
+//! uninterrupted `rbr run all`.
+
+use rbr_exec::campaign::{CampaignOptions, CampaignResult, CellSpec, Progress};
+
+use super::Experiment;
+use crate::report::Format;
+use crate::scale::Scale;
+
+/// What to run: which experiments, at which fidelity, rendered how.
+pub struct Plan<'a> {
+    /// The experiments, in campaign (cell) order.
+    pub experiments: Vec<&'a dyn Experiment>,
+    /// Fidelity preset for every cell.
+    pub scale: Scale,
+    /// Master-seed override; `None` uses each experiment's default seed.
+    pub seed: Option<u64>,
+    /// Replication override (the CLI's `--reps`).
+    pub reps: Option<usize>,
+    /// Output format each cell's payload is rendered in.
+    pub format: Format,
+}
+
+impl Plan<'_> {
+    /// The campaign's identity string, stamped into the journal header.
+    /// Resuming under a different manifest is refused: a journal records
+    /// payloads for exactly one `(scale, seed, reps, format)` point.
+    pub fn manifest(&self) -> String {
+        format!(
+            "scale={} seed={} reps={} format={}",
+            self.scale.name(),
+            match self.seed {
+                Some(s) => s.to_string(),
+                None => "default".to_string(),
+            },
+            match self.reps {
+                Some(r) => r.to_string(),
+                None => "default".to_string(),
+            },
+            self.format.extension(),
+        )
+    }
+
+    /// The campaign's cell list: one cell per experiment, keyed by its
+    /// registry name.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        self.experiments
+            .iter()
+            .map(|e| CellSpec::new(e.name()))
+            .collect()
+    }
+}
+
+/// Journalling/resume knobs, a thin re-badging of the engine's options
+/// (the manifest comes from the [`Plan`]).
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Campaign directory for the journal; `None` disables journalling.
+    pub dir: Option<std::path::PathBuf>,
+    /// Replay completed cells from the directory's journal.
+    pub resume: bool,
+    /// Stop after this many freshly-executed cells (test hook).
+    pub cell_budget: Option<usize>,
+}
+
+/// Runs the plan on the current pool. Each outcome's `payload` is the
+/// experiment's report rendered in `plan.format`, newline-terminated —
+/// exactly the bytes `rbr run` would print or write for that experiment.
+pub fn run(
+    plan: &Plan<'_>,
+    options: &RunOptions,
+    progress: &(dyn Fn(&Progress) + Sync),
+) -> Result<CampaignResult, String> {
+    let cells = plan.cells();
+    let engine_options = CampaignOptions {
+        dir: options.dir.clone(),
+        resume: options.resume,
+        cell_budget: options.cell_budget,
+        manifest: plan.manifest(),
+    };
+    rbr_exec::campaign::run(
+        &cells,
+        &engine_options,
+        |i, _| {
+            let exp = plan.experiments[i];
+            let seed = plan.seed.unwrap_or_else(|| exp.default_seed());
+            let report = exp.run_with(plan.scale, seed, plan.reps);
+            let mut rendered = report.render(plan.format);
+            if !rendered.ends_with('\n') {
+                rendered.push('\n');
+            }
+            rendered
+        },
+        progress,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Registry;
+
+    fn plan(registry: &Registry) -> Plan<'_> {
+        Plan {
+            experiments: registry.iter().take(3).collect(),
+            scale: Scale::Smoke,
+            seed: Some(11),
+            reps: Some(1),
+            format: Format::Json,
+        }
+    }
+
+    #[test]
+    fn manifest_pins_every_campaign_parameter() {
+        let registry = Registry::standard();
+        let p = plan(&registry);
+        assert_eq!(p.manifest(), "scale=smoke seed=11 reps=1 format=json");
+        let defaults = Plan {
+            seed: None,
+            reps: None,
+            ..plan(&registry)
+        };
+        assert_eq!(
+            defaults.manifest(),
+            "scale=smoke seed=default reps=default format=json"
+        );
+    }
+
+    #[test]
+    fn cells_follow_registry_order() {
+        let registry = Registry::standard();
+        let p = plan(&registry);
+        let keys: Vec<String> = p.cells().into_iter().map(|c| c.key).collect();
+        let expect: Vec<String> = registry
+            .iter()
+            .take(3)
+            .map(|e| e.name().to_string())
+            .collect();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn payloads_match_direct_runs() {
+        use crate::report::Report;
+        let registry = Registry::standard();
+        let p = plan(&registry);
+        let result = run(&p, &RunOptions::default(), &|_| {}).unwrap();
+        assert!(result.complete);
+        for (outcome, exp) in result.outcomes.iter().zip(&p.experiments) {
+            assert_eq!(outcome.key, exp.name());
+            // Wall time legitimately differs between two runs (the
+            // byte-level check lives in the equivalence integration test
+            // under RBR_FIXED_WALL_TIME); everything else must match.
+            let mut campaign = Report::from_json(&outcome.payload).unwrap();
+            let mut direct = exp.run_with(Scale::Smoke, 11, Some(1));
+            campaign.meta.wall_time_secs = 0.0;
+            direct.meta.wall_time_secs = 0.0;
+            assert_eq!(
+                campaign.render_json(),
+                direct.render_json(),
+                "{} diverged",
+                exp.name()
+            );
+        }
+    }
+}

@@ -71,12 +71,31 @@ pub struct Row {
     pub waste_fraction: f64,
 }
 
-/// Runs the sweep.
+/// Runs the sweep. Replications are campaign-engine cells (each a pure
+/// function of its index); the fold below consumes them in replication
+/// order, so the accumulated floats are bit-identical to the old serial
+/// loop for any job count.
 pub fn run(config: &Config) -> Vec<Row> {
     config
         .fractions
         .iter()
         .map(|&fraction| {
+            let samples = rbr_exec::map_cells(config.reps, |rep| {
+                let mut cfg = config.base.clone();
+                cfg.dual_fraction = fraction;
+                let result =
+                    dual_queue::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
+                let m = RunMetrics::from_run(&result.run);
+                let dual = (!m.stretch_redundant.is_nan()).then(|| {
+                    (
+                        m.stretch_redundant,
+                        result.premium_win_fraction(),
+                        result.dual_mean_price(),
+                    )
+                });
+                let single = (!m.stretch_non_redundant.is_nan()).then_some(m.stretch_non_redundant);
+                (m.utilization, m.waste_fraction, dual, single)
+            });
             let mut dual = 0.0;
             let mut dual_n = 0usize;
             let mut single = 0.0;
@@ -85,22 +104,17 @@ pub fn run(config: &Config) -> Vec<Row> {
             let mut price = 0.0;
             let mut utilization = 0.0;
             let mut waste = 0.0;
-            for rep in 0..config.reps {
-                let mut cfg = config.base.clone();
-                cfg.dual_fraction = fraction;
-                let result =
-                    dual_queue::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
-                let m = RunMetrics::from_run(&result.run);
-                utilization += m.utilization / config.reps as f64;
-                waste += m.waste_fraction / config.reps as f64;
-                if !m.stretch_redundant.is_nan() {
-                    dual += m.stretch_redundant;
-                    wins += result.premium_win_fraction();
-                    price += result.dual_mean_price();
+            for (util, waste_frac, dual_sample, single_sample) in samples {
+                utilization += util / config.reps as f64;
+                waste += waste_frac / config.reps as f64;
+                if let Some((stretch, win, p)) = dual_sample {
+                    dual += stretch;
+                    wins += win;
+                    price += p;
                     dual_n += 1;
                 }
-                if !m.stretch_non_redundant.is_nan() {
-                    single += m.stretch_non_redundant;
+                if let Some(stretch) = single_sample {
+                    single += stretch;
                     single_n += 1;
                 }
             }

@@ -10,6 +10,7 @@
 //! the paper's results are expressed in.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use rbr_grid::RunResult;
@@ -19,28 +20,89 @@ use super::{mean_ratio, RunMetrics};
 use crate::report::{Report, RunMeta, TypedTable};
 use crate::scale::Scale;
 
-/// Process-wide tally of grid-simulator executions, used to stamp
-/// [`RunMeta`] with how much simulation a report cost. The counters are
-/// monotonic; [`Experiment::run`] reports the delta across its table
-/// build. Concurrent runs in one process may attribute each other's work —
-/// the counts are provenance metadata, not metrics.
-static SIM_RUNS: AtomicU64 = AtomicU64::new(0);
-static SIM_JOBS: AtomicU64 = AtomicU64::new(0);
-static SIM_EVENTS: AtomicU64 = AtomicU64::new(0);
-
-/// Records one completed grid-simulator run in the global tally.
-pub(crate) fn record_sim(run: &RunResult) {
-    SIM_RUNS.fetch_add(1, Ordering::Relaxed);
-    SIM_JOBS.fetch_add(run.records.len() as u64, Ordering::Relaxed);
-    SIM_EVENTS.fetch_add(run.events, Ordering::Relaxed);
+/// Per-experiment tally of grid-simulator executions, used to stamp
+/// [`RunMeta`] with how much simulation a report cost. Each
+/// [`Experiment::run_with`] owns one tally; the replication fan-out in
+/// `run_reps` carries it onto pool worker threads, so counts attribute to
+/// the experiment that caused them even when several experiments run
+/// concurrently on the campaign engine — and sum identically for any job
+/// count.
+#[derive(Default)]
+pub(crate) struct SimTally {
+    runs: AtomicU64,
+    jobs: AtomicU64,
+    events: AtomicU64,
 }
 
-fn sim_counters() -> (u64, u64, u64) {
-    (
-        SIM_RUNS.load(Ordering::Relaxed),
-        SIM_JOBS.load(Ordering::Relaxed),
-        SIM_EVENTS.load(Ordering::Relaxed),
-    )
+impl SimTally {
+    fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.runs.load(Ordering::Relaxed),
+            self.jobs.load(Ordering::Relaxed),
+            self.events.load(Ordering::Relaxed),
+        )
+    }
+}
+
+thread_local! {
+    /// Stack of tallies active on this thread: `run_with` pushes its own
+    /// around the table build, and each pool cell re-installs the
+    /// submitting experiment's tally around its body.
+    static TALLY: std::cell::RefCell<Vec<Arc<SimTally>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The tally simulator runs on this thread currently attribute to.
+pub(crate) fn current_tally() -> Option<Arc<SimTally>> {
+    TALLY.with(|t| t.borrow().last().cloned())
+}
+
+/// Installs `tally` (when present) as this thread's current tally until
+/// the returned guard drops. Pool cells use this to carry the submitting
+/// experiment's tally across threads.
+pub(crate) fn install_tally(tally: Option<Arc<SimTally>>) -> TallyGuard {
+    let installed = tally.is_some();
+    if let Some(tally) = tally {
+        TALLY.with(|t| t.borrow_mut().push(tally));
+    }
+    TallyGuard { installed }
+}
+
+pub(crate) struct TallyGuard {
+    installed: bool,
+}
+
+impl Drop for TallyGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            TALLY.with(|t| {
+                t.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Records one completed grid-simulator run against the current tally.
+pub(crate) fn record_sim(run: &RunResult) {
+    if let Some(tally) = current_tally() {
+        tally.runs.fetch_add(1, Ordering::Relaxed);
+        tally
+            .jobs
+            .fetch_add(run.records.len() as u64, Ordering::Relaxed);
+        tally.events.fetch_add(run.events, Ordering::Relaxed);
+    }
+}
+
+/// The `RBR_FIXED_WALL_TIME` override: when set (e.g. by the CI
+/// determinism gate or the equivalence tests), every report stamps this
+/// value as its wall time, making reports byte-comparable across runs.
+fn fixed_wall_time() -> Option<f64> {
+    static FIXED: OnceLock<Option<f64>> = OnceLock::new();
+    *FIXED.get_or_init(|| {
+        std::env::var("RBR_FIXED_WALL_TIME")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+    })
 }
 
 /// One registered experiment: a figure, table, or ablation that maps
@@ -94,11 +156,14 @@ pub trait Experiment: Send + Sync {
     /// is stamped into [`RunMeta::replications`] in place of the scale
     /// preset.
     fn run_with(&self, scale: Scale, seed: u64, reps: Option<usize>) -> Report {
-        let (runs0, jobs0, events0) = sim_counters();
+        let tally = Arc::new(SimTally::default());
         let start = Instant::now();
-        let tables = self.tables(scale, seed, reps);
-        let wall_time_secs = start.elapsed().as_secs_f64();
-        let (runs1, jobs1, events1) = sim_counters();
+        let tables = {
+            let _guard = install_tally(Some(Arc::clone(&tally)));
+            self.tables(scale, seed, reps)
+        };
+        let wall_time_secs = fixed_wall_time().unwrap_or_else(|| start.elapsed().as_secs_f64());
+        let (runs, jobs, events) = tally.counters();
         Report {
             meta: RunMeta {
                 experiment: self.name().to_string(),
@@ -106,9 +171,9 @@ pub trait Experiment: Send + Sync {
                 scale: scale.name().to_string(),
                 seed,
                 replications: reps.unwrap_or_else(|| self.replications(scale)),
-                sim_runs: runs1 - runs0,
-                jobs: jobs1 - jobs0,
-                events: events1 - events0,
+                sim_runs: runs,
+                jobs,
+                events,
                 wall_time_secs,
             },
             tables,

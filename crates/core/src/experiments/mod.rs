@@ -43,6 +43,7 @@
 //! registry.
 
 pub mod ablation;
+pub mod campaign;
 pub mod conclusion;
 pub mod dual_queue;
 pub mod faults;
@@ -64,7 +65,6 @@ pub mod trace_check;
 pub use framework::{Comparison, Experiment};
 pub use registry::Registry;
 
-use rayon::prelude::*;
 use rbr_grid::record::JobClass;
 use rbr_grid::{GridConfig, GridSim, RunResult};
 use rbr_simcore::SeedSequence;
@@ -133,6 +133,11 @@ impl RunMetrics {
 /// `reduce`. Replication `k` always uses `seed.child(k)`, so two calls
 /// with the same seed but different schemes see identical job streams —
 /// the paper's paired design.
+///
+/// Replications are the *cells* of the campaign engine: each is a pure
+/// function of its index, submitted to the current `rbr-exec` pool and
+/// merged in index order, so the returned vector is bit-identical to the
+/// serial loop for any `--jobs` count.
 pub(crate) fn run_reps<T, F>(
     config: &GridConfig,
     reps: usize,
@@ -143,14 +148,7 @@ where
     T: Send,
     F: Fn(&RunResult) -> T + Sync,
 {
-    (0..reps)
-        .into_par_iter()
-        .map(|rep| {
-            let run = GridSim::execute(config.clone(), seed.child(rep as u64));
-            framework::record_sim(&run);
-            reduce(&run)
-        })
-        .collect()
+    run_reps_with(reps, seed, |_| config.clone(), reduce)
 }
 
 /// Like [`run_reps`] but the configuration itself may depend on the
@@ -167,14 +165,16 @@ where
     F: Fn(&RunResult) -> T + Sync,
     C: Fn(usize) -> GridConfig + Sync,
 {
-    (0..reps)
-        .into_par_iter()
-        .map(|rep| {
-            let run = GridSim::execute(make_config(rep), seed.child(rep as u64));
-            framework::record_sim(&run);
-            reduce(&run)
-        })
-        .collect()
+    // Cells may execute on pool worker threads; carry the submitting
+    // experiment's sim tally across so provenance counts attribute to it
+    // (and stay deterministic) regardless of which thread runs the rep.
+    let tally = framework::current_tally();
+    rbr_exec::map_cells(reps, |rep| {
+        let _tally = framework::install_tally(tally.clone());
+        let run = GridSim::execute(make_config(rep), seed.child(rep as u64));
+        framework::record_sim(&run);
+        reduce(&run)
+    })
 }
 
 /// Mean of per-replication ratios `treatment[k] / baseline[k]`.

@@ -72,21 +72,33 @@ pub fn run(config: &Config) -> Vec<Row> {
     policies
         .into_iter()
         .map(|(label, policy)| {
+            // Replications are campaign-engine cells; folding the samples
+            // in replication order keeps the float accumulation
+            // bit-identical to the old serial loop for any job count.
+            let samples = rbr_exec::map_cells(config.reps, |rep| {
+                let mut cfg = config.base.clone();
+                cfg.policy = policy;
+                let result = moldable::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
+                let m = RunMetrics::from_run(&result.run);
+                [
+                    result.turnaround().mean(),
+                    result.normalized_stretch().mean(),
+                    result.mean_nodes(),
+                    m.utilization,
+                    m.waste_fraction,
+                ]
+            });
             let mut turnaround = 0.0;
             let mut stretch = 0.0;
             let mut nodes = 0.0;
             let mut utilization = 0.0;
             let mut waste = 0.0;
-            for rep in 0..config.reps {
-                let mut cfg = config.base.clone();
-                cfg.policy = policy;
-                let result = moldable::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
-                let m = RunMetrics::from_run(&result.run);
-                turnaround += result.turnaround().mean() / config.reps as f64;
-                stretch += result.normalized_stretch().mean() / config.reps as f64;
-                nodes += result.mean_nodes() / config.reps as f64;
-                utilization += m.utilization / config.reps as f64;
-                waste += m.waste_fraction / config.reps as f64;
+            for [t, s, n, u, w] in samples {
+                turnaround += t / config.reps as f64;
+                stretch += s / config.reps as f64;
+                nodes += n / config.reps as f64;
+                utilization += u / config.reps as f64;
+                waste += w / config.reps as f64;
             }
             Row {
                 policy: label,

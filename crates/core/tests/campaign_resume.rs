@@ -1,0 +1,110 @@
+//! Crash-recovery proof for registry campaigns: a campaign killed
+//! mid-flight (simulated with a cell budget), whose journal then loses
+//! part of its trailing record (simulated by truncating the file), must
+//! resume to a final report byte-identical to an uninterrupted run.
+
+use rbr::experiments::campaign::{run, Plan, RunOptions};
+use rbr::experiments::Registry;
+use rbr::report::Format;
+use rbr::Scale;
+use rbr_exec::{with_pool, Pool};
+
+#[test]
+fn interrupted_campaign_resumes_byte_identically() {
+    // Pin wall time before the first report; this is the binary's only
+    // test, so nothing else reads the environment concurrently.
+    std::env::set_var("RBR_FIXED_WALL_TIME", "0");
+
+    let registry = Registry::standard();
+    let dir = std::env::temp_dir().join(format!("rbr-campaign-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let plan = Plan {
+        experiments: registry.iter().take(6).collect(),
+        scale: Scale::Smoke,
+        seed: Some(5),
+        reps: Some(2),
+        format: Format::Json,
+    };
+
+    // The reference: one uninterrupted, unjournalled run.
+    let uninterrupted = run(&plan, &RunOptions::default(), &|_| {}).unwrap();
+    assert!(uninterrupted.complete);
+
+    // "Kill" a journalled campaign after 3 cells. A serial pool makes
+    // the journal's contents deterministic: exactly cells 0..3.
+    let serial = Pool::new(1);
+    let interrupted = with_pool(&serial, || {
+        run(
+            &plan,
+            &RunOptions {
+                dir: Some(dir.clone()),
+                resume: false,
+                cell_budget: Some(3),
+            },
+            &|_| {},
+        )
+    })
+    .unwrap();
+    assert!(!interrupted.complete);
+    assert_eq!(interrupted.executed, 3);
+
+    // The kill landed mid-append: chop bytes off the trailing record.
+    let journal = dir.join("journal.jsonl");
+    let bytes = std::fs::read(&journal).unwrap();
+    std::fs::write(&journal, &bytes[..bytes.len() - 25]).unwrap();
+
+    // Resume. The truncated third record is gone, so it re-executes.
+    let mut events = Vec::new();
+    let resumed = {
+        let events = std::sync::Mutex::new(&mut events);
+        run(
+            &plan,
+            &RunOptions {
+                dir: Some(dir.clone()),
+                resume: true,
+                cell_budget: None,
+            },
+            &|p| events.lock().unwrap().push((p.cell, p.replayed)),
+        )
+        .unwrap()
+    };
+    assert!(resumed.complete);
+    assert_eq!(resumed.replayed, 2, "cells 0 and 1 replay from the journal");
+    assert_eq!(resumed.executed, 4, "cells 2..6 re-execute");
+    let replays: Vec<u64> = events
+        .iter()
+        .filter(|(_, replayed)| *replayed)
+        .map(|(cell, _)| *cell)
+        .collect();
+    assert_eq!(replays.len(), 2);
+    assert!(replays.contains(&0) && replays.contains(&1));
+
+    // The acceptance criterion: resumed output == uninterrupted output,
+    // byte for byte, cell by cell.
+    assert_eq!(uninterrupted.outcomes.len(), resumed.outcomes.len());
+    for (a, b) in uninterrupted.outcomes.iter().zip(&resumed.outcomes) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.payload, b.payload, "{}: resume diverged", a.key);
+    }
+
+    // A second resume replays everything and re-executes nothing.
+    let replay_only = run(
+        &plan,
+        &RunOptions {
+            dir: Some(dir.clone()),
+            resume: true,
+            cell_budget: None,
+        },
+        &|_| {},
+    )
+    .unwrap();
+    assert!(replay_only.complete);
+    assert_eq!(replay_only.executed, 0);
+    assert_eq!(replay_only.replayed, 6);
+    for (a, b) in uninterrupted.outcomes.iter().zip(&replay_only.outcomes) {
+        assert_eq!(a.payload, b.payload);
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,41 @@
+//! The campaign engine's core guarantee, proven over the whole registry:
+//! every experiment's JSON report is byte-identical for `--jobs 1` and
+//! `--jobs 4` at the same `(scale, seed, reps)`.
+//!
+//! Wall time is the one legitimately nondeterministic field in a report,
+//! so the test pins it with `RBR_FIXED_WALL_TIME` — the same override the
+//! CI determinism gate uses. Everything else (tables, sim accounting)
+//! must come out identical however the cells interleave.
+
+use rbr::experiments::Registry;
+use rbr::report::Format;
+use rbr::Scale;
+use rbr_exec::{with_pool, Pool};
+
+#[test]
+fn every_experiment_is_byte_identical_across_job_counts() {
+    // Must precede the first report: the override is read once per
+    // process. This test is the binary's only test, so no other thread
+    // is concurrently reading the environment.
+    std::env::set_var("RBR_FIXED_WALL_TIME", "0");
+
+    let registry = Registry::standard();
+    let serial = Pool::new(1);
+    let parallel = Pool::new(4);
+    for exp in registry.iter() {
+        let seed = exp.default_seed();
+        let a = with_pool(&serial, || {
+            exp.run_with(Scale::Smoke, seed, None).render(Format::Json)
+        });
+        let b = with_pool(&parallel, || {
+            exp.run_with(Scale::Smoke, seed, None).render(Format::Json)
+        });
+        assert_eq!(a, b, "{}: serial and 4-lane reports diverged", exp.name());
+        // The fixed-wall-time override reached the report.
+        assert!(
+            a.contains("\"wall_time_secs\":0"),
+            "{}: RBR_FIXED_WALL_TIME override missing from {a}",
+            exp.name()
+        );
+    }
+}

@@ -1,0 +1,479 @@
+//! Campaign orchestration: run a list of cells on the pool, journal each
+//! completion, and replay finished cells on `--resume`.
+//!
+//! A *campaign* is an ordered list of [`CellSpec`]s, each evaluated by a
+//! caller-supplied pure function of its index (experiments derive all
+//! randomness from hierarchical seeds, so a cell's payload depends only
+//! on its index and the campaign manifest — never on which thread ran it
+//! or when). That purity is what makes the journal sound: a replayed
+//! payload is byte-identical to what re-execution would produce, so a
+//! resumed campaign's merged output matches an uninterrupted run exactly.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::journal::{Journal, Record};
+use crate::pool;
+
+/// One schedulable unit of a campaign.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// Stable identity of the cell (e.g. the experiment's registry
+    /// name). Checked against the journal on resume.
+    pub key: String,
+}
+
+impl CellSpec {
+    /// A cell with the given key.
+    pub fn new(key: impl Into<String>) -> CellSpec {
+        CellSpec { key: key.into() }
+    }
+}
+
+/// How a campaign runs.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignOptions {
+    /// Campaign directory holding the journal. `None` disables
+    /// journalling (the campaign is still parallel, just not resumable).
+    pub dir: Option<std::path::PathBuf>,
+    /// Replay completed cells from an existing journal instead of
+    /// starting fresh.
+    pub resume: bool,
+    /// Stop submitting new cells after this many have been *executed*
+    /// (replays are free). Used by tests to interrupt a campaign at a
+    /// deterministic point; `None` means run to completion.
+    pub cell_budget: Option<usize>,
+    /// Identity of the campaign (scale, seed, reps, format). A journal
+    /// recorded under one manifest refuses to resume under another.
+    pub manifest: String,
+}
+
+/// A finished cell, in campaign order.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// The cell's index in the campaign.
+    pub cell: u64,
+    /// The cell's key.
+    pub key: String,
+    /// The cell's rendered output.
+    pub payload: String,
+    /// Wall-clock seconds the cell took (when it originally ran, for
+    /// replayed cells).
+    pub elapsed_secs: f64,
+    /// True when the payload came from the journal rather than a fresh
+    /// execution.
+    pub replayed: bool,
+}
+
+/// What [`run`] returns: the completed cells (in order) and whether the
+/// campaign finished.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Outcomes of every completed cell, in cell order. Misses cells
+    /// skipped by an exhausted [`CampaignOptions::cell_budget`].
+    pub outcomes: Vec<CellOutcome>,
+    /// True when every cell completed.
+    pub complete: bool,
+    /// Cells replayed from the journal.
+    pub replayed: usize,
+    /// Cells executed this run.
+    pub executed: usize,
+}
+
+/// A progress event, fired once per completed cell.
+#[derive(Clone, Debug)]
+pub struct Progress {
+    /// Index of the cell that just finished.
+    pub cell: u64,
+    /// Its key.
+    pub key: String,
+    /// Cells finished so far (replayed + executed).
+    pub done: usize,
+    /// Cells in the campaign.
+    pub total: usize,
+    /// Seconds this cell took (0 for replays).
+    pub cell_secs: f64,
+    /// Seconds since the campaign started.
+    pub campaign_secs: f64,
+    /// Completion rate over the campaign so far.
+    pub cells_per_sec: f64,
+    /// Estimated seconds to completion at the current rate.
+    pub eta_secs: f64,
+    /// True when the cell was replayed from the journal.
+    pub replayed: bool,
+}
+
+/// Runs a campaign: executes (or replays) every cell on the current
+/// pool, journalling completions under `options.dir`, and returns the
+/// outcomes in cell order.
+///
+/// `execute` must be a pure function of the cell index: the campaign may
+/// evaluate cells in any order, on any thread, and replay journalled
+/// payloads verbatim.
+pub fn run<F>(
+    cells: &[CellSpec],
+    options: &CampaignOptions,
+    execute: F,
+    progress: &(dyn Fn(&Progress) + Sync),
+) -> Result<CampaignResult, String>
+where
+    F: Fn(usize, &CellSpec) -> String + Sync,
+{
+    let total = cells.len();
+    let mut replayed: HashMap<u64, Record> = HashMap::new();
+    let journal: Option<Mutex<Journal>> = match &options.dir {
+        None => None,
+        Some(dir) => {
+            let existing = if options.resume {
+                Journal::load(dir)?
+            } else {
+                None
+            };
+            let journal = match existing {
+                Some(loaded) => {
+                    if loaded.manifest != options.manifest {
+                        return Err(format!(
+                            "campaign mismatch: journal in {} was recorded for \
+                             `{}` but this invocation is `{}` — pick a fresh \
+                             directory or rerun with the original arguments",
+                            dir.display(),
+                            loaded.manifest,
+                            options.manifest
+                        ));
+                    }
+                    if loaded.cells != total as u64 {
+                        return Err(format!(
+                            "campaign mismatch: journal in {} declares {} cells \
+                             but this invocation has {}",
+                            dir.display(),
+                            loaded.cells,
+                            total
+                        ));
+                    }
+                    for record in loaded.records {
+                        let spec = cells.get(record.cell as usize).ok_or_else(|| {
+                            format!("journal record for out-of-range cell {}", record.cell)
+                        })?;
+                        if spec.key != record.key {
+                            return Err(format!(
+                                "journal cell {} is keyed `{}` but the campaign \
+                                 expects `{}`",
+                                record.cell, record.key, spec.key
+                            ));
+                        }
+                        replayed.insert(record.cell, record);
+                    }
+                    Journal::reopen(dir, loaded.valid_len)?
+                }
+                None => Journal::create(dir, &options.manifest, total as u64)?,
+            };
+            Some(Mutex::new(journal))
+        }
+    };
+
+    let started = Instant::now();
+    let done = AtomicUsize::new(0);
+    // One token per executable cell; claiming below zero means the
+    // budget is spent and the cell is skipped (left for a future resume).
+    let budget = AtomicIsize::new(match options.cell_budget {
+        Some(b) => isize::try_from(b).unwrap_or(isize::MAX),
+        None => isize::MAX,
+    });
+    let replayed = &replayed;
+    let journal = journal.as_ref();
+
+    let slots: Vec<Result<Option<CellOutcome>, String>> =
+        pool::map(cells.iter().enumerate().collect(), |_, (i, spec)| {
+            if let Some(record) = replayed.get(&(i as u64)) {
+                let outcome = CellOutcome {
+                    cell: i as u64,
+                    key: record.key.clone(),
+                    payload: record.payload.clone(),
+                    elapsed_secs: record.elapsed_secs,
+                    replayed: true,
+                };
+                report(progress, &done, total, started, &outcome);
+                return Ok(Some(outcome));
+            }
+            if budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
+                return Ok(None);
+            }
+            let cell_started = Instant::now();
+            let payload = execute(i, spec);
+            let outcome = CellOutcome {
+                cell: i as u64,
+                key: spec.key.clone(),
+                payload,
+                elapsed_secs: cell_started.elapsed().as_secs_f64(),
+                replayed: false,
+            };
+            if let Some(journal) = journal {
+                journal.lock().unwrap().append(&Record {
+                    cell: outcome.cell,
+                    key: outcome.key.clone(),
+                    elapsed_secs: outcome.elapsed_secs,
+                    payload: outcome.payload.clone(),
+                })?;
+            }
+            report(progress, &done, total, started, &outcome);
+            Ok(Some(outcome))
+        });
+
+    let mut outcomes = Vec::with_capacity(total);
+    for slot in slots {
+        if let Some(outcome) = slot? {
+            outcomes.push(outcome);
+        }
+    }
+    let replayed_count = outcomes.iter().filter(|o| o.replayed).count();
+    let executed = outcomes.len() - replayed_count;
+    Ok(CampaignResult {
+        complete: outcomes.len() == total,
+        replayed: replayed_count,
+        executed,
+        outcomes,
+    })
+}
+
+fn report(
+    progress: &(dyn Fn(&Progress) + Sync),
+    done: &AtomicUsize,
+    total: usize,
+    started: Instant,
+    outcome: &CellOutcome,
+) {
+    let done = done.fetch_add(1, Ordering::Relaxed) + 1;
+    let campaign_secs = started.elapsed().as_secs_f64();
+    let cells_per_sec = if campaign_secs > 0.0 {
+        done as f64 / campaign_secs
+    } else {
+        f64::INFINITY
+    };
+    let eta_secs = if cells_per_sec > 0.0 && cells_per_sec.is_finite() {
+        (total - done) as f64 / cells_per_sec
+    } else {
+        0.0
+    };
+    progress(&Progress {
+        cell: outcome.cell,
+        key: outcome.key.clone(),
+        done,
+        total,
+        cell_secs: if outcome.replayed {
+            0.0
+        } else {
+            outcome.elapsed_secs
+        },
+        campaign_secs,
+        cells_per_sec,
+        eta_secs,
+        replayed: outcome.replayed,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::JOURNAL_FILE;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rbr-exec-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn specs(n: usize) -> Vec<CellSpec> {
+        (0..n).map(|i| CellSpec::new(format!("cell{i}"))).collect()
+    }
+
+    fn payload(i: usize) -> String {
+        format!("payload-{i}:{}", i * i)
+    }
+
+    #[test]
+    fn runs_all_cells_in_order_without_a_journal() {
+        let cells = specs(7);
+        let result = run(
+            &cells,
+            &CampaignOptions::default(),
+            |i, spec| {
+                assert_eq!(spec.key, format!("cell{i}"));
+                payload(i)
+            },
+            &|_| {},
+        )
+        .unwrap();
+        assert!(result.complete);
+        assert_eq!(result.executed, 7);
+        assert_eq!(result.replayed, 0);
+        let payloads: Vec<String> = result.outcomes.iter().map(|o| o.payload.clone()).collect();
+        assert_eq!(payloads, (0..7).map(payload).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn progress_counts_every_cell_and_reaches_total() {
+        let cells = specs(5);
+        let seen = Mutex::new(Vec::new());
+        run(
+            &cells,
+            &CampaignOptions::default(),
+            |i, _| payload(i),
+            &|p| seen.lock().unwrap().push((p.done, p.total, p.cell)),
+        )
+        .unwrap();
+        let mut seen = seen.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen.last().unwrap().0, 5);
+        assert!(seen.iter().all(|(_, total, _)| *total == 5));
+    }
+
+    #[test]
+    fn budget_interrupt_then_resume_matches_uninterrupted_run() {
+        let cells = specs(6);
+        let uninterrupted = run(
+            &cells,
+            &CampaignOptions::default(),
+            |i, _| payload(i),
+            &|_| {},
+        )
+        .unwrap();
+
+        let dir = tmp_dir("resume");
+        let options = CampaignOptions {
+            dir: Some(dir.clone()),
+            resume: false,
+            cell_budget: Some(3),
+            manifest: "scale=smoke".into(),
+        };
+        // Serial pool so exactly cells 0..3 land in the journal, making
+        // the truncation below hit a known record.
+        let serial = crate::pool::Pool::new(1);
+        let partial = crate::pool::with_pool(&serial, || {
+            run(&cells, &options, |i, _| payload(i), &|_| {})
+        })
+        .unwrap();
+        assert!(!partial.complete);
+        assert_eq!(partial.executed, 3);
+
+        // Simulate a kill mid-append: truncate the trailing record.
+        let path = dir.join(JOURNAL_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+
+        let resumed = run(
+            &cells,
+            &CampaignOptions {
+                resume: true,
+                cell_budget: None,
+                ..options
+            },
+            |i, _| payload(i),
+            &|_| {},
+        )
+        .unwrap();
+        assert!(resumed.complete);
+        assert_eq!(resumed.replayed, 2, "third record was truncated away");
+        assert_eq!(resumed.executed, 4);
+        let a: Vec<&str> = uninterrupted
+            .outcomes
+            .iter()
+            .map(|o| o.payload.as_str())
+            .collect();
+        let b: Vec<&str> = resumed
+            .outcomes
+            .iter()
+            .map(|o| o.payload.as_str())
+            .collect();
+        assert_eq!(a, b, "resumed campaign must merge bit-identically");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_replays_without_re_executing() {
+        let cells = specs(4);
+        let dir = tmp_dir("replay");
+        let options = CampaignOptions {
+            dir: Some(dir.clone()),
+            resume: false,
+            cell_budget: None,
+            manifest: "m".into(),
+        };
+        run(&cells, &options, |i, _| payload(i), &|_| {}).unwrap();
+        let resumed = run(
+            &cells,
+            &CampaignOptions {
+                resume: true,
+                ..options
+            },
+            |_, _| panic!("a fully-journalled campaign must not re-execute"),
+            &|_| {},
+        )
+        .unwrap();
+        assert!(resumed.complete);
+        assert_eq!(resumed.replayed, 4);
+        assert_eq!(resumed.executed, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refuses_to_resume_under_a_different_manifest() {
+        let cells = specs(3);
+        let dir = tmp_dir("manifest");
+        let options = CampaignOptions {
+            dir: Some(dir.clone()),
+            resume: false,
+            cell_budget: None,
+            manifest: "scale=smoke seed=1".into(),
+        };
+        run(&cells, &options, |i, _| payload(i), &|_| {}).unwrap();
+        let err = run(
+            &cells,
+            &CampaignOptions {
+                resume: true,
+                manifest: "scale=full seed=1".into(),
+                ..options.clone()
+            },
+            |i, _| payload(i),
+            &|_| {},
+        )
+        .unwrap_err();
+        assert!(err.contains("campaign mismatch"), "{err}");
+
+        let err = run(
+            &specs(2),
+            &CampaignOptions {
+                resume: true,
+                ..options
+            },
+            |i, _| payload(i),
+            &|_| {},
+        )
+        .unwrap_err();
+        assert!(err.contains("2"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_run_truncates_a_stale_journal() {
+        let cells = specs(3);
+        let dir = tmp_dir("fresh");
+        let options = CampaignOptions {
+            dir: Some(dir.clone()),
+            resume: false,
+            cell_budget: None,
+            manifest: "m".into(),
+        };
+        run(&cells, &options, |i, _| payload(i), &|_| {}).unwrap();
+        // Without --resume the journal restarts from scratch, so every
+        // cell executes again.
+        let second = run(&cells, &options, |i, _| payload(i), &|_| {}).unwrap();
+        assert_eq!(second.executed, 3);
+        assert_eq!(second.replayed, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,460 @@
+//! The crash-safe campaign journal.
+//!
+//! A campaign directory holds `journal.jsonl`: a header line describing
+//! the campaign, then one JSON record per *completed* cell, appended (and
+//! flushed) the moment the cell finishes. A campaign killed mid-flight
+//! therefore leaves a journal whose records are exactly the finished
+//! cells — except possibly a truncated final line if the kill landed
+//! mid-write. [`Journal::load`] tolerates that one partial trailing
+//! record (the resumed campaign re-runs that cell); corruption anywhere
+//! else is reported as an error, because it means the journal is not the
+//! append-only file this module writes.
+//!
+//! The format is deliberately minimal — objects with string and number
+//! fields only — so this crate needs no JSON dependency and the records
+//! stay greppable:
+//!
+//! ```text
+//! {"campaign":"scale=smoke seed=default reps=- format=json","cells":16}
+//! {"cell":0,"key":"fig1","elapsed_secs":0.41,"payload":"{\"meta\":..."}
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File name of the journal inside a campaign directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// One completed cell, as recorded in the journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Cell index within the campaign (its merge position).
+    pub cell: u64,
+    /// Stable cell key (the experiment's registry name).
+    pub key: String,
+    /// Wall-clock seconds the cell took when it originally ran.
+    pub elapsed_secs: f64,
+    /// The cell's rendered output, replayed verbatim on resume.
+    pub payload: String,
+}
+
+/// A parsed journal: header plus the valid record prefix.
+#[derive(Debug)]
+pub struct Loaded {
+    /// The campaign manifest the journal was recorded under.
+    pub manifest: String,
+    /// Total cells the campaign declared.
+    pub cells: u64,
+    /// Valid records, in append order.
+    pub records: Vec<Record>,
+    /// Byte length of the valid prefix; anything past this is a
+    /// truncated trailing record and must be cut before appending.
+    pub valid_len: u64,
+    /// True when a partial trailing line was dropped.
+    pub dropped_partial: bool,
+}
+
+/// An append handle on a campaign journal.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Starts a fresh journal (truncating any previous one) with a
+    /// header declaring the manifest and cell count.
+    pub fn create(dir: &Path, manifest: &str, cells: u64) -> Result<Journal, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create campaign dir {}: {e}", dir.display()))?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut file =
+            File::create(&path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        let mut header = String::from("{\"campaign\":");
+        write_json_string(&mut header, manifest);
+        header.push_str(&format!(",\"cells\":{cells}}}\n"));
+        file.write_all(header.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Ok(Journal { file, path })
+    }
+
+    /// Reopens an existing journal for appending, first truncating it to
+    /// `valid_len` (cutting a partial trailing record, if any).
+    pub fn reopen(dir: &Path, valid_len: u64) -> Result<Journal, String> {
+        let path = dir.join(JOURNAL_FILE);
+        let file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        file.set_len(valid_len)
+            .map_err(|e| format!("cannot truncate {}: {e}", path.display()))?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot reopen {}: {e}", path.display()))?;
+        Ok(Journal { file, path })
+    }
+
+    /// Appends one completed cell and flushes, so the record survives a
+    /// kill immediately after.
+    pub fn append(&mut self, record: &Record) -> Result<(), String> {
+        let mut line = format!("{{\"cell\":{},\"key\":", record.cell);
+        write_json_string(&mut line, &record.key);
+        line.push_str(&format!(",\"elapsed_secs\":{}", record.elapsed_secs));
+        line.push_str(",\"payload\":");
+        write_json_string(&mut line, &record.payload);
+        line.push_str("}\n");
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| format!("cannot append to {}: {e}", self.path.display()))
+    }
+
+    /// Loads and validates `dir/journal.jsonl`.
+    ///
+    /// Returns `Ok(None)` when the file does not exist. A malformed or
+    /// incomplete *final* line is tolerated (dropped from the records and
+    /// excluded from [`Loaded::valid_len`]); malformed earlier lines are
+    /// errors.
+    pub fn load(dir: &Path) -> Result<Option<Loaded>, String> {
+        let path = dir.join(JOURNAL_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        // Split into lines, keeping track of each line's end offset so a
+        // valid prefix length can be reported. A well-formed journal
+        // ends with '\n'; anything after the last '\n' is a partial
+        // record by construction.
+        let mut lines: Vec<(usize, &[u8])> = Vec::new();
+        let mut start = 0usize;
+        for (i, b) in bytes.iter().enumerate() {
+            if *b == b'\n' {
+                lines.push((i + 1, &bytes[start..i]));
+                start = i + 1;
+            }
+        }
+        let unterminated = start < bytes.len();
+
+        let mut it = lines.iter();
+        let Some((header_end, header)) = it.next() else {
+            // Empty or header-less file: treat everything as truncated.
+            return Err(format!("{}: missing journal header", path.display()));
+        };
+        let (manifest, cells) = parse_header(header)
+            .map_err(|e| format!("{}: bad journal header: {e}", path.display()))?;
+
+        let mut records = Vec::new();
+        let mut valid_len = *header_end as u64;
+        let mut dropped_partial = unterminated;
+        let total = lines.len();
+        for (n, (end, line)) in it.enumerate() {
+            match parse_record(line) {
+                Ok(record) => {
+                    records.push(record);
+                    valid_len = *end as u64;
+                }
+                // `n` counts record lines (header excluded); the last
+                // terminated line is record index total - 2.
+                Err(e) if n + 2 == total && !unterminated => {
+                    // A malformed final line: the writer was killed after
+                    // the '\n' of the previous record but the filesystem
+                    // still surfaced garbage (or a partial write that
+                    // happened to include a newline). Drop it.
+                    let _ = e;
+                    dropped_partial = true;
+                    break;
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "{}: corrupt journal record on line {}: {e}",
+                        path.display(),
+                        n + 2
+                    ));
+                }
+            }
+        }
+        Ok(Some(Loaded {
+            manifest,
+            cells,
+            records,
+            valid_len,
+            dropped_partial,
+        }))
+    }
+}
+
+fn parse_header(line: &[u8]) -> Result<(String, u64), String> {
+    let mut p = Scanner::new(line)?;
+    p.expect('{')?;
+    p.expect_key("campaign")?;
+    let manifest = p.string()?;
+    p.expect(',')?;
+    p.expect_key("cells")?;
+    let cells = p.number()?.parse::<u64>().map_err(|e| e.to_string())?;
+    p.expect('}')?;
+    p.end()?;
+    Ok((manifest, cells))
+}
+
+fn parse_record(line: &[u8]) -> Result<Record, String> {
+    let mut p = Scanner::new(line)?;
+    p.expect('{')?;
+    p.expect_key("cell")?;
+    let cell = p.number()?.parse::<u64>().map_err(|e| e.to_string())?;
+    p.expect(',')?;
+    p.expect_key("key")?;
+    let key = p.string()?;
+    p.expect(',')?;
+    p.expect_key("elapsed_secs")?;
+    let elapsed_secs = p.number()?.parse::<f64>().map_err(|e| e.to_string())?;
+    p.expect(',')?;
+    p.expect_key("payload")?;
+    let payload = p.string()?;
+    p.expect('}')?;
+    p.end()?;
+    Ok(Record {
+        cell,
+        key,
+        elapsed_secs,
+        payload,
+    })
+}
+
+/// Appends `s` as a JSON string literal.
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A strict scanner for the journal's fixed record shape. It is not a
+/// general JSON parser: keys must appear in writing order, which is
+/// exactly what lets a half-written record be detected as such.
+struct Scanner<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(line: &'a [u8]) -> Result<Self, String> {
+        let src = std::str::from_utf8(line).map_err(|e| format!("not UTF-8: {e}"))?;
+        Ok(Scanner { src, pos: 0 })
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.src[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at byte {}", self.pos))
+        }
+    }
+
+    fn expect_key(&mut self, key: &str) -> Result<(), String> {
+        let want = format!("\"{key}\":");
+        if self.src[self.pos..].starts_with(&want) {
+            self.pos += want.len();
+            Ok(())
+        } else {
+            Err(format!("expected key {key:?} at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<&'a str, String> {
+        let start = self.pos;
+        let bytes = self.src.as_bytes();
+        while self
+            .src
+            .as_bytes()
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        let _ = bytes;
+        Ok(&self.src[start..self.pos])
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        let bytes = self.src.as_bytes();
+        loop {
+            match bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = bytes.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let end = self.pos + 4;
+                            let hex = self
+                                .src
+                                .get(self.pos..end)
+                                .ok_or("truncated unicode escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "invalid unicode escape".to_string())?;
+                            self.pos = end;
+                            // Surrogate pairs do not occur: the writer
+                            // only \u-escapes control characters.
+                            out.push(
+                                char::from_u32(code).ok_or("invalid unicode escape".to_string())?,
+                            );
+                        }
+                        _ => return Err("invalid escape".to_string()),
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self
+                        .src
+                        .as_bytes()
+                        .get(self.pos)
+                        .is_some_and(|b| *b != b'"' && *b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.src[start..self.pos]);
+                }
+            }
+        }
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        if self.pos == self.src.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing bytes at {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rbr-exec-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(i: u64) -> Record {
+        Record {
+            cell: i,
+            key: format!("exp{i}"),
+            elapsed_secs: 0.5 + i as f64,
+            payload: format!("{{\"meta\":\"exp{i}\",\"line\":\"a\\nb · π\"}}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let dir = tmp_dir("roundtrip");
+        let mut j = Journal::create(&dir, "scale=smoke seed=7", 3).unwrap();
+        for i in 0..3 {
+            j.append(&sample(i)).unwrap();
+        }
+        let loaded = Journal::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded.manifest, "scale=smoke seed=7");
+        assert_eq!(loaded.cells, 3);
+        assert!(!loaded.dropped_partial);
+        assert_eq!(loaded.records, (0..3).map(sample).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_none() {
+        assert!(Journal::load(&tmp_dir("missing")).unwrap().is_none());
+    }
+
+    #[test]
+    fn tolerates_truncated_trailing_record() {
+        let dir = tmp_dir("truncated");
+        let mut j = Journal::create(&dir, "m", 4).unwrap();
+        j.append(&sample(0)).unwrap();
+        j.append(&sample(1)).unwrap();
+        drop(j);
+        let path = dir.join(JOURNAL_FILE);
+        let full = std::fs::read(&path).unwrap();
+        // Chop the file mid-way through the final record.
+        std::fs::write(&path, &full[..full.len() - 17]).unwrap();
+        let loaded = Journal::load(&dir).unwrap().unwrap();
+        assert!(loaded.dropped_partial);
+        assert_eq!(loaded.records, vec![sample(0)]);
+        // Reopening truncates the garbage so appends stay well-formed.
+        let mut j = Journal::reopen(&dir, loaded.valid_len).unwrap();
+        j.append(&sample(1)).unwrap();
+        j.append(&sample(2)).unwrap();
+        let reloaded = Journal::load(&dir).unwrap().unwrap();
+        assert!(!reloaded.dropped_partial);
+        assert_eq!(reloaded.records, (0..3).map(sample).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_corruption_before_the_tail() {
+        let dir = tmp_dir("corrupt");
+        let mut j = Journal::create(&dir, "m", 3).unwrap();
+        for i in 0..3 {
+            j.append(&sample(i)).unwrap();
+        }
+        drop(j);
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("\"cell\":1", "\"cell\":oops")).unwrap();
+        let err = Journal::load(&dir).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let dir = tmp_dir("header");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(JOURNAL_FILE), "").unwrap();
+        assert!(Journal::load(&dir).unwrap_err().contains("header"));
+        std::fs::write(dir.join(JOURNAL_FILE), "{\"nope\":1}\n").unwrap();
+        assert!(Journal::load(&dir).unwrap_err().contains("header"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn escapes_survive_payload_round_trip() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\nd\te\u{1}π");
+        let mut p = Scanner::new(out.as_bytes()).unwrap();
+        assert_eq!(p.string().unwrap(), "a\"b\\c\nd\te\u{1}π");
+        p.end().unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! `rbr-exec` — the deterministic parallel campaign engine.
+//!
+//! Every figure and table in the paper is a sweep: replications × cluster
+//! counts × schemes × load points. This crate turns those sweeps into
+//! *cells* — independent units of work, each a pure function of a seed
+//! derived from the master seed through the splittable
+//! [`rbr_simcore`](rbr_simcore::rng::SeedSequence) RNG hierarchy — and
+//! executes them on a work-stealing thread pool, merging results in cell
+//! order so the output is **bit-identical to the serial run for any job
+//! count**.
+//!
+//! The three layers:
+//!
+//! * [`pool`] — the work-stealing pool. Per-worker deques with a global
+//!   injector; the submitting thread participates while it waits, so one
+//!   lane degenerates to a plain serial loop and nested fan-outs (an
+//!   experiment's replications inside a campaign's experiments) cannot
+//!   deadlock. [`pool::map`] / [`pool::map_cells`] are the entry points;
+//!   [`pool::with_pool`] pins a scope to a specific pool, and
+//!   [`pool::configure`] sizes the process-global one (`--jobs`).
+//! * [`journal`] — the crash-safe campaign journal: a JSONL file under
+//!   the campaign directory, one flushed record per completed cell, with
+//!   a truncated trailing record (a kill mid-write) tolerated on load.
+//! * [`campaign`] — orchestration: [`campaign::run`] evaluates a cell
+//!   list on the current pool, appends each completion to the journal,
+//!   replays already-journalled cells on `--resume`, and streams
+//!   [`campaign::Progress`] events (done/total, cells/sec, ETA).
+//!
+//! Determinism contract: callers must derive every cell's randomness from
+//! the cell index (`SeedSequence::child`/`path`), never from execution
+//! order, shared mutable state, or wall-clock time. In return the engine
+//! guarantees order-stable merges, so `--jobs 1` and `--jobs 64` produce
+//! byte-identical reports and a resumed campaign matches an uninterrupted
+//! one exactly.
+
+pub mod campaign;
+pub mod journal;
+pub mod pool;
+
+pub use campaign::{run, CampaignOptions, CampaignResult, CellOutcome, CellSpec, Progress};
+pub use journal::{Journal, Record};
+pub use pool::{configure, map, map_cells, with_pool, Pool, PoolMetrics};

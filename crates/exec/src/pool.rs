@@ -1,0 +1,634 @@
+//! The work-stealing cell pool.
+//!
+//! Campaign cells are heterogeneous — a CBF replication costs ~30× an
+//! EASY one — so static chunking (split the cell list into one contiguous
+//! block per thread) head-of-line-blocks: whichever thread drew the CBF
+//! block runs long after the rest go idle. The pool therefore *steals*:
+//!
+//! * every worker owns a deque; it pops its own work from the back
+//!   (LIFO, cache-warm) and steals from the *front* of siblings' deques
+//!   when it runs dry;
+//! * a global injector queue receives work submitted from threads that
+//!   are not pool workers (the CLI main thread, test threads);
+//! * a submitting thread is itself a participant: [`Pool::map`] blocks
+//!   until its batch completes, and while blocked it executes cells
+//!   instead of sleeping, so `jobs = 1` (a pool with zero workers) is an
+//!   ordinary serial loop and nested submissions can never deadlock —
+//!   every un-started cell of a batch is always claimable by the thread
+//!   waiting on that batch.
+//!
+//! Determinism: a cell's inputs come only from its index (experiments
+//! derive per-cell seeds hierarchically), and every cell writes its
+//! output into the slot of its index. [`Pool::map`] therefore returns
+//! results in submission order, bit-identical to the serial evaluation,
+//! for any worker count and any steal interleaving.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A unit of queued work: one cell of some batch, with its lifetime
+/// erased (see the safety comment in [`Shared::map_impl`]).
+struct Task {
+    batch: Arc<Batch>,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// Completion state of one [`Pool::map`] call.
+struct Batch {
+    /// Cells completed so far (executed or panicked).
+    done: Mutex<usize>,
+    /// Cells in the batch.
+    total: usize,
+    /// First panic payload raised by a cell, re-raised on the submitting
+    /// thread once the batch has fully drained.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// Signals the submitter when `done == total`.
+    complete: Condvar,
+}
+
+impl Batch {
+    fn new(total: usize) -> Self {
+        Batch {
+            done: Mutex::new(0),
+            total,
+            panic: Mutex::new(None),
+            complete: Condvar::new(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.done.lock().unwrap() == self.total
+    }
+}
+
+/// State shared by the pool handle, its workers, and thread-local
+/// context references.
+struct Shared {
+    /// Work submitted from non-worker threads.
+    injector: Mutex<VecDeque<Task>>,
+    /// One deque per worker; the owner pushes/pops at the back, thieves
+    /// steal from the front.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Parking lot for idle workers.
+    idle: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Nanoseconds each worker spent executing cells.
+    busy_ns: Vec<AtomicU64>,
+    /// Cells each worker executed.
+    executed: Vec<AtomicU64>,
+    created: Instant,
+}
+
+impl Shared {
+    fn new(workers: usize) -> Self {
+        Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            created: Instant::now(),
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Wakes every parked worker (called after any push).
+    fn notify(&self) {
+        let _guard = self.idle.lock().unwrap();
+        self.wake.notify_all();
+    }
+
+    /// True when any queue holds a task.
+    fn any_queued(&self) -> bool {
+        if !self.injector.lock().unwrap().is_empty() {
+            return true;
+        }
+        self.locals.iter().any(|l| !l.lock().unwrap().is_empty())
+    }
+
+    /// Worker claim order: own deque (back), injector (front), then
+    /// steal from siblings (front), scanning from the neighbour upward
+    /// so thieves spread over victims.
+    fn find_task(&self, w: usize) -> Option<Task> {
+        if let Some(t) = self.locals[w].lock().unwrap().pop_back() {
+            return Some(t);
+        }
+        if let Some(t) = self.injector.lock().unwrap().pop_front() {
+            return Some(t);
+        }
+        let n = self.workers();
+        for step in 1..n {
+            let victim = (w + step) % n;
+            if let Some(t) = self.locals[victim].lock().unwrap().pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Runs one task, crediting `worker`'s busy counters and recording
+    /// completion (and any panic) in the task's batch.
+    fn execute(&self, task: Task, worker: Option<usize>) {
+        let batch = task.batch;
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(task.run));
+        if let Some(w) = worker {
+            let ns = started.elapsed().as_nanos() as u64;
+            self.busy_ns[w].fetch_add(ns, Ordering::Relaxed);
+            self.executed[w].fetch_add(1, Ordering::Relaxed);
+        }
+        if let Err(payload) = outcome {
+            let mut slot = batch.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut done = batch.done.lock().unwrap();
+        *done += 1;
+        if *done == batch.total {
+            batch.complete.notify_all();
+        }
+    }
+
+    /// Blocks until `batch` drains, executing claimable work meanwhile.
+    ///
+    /// `claim` must only return tasks that are safe for this thread to
+    /// run re-entrantly: the batch's own cells, or (on a worker thread)
+    /// cells this thread itself pushed. Once `claim` runs dry every
+    /// remaining cell of the batch is in flight on some other thread, so
+    /// sleeping on the completion condvar cannot deadlock.
+    fn participate(
+        &self,
+        batch: &Arc<Batch>,
+        worker: Option<usize>,
+        claim: impl Fn() -> Option<Task>,
+    ) {
+        loop {
+            if batch.is_done() {
+                break;
+            }
+            if let Some(task) = claim() {
+                self.execute(task, worker);
+                continue;
+            }
+            let mut done = batch.done.lock().unwrap();
+            while *done < batch.total {
+                done = batch.complete.wait(done).unwrap();
+            }
+            break;
+        }
+        if let Some(payload) = batch.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+    }
+
+    fn map_impl<T, R, F>(self: &Arc<Self>, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        // Serial fast path: nothing to fan out, or nobody to fan out to.
+        if n <= 1 || self.workers() == 0 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| f(i, x))
+                .collect();
+        }
+
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let batch = Arc::new(Batch::new(n));
+        let worker = worker_index_on(self);
+        {
+            let f = &f;
+            let slots = &slots;
+            let mut tasks = Vec::with_capacity(n);
+            for (i, item) in items.into_iter().enumerate() {
+                let run: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let value = f(i, item);
+                    *slots[i].lock().unwrap() = Some(value);
+                });
+                // SAFETY: the closure borrows `f` and `slots` from this
+                // stack frame. `participate` below returns (or unwinds)
+                // only after every task of the batch has finished
+                // executing — completions are counted after the closure
+                // returns or panics — so no task can observe those
+                // borrows after this frame ends. Queued-but-never-run
+                // tasks cannot exist either: the pool only drops tasks
+                // by executing them, and the participating submitter can
+                // always claim its own batch's unstarted cells.
+                let run: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(run) };
+                tasks.push(Task {
+                    batch: Arc::clone(&batch),
+                    run,
+                });
+            }
+            match worker {
+                Some(w) => {
+                    self.locals[w].lock().unwrap().extend(tasks);
+                    self.notify();
+                    // A worker's own deque only ever contains work pushed
+                    // by frames on its own stack, so claiming any of it
+                    // re-entrantly is safe and keeps the subtree moving.
+                    self.participate(&batch, worker, || self.locals[w].lock().unwrap().pop_back());
+                }
+                None => {
+                    self.injector.lock().unwrap().extend(tasks);
+                    self.notify();
+                    // External threads claim only their own batch's cells
+                    // so they never get stuck executing an unrelated
+                    // long-running cell while their batch is finished.
+                    self.participate(&batch, None, || {
+                        let mut q = self.injector.lock().unwrap();
+                        let pos = q.iter().position(|t| Arc::ptr_eq(&t.batch, &batch));
+                        pos.and_then(|p| q.remove(p))
+                    });
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap()
+                    .expect("every cell of a drained batch has written its slot")
+            })
+            .collect()
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, w: usize) {
+    WORKER.with(|cell| *cell.borrow_mut() = Some((Arc::clone(&shared), w)));
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match shared.find_task(w) {
+            Some(task) => shared.execute(task, Some(w)),
+            None => {
+                let guard = shared.idle.lock().unwrap();
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if !shared.any_queued() {
+                    // The timeout is belt-and-braces only; pushes notify
+                    // under the `idle` lock, so wakeups cannot be lost.
+                    let _ = shared
+                        .wake
+                        .wait_timeout(guard, Duration::from_millis(100))
+                        .unwrap();
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// `(pool, index)` on pool worker threads.
+    static WORKER: std::cell::RefCell<Option<(Arc<Shared>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+    /// Stack of [`with_pool`] overrides on this thread.
+    static CONTEXT: std::cell::RefCell<Vec<Arc<Shared>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The worker index of the current thread, if it is a worker of `shared`.
+fn worker_index_on(shared: &Arc<Shared>) -> Option<usize> {
+    WORKER.with(|cell| match cell.borrow().as_ref() {
+        Some((pool, w)) if Arc::ptr_eq(pool, shared) => Some(*w),
+        _ => None,
+    })
+}
+
+/// A work-stealing pool of `jobs` execution lanes: `jobs - 1` worker
+/// threads plus the submitting thread, which participates while it waits
+/// on a batch. `Pool::new(1)` spawns no threads at all and evaluates
+/// every [`Pool::map`] serially on the caller.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Creates a pool with `jobs` lanes (`jobs` is clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Pool {
+        let workers = jobs.max(1) - 1;
+        let shared = Arc::new(Shared::new(workers));
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rbr-exec-{w}"))
+                    .spawn(move || worker_loop(shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// Total execution lanes (workers + the participating submitter).
+    pub fn jobs(&self) -> usize {
+        self.shared.workers() + 1
+    }
+
+    /// Maps `f` over `items` on the pool, returning results in input
+    /// order. Equivalent to the serial loop for any job count.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.shared.map_impl(items, f)
+    }
+
+    /// A snapshot of the pool's per-worker counters.
+    pub fn metrics(&self) -> PoolMetrics {
+        PoolMetrics {
+            jobs: self.jobs(),
+            elapsed_secs: self.shared.created.elapsed().as_secs_f64(),
+            busy_secs: self
+                .shared
+                .busy_ns
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed) as f64 * 1e-9)
+                .collect(),
+            cells_executed: self
+                .shared
+                .executed
+                .iter()
+                .map(|e| e.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Point-in-time view of the pool's worker counters. Subtract two
+/// snapshots (see [`PoolMetrics::since`]) to meter one campaign.
+#[derive(Clone, Debug)]
+pub struct PoolMetrics {
+    /// Execution lanes (workers + submitter).
+    pub jobs: usize,
+    /// Seconds since the pool was created.
+    pub elapsed_secs: f64,
+    /// Seconds each worker spent executing cells (excludes the
+    /// submitting thread's share).
+    pub busy_secs: Vec<f64>,
+    /// Cells each worker executed.
+    pub cells_executed: Vec<u64>,
+}
+
+impl PoolMetrics {
+    /// The per-worker busy fractions over the interval since `earlier`.
+    pub fn since(&self, earlier: &PoolMetrics) -> Vec<f64> {
+        let window = (self.elapsed_secs - earlier.elapsed_secs).max(1e-9);
+        self.busy_secs
+            .iter()
+            .zip(&earlier.busy_secs)
+            .map(|(now, then)| ((now - then) / window).clamp(0.0, 1.0))
+            .collect()
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// Sets the global pool's lane count. Returns `false` (and changes
+/// nothing) if the global pool was already built — call this before the
+/// first [`map`]/[`map_cells`] that falls through to the global pool.
+pub fn configure(jobs: usize) -> bool {
+    let mut applied = false;
+    GLOBAL.get_or_init(|| {
+        applied = true;
+        Pool::new(jobs)
+    });
+    applied
+}
+
+/// The process-wide pool, built on first use with `RBR_JOBS` lanes (or
+/// the machine's available parallelism when unset).
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(default_jobs()))
+}
+
+fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("RBR_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` with `pool` installed as this thread's current pool, so that
+/// [`map`] calls inside `f` (e.g. the experiment framework's replication
+/// fan-out) use it instead of the global pool.
+pub fn with_pool<R>(pool: &Pool, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            CONTEXT.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+    CONTEXT.with(|c| c.borrow_mut().push(Arc::clone(&pool.shared)));
+    let _guard = Guard;
+    f()
+}
+
+/// The pool [`map`] uses on this thread: the innermost [`with_pool`]
+/// override, else the pool whose worker is running this thread, else the
+/// global pool.
+fn current_shared() -> Arc<Shared> {
+    if let Some(shared) = CONTEXT.with(|c| c.borrow().last().cloned()) {
+        return shared;
+    }
+    if let Some(shared) = WORKER.with(|cell| cell.borrow().as_ref().map(|(p, _)| Arc::clone(p))) {
+        return shared;
+    }
+    Arc::clone(&global().shared)
+}
+
+/// Maps `f` over `items` on the current pool (see [`with_pool`]),
+/// returning results in input order.
+pub fn map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    current_shared().map_impl(items, f)
+}
+
+/// Maps `f` over the cell indices `0..n` on the current pool — the shape
+/// replication fan-outs take.
+pub fn map_cells<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    map((0..n).collect(), |_, i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    #[test]
+    fn map_matches_serial_for_every_job_count() {
+        let expect: Vec<u64> = (0..97u64).map(|x| x * x + 1).collect();
+        for jobs in [1, 2, 3, 8] {
+            let pool = Pool::new(jobs);
+            let got = pool.map((0..97u64).collect(), |_, x| x * x + 1);
+            assert_eq!(got, expect, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_maps_run_inline() {
+        let pool = Pool::new(4);
+        let none: Vec<u32> = pool.map(Vec::<u32>::new(), |_, x| x);
+        assert!(none.is_empty());
+        let caller = std::thread::current().id();
+        let one = pool.map(vec![5u32], |_, x| {
+            assert_eq!(std::thread::current().id(), caller);
+            x + 1
+        });
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn cells_really_run_on_more_than_one_thread() {
+        // Two cells rendezvous on a barrier: that can only succeed if
+        // they run concurrently on distinct threads. Pool::new(3) has
+        // two workers plus the participating submitter, so some second
+        // thread is always free to claim the second cell.
+        let pool = Pool::new(3);
+        let barrier = Barrier::new(2);
+        let ids = pool.map(vec![0, 1], |_, _| {
+            barrier.wait();
+            std::thread::current().id()
+        });
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn submitter_participates_when_pool_is_saturated() {
+        // One worker is parked on a barrier; the submitting thread must
+        // pick up the remaining cells itself for the batch to finish.
+        let pool = Pool::new(2);
+        let gate = Barrier::new(2);
+        let out = pool.map(vec![0usize, 1, 2, 3], |_, i| {
+            if i == 0 {
+                gate.wait();
+            }
+            if i == 3 {
+                gate.wait();
+            }
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn nested_maps_complete_and_preserve_order() {
+        let pool = Pool::new(3);
+        let got = pool.map((0..6usize).collect(), |_, i| {
+            let inner = map_cells(4, |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        // Nested map_cells on worker threads must resolve to this pool.
+        let expect: Vec<usize> = (0..6).map(|i| 4 * i * 10 + 6).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn with_pool_overrides_the_global_pool() {
+        let pool = Pool::new(1);
+        let here = std::thread::current().id();
+        with_pool(&pool, || {
+            let ids = map_cells(8, |_| std::thread::current().id());
+            assert!(ids.iter().all(|id| *id == here), "jobs=1 must stay serial");
+        });
+    }
+
+    #[test]
+    fn cell_panic_propagates_after_the_batch_drains() {
+        let pool = Pool::new(3);
+        let completed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map((0..16usize).collect(), |_, i| {
+                if i == 5 {
+                    panic!("cell 5 exploded");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        assert!(result.is_err());
+        let payload = *result.unwrap_err().downcast::<&str>().unwrap();
+        assert_eq!(payload, "cell 5 exploded");
+        // Every non-panicking cell still ran (the batch fully drained
+        // before the panic resurfaced), so the pool is reusable.
+        assert_eq!(completed.load(Ordering::Relaxed), 15);
+        let again = pool.map(vec![1u8, 2, 3], |_, x| x * 2);
+        assert_eq!(again, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn metrics_account_worker_cells() {
+        let pool = Pool::new(4);
+        let before = pool.metrics();
+        assert_eq!(before.jobs, 4);
+        let gate = Barrier::new(2);
+        // The first two cells rendezvous, so at least one runs on a
+        // worker (the submitter cannot satisfy both sides).
+        let _ = pool.map((0..64usize).collect(), |_, i| {
+            if i < 2 {
+                gate.wait();
+            }
+            i
+        });
+        let after = pool.metrics();
+        let worker_cells: u64 = after.cells_executed.iter().sum();
+        assert!(worker_cells >= 1, "workers executed nothing");
+        assert_eq!(after.busy_secs.len(), 3);
+        let busy = after.since(&before);
+        assert!(busy.iter().all(|b| (0.0..=1.0).contains(b)));
+    }
+
+    #[test]
+    fn configure_applies_only_before_first_global_use() {
+        // The global pool may or may not exist depending on test order;
+        // all we can assert deterministically is idempotence.
+        let first = configure(1);
+        let second = configure(7);
+        assert!(!second || first, "second configure cannot win");
+        assert!(global().jobs() >= 1);
+    }
+}

@@ -78,6 +78,22 @@ proptest! {
         }
     }
 
+    /// `path` is exactly iterated `child`: the campaign engine derives
+    /// cell seeds by path, experiments derive them by chained children —
+    /// both must name the same node, split anywhere.
+    #[test]
+    fn path_equals_iterated_children(
+        master in 0u64..u64::MAX,
+        a in 0u64..1_000,
+        b in 0u64..1_000,
+        c in 0u64..1_000,
+    ) {
+        let root = SeedSequence::new(master);
+        prop_assert_eq!(root.path(&[a, b, c]), root.child(a).child(b).child(c));
+        // Splitting a path anywhere is associative.
+        prop_assert_eq!(root.path(&[a]).path(&[b, c]), root.path(&[a, b]).path(&[c]));
+    }
+
     /// Identical sequences drive identical generators: the first draws
     /// of two independently constructed rngs from the same node agree.
     #[test]

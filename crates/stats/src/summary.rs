@@ -6,7 +6,8 @@ use std::fmt;
 ///
 /// Uses Welford's numerically stable online update; two summaries can be
 /// [merged](Summary::merge) (Chan et al.'s parallel variant), which is how
-/// per-replication results computed on a rayon pool are combined.
+/// per-replication results computed as parallel `rbr-exec` cells are
+/// combined.
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Summary {
     n: u64,

@@ -142,7 +142,7 @@ fn exact_estimates_make_cbf_and_grid_agree_on_conservatism() {
 #[test]
 fn deterministic_across_thread_counts() {
     // The simulation itself is single-threaded per run; this asserts the
-    // experiment pipeline (which may use rayon) produces identical
+    // experiment pipeline (which may run cells in parallel) produces identical
     // numbers regardless of parallelism, because seeds are hierarchical.
     let run1 = GridSim::execute(config(3, Scheme::All, 20.0), SeedSequence::new(107));
     let run2 = GridSim::execute(config(3, Scheme::All, 20.0), SeedSequence::new(107));

@@ -38,19 +38,35 @@ pub struct ParIter<T> {
     items: Vec<T>,
 }
 
+/// The number of worker threads worth spawning for `n` items on a
+/// machine with `cores` cores: 0 (run sequentially) unless the input is
+/// at least twice the core count, so tiny maps on hot per-replication
+/// paths skip thread-spawn overhead entirely — a 2-element map costs two
+/// closure calls, not two `std::thread`s.
+fn fanout(n: usize, cores: usize) -> usize {
+    let cores = cores.max(1);
+    if n < 2 * cores {
+        return 0;
+    }
+    cores.min(n)
+}
+
 impl<T: Send> ParIter<T> {
     /// Maps every element, fanning the work out over the available cores
-    /// in contiguous chunks. Order is preserved.
+    /// in contiguous chunks. Order is preserved. Small inputs (fewer
+    /// than two items per core) run sequentially on the caller — the
+    /// result is identical either way, and spawning scoped threads for a
+    /// 2-element map costs more than the map itself.
     pub fn map<R, F>(self, f: F) -> ParIter<R>
     where
         R: Send,
         F: Fn(T) -> R + Sync,
     {
         let n = self.items.len();
-        let threads = std::thread::available_parallelism()
+        let cores = std::thread::available_parallelism()
             .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n.max(1));
+            .unwrap_or(1);
+        let threads = fanout(n, cores);
         if threads <= 1 {
             return ParIter {
                 items: self.items.into_iter().map(f).collect(),
@@ -111,5 +127,29 @@ mod tests {
         assert!(out.is_empty());
         let one: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn small_inputs_stay_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let n = 2 * cores - 1; // one below the fan-out threshold
+        let ids: Vec<_> = (0..n)
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn fanout_threshold_is_two_items_per_core() {
+        assert_eq!(super::fanout(0, 4), 0);
+        assert_eq!(super::fanout(7, 4), 0, "below 2× cores: sequential");
+        assert_eq!(super::fanout(8, 4), 4, "at 2× cores: all cores");
+        assert_eq!(super::fanout(100, 4), 4);
+        assert_eq!(super::fanout(3, 1), 1, "single core never oversubscribes");
+        assert_eq!(super::fanout(2, 0), 1, "zero cores clamps to one lane");
     }
 }
