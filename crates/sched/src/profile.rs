@@ -67,10 +67,8 @@ impl Profile {
             self.steps[0].0,
             self.context()
         );
-        match self.steps.binary_search_by(|&(s, _)| s.cmp(&t)) {
-            Ok(i) => self.steps[i].1,
-            Err(i) => self.steps[i - 1].1,
-        }
+        let i = self.steps.partition_point(|&(s, _)| s <= t);
+        self.steps[i - 1].1
     }
 
     /// Declares that `nodes` nodes become free again at `release` — i.e. a
@@ -148,10 +146,7 @@ impl Profile {
         }
         // Candidate anchors are `not_before` and every later step start.
         let mut anchor = not_before;
-        let mut i = match self.steps.binary_search_by(|&(s, _)| s.cmp(&anchor)) {
-            Ok(i) => i,
-            Err(i) => i - 1,
-        };
+        let mut i = self.steps.partition_point(|&(s, _)| s <= anchor) - 1;
         'outer: loop {
             // Check [anchor, anchor + dur) starting from step i.
             let end = anchor.saturating_add(dur);
@@ -197,14 +192,13 @@ impl Profile {
         if t <= self.steps[0].0 {
             return 0;
         }
-        match self.steps.binary_search_by(|&(s, _)| s.cmp(&t)) {
-            Ok(i) => i,
-            Err(i) => {
-                let level = self.steps[i - 1].1;
-                self.steps.insert(i, (t, level));
-                i
-            }
+        let i = self.steps.partition_point(|&(s, _)| s < t);
+        if self.steps.get(i).is_some_and(|&(s, _)| s == t) {
+            return i;
         }
+        let level = self.steps[i - 1].1;
+        self.steps.insert(i, (t, level));
+        i
     }
 }
 
