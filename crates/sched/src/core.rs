@@ -29,6 +29,16 @@ pub struct ClusterCore {
     total: u32,
     free: u32,
     running: HashMap<RequestId, Running>,
+    /// The running set's `(requested_end, nodes)` pairs, kept sorted —
+    /// the incrementally maintained state behind [`ClusterCore::shadow`]
+    /// and [`ClusterCore::profile`]. Updated only on [`ClusterCore::start`]
+    /// and [`ClusterCore::remove`] (the reserve/release events), so the
+    /// backfilling hot paths scan it without collecting or sorting.
+    ///
+    /// Equal pairs are interchangeable in every consumer (the shadow fold
+    /// and the profile build both depend only on the sorted multiset), so
+    /// this is behaviourally identical to the sort-per-call it replaces.
+    ends: Vec<(SimTime, u32)>,
 }
 
 impl ClusterCore {
@@ -42,6 +52,7 @@ impl ClusterCore {
             total,
             free: total,
             running: HashMap::new(),
+            ends: Vec::new(),
         }
     }
 
@@ -91,15 +102,19 @@ impl ClusterCore {
             self.free
         );
         self.free -= req.nodes;
+        let requested_end = req.end_if_started(now);
         let prev = self.running.insert(
             req.id,
             Running {
                 request: req,
                 start: now,
-                requested_end: req.end_if_started(now),
+                requested_end,
             },
         );
         assert!(prev.is_none(), "request {} started twice", req.id);
+        let key = (requested_end, req.nodes);
+        let i = self.ends.partition_point(|&e| e <= key);
+        self.ends.insert(i, key);
     }
 
     /// Removes a running allocation (on completion or an aborted start),
@@ -114,21 +129,38 @@ impl ClusterCore {
             .unwrap_or_else(|| panic!("request {id} is not running"));
         self.free += rec.request.nodes;
         debug_assert!(self.free <= self.total);
+        let key = (rec.requested_end, rec.request.nodes);
+        let i = self.ends.partition_point(|&e| e < key);
+        debug_assert!(self.ends.get(i) == Some(&key), "ends out of sync");
+        self.ends.remove(i);
         rec
     }
 
     /// Builds the availability profile implied by the running set: the
     /// currently free nodes now, plus each allocation's nodes released at
     /// its requested end.
+    ///
+    /// Because the release times are already kept sorted, the whole step
+    /// list is produced in one pass — no per-allocation insertion into the
+    /// profile. Releases are commutative additions, so the result equals
+    /// the old build that replayed the running set in hash order.
     pub fn profile(&self, now: SimTime) -> Profile {
-        let mut p = Profile::new(now, self.total, self.free);
-        for rec in self.running.values() {
+        let mut steps = Vec::with_capacity(self.ends.len() + 1);
+        let mut level = self.free;
+        steps.push((now, level));
+        for &(end, nodes) in &self.ends {
             // Allocations whose requested end has passed (jobs running
             // into their last instants at exactly `now`) release "now".
-            let release = rec.requested_end.max(now);
-            p.release_at(release, rec.request.nodes);
+            let release = end.max(now);
+            level += nodes;
+            let last = steps.last_mut().expect("steps never empty");
+            if last.0 == release {
+                last.1 = level;
+            } else {
+                steps.push((release, level));
+            }
         }
-        p
+        Profile::from_sorted_steps(steps, self.total)
     }
 
     /// The EASY shadow computation: given the head request that cannot
@@ -146,16 +178,11 @@ impl ClusterCore {
             head.nodes > self.free,
             "shadow computed for a head request that fits now"
         );
-        // Sort running allocations by requested end and accumulate
-        // releases until the head fits.
-        let mut ends: Vec<(SimTime, u32)> = self
-            .running
-            .values()
-            .map(|r| (r.requested_end, r.request.nodes))
-            .collect();
-        ends.sort_unstable();
+        // Accumulate releases in end order until the head fits; the
+        // sorted list is maintained incrementally, so this is a plain
+        // prefix scan with no allocation.
         let mut avail = self.free;
-        for (end, nodes) in ends {
+        for &(end, nodes) in &self.ends {
             avail += nodes;
             if avail >= head.nodes {
                 return (end, avail - head.nodes);
@@ -241,6 +268,53 @@ mod tests {
         let (shadow, extra) = c.shadow(&head);
         assert_eq!(shadow, SimTime::from_secs(100.0));
         assert_eq!(extra, 2);
+    }
+
+    /// The incrementally maintained end list must stay the sorted
+    /// multiset of the running set's `(requested_end, nodes)` pairs
+    /// through arbitrary start/remove churn, and the one-pass profile
+    /// build must equal the replay-every-release build it replaced.
+    #[test]
+    fn ends_stay_in_sync_through_churn() {
+        let mut c = ClusterCore::new(64);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut live: Vec<u64> = Vec::new();
+        for i in 0..200u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let now = SimTime::from_micros(i * 7);
+            if live.len() > 3 && x % 3 == 0 {
+                let id = live.remove((x as usize / 3) % live.len());
+                c.remove(RequestId(id));
+            } else {
+                let nodes = 1 + (x % 4) as u32;
+                // Duplicate (end, nodes) pairs on purpose: estimates from
+                // a small set collide constantly.
+                let est = [10.0, 10.0, 50.0][(x as usize >> 8) % 3];
+                if nodes <= c.free() {
+                    c.start(now, req(i, nodes, est, 0.0));
+                    live.push(i);
+                }
+            }
+            // The list is the sorted multiset of the running set.
+            let mut expect: Vec<(SimTime, u32)> = live
+                .iter()
+                .map(|&id| {
+                    let r = &c.running[&RequestId(id)];
+                    (r.requested_end, r.request.nodes)
+                })
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(c.ends, expect, "step {i}");
+            // The fast profile build equals the incremental one.
+            let now = SimTime::from_micros(i * 7);
+            let mut slow = Profile::new(now, c.total(), c.free());
+            for r in c.running.values() {
+                slow.release_at(r.requested_end.max(now), r.request.nodes);
+            }
+            assert_eq!(c.profile(now), slow, "step {i}");
+        }
     }
 
     #[test]

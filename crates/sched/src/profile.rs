@@ -31,6 +31,32 @@ impl Profile {
         }
     }
 
+    /// Builds a profile directly from a pre-sorted step list — the fast
+    /// path for [`ClusterCore::profile`](crate::core::ClusterCore), which
+    /// maintains its release times in sorted order and can therefore
+    /// produce the whole step list in one pass instead of paying
+    /// [`Profile::release_at`]'s insert-and-raise per allocation. The
+    /// result is element-for-element identical to the incremental build.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or its final level exceeds `total`
+    /// (levels are non-decreasing in a release-only build, so checking
+    /// the last suffices); strict time monotonicity is debug-asserted.
+    pub(crate) fn from_sorted_steps(steps: Vec<(SimTime, u32)>, total: u32) -> Self {
+        assert!(!steps.is_empty(), "a profile needs at least its origin");
+        assert!(
+            steps.last().expect("non-empty").1 <= total,
+            "profile overflow: {} free on a {total}-node machine",
+            steps.last().expect("non-empty").1,
+        );
+        debug_assert!(
+            steps.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            "release steps must be strictly increasing in time and \
+             non-decreasing in level"
+        );
+        Profile { steps, total }
+    }
+
     /// Machine size.
     pub fn total(&self) -> u32 {
         self.total
