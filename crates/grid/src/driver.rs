@@ -200,11 +200,13 @@ enum Event {
     },
 }
 
-/// Which job (and which of its copies) a request belongs to.
+/// Which job (and which of its copies) a request belongs to. Packed to
+/// eight bytes — there are two of these per job per run, and the
+/// completion path reads them on every event.
 #[derive(Clone, Copy, Debug)]
 struct ReqInfo {
-    job: usize,
-    copy: usize,
+    job: u32,
+    copy: u32,
 }
 
 /// Lifecycle of one copy under faulty middleware.
@@ -233,17 +235,29 @@ struct CopyState {
 }
 
 /// Mutable per-job state during the run.
-#[derive(Clone, Debug, Default)]
+///
+/// Per-job collections live in the driver's flat arenas (copy plans and
+/// copy states share offsets; request ids are issued contiguously per
+/// job), so a job's state is a fixed-size record and the race/cancel/
+/// abort path allocates nothing per copy.
+#[derive(Clone, Copy, Debug, Default)]
 struct JobState {
     started: Option<(usize, SimTime)>,
-    requests: Vec<RequestId>,
     redundant: bool,
     predicted_wait: Option<Duration>,
     done: bool,
-    /// Copy table (faulty-middleware runs only; empty otherwise).
-    copies: Vec<CopyState>,
     /// Index of the copy whose start committed the job (faulty runs).
     winner: Option<usize>,
+    /// This job's slice of the plan arena (and, in faulty runs, of the
+    /// copy-state arena — both are appended at arrival, so the offsets
+    /// coincide). Zero-length until the job arrives.
+    plan_first: u32,
+    plan_len: u32,
+    /// First request id issued for this job (perfect-middleware runs;
+    /// ids are issued contiguously during the job's single submit event).
+    req_first: u64,
+    /// How many requests this job issued (perfect-middleware runs).
+    req_count: u32,
 }
 
 /// The shared event loop: owns the engine pump, the scheduler set, the
@@ -253,8 +267,12 @@ pub struct SimDriver<P: SubmissionProtocol> {
     protocol: P,
     engine: Engine<Event>,
     scheds: Box<dyn SchedulerSet>,
-    /// Copy plans per job, filled at arrival by the protocol.
-    plans: Vec<Vec<CopyPlan>>,
+    /// Flat copy-plan arena; job `j`'s plans are the `plan_first ..
+    /// plan_first + plan_len` slice recorded in its [`JobState`].
+    plan_arena: Vec<CopyPlan>,
+    /// Flat copy-state arena (faulty runs), sharing the plan arena's
+    /// per-job offsets.
+    copy_arena: Vec<CopyState>,
     states: Vec<JobState>,
     reqs: Vec<ReqInfo>,
     rng: StdRng,
@@ -316,7 +334,8 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             },
             engine,
             scheds,
-            plans: vec![Vec::new(); n_jobs],
+            plan_arena: Vec::with_capacity(n_jobs * 2),
+            copy_arena: Vec::new(),
             states: vec![JobState::default(); n_jobs],
             reqs: Vec::with_capacity(n_jobs * 2),
             rng,
@@ -391,10 +410,25 @@ impl<P: SubmissionProtocol> SimDriver<P> {
         &self.protocol
     }
 
+    /// The plan of job `j`'s copy `copy`.
+    fn plan(&self, j: usize, copy: usize) -> CopyPlan {
+        self.plan_arena[self.states[j].plan_first as usize + copy]
+    }
+
     /// The plan of one request's copy.
     fn plan_of(&self, rid: RequestId) -> CopyPlan {
         let ReqInfo { job, copy } = self.reqs[rid.0 as usize];
-        self.plans[job][copy]
+        self.plan(job as usize, copy as usize)
+    }
+
+    /// The copy state of job `j`'s copy `copy` (faulty runs).
+    fn copy_state(&self, j: usize, copy: usize) -> CopyState {
+        self.copy_arena[self.states[j].plan_first as usize + copy]
+    }
+
+    /// Mutable copy state of job `j`'s copy `copy` (faulty runs).
+    fn copy_mut(&mut self, j: usize, copy: usize) -> &mut CopyState {
+        &mut self.copy_arena[self.states[j].plan_first as usize + copy]
     }
 
     fn handle_submit(&mut self, now: SimTime, j: usize) {
@@ -403,7 +437,9 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             .place(j, now, &mut self.rng, self.scheds.as_ref());
         debug_assert!(!plans.is_empty(), "a job must submit at least one copy");
         self.states[j].redundant = plans.len() > 1;
-        self.plans[j] = plans;
+        self.states[j].plan_first = self.plan_arena.len() as u32;
+        self.states[j].plan_len = plans.len() as u32;
+        self.plan_arena.extend(plans);
 
         if self.faults.is_some() {
             // Unreliable middleware: every copy becomes a message. No
@@ -412,24 +448,26 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             return;
         }
 
-        for copy in 0..self.plans[j].len() {
+        self.states[j].req_first = self.reqs.len() as u64;
+        for copy in 0..self.states[j].plan_len as usize {
             if self.states[j].started.is_some() {
                 // The callback already fired: the remaining copies are
                 // never submitted (they would be cancelled in the same
                 // instant with no effect on any schedule).
                 break;
             }
-            let plan = self.plans[j][copy];
+            let plan = self.plan(j, copy);
             let rid = RequestId(self.reqs.len() as u64);
-            self.reqs.push(ReqInfo { job: j, copy });
+            self.reqs.push(ReqInfo {
+                job: j as u32,
+                copy: copy as u32,
+            });
             let req = Request::new(rid, plan.nodes, plan.estimate, now);
             self.result.submits += 1;
             self.scratch.clear();
             self.scheds.submit(now, plan.target, req, &mut self.scratch);
-            self.states[j].requests.push(rid);
-            for &started in &self.scratch {
-                self.worklist.push_back(started);
-            }
+            self.states[j].req_count += 1;
+            self.worklist.extend(self.scratch.drain(..));
             if self.collect_predictions {
                 let wait = self
                     .scheds
@@ -454,7 +492,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             return;
         }
         let rid = RequestId(req);
-        let j = self.reqs[req as usize].job;
+        let j = self.reqs[req as usize].job as usize;
         let plan = self.plan_of(rid);
         let state = &mut self.states[j];
         debug_assert_eq!(state.started.map(|(c, _)| c), Some(plan.target));
@@ -472,7 +510,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             completion: now,
             runtime: plan.runtime,
             redundant: state.redundant,
-            copies: state.requests.len() as u32,
+            copies: state.req_count,
             predicted_wait: state.predicted_wait,
         };
         if let Some(obs) = &self.observer {
@@ -483,17 +521,19 @@ impl<P: SubmissionProtocol> SimDriver<P> {
         self.scratch.clear();
         self.scheds
             .complete(now, plan.target, rid, &mut self.scratch);
-        let newly: Vec<RequestId> = self.scratch.drain(..).collect();
-        for started in newly {
-            self.worklist.push_back(started);
-        }
+        self.worklist.extend(self.scratch.drain(..));
         self.commit_starts(now);
     }
 
     /// Faulty middleware: turns each copy of job `j` into a submit
     /// message routed through the [`FaultModel`].
     fn dispatch_faulty_submits(&mut self, now: SimTime, j: usize) {
-        for copy in 0..self.plans[j].len() {
+        debug_assert_eq!(
+            self.copy_arena.len(),
+            self.states[j].plan_first as usize,
+            "copy arena must share the plan arena's offsets"
+        );
+        for copy in 0..self.states[j].plan_len as usize {
             // Copy 0 is the home submission: it escalates to guaranteed
             // delivery after the retry budget, so no job can vanish.
             let plan = self
@@ -513,13 +553,13 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                     CopyPhase::Dead
                 }
             };
-            self.states[j].copies.push(CopyState { rid: None, phase });
+            self.copy_arena.push(CopyState { rid: None, phase });
         }
     }
 
     /// A submit message arrives at its scheduler (faulty runs only).
     fn handle_deliver_submit(&mut self, now: SimTime, j: usize, copy: usize) {
-        let plan = self.plans[j][copy];
+        let plan = self.plan(j, copy);
         let c = plan.target;
         if now < self.outage_until[c] {
             // The target is down: the middleware holds the message and
@@ -528,11 +568,11 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                 .schedule(self.outage_until[c], Event::DeliverSubmit { job: j, copy });
             return;
         }
-        match self.states[j].copies[copy].phase {
+        match self.copy_state(j, copy).phase {
             CopyPhase::InFlight => {}
             CopyPhase::Doomed => {
                 // The cancel overtook this submit; the broker discards it.
-                self.states[j].copies[copy].phase = CopyPhase::Dead;
+                self.copy_mut(j, copy).phase = CopyPhase::Dead;
                 return;
             }
             CopyPhase::Dead => return,
@@ -541,21 +581,24 @@ impl<P: SubmissionProtocol> SimDriver<P> {
         if self.states[j].done {
             // The job finished while this (retried or delayed) submission
             // was in flight; the broker discards it on arrival.
-            self.states[j].copies[copy].phase = CopyPhase::Dead;
+            self.copy_mut(j, copy).phase = CopyPhase::Dead;
             return;
         }
         let rid = RequestId(self.reqs.len() as u64);
-        self.reqs.push(ReqInfo { job: j, copy });
+        self.reqs.push(ReqInfo {
+            job: j as u32,
+            copy: copy as u32,
+        });
         self.dead.push(false);
         let req = Request::new(rid, plan.nodes, plan.estimate, now);
         self.result.submits += 1;
         self.scratch.clear();
         self.scheds.submit(now, c, req, &mut self.scratch);
-        self.states[j].copies[copy].rid = Some(rid);
-        self.states[j].copies[copy].phase = CopyPhase::Queued;
-        for &started in &self.scratch {
-            self.worklist.push_back(started);
-        }
+        *self.copy_mut(j, copy) = CopyState {
+            rid: Some(rid),
+            phase: CopyPhase::Queued,
+        };
+        self.worklist.extend(self.scratch.drain(..));
         if self.collect_predictions {
             let wait = self
                 .scheds
@@ -574,8 +617,8 @@ impl<P: SubmissionProtocol> SimDriver<P> {
 
     /// A cancel message arrives at its scheduler (faulty runs only).
     fn handle_deliver_cancel(&mut self, now: SimTime, j: usize, copy: usize) {
-        let plan = self.plans[j][copy];
-        let cs = self.states[j].copies[copy];
+        let plan = self.plan(j, copy);
+        let cs = self.copy_state(j, copy);
         if now < self.outage_until[plan.target] {
             self.engine.schedule(
                 self.outage_until[plan.target],
@@ -585,7 +628,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
         }
         match cs.phase {
             CopyPhase::InFlight => {
-                self.states[j].copies[copy].phase = CopyPhase::Doomed;
+                self.copy_mut(j, copy).phase = CopyPhase::Doomed;
             }
             CopyPhase::Queued => {
                 let rid = cs.rid.expect("queued copy has a request id");
@@ -593,11 +636,8 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                 if self.scheds.cancel(now, plan.target, rid, &mut self.scratch) {
                     self.result.cancels += 1;
                 }
-                self.states[j].copies[copy].phase = CopyPhase::Dead;
-                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
-                for started in newly {
-                    self.worklist.push_back(started);
-                }
+                self.copy_mut(j, copy).phase = CopyPhase::Dead;
+                self.worklist.extend(self.scratch.drain(..));
                 self.note_queue(plan.target);
                 self.commit_starts(now);
             }
@@ -607,14 +647,11 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                 self.result.cancels += 1;
                 self.result.wasted_node_secs += plan.nodes as f64 * now.since(start).as_secs();
                 self.dead[rid.0 as usize] = true;
-                self.states[j].copies[copy].phase = CopyPhase::Dead;
+                self.copy_mut(j, copy).phase = CopyPhase::Dead;
                 self.scratch.clear();
                 self.scheds
                     .complete(now, plan.target, rid, &mut self.scratch);
-                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
-                for started in newly {
-                    self.worklist.push_back(started);
-                }
+                self.worklist.extend(self.scratch.drain(..));
                 let stale_winner_killed =
                     self.states[j].winner == Some(copy) && !self.states[j].done;
                 if stale_winner_killed {
@@ -631,8 +668,10 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                         .plan_submit(now, true);
                     self.result.lost_submits += plan.lost_attempts as u64;
                     let at = plan.delivery.expect("guaranteed delivery");
-                    self.states[j].copies[copy].rid = None;
-                    self.states[j].copies[copy].phase = CopyPhase::InFlight;
+                    *self.copy_mut(j, copy) = CopyState {
+                        rid: None,
+                        phase: CopyPhase::InFlight,
+                    };
                     self.engine
                         .schedule(at, Event::DeliverSubmit { job: j, copy });
                 }
@@ -651,20 +690,18 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             // Killed earlier (cancel or outage); stale engine event.
             return;
         }
-        let ReqInfo { job: j, copy } = self.reqs[req as usize];
-        let plan = self.plans[j][copy];
-        let cs = self.states[j].copies[copy];
+        let ReqInfo { job, copy } = self.reqs[req as usize];
+        let (j, copy) = (job as usize, copy as usize);
+        let plan = self.plan(j, copy);
+        let cs = self.copy_state(j, copy);
         let CopyPhase::Running { start } = cs.phase else {
             unreachable!("completing copy must be running, was {:?}", cs.phase)
         };
-        self.states[j].copies[copy].phase = CopyPhase::Dead;
+        self.copy_mut(j, copy).phase = CopyPhase::Dead;
         self.scratch.clear();
         self.scheds
             .complete(now, plan.target, RequestId(req), &mut self.scratch);
-        let newly: Vec<RequestId> = self.scratch.drain(..).collect();
-        for started in newly {
-            self.worklist.push_back(started);
-        }
+        self.worklist.extend(self.scratch.drain(..));
         if self.states[j].done {
             // Zombie ran to natural completion: its whole execution is
             // wasted node-time.
@@ -681,7 +718,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                 completion: now,
                 runtime: plan.runtime,
                 redundant: self.states[j].redundant,
-                copies: self.states[j].copies.len() as u32,
+                copies: self.states[j].plan_len,
                 predicted_wait: self.states[j].predicted_wait,
             };
             if let Some(obs) = &self.observer {
@@ -700,9 +737,9 @@ impl<P: SubmissionProtocol> SimDriver<P> {
         self.outage_until[c] = recover;
         self.scheds.restart(c);
         for j in 0..self.states.len() {
-            for copy in 0..self.states[j].copies.len() {
-                let plan = self.plans[j][copy];
-                let cs = self.states[j].copies[copy];
+            for copy in 0..self.states[j].plan_len as usize {
+                let plan = self.plan(j, copy);
+                let cs = self.copy_state(j, copy);
                 if plan.target != c {
                     continue;
                 }
@@ -711,8 +748,10 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                         // Evaporated with the scheduler; the middleware
                         // notices at recovery and re-delivers.
                         self.result.outage_kills += 1;
-                        self.states[j].copies[copy].rid = None;
-                        self.states[j].copies[copy].phase = CopyPhase::InFlight;
+                        *self.copy_mut(j, copy) = CopyState {
+                            rid: None,
+                            phase: CopyPhase::InFlight,
+                        };
                         self.engine
                             .schedule(recover, Event::DeliverSubmit { job: j, copy });
                     }
@@ -727,12 +766,14 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                             // submitter resubmits this copy at recovery.
                             self.states[j].started = None;
                             self.states[j].winner = None;
-                            self.states[j].copies[copy].rid = None;
-                            self.states[j].copies[copy].phase = CopyPhase::InFlight;
+                            *self.copy_mut(j, copy) = CopyState {
+                                rid: None,
+                                phase: CopyPhase::InFlight,
+                            };
                             self.engine
                                 .schedule(recover, Event::DeliverSubmit { job: j, copy });
                         } else {
-                            self.states[j].copies[copy].phase = CopyPhase::Dead;
+                            self.copy_mut(j, copy).phase = CopyPhase::Dead;
                         }
                     }
                     _ => {}
@@ -745,11 +786,11 @@ impl<P: SubmissionProtocol> SimDriver<P> {
     /// first copy of job `j` starts. Each live sibling gets its own
     /// cancel message through the fault model.
     fn send_cancels(&mut self, now: SimTime, j: usize, winner_copy: usize) {
-        for copy in 0..self.states[j].copies.len() {
+        for copy in 0..self.states[j].plan_len as usize {
             if copy == winner_copy {
                 continue;
             }
-            match self.states[j].copies[copy].phase {
+            match self.copy_state(j, copy).phase {
                 CopyPhase::InFlight | CopyPhase::Queued | CopyPhase::Running { .. } => {}
                 CopyPhase::Doomed | CopyPhase::Dead => continue,
             }
@@ -774,11 +815,12 @@ impl<P: SubmissionProtocol> SimDriver<P> {
     /// message like everything else).
     fn commit_starts_faulty(&mut self, now: SimTime) {
         while let Some(rid) = self.worklist.pop_front() {
-            let ReqInfo { job: j, copy } = self.reqs[rid.0 as usize];
-            let plan = self.plans[j][copy];
+            let ReqInfo { job, copy } = self.reqs[rid.0 as usize];
+            let (j, copy) = (job as usize, copy as usize);
+            let plan = self.plan(j, copy);
             debug_assert!(!self.dead[rid.0 as usize], "dead request started");
-            debug_assert_eq!(self.states[j].copies[copy].phase, CopyPhase::Queued);
-            self.states[j].copies[copy].phase = CopyPhase::Running { start: now };
+            debug_assert_eq!(self.copy_state(j, copy).phase, CopyPhase::Queued);
+            self.copy_mut(j, copy).phase = CopyPhase::Running { start: now };
             self.engine
                 .schedule(now + plan.runtime, Event::Complete { req: rid.0 });
             if self.states[j].started.is_none() && !self.states[j].done {
@@ -801,26 +843,27 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             return;
         }
         while let Some(rid) = self.worklist.pop_front() {
-            let j = self.reqs[rid.0 as usize].job;
+            let j = self.reqs[rid.0 as usize].job as usize;
             let plan = self.plan_of(rid);
             if self.states[j].started.is_some() {
                 // Lost the same-instant race: revoke.
                 self.result.aborts += 1;
                 self.scratch.clear();
                 self.scheds.abort(now, plan.target, rid, &mut self.scratch);
-                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
-                for started in newly {
-                    self.worklist.push_back(started);
-                }
+                self.worklist.extend(self.scratch.drain(..));
                 continue;
             }
             // Commit: the job starts here, now.
             self.states[j].started = Some((plan.target, now));
             self.engine
                 .schedule(now + plan.runtime, Event::Complete { req: rid.0 });
-            // The callback: cancel every sibling copy.
-            let siblings = self.states[j].requests.clone();
-            for rid2 in siblings {
+            // The callback: cancel every sibling copy. The job's request
+            // ids are contiguous, so the sibling set is just an id range —
+            // no snapshot needed (cancels never add or remove requests).
+            let first = self.states[j].req_first;
+            let count = self.states[j].req_count as u64;
+            for id2 in first..first + count {
+                let rid2 = RequestId(id2);
                 if rid2 == rid {
                     continue;
                 }
@@ -829,10 +872,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                 if self.scheds.cancel(now, target2, rid2, &mut self.scratch) {
                     self.result.cancels += 1;
                 }
-                let newly: Vec<RequestId> = self.scratch.drain(..).collect();
-                for started in newly {
-                    self.worklist.push_back(started);
-                }
+                self.worklist.extend(self.scratch.drain(..));
                 self.note_queue(target2);
             }
         }

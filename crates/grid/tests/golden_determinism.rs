@@ -176,6 +176,32 @@ fn dual_queue_same_seed_is_bit_identical() {
     }
 }
 
+/// The pending-event set has two implementations (the calendar queue the
+/// simulator runs on, and the reference binary heap); a whole grid
+/// experiment must produce a byte-identical report on either. This is the
+/// end-to-end check that the calendar queue's pop order — including FIFO
+/// ties, which the race/cancel/abort protocol is exquisitely sensitive
+/// to — matches the heap's exactly.
+#[test]
+fn both_queue_kinds_produce_identical_reports() {
+    use rbr_simcore::{with_queue_kind, QueueKind};
+    for (label, make) in [("all3", all3 as fn() -> GridConfig), ("cbf2", cbf2)] {
+        for seed in 0u64..4 {
+            let cal = with_queue_kind(QueueKind::Calendar, || {
+                GridSim::execute(make(), SeedSequence::new(seed))
+            });
+            let heap = with_queue_kind(QueueKind::Heap, || {
+                GridSim::execute(make(), SeedSequence::new(seed))
+            });
+            assert_eq!(
+                digest(&cal),
+                digest(&heap),
+                "queue implementations diverged ({label}, seed {seed})"
+            );
+        }
+    }
+}
+
 /// Moldable shape racing draws shape order from the driver rng; same seed
 /// → identical digest for both the fixed-shape and all-shapes policies.
 #[test]
