@@ -63,24 +63,26 @@
 //!     fn home(&self, job: usize) -> usize {
 //!         job % 2
 //!     }
-//!     fn place(
+//!     fn place_into(
 //!         &mut self,
 //!         job: usize,
 //!         _now: SimTime,
 //!         _rng: &mut StdRng,
 //!         scheds: &dyn SchedulerSet,
-//!     ) -> Vec<CopyPlan> {
+//!         out: &mut Vec<CopyPlan>,
+//!     ) {
 //!         let home = self.home(job);
 //!         // Home cluster first — copy 0 is the guaranteed submission.
-//!         (0..scheds.n_targets())
-//!             .map(|c| (c + home) % scheds.n_targets())
-//!             .map(|target| CopyPlan {
-//!                 target,
-//!                 nodes: 1,
-//!                 estimate: self.runtime,
-//!                 runtime: self.runtime,
-//!             })
-//!             .collect()
+//!         out.extend(
+//!             (0..scheds.n_targets())
+//!                 .map(|c| (c + home) % scheds.n_targets())
+//!                 .map(|target| CopyPlan {
+//!                     target,
+//!                     nodes: 1,
+//!                     estimate: self.runtime,
+//!                     runtime: self.runtime,
+//!                 }),
+//!         );
 //!     }
 //! }
 //!
@@ -149,21 +151,24 @@ pub trait SubmissionProtocol {
     /// The job's home target, recorded in its [`JobRecord`].
     fn home(&self, job: usize) -> usize;
 
-    /// Plans the copies job `job` submits on arrival, in submission
-    /// order. Must return at least one plan; the first entry is the home
-    /// submission (under faulty middleware it is the one copy whose
-    /// delivery escalates to guaranteed, so no job can vanish).
+    /// Plans the copies job `job` submits on arrival by appending them to
+    /// `out` in submission order (`out` is a driver-owned scratch buffer,
+    /// already cleared — this hook runs once per job, so it must not
+    /// allocate). At least one plan must be appended; the first entry is
+    /// the home submission (under faulty middleware it is the one copy
+    /// whose delivery escalates to guaranteed, so no job can vanish).
     ///
     /// This is the only hook that may draw randomness; the driver never
     /// touches `rng` itself, so a protocol's draw sequence is exactly
     /// its own.
-    fn place(
+    fn place_into(
         &mut self,
         job: usize,
         now: SimTime,
         rng: &mut StdRng,
         scheds: &dyn SchedulerSet,
-    ) -> Vec<CopyPlan>;
+        out: &mut Vec<CopyPlan>,
+    );
 }
 
 /// Engine events.
@@ -273,6 +278,9 @@ pub struct SimDriver<P: SubmissionProtocol> {
     /// Flat copy-state arena (faulty runs), sharing the plan arena's
     /// per-job offsets.
     copy_arena: Vec<CopyState>,
+    /// Scratch handed to [`SubmissionProtocol::place_into`], reused
+    /// across submits.
+    plan_buf: Vec<CopyPlan>,
     states: Vec<JobState>,
     reqs: Vec<ReqInfo>,
     rng: StdRng,
@@ -336,6 +344,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             scheds,
             plan_arena: Vec::with_capacity(n_jobs * 2),
             copy_arena: Vec::new(),
+            plan_buf: Vec::new(),
             states: vec![JobState::default(); n_jobs],
             reqs: Vec::with_capacity(n_jobs * 2),
             rng,
@@ -432,14 +441,19 @@ impl<P: SubmissionProtocol> SimDriver<P> {
     }
 
     fn handle_submit(&mut self, now: SimTime, j: usize) {
-        let plans = self
-            .protocol
-            .place(j, now, &mut self.rng, self.scheds.as_ref());
-        debug_assert!(!plans.is_empty(), "a job must submit at least one copy");
-        self.states[j].redundant = plans.len() > 1;
+        self.plan_buf.clear();
+        self.protocol.place_into(
+            j,
+            now,
+            &mut self.rng,
+            self.scheds.as_ref(),
+            &mut self.plan_buf,
+        );
+        debug_assert!(!self.plan_buf.is_empty(), "a job must submit at least one copy");
+        self.states[j].redundant = self.plan_buf.len() > 1;
         self.states[j].plan_first = self.plan_arena.len() as u32;
-        self.states[j].plan_len = plans.len() as u32;
-        self.plan_arena.extend(plans);
+        self.states[j].plan_len = self.plan_buf.len() as u32;
+        self.plan_arena.extend_from_slice(&self.plan_buf);
 
         if self.faults.is_some() {
             // Unreliable middleware: every copy becomes a message. No

@@ -80,28 +80,26 @@ impl SubmissionProtocol for DualQueue {
         STANDARD
     }
 
-    fn place(
+    fn place_into(
         &mut self,
         job: usize,
         _now: SimTime,
         _rng: &mut StdRng,
         _scheds: &dyn SchedulerSet,
-    ) -> Vec<CopyPlan> {
+        out: &mut Vec<CopyPlan>,
+    ) {
         let spec = self.jobs[job];
         let queues: &[usize] = if self.dual[job] {
             &[PREMIUM, STANDARD]
         } else {
             &[STANDARD]
         };
-        queues
-            .iter()
-            .map(|&q| CopyPlan {
-                target: q,
-                nodes: spec.nodes,
-                estimate: spec.estimate,
-                runtime: spec.runtime,
-            })
-            .collect()
+        out.extend(queues.iter().map(|&q| CopyPlan {
+            target: q,
+            nodes: spec.nodes,
+            estimate: spec.estimate,
+            runtime: spec.runtime,
+        }));
     }
 }
 

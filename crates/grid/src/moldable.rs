@@ -167,6 +167,9 @@ struct Moldable {
     jobs: Vec<MoldableJob>,
     policy: ShapePolicy,
     max_nodes: u32,
+    /// Shuffle buffer for the per-job submission order, reused across
+    /// jobs.
+    order: Vec<usize>,
 }
 
 impl Moldable {
@@ -207,27 +210,30 @@ impl SubmissionProtocol for Moldable {
     /// machine with wide allocations). Random order models a user who
     /// has no reason to prefer one `qsub` ordering over another and lets
     /// the queue state decide.
-    fn place(
+    fn place_into(
         &mut self,
         job: usize,
         _now: SimTime,
         rng: &mut StdRng,
         _scheds: &dyn SchedulerSet,
-    ) -> Vec<CopyPlan> {
+        out: &mut Vec<CopyPlan>,
+    ) {
         let n_shapes = self.jobs[job].shapes.len();
-        let indices: Vec<usize> = match self.policy {
-            ShapePolicy::Fixed(i) => vec![i.min(n_shapes - 1)],
+        self.order.clear();
+        match self.policy {
+            ShapePolicy::Fixed(i) => self.order.push(i.min(n_shapes - 1)),
             ShapePolicy::AllShapes => {
-                let mut order: Vec<usize> = (0..n_shapes).collect();
+                self.order.extend(0..n_shapes);
                 // Fisher–Yates with the run's order stream.
-                for k in (1..order.len()).rev() {
+                for k in (1..self.order.len()).rev() {
                     let j = (rng.next_u64() % (k as u64 + 1)) as usize;
-                    order.swap(k, j);
+                    self.order.swap(k, j);
                 }
-                order
             }
-        };
-        indices.into_iter().map(|i| self.plan(job, i)).collect()
+        }
+        for idx in 0..self.order.len() {
+            out.push(self.plan(job, self.order[idx]));
+        }
     }
 }
 
@@ -241,6 +247,7 @@ pub fn run(config: &MoldableConfig, seed: SeedSequence) -> MoldableResult {
         jobs: jobs.clone(),
         policy: config.policy,
         max_nodes: config.nodes,
+        order: Vec::new(),
     };
     let scheds = ClusterSet::new(config.algorithm, Duration::from_secs(30.0), &[config.nodes]);
     let driver = SimDriver::new(protocol, Box::new(scheds), seed.child(1).rng(), None, false);

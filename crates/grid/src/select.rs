@@ -28,6 +28,15 @@ pub enum SelectionPolicy {
     LeastLoaded,
 }
 
+/// Reusable buffers for [`SelectionPolicy::choose_into`]. Selection runs
+/// once per redundant job, so the driver-side protocols keep one of these
+/// alive for the whole run instead of allocating per call.
+#[derive(Clone, Debug, Default)]
+pub struct SelectionScratch {
+    pool: Vec<usize>,
+    weights: Vec<f64>,
+}
+
 impl SelectionPolicy {
     /// Chooses up to `k` distinct clusters from `eligible` (global cluster
     /// indices). `queue_lens[c]` is the current queue length of cluster
@@ -41,40 +50,80 @@ impl SelectionPolicy {
         k: usize,
         queue_lens: &[usize],
     ) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.choose_into(
+            rng,
+            eligible,
+            k,
+            queue_lens,
+            &mut SelectionScratch::default(),
+            &mut out,
+        );
+        out
+    }
+
+    /// [`SelectionPolicy::choose`] without per-call allocation: chosen
+    /// clusters are appended to `out` (draw sequence and result order are
+    /// identical to `choose`).
+    pub fn choose_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        eligible: &[usize],
+        k: usize,
+        queue_lens: &[usize],
+        scratch: &mut SelectionScratch,
+        out: &mut Vec<usize>,
+    ) {
         let k = k.min(eligible.len());
         if k == 0 {
-            return Vec::new();
+            return;
         }
         match *self {
-            SelectionPolicy::Uniform => weighted_without_replacement(rng, eligible, k, |_| 1.0),
+            SelectionPolicy::Uniform => {
+                weighted_without_replacement(rng, eligible, k, |_| 1.0, scratch, out)
+            }
             SelectionPolicy::Biased { ratio } => {
                 assert!(
                     ratio.is_finite() && ratio > 0.0,
                     "bias ratio must be positive, got {ratio}"
                 );
                 // Weight 1/ratio^index, normalized implicitly.
-                weighted_without_replacement(rng, eligible, k, |c| ratio.powi(-(c as i32)))
+                weighted_without_replacement(
+                    rng,
+                    eligible,
+                    k,
+                    |c| ratio.powi(-(c as i32)),
+                    scratch,
+                    out,
+                )
             }
             SelectionPolicy::LeastLoaded => {
-                let mut sorted: Vec<usize> = eligible.to_vec();
-                sorted.sort_by_key(|&c| (queue_lens.get(c).copied().unwrap_or(usize::MAX), c));
-                sorted.truncate(k);
-                sorted
+                scratch.pool.clear();
+                scratch.pool.extend_from_slice(eligible);
+                scratch
+                    .pool
+                    .sort_by_key(|&c| (queue_lens.get(c).copied().unwrap_or(usize::MAX), c));
+                out.extend_from_slice(&scratch.pool[..k]);
             }
         }
     }
 }
 
-/// Weighted sampling of `k` distinct items by sequential draws.
+/// Weighted sampling of `k` distinct items by sequential draws, appended
+/// to `out`.
 fn weighted_without_replacement<R: Rng + ?Sized>(
     rng: &mut R,
     items: &[usize],
     k: usize,
     weight: impl Fn(usize) -> f64,
-) -> Vec<usize> {
-    let mut pool: Vec<usize> = items.to_vec();
-    let mut weights: Vec<f64> = pool.iter().map(|&c| weight(c)).collect();
-    let mut out = Vec::with_capacity(k);
+    scratch: &mut SelectionScratch,
+    out: &mut Vec<usize>,
+) {
+    let SelectionScratch { pool, weights } = scratch;
+    pool.clear();
+    pool.extend_from_slice(items);
+    weights.clear();
+    weights.extend(items.iter().map(|&c| weight(c)));
     for _ in 0..k {
         let total: f64 = weights.iter().sum();
         debug_assert!(total > 0.0, "selection weights summed to zero");
@@ -90,7 +139,6 @@ fn weighted_without_replacement<R: Rng + ?Sized>(
         out.push(pool.swap_remove(idx));
         weights.swap_remove(idx);
     }
-    out
 }
 
 #[cfg(test)]

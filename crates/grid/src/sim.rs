@@ -50,7 +50,7 @@ use crate::config::GridConfig;
 use crate::driver::{CopyPlan, SimDriver, SubmissionProtocol};
 use crate::record::RunResult;
 use crate::scheme::Scheme;
-use crate::select::SelectionPolicy;
+use crate::select::{SelectionPolicy, SelectionScratch};
 
 /// The multi-cluster placement policy: home first, then scheme-many
 /// remotes drawn by the selection policy among big-enough clusters.
@@ -61,6 +61,11 @@ struct MultiCluster {
     selection: SelectionPolicy,
     redundant_fraction: f64,
     remote_inflation: f64,
+    // Per-placement buffers, reused across every job in the run.
+    targets: Vec<usize>,
+    eligible: Vec<usize>,
+    queue_lens: Vec<usize>,
+    select_scratch: SelectionScratch,
 }
 
 impl SubmissionProtocol for MultiCluster {
@@ -80,44 +85,48 @@ impl SubmissionProtocol for MultiCluster {
         self.jobs[job].1
     }
 
-    fn place(
+    fn place_into(
         &mut self,
         job: usize,
         _now: SimTime,
         rng: &mut StdRng,
         scheds: &dyn SchedulerSet,
-    ) -> Vec<CopyPlan> {
+        out: &mut Vec<CopyPlan>,
+    ) {
         let (spec, home) = self.jobs[job];
         let n = self.cluster_nodes.len();
 
         // Does this job use redundancy, and where do its copies go?
         let wants_redundancy = self.scheme.is_redundant(n)
             && (self.redundant_fraction >= 1.0 || unit(rng) < self.redundant_fraction);
-        let mut targets = vec![home];
+        self.targets.clear();
+        self.targets.push(home);
         if wants_redundancy {
             let copies = self.scheme.copies(n);
-            let eligible: Vec<usize> = (0..n)
-                .filter(|&c| c != home && self.cluster_nodes[c] >= spec.nodes)
-                .collect();
-            let queue_lens: Vec<usize> = (0..n).map(|c| scheds.queue_len(c)).collect();
-            targets.extend(
-                self.selection
-                    .choose(rng, &eligible, copies - 1, &queue_lens),
+            self.eligible.clear();
+            self.eligible
+                .extend((0..n).filter(|&c| c != home && self.cluster_nodes[c] >= spec.nodes));
+            self.queue_lens.clear();
+            self.queue_lens.extend((0..n).map(|c| scheds.queue_len(c)));
+            self.selection.choose_into(
+                rng,
+                &self.eligible,
+                copies - 1,
+                &self.queue_lens,
+                &mut self.select_scratch,
+                &mut self.targets,
             );
         }
-        targets
-            .into_iter()
-            .map(|c| CopyPlan {
-                target: c,
-                nodes: spec.nodes,
-                estimate: if c == home {
-                    spec.estimate
-                } else {
-                    spec.estimate.scale(1.0 + self.remote_inflation)
-                },
-                runtime: spec.runtime,
-            })
-            .collect()
+        out.extend(self.targets.iter().map(|&c| CopyPlan {
+            target: c,
+            nodes: spec.nodes,
+            estimate: if c == home {
+                spec.estimate
+            } else {
+                spec.estimate.scale(1.0 + self.remote_inflation)
+            },
+            runtime: spec.runtime,
+        }));
     }
 }
 
@@ -190,6 +199,10 @@ impl GridSim {
             selection: config.selection,
             redundant_fraction: config.redundant_fraction,
             remote_inflation: config.remote_inflation,
+            targets: Vec::new(),
+            eligible: Vec::new(),
+            queue_lens: Vec::new(),
+            select_scratch: SelectionScratch::default(),
         };
         GridSim {
             driver: SimDriver::new(
