@@ -215,12 +215,19 @@ impl<E> Calendar<E> {
             bucket = (bucket + 1) & (self.buckets.len() - 1);
             end = end.saturating_add(self.width);
         }
-        // A full lap of empty days: the queue is sparse relative to its
-        // span. Jump the cursor straight to the earliest event.
-        let (b, idx) = self.global_min();
-        self.cursor = b;
-        self.cursor_end = self.day_end(self.buckets[b][idx].time.as_micros());
-        Some(self.take(b, idx))
+        // A full lap of empty days: the width (derived at the last
+        // resize) has gone stale — the live population's span outgrew
+        // one calendar lap. Re-derive the width from the live entries
+        // and re-anchor the cursor at the earliest event; the scan of
+        // its day is then a guaranteed hit, and subsequent pops are
+        // local again until the span drifts another lap. The rebuild is
+        // O(len), amortized over the pops that emptied the lap.
+        self.resize(self.buckets.len());
+        let bucket = self.cursor;
+        let idx = self
+            .min_in_window(bucket, self.cursor_end)
+            .expect("resize anchors the cursor at the earliest event's day");
+        Some(self.take(bucket, idx))
     }
 
     fn peek_time(&self) -> Option<SimTime> {
