@@ -57,6 +57,23 @@ fn record_speedup() {
     let (jobs2_secs, _) = time_campaign(&Pool::new(2), &plan);
     let (jobs4_secs, _) = time_campaign(&Pool::new(4), &plan);
 
+    // Quick-scale trajectory (ROADMAP item 1): one 4-lane pass over the
+    // full registry at quick fidelity. ~100x the smoke cost, so it only
+    // runs when CI (or a curious dev) opts in via RBR_BENCH_QUICK=1.
+    let quick_jobs4_secs = if std::env::var("RBR_BENCH_QUICK").as_deref() == Ok("1") {
+        let quick_plan = Plan {
+            experiments: registry.iter().collect(),
+            scale: rbr::Scale::Quick,
+            seed: None,
+            reps: None,
+            format: Format::Json,
+        };
+        let (secs, _) = time_campaign(&Pool::new(4), &quick_plan);
+        format!("{secs:.3}")
+    } else {
+        "null".to_string()
+    };
+
     let body = format!(
         "{{\"campaign\":\"run all\",\"scale\":\"{}\",\"cells\":{cells},\
          \"host_cpus\":{host_cpus},\
@@ -64,7 +81,8 @@ fn record_speedup() {
          \"serial_secs\":{serial_secs:.3},\
          \"speedup_vs_pr5_serial\":{:.3},\
          \"jobs2_secs\":{jobs2_secs:.3},\"jobs4_secs\":{jobs4_secs:.3},\
-         \"parallel_speedup_jobs2\":{:.3},\"parallel_speedup_jobs4\":{:.3}}}\n",
+         \"parallel_speedup_jobs2\":{:.3},\"parallel_speedup_jobs4\":{:.3},\
+         \"quick_jobs4_secs\":{quick_jobs4_secs}}}\n",
         scale.name(),
         PR5_BASELINE_SERIAL_SECS / serial_secs.max(1e-9),
         serial_secs / jobs2_secs.max(1e-9),

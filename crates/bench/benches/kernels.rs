@@ -37,7 +37,11 @@ fn queue_churn(kind: QueueKind, events: u64) -> u64 {
         x ^= x << 17;
         // Completion-style events land up to ~1h ahead; ~1/8 are
         // same-instant cascades (the race/cancel pattern).
-        let gap = if x % 8 == 0 { 0 } else { x % 3_600_000_000 };
+        let gap = if x.is_multiple_of(8) {
+            0
+        } else {
+            x % 3_600_000_000
+        };
         q.push(SimTime::from_micros(now + gap), i);
         if let Some((t, v)) = q.pop() {
             now = t.as_micros();

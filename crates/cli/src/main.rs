@@ -19,6 +19,17 @@
 //! rbr capacity [--iat SECS]        the Section 4 capacity arithmetic
 //! rbr swf-export <path> [--hours H] export a synthetic SWF trace
 //! rbr throughput                   native scheduler submit/cancel rates
+//! rbr serve [options]              run the batching metascheduler service
+//!     --addr HOST:PORT              listen address (default 127.0.0.1:7206)
+//!     --batch N                     ops per transaction (default 8)
+//!     --deadline SECS               batch flush deadline (default 30)
+//!     --clock virtual|wall          service clock (default virtual)
+//!     --log PATH                    write the admission log here (default stdout)
+//! rbr loadgen [options]            replay Lublin arrivals against the service
+//!     --addr HOST:PORT              server address (default 127.0.0.1:7206)
+//!     --jobs N                      jobs to replay (default 1000)
+//!     --rate M                      arrival-rate multiple (default 1.0)
+//!     --seed N                      workload seed (default 2006)
 //! ```
 //!
 //! Every experiment — name, description, seed, tables — comes from
@@ -27,6 +38,7 @@
 //! their replications become work-stealing cells, merged in a fixed
 //! order, so any `--jobs` count produces byte-identical reports.
 
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -99,6 +111,20 @@ fn main() -> ExitCode {
             throughput();
             ExitCode::SUCCESS
         }
+        Some("serve") => match serve_command(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("loadgen") => match loadgen_command(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("--help") | Some("-h") | None => {
             println!(
                 "rbr — reproduction of 'On the Harmfulness of Redundant Batch Requests' (HPDC'06)\n\n\
@@ -117,7 +143,18 @@ fn main() -> ExitCode {
                  --seed N                     override the master seed\n  \
                  capacity [--iat SECS]          Section 4 capacity arithmetic\n  \
                  swf-export <path> [--hours H]  export a synthetic SWF trace\n  \
-                 throughput                     native scheduler throughput sweep"
+                 throughput                     native scheduler throughput sweep\n  \
+                 serve [options]                batching metascheduler service\n    \
+                 --addr HOST:PORT             listen address (default 127.0.0.1:7206)\n    \
+                 --batch N                    ops per transaction (default 8)\n    \
+                 --deadline SECS              batch flush deadline (default 30)\n    \
+                 --clock virtual|wall         service clock (default virtual)\n    \
+                 --log PATH                   admission log file (default stdout)\n  \
+                 loadgen [options]              replay Lublin arrivals against serve\n    \
+                 --addr HOST:PORT             server address (default 127.0.0.1:7206)\n    \
+                 --jobs N                     jobs to replay (default 1000)\n    \
+                 --rate M                     arrival-rate multiple (default 1.0)\n    \
+                 --seed N                     workload seed (default 2006)"
             );
             ExitCode::SUCCESS
         }
@@ -180,12 +217,15 @@ fn run_command(name: &str, args: &[String]) -> Result<(), String> {
     let before = rbr_exec::pool::global().metrics();
     let result = rbr::experiments::campaign::run(&plan, &options, &|p| {
         if p.replayed {
-            eprintln!("[{}/{}] {} replayed from journal", p.done, p.total, p.key);
+            progress_line(format!(
+                "[{}/{}] {} replayed from journal",
+                p.done, p.total, p.key
+            ));
         } else {
-            eprintln!(
+            progress_line(format!(
                 "[{}/{}] {} finished in {:.2}s ({:.2} cells/s, ETA {:.0}s)",
                 p.done, p.total, p.key, p.cell_secs, p.cells_per_sec, p.eta_secs
-            );
+            ));
         }
     })?;
     let after = rbr_exec::pool::global().metrics();
@@ -351,6 +391,103 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn parse_flag_value(args: &[String], flag: &str) -> Option<f64> {
     flag_value(args, flag).and_then(|v| v.parse().ok())
+}
+
+/// Emits one progress line as a single `write` syscall on the locked
+/// stderr handle. `eprintln!` renders its format arguments piecewise,
+/// so concurrent writers (campaign lanes, a piped `rbr serve`) can
+/// interleave mid-line; staging the full line first keeps logs atomic.
+fn progress_line(line: String) {
+    let mut err = std::io::stderr().lock();
+    let _ = err.write_all(format!("{line}\n").as_bytes());
+    let _ = err.flush();
+}
+
+/// Runs the batching metascheduler service until a client drains it.
+fn serve_command(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7206");
+    let batch = match flag_value(args, "--batch") {
+        None => 8u32,
+        Some(s) => match s.parse::<u32>() {
+            Ok(0) => return Err("--batch must be at least 1".to_string()),
+            Ok(n) => n,
+            Err(e) => return Err(format!("bad batch size {s:?}: {e}")),
+        },
+    };
+    let deadline = parse_flag_value(args, "--deadline").unwrap_or(30.0);
+    if batch > 1 && deadline <= 0.0 {
+        return Err("--deadline must be positive when --batch > 1".to_string());
+    }
+    let clock = match flag_value(args, "--clock") {
+        None => rbr_serve::ClockMode::Virtual,
+        Some(s) => rbr_serve::ClockMode::parse(s)
+            .ok_or_else(|| format!("unknown clock {s:?} (virtual|wall)"))?,
+    };
+    let spec = if batch > 1 {
+        rbr::grid::BatchSpec::of(batch, Duration::from_secs(deadline))
+    } else {
+        rbr::grid::BatchSpec::default()
+    };
+    let config = rbr_serve::ServerConfig {
+        batch: spec,
+        admission: rbr_serve::AdmissionConfig {
+            batch,
+            ..rbr_serve::AdmissionConfig::default()
+        },
+        clock,
+    };
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    progress_line(format!(
+        "serving on {local} (batch {batch}, deadline {deadline}s, {clock:?} clock, \
+         {:.3} copies/s budget)",
+        rbr_serve::AdmissionController::new(config.admission.clone()).rate()
+    ));
+    let stats = rbr_serve::serve(listener, &config)?;
+    progress_line(format!(
+        "drained: {} submit(s), {} cancel(s), {} ack(s), {} transaction(s), {} shed",
+        stats.submits, stats.cancels, stats.acks, stats.transactions, stats.shed
+    ));
+    let log = stats.admission_log.join("\n") + "\n";
+    match flag_value(args, "--log") {
+        None => print!("{log}"),
+        Some(path) => {
+            std::fs::write(path, log).map_err(|e| format!("cannot write {path}: {e}"))?;
+            progress_line(format!("wrote admission log to {path}"));
+        }
+    }
+    Ok(())
+}
+
+/// Replays a Lublin arrival stream against a running service.
+fn loadgen_command(args: &[String]) -> Result<(), String> {
+    let jobs = match flag_value(args, "--jobs") {
+        None => 1_000usize,
+        Some(s) => match s.parse::<usize>() {
+            Ok(0) => return Err("--jobs must be at least 1".to_string()),
+            Ok(n) => n,
+            Err(e) => return Err(format!("bad job count {s:?}: {e}")),
+        },
+    };
+    let rate = parse_flag_value(args, "--rate").unwrap_or(1.0);
+    if rate <= 0.0 {
+        return Err("--rate must be positive".to_string());
+    }
+    let config = rbr_serve::LoadgenConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:7206")
+            .to_string(),
+        jobs,
+        rate,
+        seed: parse_seed(args)?.unwrap_or(2006),
+    };
+    let stats = rbr_serve::loadgen::run(&config)?;
+    progress_line(format!(
+        "replayed {} job(s) at {rate}x: {} redundant, {} single, {} shed, \
+         {} transaction(s), clean drain",
+        stats.submits, stats.redundant, stats.single, stats.shed, stats.transactions
+    ));
+    Ok(())
 }
 
 fn capacity(iat: f64) {

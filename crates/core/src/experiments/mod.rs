@@ -25,6 +25,7 @@
 //! | `dual-queue` | [`dual_queue`] | beyond the paper: option (iii) — redundant requests across premium/standard queues |
 //! | `trace-check` | [`trace_check`] | §3.1.1's trace cross-check: replay an SWF trace split across the clusters |
 //! | `faults` | [`faults`] | beyond the paper: unreliable middleware — lost/delayed cancellations and outages vs the perfect-middleware baseline |
+//! | `batch` | [`batch`] | beyond the paper: batched submit/cancel transactions — sustainable redundancy vs batch size, plus the batching metascheduler's behavior |
 //!
 //! Every runner is a pure function of its `Config` (seeds included), so
 //! results are bit-reproducible across machines.
@@ -43,6 +44,7 @@
 //! registry.
 
 pub mod ablation;
+pub mod batch;
 pub mod campaign;
 pub mod conclusion;
 pub mod dual_queue;

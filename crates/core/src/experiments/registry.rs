@@ -8,7 +8,7 @@
 
 use super::framework::Experiment;
 use super::{
-    ablation, conclusion, dual_queue, faults, fig1, fig3, fig4, fig5, forecast, moldable,
+    ablation, batch, conclusion, dual_queue, faults, fig1, fig3, fig4, fig5, forecast, moldable,
     queue_growth, table1, table2, table3, table4, trace_check,
 };
 
@@ -39,6 +39,7 @@ impl Registry {
                 Box::new(dual_queue::DualQueue),
                 Box::new(trace_check::TraceCheck),
                 Box::new(faults::Faults),
+                Box::new(batch::Batch),
             ],
         }
     }
@@ -94,7 +95,7 @@ mod tests {
                 assert!(seen.insert(alias), "duplicate alias {alias:?}");
             }
         }
-        assert_eq!(registry.len(), 16);
+        assert_eq!(registry.len(), 17);
     }
 
     #[test]

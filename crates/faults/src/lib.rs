@@ -104,6 +104,57 @@ impl Delay {
     }
 }
 
+/// Batching of cancellation messages into shared middleware
+/// transactions: instead of dispatching each cancel as its own WS-GRAM
+/// round-trip, the metascheduler holds pending cancels and flushes them
+/// `size` at a time — or after `deadline`, whichever comes first — as
+/// one transaction. Amortizes the per-transaction middleware cost (see
+/// `rbr-middleware`'s batch model) at the price of cancellation latency,
+/// which the fault path turns into extra zombie compute.
+///
+/// `size = 1` is the paper's per-op protocol and is treated as fully
+/// disabled: the simulator takes its original code path.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BatchSpec {
+    /// Operations per transaction; 1 disables batching.
+    pub size: u32,
+    /// Maximum time the oldest pending operation waits before the batch
+    /// is flushed anyway. Must be positive when `size > 1`.
+    pub deadline: Duration,
+}
+
+impl Default for BatchSpec {
+    fn default() -> Self {
+        BatchSpec {
+            size: 1,
+            deadline: Duration::ZERO,
+        }
+    }
+}
+
+impl BatchSpec {
+    /// A batch of `size` ops flushed at latest `deadline` after the
+    /// oldest pending op.
+    pub fn of(size: u32, deadline: Duration) -> Self {
+        BatchSpec { size, deadline }
+    }
+
+    /// True for the per-op protocol (batching has no effect).
+    pub fn is_disabled(&self) -> bool {
+        self.size <= 1
+    }
+
+    fn validate(&self) {
+        assert!(self.size >= 1, "batch size must be at least 1");
+        if self.size > 1 {
+            assert!(
+                !self.deadline.is_zero(),
+                "batched cancels need a positive flush deadline"
+            );
+        }
+    }
+}
+
 /// One scheduled cluster outage: at `down` the cluster's scheduler loses
 /// all state (queued requests evaporate, running copies are killed) and
 /// message delivery to the cluster is suspended until `recover`.
@@ -138,6 +189,8 @@ pub struct FaultSpec {
     pub retry_backoff: Duration,
     /// Scheduled cluster outages. Must be disjoint per cluster.
     pub outages: Vec<Outage>,
+    /// Batching of cancellation messages into shared transactions.
+    pub cancel_batch: BatchSpec,
 }
 
 impl Default for FaultSpec {
@@ -150,6 +203,7 @@ impl Default for FaultSpec {
             max_retries: 3,
             retry_backoff: Duration::from_secs(5.0),
             outages: Vec::new(),
+            cancel_batch: BatchSpec::default(),
         }
     }
 }
@@ -164,6 +218,7 @@ impl FaultSpec {
             && self.submit_delay.is_zero()
             && self.cancel_delay.is_zero()
             && self.outages.is_empty()
+            && self.cancel_batch.is_disabled()
     }
 
     /// Validates the spec against a platform of `n_clusters` clusters.
@@ -181,6 +236,7 @@ impl FaultSpec {
         }
         self.submit_delay.validate("submit");
         self.cancel_delay.validate("cancel");
+        self.cancel_batch.validate();
         if self.submit_loss > 0.0 {
             assert!(
                 !self.retry_backoff.is_zero(),
@@ -360,6 +416,10 @@ mod tests {
                 }],
                 ..FaultSpec::default()
             },
+            FaultSpec {
+                cancel_batch: BatchSpec::of(8, Duration::from_secs(30.0)),
+                ..FaultSpec::default()
+            },
         ] {
             assert!(!spec.is_disabled(), "{spec:?}");
         }
@@ -516,6 +576,26 @@ mod tests {
                     recover: SimTime::from_secs(150.0),
                 },
             ],
+            ..FaultSpec::default()
+        }
+        .validate(2);
+    }
+
+    #[test]
+    fn unit_batch_is_disabled_even_with_deadline() {
+        let spec = FaultSpec {
+            cancel_batch: BatchSpec::of(1, Duration::from_secs(60.0)),
+            ..FaultSpec::default()
+        };
+        assert!(spec.is_disabled());
+        spec.validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive flush deadline")]
+    fn batching_requires_a_deadline() {
+        FaultSpec {
+            cancel_batch: BatchSpec::of(4, Duration::ZERO),
             ..FaultSpec::default()
         }
         .validate(2);

@@ -145,8 +145,18 @@ pub trait SubmissionProtocol {
     /// Number of jobs in the run.
     fn n_jobs(&self) -> usize;
 
-    /// Arrival instant of job `job`.
+    /// Arrival instant of job `job` — the instant the driver schedules
+    /// its submission.
     fn arrival(&self, job: usize) -> SimTime;
+
+    /// Arrival instant recorded in the job's [`JobRecord`]. Defaults to
+    /// [`SubmissionProtocol::arrival`]; batched-submit protocols override
+    /// it to keep the job's *true* arrival in the record while
+    /// `arrival()` returns the transaction flush instant, so batch-fill
+    /// latency shows up in wait and stretch.
+    fn record_arrival(&self, job: usize) -> SimTime {
+        self.arrival(job)
+    }
 
     /// The job's home target, recorded in its [`JobRecord`].
     fn home(&self, job: usize) -> usize;
@@ -202,6 +212,12 @@ enum Event {
         cluster: usize,
         /// Instant the target accepts traffic again.
         recover: SimTime,
+    },
+    /// Batched cancels: the open transaction's flush deadline expires.
+    /// Stale if the batch already flushed on size (`serial` mismatch).
+    CancelFlush {
+        /// Serial of the batch this deadline belongs to.
+        serial: u64,
     },
 }
 
@@ -298,6 +314,12 @@ pub struct SimDriver<P: SubmissionProtocol> {
     /// Tombstones for killed requests whose `Complete` event is still in
     /// the engine (it has no cancellation API).
     dead: Vec<bool>,
+    /// Pending batched cancels `(job, copy)` awaiting the open
+    /// transaction's flush (empty when cancel batching is disabled).
+    cancel_buf: Vec<(u32, u32)>,
+    /// Serial of the open cancel batch; bumped on every flush so stale
+    /// deadline events are recognized and ignored.
+    cancel_serial: u64,
     /// Run-level observer (the invariant auditor); `None` in normal runs.
     observer: Option<Rc<RefCell<dyn RunObserver>>>,
 }
@@ -306,7 +328,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
     /// Builds the driver: schedules every job's arrival, then (with
     /// faulty middleware) the configured outages.
     ///
-    /// `rng` is handed to [`SubmissionProtocol::place`] untouched, so the
+    /// `rng` is handed to [`SubmissionProtocol::place_into`] untouched, so the
     /// protocol fully owns its draw sequence. `collect_predictions`
     /// records each request's scheduler wait forecast (the set must
     /// support prediction).
@@ -355,6 +377,8 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             faults,
             outage_until: vec![SimTime::ZERO; n_targets],
             dead: Vec::new(),
+            cancel_buf: Vec::new(),
+            cancel_serial: 0,
             observer: None,
             protocol,
         };
@@ -387,6 +411,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                     Event::DeliverSubmit { .. } => "deliver-submit",
                     Event::DeliverCancel { .. } => "deliver-cancel",
                     Event::OutageDown { .. } => "outage-down",
+                    Event::CancelFlush { .. } => "cancel-flush",
                 };
                 obs.borrow_mut().on_event(now, kind);
             }
@@ -398,6 +423,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                 Event::OutageDown { cluster, recover } => {
                     self.handle_outage_down(now, cluster, recover)
                 }
+                Event::CancelFlush { serial } => self.handle_cancel_flush(now, serial),
             }
         }
         self.result.events = self.engine.processed();
@@ -449,7 +475,10 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             self.scheds.as_ref(),
             &mut self.plan_buf,
         );
-        debug_assert!(!self.plan_buf.is_empty(), "a job must submit at least one copy");
+        debug_assert!(
+            !self.plan_buf.is_empty(),
+            "a job must submit at least one copy"
+        );
         self.states[j].redundant = self.plan_buf.len() > 1;
         self.states[j].plan_first = self.plan_arena.len() as u32;
         self.states[j].plan_len = self.plan_buf.len() as u32;
@@ -519,7 +548,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             home: self.protocol.home(j),
             ran_on: plan.target,
             nodes: plan.nodes,
-            arrival: self.protocol.arrival(j),
+            arrival: self.protocol.record_arrival(j),
             start,
             completion: now,
             runtime: plan.runtime,
@@ -727,7 +756,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                 home: self.protocol.home(j),
                 ran_on: plan.target,
                 nodes: plan.nodes,
-                arrival: self.protocol.arrival(j),
+                arrival: self.protocol.record_arrival(j),
                 start,
                 completion: now,
                 runtime: plan.runtime,
@@ -797,9 +826,17 @@ impl<P: SubmissionProtocol> SimDriver<P> {
     }
 
     /// Faulty middleware's cancellation callback: fired once, when the
-    /// first copy of job `j` starts. Each live sibling gets its own
-    /// cancel message through the fault model.
+    /// first copy of job `j` starts. Per-op middleware sends each live
+    /// sibling its own cancel message; with cancel batching enabled
+    /// ([`rbr_faults::BatchSpec`]) the ops join the open transaction
+    /// instead and travel together when it flushes.
     fn send_cancels(&mut self, now: SimTime, j: usize, winner_copy: usize) {
+        let batch = self
+            .faults
+            .as_ref()
+            .expect("faulty path has a fault model")
+            .spec()
+            .cancel_batch;
         for copy in 0..self.states[j].plan_len as usize {
             if copy == winner_copy {
                 continue;
@@ -807,6 +844,10 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             match self.copy_state(j, copy).phase {
                 CopyPhase::InFlight | CopyPhase::Queued | CopyPhase::Running { .. } => {}
                 CopyPhase::Doomed | CopyPhase::Dead => continue,
+            }
+            if !batch.is_disabled() {
+                self.enqueue_cancel(now, j, copy, batch);
+                continue;
             }
             let plan = self
                 .faults
@@ -821,6 +862,71 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                 None => self.result.lost_cancels += 1,
             }
         }
+    }
+
+    /// Adds one cancel op to the open batched transaction, opening it
+    /// (and arming its flush deadline) if empty, and flushing immediately
+    /// once it reaches the configured size.
+    fn enqueue_cancel(
+        &mut self,
+        now: SimTime,
+        j: usize,
+        copy: usize,
+        batch: rbr_faults::BatchSpec,
+    ) {
+        if self.cancel_buf.is_empty() {
+            self.engine.schedule(
+                now + batch.deadline,
+                Event::CancelFlush {
+                    serial: self.cancel_serial,
+                },
+            );
+        }
+        self.cancel_buf.push((j as u32, copy as u32));
+        if self.cancel_buf.len() >= batch.size as usize {
+            self.flush_cancels(now);
+        }
+    }
+
+    /// The open transaction's deadline expired. Stale once the batch
+    /// already flushed on size (the serial moved on).
+    fn handle_cancel_flush(&mut self, now: SimTime, serial: u64) {
+        if serial == self.cancel_serial {
+            self.flush_cancels(now);
+        }
+    }
+
+    /// Dispatches the open cancel transaction as ONE middleware message:
+    /// one loss coin, one delay sample, shared by every op it carries
+    /// (that is the point of batching — and its failure mode: a lost
+    /// transaction orphans the whole batch).
+    fn flush_cancels(&mut self, now: SimTime) {
+        self.cancel_serial += 1;
+        if self.cancel_buf.is_empty() {
+            return;
+        }
+        self.result.cancel_batches += 1;
+        let plan = self
+            .faults
+            .as_mut()
+            .expect("faulty path has a fault model")
+            .plan_cancel(now);
+        match plan.delivery {
+            Some(at) => {
+                for i in 0..self.cancel_buf.len() {
+                    let (job, copy) = self.cancel_buf[i];
+                    self.engine.schedule(
+                        at,
+                        Event::DeliverCancel {
+                            job: job as usize,
+                            copy: copy as usize,
+                        },
+                    );
+                }
+            }
+            None => self.result.lost_cancels += self.cancel_buf.len() as u64,
+        }
+        self.cancel_buf.clear();
     }
 
     /// Faulty variant of the start worklist: a start commits the job if

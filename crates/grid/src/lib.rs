@@ -25,6 +25,7 @@
 //! lost, and clusters suffer scheduled outages (see [`mod@sim`] and
 //! `rbr_faults` for the degraded protocol and determinism contract).
 
+pub mod batch;
 pub mod config;
 pub mod driver;
 pub mod dual_queue;
@@ -35,10 +36,11 @@ pub mod scheme;
 pub mod select;
 pub mod sim;
 
+pub use batch::BatchedGridSim;
 pub use config::{ClusterSpec, GridConfig};
 pub use driver::{CopyPlan, SimDriver, SubmissionProtocol};
 pub use observe::{clear_observer_factory, install_observer_factory, RunObserver};
-pub use rbr_faults::{Delay, FaultSpec, Outage};
+pub use rbr_faults::{BatchSpec, Delay, FaultSpec, Outage};
 pub use record::{JobClass, JobRecord, RunResult};
 pub use scheme::Scheme;
 pub use select::SelectionPolicy;

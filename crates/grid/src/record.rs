@@ -90,6 +90,10 @@ pub struct RunResult {
     /// Requests destroyed by cluster outages (queued evaporated plus
     /// running killed).
     pub outage_kills: u64,
+    /// Batched cancel transactions dispatched (0 unless
+    /// `FaultSpec::cancel_batch` enables batching; each transaction
+    /// carries one or more cancel ops).
+    pub cancel_batches: u64,
 }
 
 /// Which jobs to include in a metric.

@@ -54,7 +54,9 @@ use crate::select::{SelectionPolicy, SelectionScratch};
 
 /// The multi-cluster placement policy: home first, then scheme-many
 /// remotes drawn by the selection policy among big-enough clusters.
-struct MultiCluster {
+/// Crate-visible so [`crate::batch`] can wrap the same placement inside
+/// its batched-submit protocol.
+pub(crate) struct MultiCluster {
     jobs: Vec<(JobSpec, usize)>,
     cluster_nodes: Vec<u32>,
     scheme: Scheme,
@@ -66,6 +68,56 @@ struct MultiCluster {
     eligible: Vec<usize>,
     queue_lens: Vec<usize>,
     select_scratch: SelectionScratch,
+}
+
+impl MultiCluster {
+    /// Builds the placement policy over an explicit job table.
+    pub(crate) fn new(config: &GridConfig, jobs: Vec<(JobSpec, usize)>) -> Self {
+        MultiCluster {
+            jobs,
+            cluster_nodes: config.clusters.iter().map(|c| c.nodes).collect(),
+            scheme: config.scheme,
+            selection: config.selection,
+            redundant_fraction: config.redundant_fraction,
+            remote_inflation: config.remote_inflation,
+            targets: Vec::new(),
+            eligible: Vec::new(),
+            queue_lens: Vec::new(),
+            select_scratch: SelectionScratch::default(),
+        }
+    }
+}
+
+/// Generates every cluster's job stream from the seed hierarchy: stream
+/// `seed.child(i)` drives cluster `i`'s workload.
+pub(crate) fn generate_jobs(config: &GridConfig, seed: &SeedSequence) -> Vec<(JobSpec, usize)> {
+    let mut jobs: Vec<(JobSpec, usize)> = Vec::new();
+    for (i, cluster) in config.clusters.iter().enumerate() {
+        let model = LublinModel::new(cluster.workload);
+        let mut rng = seed.child(i as u64).rng();
+        for spec in model.generate(&mut rng, config.window, &config.estimates) {
+            jobs.push((spec, i));
+        }
+    }
+    jobs
+}
+
+/// Checks an explicit job table against the platform.
+///
+/// # Panics
+/// Panics if a home cluster index is out of range or a job requests more
+/// nodes than its home cluster has.
+pub(crate) fn validate_jobs(config: &GridConfig, jobs: &[(JobSpec, usize)]) {
+    let n = config.n_clusters();
+    for (spec, home) in jobs {
+        assert!(*home < n, "home cluster {home} out of range");
+        assert!(
+            spec.nodes <= config.clusters[*home].nodes,
+            "job requests {} nodes but home cluster {home} has {}",
+            spec.nodes,
+            config.clusters[*home].nodes
+        );
+    }
 }
 
 impl SubmissionProtocol for MultiCluster {
@@ -147,14 +199,7 @@ impl GridSim {
     /// paper.
     pub fn new(config: GridConfig, seed: SeedSequence) -> Self {
         config.validate();
-        let mut jobs: Vec<(JobSpec, usize)> = Vec::new();
-        for (i, cluster) in config.clusters.iter().enumerate() {
-            let model = LublinModel::new(cluster.workload);
-            let mut rng = seed.child(i as u64).rng();
-            for spec in model.generate(&mut rng, config.window, &config.estimates) {
-                jobs.push((spec, i));
-            }
-        }
+        let jobs = generate_jobs(&config, &seed);
         Self::with_jobs(config, jobs, seed)
     }
 
@@ -169,16 +214,8 @@ impl GridSim {
     /// more nodes than its home cluster has.
     pub fn with_jobs(config: GridConfig, jobs: Vec<(JobSpec, usize)>, seed: SeedSequence) -> Self {
         config.validate();
+        validate_jobs(&config, &jobs);
         let n = config.n_clusters();
-        for (spec, home) in &jobs {
-            assert!(*home < n, "home cluster {home} out of range");
-            assert!(
-                spec.nodes <= config.clusters[*home].nodes,
-                "job requests {} nodes but home cluster {home} has {}",
-                spec.nodes,
-                config.clusters[*home].nodes
-            );
-        }
         // The fault stream is child(n + 1): disjoint from the per-cluster
         // workload streams child(0..n) and the redundancy/selection
         // stream child(n), so enabling faults never perturbs either.
@@ -192,18 +229,7 @@ impl GridSim {
         };
         let cluster_nodes: Vec<u32> = config.clusters.iter().map(|c| c.nodes).collect();
         let scheds = ClusterSet::new(config.algorithm, config.cbf_cycle, &cluster_nodes);
-        let protocol = MultiCluster {
-            jobs,
-            cluster_nodes,
-            scheme: config.scheme,
-            selection: config.selection,
-            redundant_fraction: config.redundant_fraction,
-            remote_inflation: config.remote_inflation,
-            targets: Vec::new(),
-            eligible: Vec::new(),
-            queue_lens: Vec::new(),
-            select_scratch: SelectionScratch::default(),
-        };
+        let protocol = MultiCluster::new(&config, jobs);
         GridSim {
             driver: SimDriver::new(
                 protocol,

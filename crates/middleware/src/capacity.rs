@@ -107,7 +107,7 @@ impl SystemCapacity {
     /// cancellation per redundant request, so their operation rates are
     /// halved; the SOAP and network layers see each operation as one
     /// message.
-    fn submission_rates(&self) -> [(Bottleneck, f64); 4] {
+    pub(crate) fn submission_rates(&self) -> [(Bottleneck, f64); 4] {
         [
             // The scheduler curve is already a per-kind rate (it
             // processes that many submissions AND cancellations/s).

@@ -23,10 +23,14 @@
 //!   models for the grid-middleware stack;
 //! * [`capacity`] — the arithmetic of Section 4: sustainable redundancy
 //!   levels and the system bottleneck;
+//! * [`batch`] — batched transactions (N submit/cancel ops per WS-GRAM
+//!   round-trip): how much redundancy becomes sustainable when the
+//!   per-transaction cost is amortized, and at what batch-fill latency;
 //! * [`pipeline`] — the stack assembled as a tandem queueing network,
 //!   verifying the analytic crossovers (r < 3 with 2006 WS-GRAM) by
 //!   simulation.
 
+pub mod batch;
 pub mod capacity;
 pub mod gram;
 pub mod network;
@@ -34,6 +38,7 @@ pub mod pbs;
 pub mod pipeline;
 pub mod soap;
 
+pub use batch::BatchedTransaction;
 pub use capacity::{max_redundancy, steady_state_load, Bottleneck, SystemCapacity};
 pub use gram::GramModel;
 pub use network::NetworkModel;

@@ -1,0 +1,99 @@
+//! Property tests for the batched-transaction capacity math: the
+//! amortization model must be an exact identity at `batch = 1`, help
+//! monotonically as transactions grow, and never change what
+//! "bottleneck" means.
+
+use proptest::prelude::*;
+use rbr_middleware::{BatchedTransaction, SystemCapacity};
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    /// `batch = 1` is the per-op model, bit for bit: same system bound,
+    /// same per-component bounds, same bottleneck, at any interarrival
+    /// and any op fraction.
+    #[test]
+    fn unit_batch_is_exactly_the_unbatched_model(
+        iat in 0.1f64..120.0,
+        f in 0.01f64..1.0,
+    ) {
+        let sys = SystemCapacity::paper_2006();
+        let txn = BatchedTransaction::with_op_fraction(1, f);
+        prop_assert_eq!(txn.amortization(), 1.0);
+        prop_assert_eq!(txn.expected_fill_latency(1.0 / iat), 0.0);
+        prop_assert_eq!(sys.max_redundancy_batched(iat, txn), sys.max_redundancy(iat));
+        prop_assert_eq!(sys.bottleneck_batched(txn), sys.bottleneck());
+        let per = sys.max_redundancy_per_component(iat);
+        let per_batched = sys.max_redundancy_per_component_batched(iat, txn);
+        prop_assert_eq!(per, per_batched);
+    }
+
+    /// Sustainable redundancy never decreases when the batch grows, for
+    /// any op fraction: amortization is monotone in `B`, and the
+    /// unamortized components are unchanged, so the min can only move
+    /// up.
+    #[test]
+    fn redundancy_is_monotone_in_batch_size(
+        iat in 0.1f64..120.0,
+        b in 1u32..512,
+        extra in 1u32..512,
+        f in 0.01f64..1.0,
+    ) {
+        let sys = SystemCapacity::paper_2006();
+        let small = BatchedTransaction::with_op_fraction(b, f);
+        let large = BatchedTransaction::with_op_fraction(b + extra, f);
+        prop_assert!(large.amortization() >= small.amortization());
+        prop_assert!(
+            sys.max_redundancy_batched(iat, large) >= sys.max_redundancy_batched(iat, small),
+            "batch {} admits less than batch {}", b + extra, b
+        );
+    }
+
+    /// Amortization lives in `[1, 1/f]`: a transaction can never cost
+    /// less than its per-op work.
+    #[test]
+    fn amortization_is_bounded_by_the_op_fraction(b in 1u32..100_000, f in 0.01f64..1.0) {
+        let a = BatchedTransaction::with_op_fraction(b, f).amortization();
+        prop_assert!(a >= 1.0);
+        prop_assert!(a <= 1.0 / f + 1e-9, "amortization {a} exceeds 1/f = {}", 1.0 / f);
+    }
+
+    /// The batched bottleneck is still the componentwise minimum, and
+    /// the system bound equals it.
+    #[test]
+    fn batched_bottleneck_is_the_componentwise_minimum(
+        iat in 0.1f64..120.0,
+        b in 1u32..512,
+        f in 0.01f64..1.0,
+    ) {
+        let sys = SystemCapacity::paper_2006();
+        let txn = BatchedTransaction::with_op_fraction(b, f);
+        let per = sys.max_redundancy_per_component_batched(iat, txn);
+        let min = per.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
+        prop_assert!(close(sys.max_redundancy_batched(iat, txn), min));
+        let (bottleneck, _) = sys.bottleneck_batched(txn);
+        let (worst, _) = per
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("four components");
+        prop_assert_eq!(bottleneck, worst);
+    }
+
+    /// Batch-fill latency grows with the batch and shrinks with the op
+    /// rate — waiting for companions is the price of amortization.
+    #[test]
+    fn fill_latency_tracks_batch_and_rate(
+        b in 2u32..10_000,
+        ops in 0.01f64..100.0,
+    ) {
+        let txn = BatchedTransaction::of(b);
+        let lat = txn.expected_fill_latency(ops);
+        prop_assert!(lat > 0.0);
+        prop_assert!(close(lat, f64::from(b - 1) / (2.0 * ops)));
+        prop_assert!(BatchedTransaction::of(b + 1).expected_fill_latency(ops) > lat);
+        prop_assert!(txn.expected_fill_latency(ops * 2.0) < lat);
+    }
+}

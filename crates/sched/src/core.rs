@@ -284,7 +284,7 @@ mod tests {
             x ^= x >> 7;
             x ^= x << 17;
             let now = SimTime::from_micros(i * 7);
-            if live.len() > 3 && x % 3 == 0 {
+            if live.len() > 3 && x.is_multiple_of(3) {
                 let id = live.remove((x as usize / 3) % live.len());
                 c.remove(RequestId(id));
             } else {

@@ -50,7 +50,9 @@ impl Profile {
             steps.last().expect("non-empty").1,
         );
         debug_assert!(
-            steps.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            steps
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
             "release steps must be strictly increasing in time and \
              non-decreasing in level"
         );

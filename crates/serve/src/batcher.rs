@@ -1,0 +1,200 @@
+//! The batching layer: coalesces admitted submit and cancel operations
+//! into WS-GRAM-style transactions.
+//!
+//! Same flush discipline as the simulator's `BatchedSubmit` protocol
+//! (`rbr-grid`): a transaction flushes when it holds `size` operations,
+//! or when its oldest operation has waited `deadline`, whichever comes
+//! first. A submit admitted with redundancy `r` contributes `r`
+//! operations (one per target cluster) — the unit the capacity model's
+//! amortization is denominated in.
+
+use rbr_faults::BatchSpec;
+
+use crate::wire::Verdict;
+
+/// What kind of operation rides in a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// A job submission (weight = admitted redundancy).
+    Submit,
+    /// A cancellation of a job's redundant copies (weight 1).
+    Cancel,
+}
+
+/// One operation waiting for its transaction to flush.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingOp {
+    /// Index of the connection that issued the op.
+    pub conn: usize,
+    /// Client-chosen job id.
+    pub id: u64,
+    /// Submit or cancel.
+    pub kind: OpKind,
+    /// Admitted redundancy (submits) — the op's weight in the batch.
+    pub redundancy: u32,
+    /// Admission verdict, echoed in the ack.
+    pub verdict: Verdict,
+}
+
+impl PendingOp {
+    fn weight(&self) -> u32 {
+        match self.kind {
+            OpKind::Submit => self.redundancy.max(1),
+            OpKind::Cancel => 1,
+        }
+    }
+}
+
+/// A flushed transaction.
+#[derive(Clone, Debug)]
+pub struct Transaction {
+    /// 1-based transaction serial (0 is reserved for "no transaction").
+    pub txn: u64,
+    /// The operations that rode in it, in admission order.
+    pub ops: Vec<PendingOp>,
+}
+
+/// The transaction builder.
+#[derive(Debug)]
+pub struct Batcher {
+    spec: BatchSpec,
+    pending: Vec<PendingOp>,
+    pending_weight: u32,
+    oldest_secs: f64,
+    next_txn: u64,
+}
+
+impl Batcher {
+    /// Creates a batcher. `spec.size <= 1` degenerates to one
+    /// transaction per operation (the paper's per-op model).
+    pub fn new(spec: BatchSpec) -> Self {
+        Batcher {
+            spec,
+            pending: Vec::new(),
+            pending_weight: 0,
+            oldest_secs: 0.0,
+            next_txn: 1,
+        }
+    }
+
+    /// Operations currently waiting to flush.
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Enqueues an operation at `now`; returns the flushed transaction
+    /// if this op filled the batch.
+    pub fn push(&mut self, op: PendingOp, now_secs: f64) -> Option<Transaction> {
+        if self.pending.is_empty() {
+            self.oldest_secs = now_secs;
+        }
+        self.pending_weight += op.weight();
+        self.pending.push(op);
+        if self.pending_weight >= self.spec.size.max(1) {
+            return self.flush();
+        }
+        None
+    }
+
+    /// The instant the current batch must flush by, if one is open.
+    pub fn deadline_at(&self) -> Option<f64> {
+        if self.pending.is_empty() || self.spec.size <= 1 {
+            None
+        } else {
+            Some(self.oldest_secs + self.spec.deadline.as_secs())
+        }
+    }
+
+    /// Flushes the open batch if its deadline has passed at `now`.
+    pub fn poll_deadline(&mut self, now_secs: f64) -> Option<Transaction> {
+        match self.deadline_at() {
+            Some(at) if now_secs >= at => self.flush(),
+            _ => None,
+        }
+    }
+
+    /// Unconditionally flushes whatever is pending (drain path).
+    pub fn flush(&mut self) -> Option<Transaction> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        self.pending_weight = 0;
+        Some(Transaction {
+            txn,
+            ops: std::mem::take(&mut self.pending),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_simcore::Duration;
+
+    fn submit(id: u64, redundancy: u32) -> PendingOp {
+        PendingOp {
+            conn: 0,
+            id,
+            kind: OpKind::Submit,
+            redundancy,
+            verdict: if redundancy > 1 {
+                Verdict::Redundant
+            } else {
+                Verdict::Single
+            },
+        }
+    }
+
+    #[test]
+    fn unit_batch_flushes_every_op_immediately() {
+        let mut b = Batcher::new(BatchSpec::default());
+        let t1 = b.push(submit(1, 1), 0.0).expect("size-1 batch flushes");
+        let t2 = b.push(submit(2, 1), 1.0).expect("size-1 batch flushes");
+        assert_eq!((t1.txn, t2.txn), (1, 2));
+        assert_eq!(b.pending_ops(), 0);
+        assert_eq!(b.deadline_at(), None);
+    }
+
+    #[test]
+    fn size_trigger_counts_redundant_copies() {
+        // size 4; a redundancy-3 submit plus one more op fills it.
+        let mut b = Batcher::new(BatchSpec::of(4, Duration::from_secs(30.0)));
+        assert!(b.push(submit(1, 3), 0.0).is_none());
+        let t = b.push(submit(2, 1), 1.0).expect("weight 4 reached");
+        assert_eq!(t.ops.len(), 2);
+        assert_eq!(t.ops[0].id, 1);
+    }
+
+    #[test]
+    fn deadline_flushes_a_stalled_batch() {
+        let mut b = Batcher::new(BatchSpec::of(8, Duration::from_secs(30.0)));
+        assert!(b.push(submit(1, 1), 10.0).is_none());
+        assert_eq!(b.deadline_at(), Some(40.0));
+        assert!(b.poll_deadline(39.9).is_none());
+        let t = b.poll_deadline(40.0).expect("deadline reached");
+        assert_eq!(t.ops.len(), 1);
+        assert!(b.poll_deadline(100.0).is_none(), "nothing left to flush");
+    }
+
+    #[test]
+    fn drain_flush_takes_everything() {
+        let mut b = Batcher::new(BatchSpec::of(100, Duration::from_secs(30.0)));
+        b.push(submit(1, 2), 0.0);
+        b.push(
+            PendingOp {
+                conn: 1,
+                id: 1,
+                kind: OpKind::Cancel,
+                redundancy: 0,
+                verdict: Verdict::Redundant,
+            },
+            1.0,
+        );
+        let t = b.flush().expect("pending ops");
+        assert_eq!(t.ops.len(), 2);
+        assert_eq!(b.pending_ops(), 0);
+        assert!(b.flush().is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! The service clock: wall time for deployment, virtual time for
+//! byte-reproducible tests.
+//!
+//! In virtual mode the clock only moves when a message carries a later
+//! workload timestamp — the same discipline as `RBR_FIXED_WALL_TIME` in
+//! the report layer, extended to a live socket service. Every
+//! time-dependent decision (EWMA load, token refill, deadline flush)
+//! then becomes a pure function of the request stream, which is what
+//! lets CI byte-diff two admission logs.
+
+use std::time::Instant;
+
+/// Which clock the service runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Real elapsed time since service start.
+    Wall,
+    /// Time = the largest workload timestamp seen so far.
+    Virtual,
+}
+
+impl ClockMode {
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<ClockMode> {
+        match s {
+            "wall" => Some(ClockMode::Wall),
+            "virtual" => Some(ClockMode::Virtual),
+            _ => None,
+        }
+    }
+}
+
+/// A monotonic service clock in either mode.
+#[derive(Debug)]
+pub struct Clock {
+    mode: ClockMode,
+    start: Instant,
+    virtual_secs: f64,
+}
+
+impl Clock {
+    /// Creates a clock at t = 0.
+    pub fn new(mode: ClockMode) -> Self {
+        Clock {
+            mode,
+            start: Instant::now(),
+            virtual_secs: 0.0,
+        }
+    }
+
+    /// The clock's mode.
+    pub fn mode(&self) -> ClockMode {
+        self.mode
+    }
+
+    /// Current time in seconds since service start.
+    pub fn now_secs(&self) -> f64 {
+        match self.mode {
+            ClockMode::Wall => self.start.elapsed().as_secs_f64(),
+            ClockMode::Virtual => self.virtual_secs,
+        }
+    }
+
+    /// Advances a virtual clock to `t` (no-op if `t` is in the past, or
+    /// in wall mode — wall time advances itself).
+    pub fn advance_to(&mut self, t_secs: f64) {
+        if self.mode == ClockMode::Virtual && t_secs > self.virtual_secs {
+            self.virtual_secs = t_secs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_message_driven_and_monotone() {
+        let mut c = Clock::new(ClockMode::Virtual);
+        assert_eq!(c.now_secs(), 0.0);
+        c.advance_to(5.0);
+        assert_eq!(c.now_secs(), 5.0);
+        c.advance_to(3.0); // stale timestamp must not rewind
+        assert_eq!(c.now_secs(), 5.0);
+    }
+
+    #[test]
+    fn wall_clock_ignores_advance() {
+        let mut c = Clock::new(ClockMode::Wall);
+        c.advance_to(1e9);
+        assert!(c.now_secs() < 1e6, "advance_to must not touch wall time");
+    }
+
+    #[test]
+    fn modes_parse() {
+        assert_eq!(ClockMode::parse("wall"), Some(ClockMode::Wall));
+        assert_eq!(ClockMode::parse("virtual"), Some(ClockMode::Virtual));
+        assert_eq!(ClockMode::parse("cpu"), None);
+    }
+}

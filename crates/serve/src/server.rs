@@ -1,0 +1,497 @@
+//! The metascheduler service: a single-threaded, non-blocking TCP poll
+//! loop over the framing, batching, and admission layers.
+//!
+//! One thread is deliberate: requests are processed strictly in the
+//! order they complete framing, so a single-connection client (like
+//! `rbr loadgen`) observes admission decisions that are a pure function
+//! of its request stream — the determinism the service-smoke CI gate
+//! byte-diffs. Multiple connections are supported (each gets its own
+//! frame reader, write buffer, and backpressure), but cross-connection
+//! interleaving is then up to the kernel, as with any socket service.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration as StdDuration;
+
+use rbr_faults::BatchSpec;
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::batcher::{Batcher, OpKind, PendingOp, Transaction};
+use crate::clock::{Clock, ClockMode};
+use crate::wire::{encode_frame, FrameReader, Request, Response, Verdict};
+
+/// A connection stops being read while its write buffer holds more than
+/// this many bytes: the client must drain acks before sending more work.
+const BACKPRESSURE_BYTES: usize = 256 * 1024;
+
+/// Poll-loop sleep when nothing is readable.
+const IDLE_SLEEP: StdDuration = StdDuration::from_millis(1);
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Transaction size and flush deadline for the batching layer.
+    pub batch: BatchSpec,
+    /// Admission-controller tuning.
+    pub admission: AdmissionConfig,
+    /// Wall or virtual clock.
+    pub clock: ClockMode,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batch: BatchSpec::default(),
+            admission: AdmissionConfig::default(),
+            clock: ClockMode::Virtual,
+        }
+    }
+}
+
+/// Lifetime totals, returned after a graceful drain.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Submissions received.
+    pub submits: u64,
+    /// Cancels received.
+    pub cancels: u64,
+    /// Acks written (submit acks + cancel acks).
+    pub acks: u64,
+    /// Transactions dispatched.
+    pub transactions: u64,
+    /// Submissions shed by the rate limiter.
+    pub shed: u64,
+    /// One admission log line per submission, in decision order.
+    pub admission_log: Vec<String>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    wbuf: Vec<u8>,
+    open: bool,
+}
+
+impl Conn {
+    fn throttled(&self) -> bool {
+        self.wbuf.len() > BACKPRESSURE_BYTES
+    }
+
+    fn queue(&mut self, resp: &Response) {
+        self.wbuf.extend_from_slice(&encode_frame(&resp.to_json()));
+    }
+
+    /// Writes as much of the buffer as the socket will take.
+    fn pump(&mut self) {
+        while !self.wbuf.is_empty() && self.open {
+            match self.stream.write(&self.wbuf) {
+                Ok(0) => {
+                    self.open = false;
+                }
+                Ok(n) => {
+                    self.wbuf.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.open = false;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the service on an already-bound listener until a client sends
+/// `drain`. Returns the lifetime stats on a clean drain; an `Err` means
+/// acks were lost (a client vanished with receipts outstanding) or the
+/// listener failed — callers should exit non-zero.
+pub fn serve(listener: TcpListener, config: &ServerConfig) -> Result<ServerStats, String> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("listener: {e}"))?;
+    let mut clock = Clock::new(config.clock);
+    let mut batcher = Batcher::new(config.batch);
+    let mut admission = AdmissionController::new(config.admission.clone());
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut stats = ServerStats::default();
+    let mut acks_owed: u64 = 0;
+    let mut drain_requested_by: Option<usize> = None;
+    let mut rbuf = [0u8; 16 * 1024];
+
+    loop {
+        // Accept anything pending.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream
+                        .set_nonblocking(true)
+                        .map_err(|e| format!("accept: {e}"))?;
+                    conns.push(Conn {
+                        stream,
+                        reader: FrameReader::new(),
+                        wbuf: Vec::new(),
+                        open: true,
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+
+        // Read and process every connection that is not throttled.
+        let mut progressed = false;
+        for ci in 0..conns.len() {
+            if !conns[ci].open || conns[ci].throttled() {
+                continue;
+            }
+            match conns[ci].stream.read(&mut rbuf) {
+                Ok(0) => {
+                    conns[ci].open = false;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    conns[ci].reader.extend(&rbuf[..n]);
+                    loop {
+                        let frame = conns[ci]
+                            .reader
+                            .next_frame()
+                            .map_err(|e| format!("connection {ci}: {e}"))?;
+                        let Some(payload) = frame else { break };
+                        let req = Request::from_json(&payload)
+                            .map_err(|e| format!("connection {ci}: {e}"))?;
+                        handle_request(
+                            ci,
+                            req,
+                            &mut clock,
+                            &mut batcher,
+                            &mut admission,
+                            &mut conns,
+                            &mut stats,
+                            &mut acks_owed,
+                            &mut drain_requested_by,
+                        );
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conns[ci].open = false;
+                }
+            }
+        }
+
+        // Wall-clock deadline flushes (virtual-clock deadlines fire from
+        // arrival timestamps inside handle_request).
+        if clock.mode() == ClockMode::Wall {
+            if let Some(txn) = batcher.poll_deadline(clock.now_secs()) {
+                deliver(txn, &mut conns, &mut stats, &mut acks_owed);
+            }
+        }
+
+        for conn in &mut conns {
+            conn.pump();
+        }
+
+        if let Some(ci) = drain_requested_by {
+            // Everything is flushed by now (handle_request drains the
+            // batcher synchronously); finish writing, report, and stop.
+            let drained = Response::Drained {
+                submits: stats.submits,
+                acks: stats.acks,
+                transactions: stats.transactions,
+                shed: stats.shed,
+            };
+            if let Some(conn) = conns.get_mut(ci) {
+                conn.queue(&drained);
+            }
+            for conn in &mut conns {
+                while !conn.wbuf.is_empty() && conn.open {
+                    conn.pump();
+                    if !conn.wbuf.is_empty() {
+                        std::thread::sleep(IDLE_SLEEP);
+                    }
+                }
+            }
+            let lost: usize = conns.iter().map(|c| c.wbuf.len()).sum();
+            if acks_owed > 0 || lost > 0 {
+                return Err(format!(
+                    "drain leaked {acks_owed} unacked op(s) and {lost} unwritten byte(s)"
+                ));
+            }
+            return Ok(stats);
+        }
+
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_request(
+    ci: usize,
+    req: Request,
+    clock: &mut Clock,
+    batcher: &mut Batcher,
+    admission: &mut AdmissionController,
+    conns: &mut [Conn],
+    stats: &mut ServerStats,
+    acks_owed: &mut u64,
+    drain_requested_by: &mut Option<usize>,
+) {
+    match req {
+        Request::Submit {
+            id,
+            arrival_secs,
+            nodes,
+            runtime_secs,
+        } => {
+            // A later arrival first fires any deadline the open batch
+            // crossed — the same order the simulator's flush_instants
+            // pass uses.
+            clock.advance_to(arrival_secs);
+            if let Some(txn) = batcher.poll_deadline(clock.now_secs()) {
+                deliver(txn, conns, stats, acks_owed);
+            }
+            stats.submits += 1;
+            let decision = admission.decide(id, clock.now_secs(), nodes, runtime_secs);
+            stats.admission_log.push(decision.log_line());
+            if decision.verdict == Verdict::Shed {
+                stats.shed += 1;
+                stats.acks += 1;
+                conns[ci].queue(&Response::Ack {
+                    id,
+                    redundancy: 0,
+                    verdict: Verdict::Shed,
+                    txn: 0,
+                });
+                return;
+            }
+            *acks_owed += 1;
+            let flushed = batcher.push(
+                PendingOp {
+                    conn: ci,
+                    id,
+                    kind: OpKind::Submit,
+                    redundancy: decision.redundancy,
+                    verdict: decision.verdict,
+                },
+                clock.now_secs(),
+            );
+            if let Some(txn) = flushed {
+                deliver(txn, conns, stats, acks_owed);
+            }
+        }
+        Request::Cancel { id, arrival_secs } => {
+            clock.advance_to(arrival_secs);
+            if let Some(txn) = batcher.poll_deadline(clock.now_secs()) {
+                deliver(txn, conns, stats, acks_owed);
+            }
+            stats.cancels += 1;
+            *acks_owed += 1;
+            let flushed = batcher.push(
+                PendingOp {
+                    conn: ci,
+                    id,
+                    kind: OpKind::Cancel,
+                    redundancy: 0,
+                    verdict: Verdict::Redundant,
+                },
+                clock.now_secs(),
+            );
+            if let Some(txn) = flushed {
+                deliver(txn, conns, stats, acks_owed);
+            }
+        }
+        Request::Drain => {
+            if let Some(txn) = batcher.flush() {
+                deliver(txn, conns, stats, acks_owed);
+            }
+            *drain_requested_by = Some(ci);
+        }
+    }
+}
+
+/// Turns a flushed transaction into acks on the owning connections.
+fn deliver(txn: Transaction, conns: &mut [Conn], stats: &mut ServerStats, acks_owed: &mut u64) {
+    stats.transactions += 1;
+    for op in &txn.ops {
+        let resp = match op.kind {
+            OpKind::Submit => Response::Ack {
+                id: op.id,
+                redundancy: op.redundancy,
+                verdict: op.verdict,
+                txn: txn.txn,
+            },
+            OpKind::Cancel => Response::CancelAck {
+                id: op.id,
+                txn: txn.txn,
+            },
+        };
+        stats.acks += 1;
+        *acks_owed = acks_owed.saturating_sub(1);
+        if let Some(conn) = conns.get_mut(op.conn) {
+            if conn.open {
+                conn.queue(&resp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream as ClientStream;
+
+    fn start(
+        config: ServerConfig,
+    ) -> (
+        std::net::SocketAddr,
+        std::thread::JoinHandle<Result<ServerStats, String>>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || serve(listener, &config));
+        (addr, handle)
+    }
+
+    fn send(stream: &mut ClientStream, req: &Request) {
+        stream
+            .write_all(&encode_frame(&req.to_json()))
+            .expect("write");
+    }
+
+    fn read_response(stream: &mut ClientStream, reader: &mut FrameReader) -> Response {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(frame) = reader.next_frame().expect("frame") {
+                return Response::from_json(&frame).expect("response");
+            }
+            let n = stream.read(&mut buf).expect("read");
+            assert!(n > 0, "server hung up early");
+            reader.extend(&buf[..n]);
+        }
+    }
+
+    #[test]
+    fn submit_ack_drain_roundtrip() {
+        let (addr, handle) = start(ServerConfig::default());
+        let mut stream = ClientStream::connect(addr).expect("connect");
+        let mut reader = FrameReader::new();
+        send(
+            &mut stream,
+            &Request::Submit {
+                id: 1,
+                arrival_secs: 0.0,
+                nodes: 8,
+                runtime_secs: 60.0,
+            },
+        );
+        // Default batch size is 1: the ack arrives without a drain.
+        let ack = read_response(&mut stream, &mut reader);
+        match ack {
+            Response::Ack { id: 1, txn: 1, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        send(&mut stream, &Request::Drain);
+        match read_response(&mut stream, &mut reader) {
+            Response::Drained {
+                submits: 1, acks, ..
+            } => assert_eq!(acks, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = handle.join().expect("join").expect("clean drain");
+        assert_eq!(stats.admission_log.len(), 1);
+    }
+
+    #[test]
+    fn drain_flushes_a_partial_batch() {
+        let config = ServerConfig {
+            batch: BatchSpec::of(64, rbr_simcore::Duration::from_secs(1e6)),
+            ..ServerConfig::default()
+        };
+        let (addr, handle) = start(config);
+        let mut stream = ClientStream::connect(addr).expect("connect");
+        let mut reader = FrameReader::new();
+        for id in 0..5 {
+            send(
+                &mut stream,
+                &Request::Submit {
+                    id,
+                    arrival_secs: id as f64,
+                    nodes: 1,
+                    runtime_secs: 60.0,
+                },
+            );
+        }
+        send(&mut stream, &Request::Drain);
+        // All five acks must arrive (flushed by the drain), then the
+        // drain report.
+        let mut acks = 0;
+        loop {
+            match read_response(&mut stream, &mut reader) {
+                Response::Ack { txn, .. } => {
+                    assert_eq!(txn, 1, "one transaction for the whole batch");
+                    acks += 1;
+                }
+                Response::Drained {
+                    submits,
+                    acks: reported,
+                    transactions,
+                    ..
+                } => {
+                    assert_eq!((submits, reported, transactions), (5, 5, 1));
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(acks, 5);
+        handle.join().expect("join").expect("clean drain");
+    }
+
+    #[test]
+    fn virtual_deadline_flushes_from_a_later_arrival() {
+        let config = ServerConfig {
+            batch: BatchSpec::of(64, rbr_simcore::Duration::from_secs(30.0)),
+            ..ServerConfig::default()
+        };
+        let (addr, handle) = start(config);
+        let mut stream = ClientStream::connect(addr).expect("connect");
+        let mut reader = FrameReader::new();
+        send(
+            &mut stream,
+            &Request::Submit {
+                id: 1,
+                arrival_secs: 0.0,
+                nodes: 1,
+                runtime_secs: 60.0,
+            },
+        );
+        // An arrival 100 virtual seconds later crosses the 30 s
+        // deadline: job 1's ack must flush in txn 1 before job 2 is
+        // even admitted.
+        send(
+            &mut stream,
+            &Request::Submit {
+                id: 2,
+                arrival_secs: 100.0,
+                nodes: 1,
+                runtime_secs: 60.0,
+            },
+        );
+        match read_response(&mut stream, &mut reader) {
+            Response::Ack { id: 1, txn: 1, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        send(&mut stream, &Request::Drain);
+        loop {
+            if let Response::Drained { transactions, .. } = read_response(&mut stream, &mut reader)
+            {
+                assert_eq!(transactions, 2, "deadline flush plus drain flush");
+                break;
+            }
+        }
+        handle.join().expect("join").expect("clean drain");
+    }
+}

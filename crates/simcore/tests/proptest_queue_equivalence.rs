@@ -77,12 +77,10 @@ proptest! {
         let mut cal = EventQueue::with_kind(QueueKind::Calendar);
         let mut heap = EventQueue::with_kind(QueueKind::Heap);
         let mut now = 0u64;
-        let mut id = 0u64;
-        for &(gap, pops) in &gaps {
+        for (id, &(gap, pops)) in gaps.iter().enumerate() {
             let t = SimTime::from_micros(now.saturating_add(gap));
-            cal.push(t, id);
-            heap.push(t, id);
-            id += 1;
+            cal.push(t, id as u64);
+            heap.push(t, id as u64);
             for _ in 0..pops {
                 let a = cal.pop();
                 let b = heap.pop();

@@ -29,5 +29,5 @@ pub mod swf;
 pub use daily::{generate_daily, DailyCycle};
 pub use estimate::EstimateModel;
 pub use job::JobSpec;
-pub use lublin::{LublinConfig, LublinModel};
+pub use lublin::{JobStream, LublinConfig, LublinModel};
 pub use swf::{SwfJob, SwfTrace};

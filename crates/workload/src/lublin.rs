@@ -210,25 +210,39 @@ impl LublinModel {
         JobSpec::new(arrival, nodes, runtime, estimate)
     }
 
+    /// Streams the jobs arriving during `[0, window)` lazily, one at a
+    /// time, in exactly the draw order of [`LublinModel::generate`] —
+    /// the same seed produces the identical job sequence whether
+    /// collected or streamed. Loadgen and large campaigns use this to
+    /// replay arrival streams without materializing a full trace.
+    pub fn stream<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &'a mut R,
+        window: Duration,
+        estimate_model: &'a EstimateModel,
+    ) -> JobStream<'a, R> {
+        JobStream {
+            model: self,
+            rng,
+            estimate_model,
+            window,
+            t: SimTime::ZERO,
+            done: false,
+        }
+    }
+
     /// Generates the stream of jobs arriving during `[0, window)`.
     ///
     /// This is the paper's "6 hours of job submissions": arrivals stop at
     /// the window; the simulation later runs until all jobs complete.
+    /// A thin collect of [`LublinModel::stream`].
     pub fn generate<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         window: Duration,
         estimate_model: &EstimateModel,
     ) -> Vec<JobSpec> {
-        let mut jobs = Vec::new();
-        let mut t = SimTime::ZERO;
-        loop {
-            t += self.sample_interarrival(rng);
-            if t.since(SimTime::ZERO) >= window {
-                return jobs;
-            }
-            jobs.push(self.sample_job(rng, t, estimate_model));
-        }
+        self.stream(rng, window, estimate_model).collect()
     }
 
     /// Expected offered load ρ = E[nodes·runtime] / (max_nodes · mean
@@ -244,6 +258,36 @@ impl LublinModel {
             area += nodes as f64 * rt.as_secs();
         }
         area / n as f64 / (self.config.max_nodes as f64 * self.config.mean_interarrival())
+    }
+}
+
+/// Lazy iterator over a Lublin arrival stream: each `next()` draws one
+/// interarrival gap and, if the arrival still falls inside the window,
+/// one complete job. Ends (permanently) at the first arrival past the
+/// window, leaving the borrowed rng positioned exactly where
+/// [`LublinModel::generate`] would have left it.
+pub struct JobStream<'a, R: Rng + ?Sized> {
+    model: &'a LublinModel,
+    rng: &'a mut R,
+    estimate_model: &'a EstimateModel,
+    window: Duration,
+    t: SimTime,
+    done: bool,
+}
+
+impl<R: Rng + ?Sized> Iterator for JobStream<'_, R> {
+    type Item = JobSpec;
+
+    fn next(&mut self) -> Option<JobSpec> {
+        if self.done {
+            return None;
+        }
+        self.t += self.model.sample_interarrival(self.rng);
+        if self.t.since(SimTime::ZERO) >= self.window {
+            self.done = true;
+            return None;
+        }
+        Some(self.model.sample_job(self.rng, self.t, self.estimate_model))
     }
 }
 
@@ -396,6 +440,34 @@ mod tests {
         let mut rng = SeedSequence::new(48).rng();
         let j = m.sample_job(&mut rng, SimTime::ZERO, &EstimateModel::paper_real());
         assert!(j.estimate >= j.runtime);
+    }
+
+    #[test]
+    fn stream_is_draw_for_draw_equivalent_to_generate() {
+        let m = model();
+        let window = Duration::from_secs(3_600.0);
+        let est = EstimateModel::paper_real();
+        let collected = m.generate(&mut SeedSequence::new(50).rng(), window, &est);
+        let mut rng = SeedSequence::new(50).rng();
+        let streamed: Vec<JobSpec> = m.stream(&mut rng, window, &est).collect();
+        assert_eq!(collected, streamed);
+        // The stream leaves the rng exactly where generate would: the
+        // next draws from both rngs coincide.
+        let mut after_generate = SeedSequence::new(50).rng();
+        let _ = m.generate(&mut after_generate, window, &est);
+        assert_eq!(
+            m.sample_interarrival(&mut rng),
+            m.sample_interarrival(&mut after_generate)
+        );
+    }
+
+    #[test]
+    fn stream_is_fused_at_the_window() {
+        let m = model();
+        let mut rng = SeedSequence::new(51).rng();
+        let mut s = m.stream(&mut rng, Duration::from_secs(60.0), &EstimateModel::Exact);
+        while s.next().is_some() {}
+        assert!(s.next().is_none(), "ended stream must stay ended");
     }
 
     #[test]
