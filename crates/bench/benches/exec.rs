@@ -1,7 +1,9 @@
 //! The campaign engine's perf trajectory: times a registry campaign
-//! serially and on a multi-lane pool, writes the comparison to
-//! `BENCH_exec.json` at the repository root (so later changes can track
-//! the speedup), and lets criterion time the pool's map kernels.
+//! serially and on a multi-lane pool, times a *wide* synthetic campaign
+//! (10⁴–10⁵ cells) streaming vs materializing with peak-RSS deltas,
+//! writes the comparison to `BENCH_exec.json` at the repository root
+//! (so later changes can track the speedup), and lets criterion time
+//! the pool's map kernels.
 
 use std::time::Instant;
 
@@ -10,7 +12,7 @@ use rbr::experiments::campaign::{run, Plan, RunOptions};
 use rbr::experiments::Registry;
 use rbr::report::Format;
 use rbr_bench::{bench_scale, print_artifact};
-use rbr_exec::{with_pool, Pool};
+use rbr_exec::{with_pool, CampaignOptions, CellOutcome, CellSpec, Pool};
 
 /// Runs the campaign once on `pool`, returning (wall seconds, cells).
 fn time_campaign(pool: &Pool, plan: &Plan<'_>) -> (f64, usize) {
@@ -21,14 +23,162 @@ fn time_campaign(pool: &Pool, plan: &Plan<'_>) -> (f64, usize) {
     (started.elapsed().as_secs_f64(), result.outcomes.len())
 }
 
+/// Peak resident set (VmHWM, kB) of this process, from
+/// `/proc/self/status`. `None` off Linux. Monotone over the process
+/// lifetime, so the wide-campaign phases below run lightest-first and
+/// the materializing phase — the only one whose footprint grows with
+/// cell count — runs last.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// A wide cell's payload: ~500 deterministic bytes, a pure function of
+/// the cell index (an LCG stream), so journal replays and cache hits
+/// can be checksum-verified against fresh execution.
+fn wide_payload(i: usize) -> String {
+    let mut body = format!("{{\"cell\":{i},\"stream\":[");
+    let mut x = (i as u64).wrapping_mul(2).wrapping_add(1);
+    for k in 0..24 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if k > 0 {
+            body.push(',');
+        }
+        body.push_str(&x.to_string());
+    }
+    body.push_str("]}");
+    body
+}
+
+/// FNV-1a over a payload, folded into `hash` — the streaming sink's
+/// whole accumulator state, demonstrating fold-as-you-go.
+fn fold_payload(hash: &mut u64, payload: &str) {
+    for &b in payload.as_bytes() {
+        *hash = (*hash ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Times a wide synthetic campaign (10⁴ cells; 10⁵ under
+/// `RBR_BENCH_QUICK=1`, the scale the ROADMAP's million-cell target is
+/// anchored against) through the full journal + cache machinery, three
+/// ways: streaming with a cold cache, streaming with a warm cache
+/// (every cell a verified hit), and materializing via [`run`]'s
+/// collecting sink. Records wall-clock per phase and the peak-RSS
+/// trajectory — the streaming phases leave VmHWM at the baseline while
+/// the materialized outcome vector shows up as a step — and returns the
+/// JSON fields for `BENCH_exec.json`.
+fn record_wide_campaign() -> String {
+    let quick = std::env::var("RBR_BENCH_QUICK").as_deref() == Ok("1");
+    let wide_cells: usize = if quick { 100_000 } else { 10_000 };
+    let root = std::env::temp_dir().join(format!("rbr-bench-wide-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cells: Vec<CellSpec> = (0..wide_cells)
+        .map(|i| CellSpec::new(format!("wide-{i:06}")))
+        .collect();
+    let manifest = format!("bench wide campaign v1 cells={wide_cells}");
+    let options = |journal: &str, cache: &str| CampaignOptions {
+        dir: Some(root.join(journal)),
+        resume: false,
+        cell_budget: None,
+        manifest: manifest.clone(),
+        cache: Some(root.join(cache)),
+        segment_records: None,
+    };
+    let pool = Pool::new(4);
+    let rss_baseline_kb = peak_rss_kb();
+
+    // Phase 1 — streaming, cold cache: executes every cell, folds each
+    // payload into a 64-bit checksum, holds no outcome vector.
+    let mut streamed_hash = 0xcbf2_9ce4_8422_2325u64;
+    let started = Instant::now();
+    let stats = with_pool(&pool, || {
+        rbr_exec::run_streaming(
+            &cells,
+            &options("journal-stream", "cache"),
+            |i, _| wide_payload(i),
+            |outcome: CellOutcome| {
+                fold_payload(&mut streamed_hash, &outcome.payload);
+                Ok(())
+            },
+            &|_| {},
+        )
+    })
+    .expect("wide streaming campaign");
+    let streaming_secs = started.elapsed().as_secs_f64();
+    assert!(stats.complete && stats.cache_hits == 0);
+    let rss_streaming_kb = peak_rss_kb();
+
+    // Phase 2 — streaming, warm cache: a fresh journal over the same
+    // manifest, so every cell is a verified cache hit.
+    let mut warm_hash = 0xcbf2_9ce4_8422_2325u64;
+    let started = Instant::now();
+    let warm = with_pool(&pool, || {
+        rbr_exec::run_streaming(
+            &cells,
+            &options("journal-warm", "cache"),
+            |i, _| wide_payload(i),
+            |outcome: CellOutcome| {
+                fold_payload(&mut warm_hash, &outcome.payload);
+                Ok(())
+            },
+            &|_| {},
+        )
+    })
+    .expect("wide warm-cache campaign");
+    let warm_cache_secs = started.elapsed().as_secs_f64();
+    assert!(warm.complete && warm.cache_hits == wide_cells);
+    assert_eq!(warm_hash, streamed_hash, "cache hits must replay bytes");
+
+    // Phase 3 — materializing (last: VmHWM is monotone, and only this
+    // phase's footprint grows with cell count). Cold cache directory so
+    // its wall-clock is apples-to-apples with phase 1.
+    let started = Instant::now();
+    let result = with_pool(&pool, || {
+        rbr_exec::campaign::run(
+            &cells,
+            &options("journal-mat", "cache-mat"),
+            |i, _| wide_payload(i),
+            &|_| {},
+        )
+    })
+    .expect("wide materializing campaign");
+    let materialize_secs = started.elapsed().as_secs_f64();
+    assert!(result.complete);
+    let mut materialized_hash = 0xcbf2_9ce4_8422_2325u64;
+    for outcome in &result.outcomes {
+        fold_payload(&mut materialized_hash, &outcome.payload);
+    }
+    assert_eq!(materialized_hash, streamed_hash, "same cells, same bytes");
+    let rss_materialize_kb = peak_rss_kb();
+    drop(result);
+    let _ = std::fs::remove_dir_all(&root);
+
+    let kb = |v: Option<u64>| v.map_or("null".to_string(), |kb| kb.to_string());
+    format!(
+        "\"wide_cells\":{wide_cells},\
+         \"wide_streaming_secs\":{streaming_secs:.3},\
+         \"wide_warm_cache_secs\":{warm_cache_secs:.3},\
+         \"wide_materialize_secs\":{materialize_secs:.3},\
+         \"wide_rss_baseline_kb\":{},\
+         \"wide_rss_streaming_kb\":{},\
+         \"wide_rss_materialize_kb\":{}",
+        kb(rss_baseline_kb),
+        kb(rss_streaming_kb),
+        kb(rss_materialize_kb),
+    )
+}
+
 /// Serial wall-clock of the smoke-scale `run all` campaign measured at
 /// the PR-5 kernel (the allocation-heavy pre-refactor baseline every
 /// later number is tracked against).
 const PR5_BASELINE_SERIAL_SECS: f64 = 1.297;
 
 /// Times the full-registry campaign serial and at 2/4 lanes, and records
-/// the trajectory in `BENCH_exec.json`.
-fn record_speedup() {
+/// the trajectory (plus the wide-campaign fields) in `BENCH_exec.json`.
+fn record_speedup(wide: &str) {
     let registry = Registry::standard();
     let scale = bench_scale();
     let plan = Plan {
@@ -82,7 +232,7 @@ fn record_speedup() {
          \"speedup_vs_pr5_serial\":{:.3},\
          \"jobs2_secs\":{jobs2_secs:.3},\"jobs4_secs\":{jobs4_secs:.3},\
          \"parallel_speedup_jobs2\":{:.3},\"parallel_speedup_jobs4\":{:.3},\
-         \"quick_jobs4_secs\":{quick_jobs4_secs}}}\n",
+         \"quick_jobs4_secs\":{quick_jobs4_secs},{wide}}}\n",
         scale.name(),
         PR5_BASELINE_SERIAL_SECS / serial_secs.max(1e-9),
         serial_secs / jobs2_secs.max(1e-9),
@@ -94,7 +244,10 @@ fn record_speedup() {
 }
 
 fn bench(c: &mut Criterion) {
-    record_speedup();
+    // Wide campaign first: its RSS columns need a VmHWM untouched by
+    // the registry experiments' own allocations.
+    let wide = record_wide_campaign();
+    record_speedup(&wide);
 
     let mut group = c.benchmark_group("exec");
     group.sample_size(20);

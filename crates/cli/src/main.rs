@@ -13,6 +13,8 @@
 //!                                   files + a crash-safe journal there
 //!     --resume DIR                  resume an interrupted campaign, replaying
 //!                                   journalled cells and running the rest
+//!     --cache DIR                   shared cell cache: reuse identical cells
+//!                                   computed by any previous campaign
 //! rbr audit <name|all> [options]    run experiments under the invariant
 //!     --scale smoke|quick|paper     auditor and report any violations
 //!     --seed N                      (default scale: smoke)
@@ -69,7 +71,7 @@ fn main() -> ExitCode {
             let Some(name) = it.next() else {
                 eprintln!(
                     "usage: rbr run <name|all> [--scale S] [--seed N] [--reps N] [--format F] \
-                     [--jobs N] [--out DIR] [--resume DIR]"
+                     [--jobs N] [--out DIR] [--resume DIR] [--cache DIR]"
                 );
                 return ExitCode::FAILURE;
             };
@@ -137,7 +139,8 @@ fn main() -> ExitCode {
                  --format text|csv|json       output format (default: text)\n    \
                  --jobs N                     parallel lanes (default: available cores)\n    \
                  --out DIR                    campaign dir: <name>.<ext> files + journal\n    \
-                 --resume DIR                 resume an interrupted campaign from its journal\n  \
+                 --resume DIR                 resume an interrupted campaign from its journal\n    \
+                 --cache DIR                  shared cell cache across campaigns\n  \
                  audit <name|all> [options]     run experiments under the invariant auditor\n    \
                  --scale smoke|quick|paper    fidelity (default: smoke)\n    \
                  --seed N                     override the master seed\n  \
@@ -180,6 +183,13 @@ fn run_command(name: &str, args: &[String]) -> Result<(), String> {
         }
     }
     let (dir, resume) = campaign_dir(args)?;
+    let cache = match flag_value(args, "--cache") {
+        None => None,
+        Some(c) => {
+            std::fs::create_dir_all(c).map_err(|e| format!("cannot create {c}: {e}"))?;
+            Some(PathBuf::from(c))
+        }
+    };
     let registry = Registry::standard();
 
     let experiments: Vec<&dyn Experiment> = if name == "all" {
@@ -213,33 +223,61 @@ fn run_command(name: &str, args: &[String]) -> Result<(), String> {
         dir: dir.clone(),
         resume,
         cell_budget: None,
+        cache: cache.clone(),
     };
     let before = rbr_exec::pool::global().metrics();
-    let result = rbr::experiments::campaign::run(&plan, &options, &|p| {
-        if p.replayed {
-            progress_line(format!(
-                "[{}/{}] {} replayed from journal",
-                p.done, p.total, p.key
-            ));
-        } else {
-            progress_line(format!(
-                "[{}/{}] {} finished in {:.2}s ({:.2} cells/s, ETA {:.0}s)",
-                p.done, p.total, p.key, p.cell_secs, p.cells_per_sec, p.eta_secs
-            ));
-        }
-    })?;
-    let after = rbr_exec::pool::global().metrics();
-
-    for outcome in &result.outcomes {
-        match &dir {
-            None => print!("{}", outcome.payload),
+    // Stream the campaign: each cell's payload is written (or printed)
+    // the moment it is delivered in cell order, so `rbr run` never holds
+    // the full result set in memory.
+    let stats = rbr::experiments::campaign::run_streaming(
+        &plan,
+        &options,
+        |outcome: rbr_exec::CellOutcome| match &dir {
+            None => {
+                print!("{}", outcome.payload);
+                Ok(())
+            }
             Some(d) => {
                 let path = d.join(format!("{}.{}", outcome.key, format.extension()));
                 std::fs::write(&path, &outcome.payload)
                     .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
                 eprintln!("wrote {}", path.display());
+                Ok(())
             }
-        }
+        },
+        &|p| {
+            if p.replayed {
+                progress_line(format!(
+                    "[{}/{}] {} replayed from journal",
+                    p.done, p.total, p.key
+                ));
+            } else if p.cached {
+                progress_line(format!(
+                    "[{}/{}] {} served from cell cache",
+                    p.done, p.total, p.key
+                ));
+            } else {
+                progress_line(format!(
+                    "[{}/{}] {} finished in {:.2}s ({:.2} cells/s, ETA {:.0}s)",
+                    p.done, p.total, p.key, p.cell_secs, p.cells_per_sec, p.eta_secs
+                ));
+            }
+        },
+    )?;
+    let after = rbr_exec::pool::global().metrics();
+
+    if stats.replayed > 0 {
+        eprintln!(
+            "resume: {} cell(s) replayed ({} via footer index, {} by segment scan)",
+            stats.replayed, stats.replay_indexed, stats.replay_scanned
+        );
+    }
+    if cache.is_some() {
+        eprintln!(
+            "cell cache: {} hit(s), {} computed",
+            stats.cache_hits,
+            stats.executed - stats.cache_hits
+        );
     }
     if after.jobs > 1 {
         let busy = after
@@ -250,7 +288,7 @@ fn run_command(name: &str, args: &[String]) -> Result<(), String> {
             .join(" ");
         eprintln!(
             "pool: {} lanes, {} cell(s) executed, {} replayed; worker busy [{busy}]",
-            after.jobs, result.executed, result.replayed
+            after.jobs, stats.executed, stats.replayed
         );
     }
     Ok(())

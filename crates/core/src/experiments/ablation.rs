@@ -205,19 +205,18 @@ pub fn backfill_sweep(scale: Scale, n: usize, seed: u64, reps: Option<usize>) ->
     for scheme in schemes {
         let mut cfg = GridConfig::homogeneous(n, scheme);
         cfg.window = scale.window();
-        let per_rep: Vec<(f64, f64)> = rbr_exec::map_cells(reps.unwrap_or(scale.reps()), |rep| {
+        let [per_job, stretch] = super::summarize_cells(reps.unwrap_or(scale.reps()), |rep| {
             let run = GridSim::execute(cfg.clone(), seed.child(rep as u64));
             let per_job = run.backfills as f64 / run.records.len() as f64;
             let stretch = run.stretch(rbr_grid::record::JobClass::All).mean();
-            (per_job, stretch)
+            [per_job, stretch]
         });
-        let reps = per_rep.len() as f64;
         out.push(Row {
             label: format!("{scheme}"),
             // Reuse the generic row: "rel stretch" column carries the
             // backfills-per-job figure here, "rel CV" the absolute stretch.
-            rel_stretch: per_rep.iter().map(|x| x.0).sum::<f64>() / reps,
-            rel_cv: per_rep.iter().map(|x| x.1).sum::<f64>() / reps,
+            rel_stretch: per_job.mean(),
+            rel_cv: stretch.mean(),
             baseline_stretch: f64::NAN,
         });
     }

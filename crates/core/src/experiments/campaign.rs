@@ -9,7 +9,7 @@
 //! resume, while the merged output stays byte-identical to a serial,
 //! uninterrupted `rbr run all`.
 
-use rbr_exec::campaign::{CampaignOptions, CampaignResult, CellSpec, Progress};
+use rbr_exec::campaign::{CampaignOptions, CampaignResult, CampaignStats, CellSpec, Progress};
 
 use super::Experiment;
 use crate::report::Format;
@@ -69,36 +69,63 @@ pub struct RunOptions {
     pub resume: bool,
     /// Stop after this many freshly-executed cells (test hook).
     pub cell_budget: Option<usize>,
+    /// Shared cross-campaign cell-cache directory (`--cache DIR`).
+    pub cache: Option<std::path::PathBuf>,
 }
 
-/// Runs the plan on the current pool. Each outcome's `payload` is the
-/// experiment's report rendered in `plan.format`, newline-terminated —
-/// exactly the bytes `rbr run` would print or write for that experiment.
+fn engine_options(plan: &Plan<'_>, options: &RunOptions) -> CampaignOptions {
+    CampaignOptions {
+        dir: options.dir.clone(),
+        resume: options.resume,
+        cell_budget: options.cell_budget,
+        manifest: plan.manifest(),
+        cache: options.cache.clone(),
+        segment_records: None,
+    }
+}
+
+fn execute_cell(plan: &Plan<'_>, i: usize) -> String {
+    let exp = plan.experiments[i];
+    let seed = plan.seed.unwrap_or_else(|| exp.default_seed());
+    let report = exp.run_with(plan.scale, seed, plan.reps);
+    let mut rendered = report.render(plan.format);
+    if !rendered.ends_with('\n') {
+        rendered.push('\n');
+    }
+    rendered
+}
+
+/// Runs the plan on the current pool and materializes every outcome.
+/// Each outcome's `payload` is the experiment's report rendered in
+/// `plan.format`, newline-terminated — exactly the bytes `rbr run`
+/// would print or write for that experiment.
 pub fn run(
     plan: &Plan<'_>,
     options: &RunOptions,
     progress: &(dyn Fn(&Progress) + Sync),
 ) -> Result<CampaignResult, String> {
-    let cells = plan.cells();
-    let engine_options = CampaignOptions {
-        dir: options.dir.clone(),
-        resume: options.resume,
-        cell_budget: options.cell_budget,
-        manifest: plan.manifest(),
-    };
     rbr_exec::campaign::run(
-        &cells,
-        &engine_options,
-        |i, _| {
-            let exp = plan.experiments[i];
-            let seed = plan.seed.unwrap_or_else(|| exp.default_seed());
-            let report = exp.run_with(plan.scale, seed, plan.reps);
-            let mut rendered = report.render(plan.format);
-            if !rendered.ends_with('\n') {
-                rendered.push('\n');
-            }
-            rendered
-        },
+        &plan.cells(),
+        &engine_options(plan, options),
+        |i, _| execute_cell(plan, i),
+        progress,
+    )
+}
+
+/// Streams the plan's cells to `sink` in cell order as they land,
+/// without materializing the result set — the O(accumulators) path for
+/// wide campaigns. See [`rbr_exec::campaign::run_streaming`].
+pub fn run_streaming<S: rbr_exec::campaign::CellSink + Send>(
+    plan: &Plan<'_>,
+    options: &RunOptions,
+    sink: S,
+    progress: &(dyn Fn(&Progress) + Sync),
+) -> Result<CampaignStats, String> {
+    rbr_exec::campaign::run_streaming(
+        &plan.cells(),
+        &engine_options(plan, options),
+        |i, _| execute_cell(plan, i),
+        sink,
         progress,
     )
 }

@@ -72,76 +72,48 @@ pub struct Row {
 }
 
 /// Runs the sweep. Replications are campaign-engine cells (each a pure
-/// function of its index); the fold below consumes them in replication
-/// order, so the accumulated floats are bit-identical to the old serial
-/// loop for any job count.
+/// function of its index) folded into streaming per-column summaries in
+/// replication order, so the result is bit-identical for any job count
+/// and memory stays O(columns). A NaN column (no dual or no single jobs
+/// that rep) simply contributes no observation.
 pub fn run(config: &Config) -> Vec<Row> {
     config
         .fractions
         .iter()
         .map(|&fraction| {
-            let samples = rbr_exec::map_cells(config.reps, |rep| {
-                let mut cfg = config.base.clone();
-                cfg.dual_fraction = fraction;
-                let result =
-                    dual_queue::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
-                let m = RunMetrics::from_run(&result.run);
-                let dual = (!m.stretch_redundant.is_nan()).then(|| {
-                    (
+            let [utilization, waste, dual, wins, price, single] =
+                super::summarize_cells(config.reps, |rep| {
+                    let mut cfg = config.base.clone();
+                    cfg.dual_fraction = fraction;
+                    let result =
+                        dual_queue::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
+                    let m = RunMetrics::from_run(&result.run);
+                    let no_dual = m.stretch_redundant.is_nan();
+                    [
+                        m.utilization,
+                        m.waste_fraction,
                         m.stretch_redundant,
-                        result.premium_win_fraction(),
-                        result.dual_mean_price(),
-                    )
+                        if no_dual {
+                            f64::NAN
+                        } else {
+                            result.premium_win_fraction()
+                        },
+                        if no_dual {
+                            f64::NAN
+                        } else {
+                            result.dual_mean_price()
+                        },
+                        m.stretch_non_redundant,
+                    ]
                 });
-                let single = (!m.stretch_non_redundant.is_nan()).then_some(m.stretch_non_redundant);
-                (m.utilization, m.waste_fraction, dual, single)
-            });
-            let mut dual = 0.0;
-            let mut dual_n = 0usize;
-            let mut single = 0.0;
-            let mut single_n = 0usize;
-            let mut wins = 0.0;
-            let mut price = 0.0;
-            let mut utilization = 0.0;
-            let mut waste = 0.0;
-            for (util, waste_frac, dual_sample, single_sample) in samples {
-                utilization += util / config.reps as f64;
-                waste += waste_frac / config.reps as f64;
-                if let Some((stretch, win, p)) = dual_sample {
-                    dual += stretch;
-                    wins += win;
-                    price += p;
-                    dual_n += 1;
-                }
-                if let Some(stretch) = single_sample {
-                    single += stretch;
-                    single_n += 1;
-                }
-            }
             Row {
                 fraction,
-                dual_stretch: if dual_n > 0 {
-                    dual / dual_n as f64
-                } else {
-                    f64::NAN
-                },
-                single_stretch: if single_n > 0 {
-                    single / single_n as f64
-                } else {
-                    f64::NAN
-                },
-                premium_win_fraction: if dual_n > 0 {
-                    wins / dual_n as f64
-                } else {
-                    f64::NAN
-                },
-                dual_mean_price: if dual_n > 0 {
-                    price / dual_n as f64
-                } else {
-                    f64::NAN
-                },
-                utilization,
-                waste_fraction: waste,
+                dual_stretch: super::mean_or_nan(&dual),
+                single_stretch: super::mean_or_nan(&single),
+                premium_win_fraction: super::mean_or_nan(&wins),
+                dual_mean_price: super::mean_or_nan(&price),
+                utilization: utilization.mean(),
+                waste_fraction: waste.mean(),
             }
         })
         .collect()

@@ -70,6 +70,7 @@ pub use registry::Registry;
 use rbr_grid::record::JobClass;
 use rbr_grid::{GridConfig, GridSim, RunResult};
 use rbr_simcore::SeedSequence;
+use rbr_stats::Summary;
 
 /// The per-run metrics the figures and tables are built from. Reducing
 /// each run to this immediately keeps memory flat when replications run
@@ -167,16 +168,82 @@ where
     F: Fn(&RunResult) -> T + Sync,
     C: Fn(usize) -> GridConfig + Sync,
 {
+    let mut out = Vec::with_capacity(reps);
+    fold_reps_with(reps, seed, make_config, reduce, |_, value| out.push(value));
+    out
+}
+
+/// The streaming primitive under [`run_reps_with`]: each replication's
+/// reduced value is folded into `sink` in replication order as it lands,
+/// so callers that accumulate (rather than compare pairwise) never hold
+/// a per-rep vector. Bit-identical to the serial loop for any job count.
+pub(crate) fn fold_reps_with<T, F, C, S>(
+    reps: usize,
+    seed: SeedSequence,
+    make_config: C,
+    reduce: F,
+    sink: S,
+) where
+    T: Send,
+    F: Fn(&RunResult) -> T + Sync,
+    C: Fn(usize) -> GridConfig + Sync,
+    S: FnMut(usize, T) + Send,
+{
     // Cells may execute on pool worker threads; carry the submitting
     // experiment's sim tally across so provenance counts attribute to it
     // (and stay deterministic) regardless of which thread runs the rep.
     let tally = framework::current_tally();
-    rbr_exec::map_cells(reps, |rep| {
-        let _tally = framework::install_tally(tally.clone());
-        let run = GridSim::execute(make_config(rep), seed.child(rep as u64));
-        framework::record_sim(&run);
-        reduce(&run)
-    })
+    rbr_exec::fold_cells(
+        reps,
+        |rep| {
+            let _tally = framework::install_tally(tally.clone());
+            let run = GridSim::execute(make_config(rep), seed.child(rep as u64));
+            framework::record_sim(&run);
+            reduce(&run)
+        },
+        sink,
+    );
+}
+
+/// Folds `reps` campaign cells into per-column streaming summaries.
+///
+/// Each cell samples `K` metric columns; the fold merges them through
+/// [`Summary`] (Welford) in replication order, so memory is O(K)
+/// regardless of rep count and the result is bit-identical for any job
+/// count. A `NaN` sample means "no observation for this column in this
+/// rep" (e.g. no redundant jobs that replication) and is skipped, so
+/// conditional columns carry their own counts. The submitting
+/// experiment's sim tally travels with the cells.
+pub(crate) fn summarize_cells<const K: usize>(
+    reps: usize,
+    sample: impl Fn(usize) -> [f64; K] + Sync,
+) -> [Summary; K] {
+    let tally = framework::current_tally();
+    let mut out = [Summary::new(); K];
+    rbr_exec::fold_cells(
+        reps,
+        |rep| {
+            let _tally = framework::install_tally(tally.clone());
+            sample(rep)
+        },
+        |_, row: [f64; K]| {
+            for (summary, value) in out.iter_mut().zip(row) {
+                if !value.is_nan() {
+                    summary.push(value);
+                }
+            }
+        },
+    );
+    out
+}
+
+/// The summary's mean, or NaN when no rep contributed an observation.
+pub(crate) fn mean_or_nan(summary: &Summary) -> f64 {
+    if summary.is_empty() {
+        f64::NAN
+    } else {
+        summary.mean()
+    }
 }
 
 /// Mean of per-replication ratios `treatment[k] / baseline[k]`.

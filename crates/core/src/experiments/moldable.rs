@@ -72,41 +72,31 @@ pub fn run(config: &Config) -> Vec<Row> {
     policies
         .into_iter()
         .map(|(label, policy)| {
-            // Replications are campaign-engine cells; folding the samples
-            // in replication order keeps the float accumulation
-            // bit-identical to the old serial loop for any job count.
-            let samples = rbr_exec::map_cells(config.reps, |rep| {
-                let mut cfg = config.base.clone();
-                cfg.policy = policy;
-                let result = moldable::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
-                let m = RunMetrics::from_run(&result.run);
-                [
-                    result.turnaround().mean(),
-                    result.normalized_stretch().mean(),
-                    result.mean_nodes(),
-                    m.utilization,
-                    m.waste_fraction,
-                ]
-            });
-            let mut turnaround = 0.0;
-            let mut stretch = 0.0;
-            let mut nodes = 0.0;
-            let mut utilization = 0.0;
-            let mut waste = 0.0;
-            for [t, s, n, u, w] in samples {
-                turnaround += t / config.reps as f64;
-                stretch += s / config.reps as f64;
-                nodes += n / config.reps as f64;
-                utilization += u / config.reps as f64;
-                waste += w / config.reps as f64;
-            }
+            // Replications are campaign-engine cells folded into
+            // streaming summaries in replication order: bit-identical
+            // for any job count, O(columns) memory for any rep count.
+            let [turnaround, stretch, nodes, utilization, waste] =
+                super::summarize_cells(config.reps, |rep| {
+                    let mut cfg = config.base.clone();
+                    cfg.policy = policy;
+                    let result =
+                        moldable::run(&cfg, SeedSequence::new(config.seed).child(rep as u64));
+                    let m = RunMetrics::from_run(&result.run);
+                    [
+                        result.turnaround().mean(),
+                        result.normalized_stretch().mean(),
+                        result.mean_nodes(),
+                        m.utilization,
+                        m.waste_fraction,
+                    ]
+                });
             Row {
                 policy: label,
-                turnaround,
-                normalized_stretch: stretch,
-                mean_nodes: nodes,
-                utilization,
-                waste_fraction: waste,
+                turnaround: turnaround.mean(),
+                normalized_stretch: stretch.mean(),
+                mean_nodes: nodes.mean(),
+                utilization: utilization.mean(),
+                waste_fraction: waste.mean(),
             }
         })
         .collect()

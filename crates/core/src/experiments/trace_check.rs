@@ -107,12 +107,10 @@ pub fn run(config: &Config) -> Output {
     let streams = split(&jobs, config.n);
 
     // Each replication (a paired base/treatment replay) is one campaign
-    // cell; the tally travels with the cells so sim accounting attributes
-    // to this experiment on any worker thread, and the ordered fold below
-    // reproduces the serial float accumulation bit-for-bit.
-    let tally = super::framework::current_tally();
-    let samples = rbr_exec::map_cells(config.reps, |rep| {
-        let _tally = super::framework::install_tally(tally.clone());
+    // cell folded into streaming summaries in replication order (the
+    // helper carries the sim tally with the cells, so accounting
+    // attributes to this experiment on any worker thread).
+    let [rel_stretch, rel_cv] = super::summarize_cells(config.reps, |rep| {
         let seed = SeedSequence::new(config.seed).child(rep as u64);
         let base_cfg = GridConfig::homogeneous(config.n, Scheme::None);
         let mut treat_cfg = base_cfg.clone();
@@ -123,21 +121,15 @@ pub fn run(config: &Config) -> Output {
         let treat_run = GridSim::with_jobs(treat_cfg, streams.clone(), seed).run();
         record_sim(&treat_run);
         let treat = RunMetrics::from_run(&treat_run);
-        (
+        [
             treat.stretch_mean / base.stretch_mean,
             treat.stretch_cv / base.stretch_cv,
-        )
+        ]
     });
-    let mut rel_stretch = 0.0;
-    let mut rel_cv = 0.0;
-    for (stretch, cv) in samples {
-        rel_stretch += stretch / config.reps as f64;
-        rel_cv += cv / config.reps as f64;
-    }
     Output {
         jobs: streams.len(),
-        rel_stretch,
-        rel_cv,
+        rel_stretch: rel_stretch.mean(),
+        rel_cv: rel_cv.mean(),
     }
 }
 

@@ -41,6 +41,7 @@ fn interrupted_campaign_resumes_byte_identically() {
                 dir: Some(dir.clone()),
                 resume: false,
                 cell_budget: Some(3),
+                cache: None,
             },
             &|_| {},
         )
@@ -49,8 +50,9 @@ fn interrupted_campaign_resumes_byte_identically() {
     assert!(!interrupted.complete);
     assert_eq!(interrupted.executed, 3);
 
-    // The kill landed mid-append: chop bytes off the trailing record.
-    let journal = dir.join("journal.jsonl");
+    // The kill landed mid-append: chop bytes off the trailing record of
+    // the journal's active segment.
+    let journal = dir.join(rbr_exec::journal::segment_file(0));
     let bytes = std::fs::read(&journal).unwrap();
     std::fs::write(&journal, &bytes[..bytes.len() - 25]).unwrap();
 
@@ -64,6 +66,7 @@ fn interrupted_campaign_resumes_byte_identically() {
                 dir: Some(dir.clone()),
                 resume: true,
                 cell_budget: None,
+                cache: None,
             },
             &|p| events.lock().unwrap().push((p.cell, p.replayed)),
         )
@@ -95,6 +98,7 @@ fn interrupted_campaign_resumes_byte_identically() {
             dir: Some(dir.clone()),
             resume: true,
             cell_budget: None,
+            cache: None,
         },
         &|_| {},
     )

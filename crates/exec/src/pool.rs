@@ -18,10 +18,13 @@
 //!   waiting on that batch.
 //!
 //! Determinism: a cell's inputs come only from its index (experiments
-//! derive per-cell seeds hierarchically), and every cell writes its
-//! output into the slot of its index. [`Pool::map`] therefore returns
-//! results in submission order, bit-identical to the serial evaluation,
-//! for any worker count and any steal interleaving.
+//! derive per-cell seeds hierarchically), and every completed cell is
+//! routed through a bounded reorder window that releases results in
+//! index order ([`Pool::map_fold`], the primitive [`Pool::map`] is built
+//! on). Results therefore stream to the caller in submission order,
+//! bit-identical to the serial evaluation, for any worker count and any
+//! steal interleaving — and a fold over a campaign of N cells holds at
+//! most one reorder window of results, not N.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -191,52 +194,60 @@ impl Shared {
         }
     }
 
-    fn map_impl<T, R, F>(self: &Arc<Self>, items: Vec<T>, f: F) -> Vec<R>
+    /// The streaming fold under both [`Pool::map`] and the campaign
+    /// engine: evaluates `f` over every item on the pool and delivers
+    /// each result to `sink` in input order, as it lands, through a
+    /// bounded reorder window.
+    ///
+    /// The window is what keeps memory flat: at most `window` cells are
+    /// in flight or buffered at once (`FOLD_WINDOW_PER_LANE` per lane),
+    /// and a new cell is only submitted once the delivery head has
+    /// advanced close enough behind it. Delivery order is the input
+    /// order regardless of job count or steal interleaving, so a fold is
+    /// bit-identical to the serial loop. `sink` runs under the fold's
+    /// internal lock and must not submit pool work of its own.
+    fn map_fold_impl<T, R, F, S>(self: &Arc<Self>, items: Vec<T>, f: F, mut sink: S)
     where
         T: Send,
         R: Send,
         F: Fn(usize, T) -> R + Sync,
+        S: FnMut(usize, R) + Send,
     {
         let n = items.len();
         // Serial fast path: nothing to fan out, or nobody to fan out to.
         if n <= 1 || self.workers() == 0 {
-            return items
-                .into_iter()
-                .enumerate()
-                .map(|(i, x)| f(i, x))
-                .collect();
+            for (i, item) in items.into_iter().enumerate() {
+                sink(i, f(i, item));
+            }
+            return;
         }
 
-        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let window = ((self.workers() + 1) * FOLD_WINDOW_PER_LANE).min(n);
         let batch = Arc::new(Batch::new(n));
         let worker = worker_index_on(self);
+        let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+        let state = Mutex::new(FoldState {
+            ring: (0..window).map(|_| None).collect(),
+            head: 0,
+            submitted: window,
+            sink,
+        });
         {
-            let f = &f;
-            let slots = &slots;
-            let mut tasks = Vec::with_capacity(n);
-            for (i, item) in items.into_iter().enumerate() {
-                let run: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    let value = f(i, item);
-                    *slots[i].lock().unwrap() = Some(value);
-                });
-                // SAFETY: the closure borrows `f` and `slots` from this
-                // stack frame. `participate` below returns (or unwinds)
-                // only after every task of the batch has finished
-                // executing — completions are counted after the closure
-                // returns or panics — so no task can observe those
-                // borrows after this frame ends. Queued-but-never-run
-                // tasks cannot exist either: the pool only drops tasks
-                // by executing them, and the participating submitter can
-                // always claim its own batch's unstarted cells.
-                let run: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(run) };
-                tasks.push(Task {
-                    batch: Arc::clone(&batch),
-                    run,
-                });
-            }
+            let ctx = FoldCtx {
+                shared: self,
+                batch: &batch,
+                items: &items,
+                f: &f,
+                state: &state,
+                n,
+                window,
+            };
+            // Prime one window of cells; completions submit the rest as
+            // the delivery head advances (see `FoldCtx::complete`).
+            let primed: Vec<Task> = (0..window).map(|i| ctx.make_task(i)).collect();
             match worker {
                 Some(w) => {
-                    self.locals[w].lock().unwrap().extend(tasks);
+                    self.locals[w].lock().unwrap().extend(primed);
                     self.notify();
                     // A worker's own deque only ever contains work pushed
                     // by frames on its own stack, so claiming any of it
@@ -244,7 +255,7 @@ impl Shared {
                     self.participate(&batch, worker, || self.locals[w].lock().unwrap().pop_back());
                 }
                 None => {
-                    self.injector.lock().unwrap().extend(tasks);
+                    self.injector.lock().unwrap().extend(primed);
                     self.notify();
                     // External threads claim only their own batch's cells
                     // so they never get stuck executing an unrelated
@@ -257,14 +268,170 @@ impl Shared {
                 }
             }
         }
-        slots
-            .into_iter()
-            .map(|s| {
-                s.into_inner()
-                    .unwrap()
-                    .expect("every cell of a drained batch has written its slot")
-            })
-            .collect()
+    }
+
+    /// [`Pool::map`]'s body: a fold whose sink appends to a vector.
+    /// Delivery order is input order, so a plain push reconstructs the
+    /// serial result.
+    fn map_collect<T, R, F>(self: &Arc<Self>, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        self.map_fold_impl(items, f, |_, r| out.push(r));
+        out
+    }
+}
+
+/// In-flight + buffered cells per execution lane in a [`Pool::map_fold`]
+/// reorder window: enough slack that a lane never idles waiting on the
+/// delivery head, small enough that a stalled head (one slow cell at the
+/// front) bounds buffered results to a constant.
+const FOLD_WINDOW_PER_LANE: usize = 32;
+
+/// Reorder state of one fold: a ring of completed-but-undelivered
+/// results plus the submission cursor, all advanced under one lock by
+/// whichever thread completes a cell.
+struct FoldState<R, S> {
+    /// Slot `i % window` holds cell `i`'s completion between landing and
+    /// delivery: `None` = not finished (or not submitted), `Some(None)`
+    /// = panicked (a placeholder so the head can advance past it),
+    /// `Some(Some(r))` = ready to deliver.
+    ring: Vec<Option<Option<R>>>,
+    /// Next cell index to deliver to the sink.
+    head: usize,
+    /// Cells submitted to the queues so far. Invariant: `submitted <=
+    /// head + window`, which bounds in-flight work and the ring alike.
+    submitted: usize,
+    sink: S,
+}
+
+/// Everything a fold cell needs, borrowed from the [`map_fold_impl`]
+/// frame (lifetimes erased on the queue; see the SAFETY note in
+/// [`FoldCtx::make_task`]).
+struct FoldCtx<'a, T, R, F, S> {
+    shared: &'a Arc<Shared>,
+    batch: &'a Arc<Batch>,
+    items: &'a [Mutex<Option<T>>],
+    f: &'a F,
+    state: &'a Mutex<FoldState<R, S>>,
+    n: usize,
+    window: usize,
+}
+
+impl<T, R, F, S> Clone for FoldCtx<'_, T, R, F, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T, R, F, S> Copy for FoldCtx<'_, T, R, F, S> {}
+
+impl<T, R, F, S> FoldCtx<'_, T, R, F, S>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+    S: FnMut(usize, R) + Send,
+{
+    fn make_task(&self, i: usize) -> Task {
+        let ctx = *self;
+        let run: Box<dyn FnOnce() + Send + '_> = Box::new(move || ctx.run_cell(i));
+        // SAFETY: the closure borrows the fold's items, state, and `f`
+        // from the `map_fold_impl` stack frame. `participate` there
+        // returns (or unwinds) only after every task of the batch has
+        // finished executing — completions are counted after the closure
+        // returns or panics — so no task can observe those borrows after
+        // that frame ends. Queued-but-never-run tasks cannot exist
+        // either: the pool only drops tasks by executing them, every
+        // submitted cell is eventually executed (the completion guard
+        // below keeps submissions flowing even across panics), and the
+        // participating submitter can always claim its own batch's
+        // unstarted cells.
+        let run: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(run) };
+        Task {
+            batch: Arc::clone(self.batch),
+            run,
+        }
+    }
+
+    fn run_cell(self, i: usize) {
+        /// Records the cell's completion even when `f` panics: the
+        /// reorder head must advance past a panicked cell (via a `None`
+        /// placeholder) or submission would stall and the batch would
+        /// never drain. The panic itself still propagates to the batch
+        /// through the pool's `catch_unwind`.
+        struct Complete<'a, T, R, F, S>
+        where
+            T: Send,
+            R: Send,
+            F: Fn(usize, T) -> R + Sync,
+            S: FnMut(usize, R) + Send,
+        {
+            ctx: FoldCtx<'a, T, R, F, S>,
+            i: usize,
+            value: Option<R>,
+        }
+        impl<T, R, F, S> Drop for Complete<'_, T, R, F, S>
+        where
+            T: Send,
+            R: Send,
+            F: Fn(usize, T) -> R + Sync,
+            S: FnMut(usize, R) + Send,
+        {
+            fn drop(&mut self) {
+                self.ctx.complete(self.i, self.value.take());
+            }
+        }
+        let mut guard = Complete {
+            ctx: self,
+            i,
+            value: None,
+        };
+        let item = self.items[i]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("each fold cell claims its item exactly once");
+        guard.value = Some((self.f)(i, item));
+    }
+
+    /// Lands cell `i`'s result (or a panic placeholder), delivers every
+    /// now-contiguous result to the sink in index order, and submits new
+    /// cells up to the window past the advanced head.
+    fn complete(self, i: usize, value: Option<R>) {
+        let (spawn_from, spawn_to) = {
+            let mut st = self.state.lock().unwrap();
+            let slot = i % self.window;
+            debug_assert!(st.ring[slot].is_none(), "fold slot collided");
+            st.ring[slot] = Some(value);
+            while st.head < self.n {
+                let head_slot = st.head % self.window;
+                match st.ring[head_slot].take() {
+                    Some(entry) => {
+                        let head = st.head;
+                        if let Some(v) = entry {
+                            (st.sink)(head, v);
+                        }
+                        st.head = head + 1;
+                    }
+                    None => break,
+                }
+            }
+            let from = st.submitted;
+            let to = (st.head + self.window).min(self.n).max(from);
+            st.submitted = to;
+            (from, to)
+        };
+        if spawn_to > spawn_from {
+            let tasks: Vec<Task> = (spawn_from..spawn_to).map(|j| self.make_task(j)).collect();
+            match worker_index_on(self.shared) {
+                Some(w) => self.shared.locals[w].lock().unwrap().extend(tasks),
+                None => self.shared.injector.lock().unwrap().extend(tasks),
+            }
+            self.shared.notify();
+        }
     }
 }
 
@@ -343,14 +510,31 @@ impl Pool {
     }
 
     /// Maps `f` over `items` on the pool, returning results in input
-    /// order. Equivalent to the serial loop for any job count.
+    /// order. Equivalent to the serial loop for any job count. Built on
+    /// [`Pool::map_fold`]; use the fold directly when the result set is
+    /// too large to materialize.
     pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
-        self.shared.map_impl(items, f)
+        self.shared.map_collect(items, f)
+    }
+
+    /// Streams `f` over `items`: each result is delivered to `sink` in
+    /// input order, as it lands, through a bounded reorder window — so a
+    /// fold over N cells holds O(window) results, not O(N). Delivery is
+    /// bit-identical to the serial loop for any job count. `sink` runs
+    /// under the fold's internal lock and must not submit pool work.
+    pub fn map_fold<T, R, F, S>(&self, items: Vec<T>, f: F, sink: S)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+        S: FnMut(usize, R) + Send,
+    {
+        self.shared.map_fold_impl(items, f, sink)
     }
 
     /// A snapshot of the pool's per-worker counters.
@@ -480,7 +664,19 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    current_shared().map_impl(items, f)
+    current_shared().map_collect(items, f)
+}
+
+/// Streams `f` over `items` on the current pool, delivering each result
+/// to `sink` in input order as it lands (see [`Pool::map_fold`]).
+pub fn map_fold<T, R, F, S>(items: Vec<T>, f: F, sink: S)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+    S: FnMut(usize, R) + Send,
+{
+    current_shared().map_fold_impl(items, f, sink)
 }
 
 /// Maps `f` over the cell indices `0..n` on the current pool — the shape
@@ -491,6 +687,19 @@ where
     F: Fn(usize) -> R + Sync,
 {
     map((0..n).collect(), |_, i| f(i))
+}
+
+/// Streams `f` over the cell indices `0..n` on the current pool,
+/// folding each result into `sink` in index order as it lands — the
+/// memory-flat sibling of [`map_cells`] for folds that never need the
+/// full result vector.
+pub fn fold_cells<R, F, S>(n: usize, f: F, sink: S)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    S: FnMut(usize, R) + Send,
+{
+    map_fold((0..n).collect(), |_, i| f(i), sink)
 }
 
 #[cfg(test)]
@@ -620,6 +829,105 @@ mod tests {
         assert_eq!(after.busy_secs.len(), 3);
         let busy = after.since(&before);
         assert!(busy.iter().all(|b| (0.0..=1.0).contains(b)));
+    }
+
+    #[test]
+    fn map_fold_delivers_in_index_order_for_every_job_count() {
+        let expect: Vec<u64> = (0..257u64).map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 8] {
+            let pool = Pool::new(jobs);
+            let mut seen = Vec::new();
+            pool.map_fold(
+                (0..257u64).collect(),
+                |_, x| x * 3 + 1,
+                |i, v| {
+                    seen.push((i, v));
+                },
+            );
+            assert_eq!(seen.len(), 257, "jobs = {jobs}");
+            for (k, (i, v)) in seen.iter().enumerate() {
+                assert_eq!(*i, k, "jobs = {jobs}: delivery out of order");
+                assert_eq!(*v, expect[k], "jobs = {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_window_bounds_in_flight_cells() {
+        // Cell 0 stalls until every other cell of the first window has
+        // completed. While it stalls the delivery head is stuck at 0, so
+        // no cell at or beyond the window may even *start* — that is the
+        // boundedness guarantee that keeps fold memory flat.
+        let jobs = 4;
+        let pool = Pool::new(jobs);
+        let window = jobs * FOLD_WINDOW_PER_LANE;
+        let n = window * 4;
+        let started_max = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
+        let mut delivered = 0usize;
+        pool.map_fold(
+            (0..n).collect(),
+            |i, _| {
+                started_max.fetch_max(i, Ordering::SeqCst);
+                if i == 0 {
+                    while completed.load(Ordering::SeqCst) < window - 1 {
+                        std::thread::yield_now();
+                    }
+                    let max = started_max.load(Ordering::SeqCst);
+                    assert!(max < window, "cell {max} started past the window");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                i
+            },
+            |i, v| {
+                assert_eq!(i, delivered);
+                assert_eq!(v, delivered);
+                delivered += 1;
+            },
+        );
+        assert_eq!(delivered, n);
+    }
+
+    #[test]
+    fn fold_cell_panic_propagates_after_the_batch_drains() {
+        let pool = Pool::new(3);
+        let completed = AtomicUsize::new(0);
+        let delivered = Mutex::new(Vec::new());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_fold(
+                (0..16usize).collect(),
+                |_, i| {
+                    if i == 5 {
+                        panic!("fold cell 5 exploded");
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    i
+                },
+                |i, _| delivered.lock().unwrap().push(i),
+            )
+        }));
+        assert!(result.is_err());
+        let payload = *result.unwrap_err().downcast::<&str>().unwrap();
+        assert_eq!(payload, "fold cell 5 exploded");
+        // Every non-panicking cell ran and was delivered in order (the
+        // placeholder lets the head advance past the panicked cell).
+        assert_eq!(completed.load(Ordering::Relaxed), 15);
+        let delivered = delivered.lock().unwrap().clone();
+        let expect: Vec<usize> = (0..16).filter(|i| *i != 5).collect();
+        assert_eq!(delivered, expect);
+        let again = pool.map(vec![1u8, 2, 3], |_, x| x * 2);
+        assert_eq!(again, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn fold_cells_matches_map_cells_on_the_current_pool() {
+        let pool = Pool::new(3);
+        with_pool(&pool, || {
+            let mapped = map_cells(97, |i| i * i + 7);
+            let mut folded = Vec::new();
+            fold_cells(97, |i| i * i + 7, |_, v| folded.push(v));
+            assert_eq!(folded, mapped);
+        });
     }
 
     #[test]

@@ -24,6 +24,28 @@ proptest! {
         prop_assert_eq!(left.max(), whole.max());
     }
 
+    /// The streaming-campaign fold — one single-observation summary per
+    /// cell, merged in index order — equals the one-shot summary. This
+    /// is the exact shape of the incremental Welford accumulation the
+    /// experiment folds use, so its equivalence is what licenses
+    /// replacing buffered per-rep vectors with streaming summaries.
+    #[test]
+    fn incremental_fold_equals_one_shot(values in finite_values(300)) {
+        let whole = Summary::of(&values);
+        let mut folded = Summary::new();
+        for &v in &values {
+            let mut cell = Summary::new();
+            cell.push(v);
+            folded.merge(&cell);
+        }
+        prop_assert_eq!(folded.n(), whole.n());
+        prop_assert!((folded.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((folded.variance() - whole.variance()).abs()
+            <= 1e-5 * (1.0 + whole.variance().abs()));
+        prop_assert_eq!(folded.min(), whole.min());
+        prop_assert_eq!(folded.max(), whole.max());
+    }
+
     /// The mean always lies between min and max; the variance is
     /// non-negative; the CV is finite for nonzero means.
     #[test]
