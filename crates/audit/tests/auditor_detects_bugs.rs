@@ -259,6 +259,59 @@ fn negative_wait_is_detected() {
     );
 }
 
+/// A completion-race double that forgets to cancel its losers: both
+/// copies run to completion, but the run result accounts only the
+/// winner's work and books no waste. The occupancy ledger must catch the
+/// phantom node-seconds at run end.
+#[test]
+fn uncancelled_completion_race_losers_trip_the_ledger() {
+    use rbr_grid::record::{JobRecord, RunResult};
+    use rbr_grid::RunObserver;
+
+    let mut a = Auditor::new();
+    a.on_attach(0, 1, "FCFS");
+    a.on_attach(1, 1, "FCFS");
+    // One job, two identical 100 s copies racing on two 1-node servers.
+    a.on_submit(0, t(0.0), 0, &req(1, 1, 100.0, 0.0));
+    a.on_submit(1, t(0.0), 0, &req(2, 1, 100.0, 0.0));
+    a.on_start(0, t(0.0), &req(1, 1, 100.0, 0.0), StartKind::FifoHead);
+    a.on_start(1, t(0.0), &req(2, 1, 100.0, 0.0), StartKind::FifoHead);
+    // Copy 1 wins. The buggy protocol never cancels copy 2, which burns
+    // its full duplicate service before finishing too.
+    a.on_finish(0, t(100.0), RequestId(1), 1);
+    a.on_finish(1, t(100.0), RequestId(2), 1);
+
+    // The driver's ledger knows only the winner: 100 useful node-secs,
+    // zero waste — but the schedulers were occupied for 200.
+    let mut result = RunResult::default();
+    result.records.push(JobRecord {
+        job: 0,
+        home: 0,
+        ran_on: 0,
+        nodes: 1,
+        arrival: t(0.0),
+        start: t(0.0),
+        completion: t(100.0),
+        runtime: Duration::from_secs(100.0),
+        redundant: true,
+        copies: 2,
+        predicted_wait: None,
+    });
+    result.submits = 2;
+    result.makespan = t(100.0);
+    a.on_job_record(&result.records[0]);
+    a.on_run_end(&result);
+
+    let violations = a.take_violations();
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    assert_eq!(violations[0].kind, "ledger");
+    assert!(
+        violations[0].message.contains("200.000000"),
+        "message: {}",
+        violations[0].message
+    );
+}
+
 /// Scheduler indices are independent: cluster 1's load never counts
 /// against cluster 0's capacity.
 #[test]

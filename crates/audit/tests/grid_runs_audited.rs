@@ -9,7 +9,8 @@
 use rbr_audit::sink;
 use rbr_grid::dual_queue::{self, DualQueueConfig};
 use rbr_grid::moldable::{self, MoldableConfig, ShapePolicy};
-use rbr_grid::{Delay, FaultSpec, GridConfig, GridSim, Outage, Scheme};
+use rbr_grid::redundancy::{self, CopyModel, RedundancyConfig};
+use rbr_grid::{CancelMode, Delay, FaultSpec, GridConfig, GridSim, Outage, Scheme};
 use rbr_sched::Algorithm;
 use rbr_simcore::{Duration, SeedSequence, SimTime};
 
@@ -86,6 +87,55 @@ fn every_grid_protocol_passes_a_full_audit() {
         cfg.window = Duration::from_secs(1_200.0);
         let _ = moldable::run(&cfg, SeedSequence::new(0));
         assert_clean(&format!("moldable {policy:?}"));
+    }
+
+    // Redundancy-d across its axes. The completion race is the sharp
+    // case for the occupancy ledger: killed losers' node-seconds must
+    // land in `wasted_node_secs` exactly, or the run-end cross-check
+    // fires.
+    let redundancy_base = || {
+        let mut cfg = RedundancyConfig::new(3, 2).with_load(0.8);
+        cfg.service_mean = 30.0;
+        cfg.window = Duration::from_secs(1_200.0);
+        cfg
+    };
+    let _ = redundancy::run_single(&redundancy_base(), SeedSequence::new(0));
+    assert_clean("redundancy single-submit");
+    for cancel in [CancelMode::OnStart, CancelMode::OnCompletion] {
+        for copies in [CopyModel::Iid, CopyModel::Identical] {
+            let mut cfg = redundancy_base();
+            cfg.cancel = cancel;
+            cfg.copies = copies;
+            for seed in 0u64..2 {
+                let _ = redundancy::run(&cfg, SeedSequence::new(seed));
+                assert_clean(&format!("redundancy {cancel:?} {copies:?} seed {seed}"));
+            }
+        }
+    }
+
+    // Redundancy-d under faulty middleware: lost/delayed messages alone,
+    // then with a mid-run server outage (restart re-anchors the ledger).
+    for cancel in [CancelMode::OnStart, CancelMode::OnCompletion] {
+        let mut cfg = redundancy_base();
+        cfg.cancel = cancel;
+        cfg.faults = FaultSpec {
+            submit_loss: 0.1,
+            cancel_loss: 0.1,
+            submit_delay: Delay::Fixed(Duration::from_secs(2.0)),
+            cancel_delay: Delay::Exp {
+                mean: Duration::from_secs(3.0),
+            },
+            ..FaultSpec::default()
+        };
+        let _ = redundancy::run(&cfg, SeedSequence::new(0));
+        assert_clean(&format!("faulty redundancy {cancel:?}"));
+        cfg.faults.outages = vec![Outage {
+            cluster: 1,
+            down: SimTime::from_secs(300.0),
+            recover: SimTime::from_secs(500.0),
+        }];
+        let _ = redundancy::run(&cfg, SeedSequence::new(1));
+        assert_clean(&format!("faulty redundancy {cancel:?} with outage"));
     }
 
     sink::uninstall();

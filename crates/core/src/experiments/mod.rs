@@ -26,6 +26,7 @@
 //! | `trace-check` | [`trace_check`] | §3.1.1's trace cross-check: replay an SWF trace split across the clusters |
 //! | `faults` | [`faults`] | beyond the paper: unreliable middleware — lost/delayed cancellations and outages vs the perfect-middleware baseline |
 //! | `batch` | [`batch`] | beyond the paper: batched submit/cancel transactions — sustainable redundancy vs batch size, plus the batching metascheduler's behavior |
+//! | `stability` | [`stability`] | beyond the paper: the redundancy-d stability frontier — empirical λ* per (d, cancel-mode, copy-model) scheme via queue-growth bisection |
 //!
 //! Every runner is a pure function of its `Config` (seeds included), so
 //! results are bit-reproducible across machines.
@@ -58,6 +59,7 @@ pub mod framework;
 pub mod moldable;
 pub mod queue_growth;
 pub mod registry;
+pub mod stability;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -9,7 +9,7 @@
 use super::framework::Experiment;
 use super::{
     ablation, batch, conclusion, dual_queue, faults, fig1, fig3, fig4, fig5, forecast, moldable,
-    queue_growth, table1, table2, table3, table4, trace_check,
+    queue_growth, stability, table1, table2, table3, table4, trace_check,
 };
 
 /// The set of registered experiments.
@@ -40,6 +40,7 @@ impl Registry {
                 Box::new(trace_check::TraceCheck),
                 Box::new(faults::Faults),
                 Box::new(batch::Batch),
+                Box::new(stability::Stability),
             ],
         }
     }
@@ -95,7 +96,7 @@ mod tests {
                 assert!(seen.insert(alias), "duplicate alias {alias:?}");
             }
         }
-        assert_eq!(registry.len(), 17);
+        assert_eq!(registry.len(), 18);
     }
 
     #[test]

@@ -1,0 +1,496 @@
+//! Beyond the paper: the stability frontier of redundancy-d.
+//!
+//! The post-2006 literature (Anton/Ayesta/Jonckheere/Verloop's survey,
+//! Gardner et al., Shah/Lee/Ramchandran) turned the paper's qualitative
+//! "redundancy is harmful" into a phase diagram: dispatch `d` copies of
+//! each job to `d` of `K` homogeneous FCFS servers, cancel the losers at
+//! the first *completion*, and the stability region — the set of offered
+//! loads λ for which queues stay bounded — depends on how the copies'
+//! service times relate. With i.i.d. copies the region is the full
+//! λ < Kμ (racing hedges: the winner serves the minimum draw); with
+//! *identical* copies the losers burn pure duplicate work and the region
+//! shrinks below the no-redundancy line.
+//!
+//! This experiment locates the empirical threshold λ* per scheme: for
+//! each (d, cancel-mode, copy-model) cell it bisects the normalized
+//! offered load, classifying each probe load as unstable when the
+//! least-squares slope of windowed queue-backlog samples
+//! ([`rbr_stats::trend`]) exceeds a small fraction of the service
+//! capacity, averaged over paired replications. The headline table is
+//! the phase diagram — λ* per scheme — reproducing the survey's ordering
+//! λ*_identical < λ*_single ≤ λ*_iid for d > 1; a second table reports
+//! the raw slope grid the verdicts are built from.
+//!
+//! Replications are campaign cells on the `rbr-exec` pool, so the sweep
+//! parallelizes and stays bit-identical at any `--jobs` count; every
+//! cell reuses the same seed children (the paired design), and the
+//! interarrival sampler inverts the same uniforms at every probe load,
+//! so the bisection walks one frozen random world per replication.
+
+use rbr_grid::redundancy::{self, CopyModel, RedundancyConfig};
+use rbr_grid::{CancelMode, RunResult};
+use rbr_simcore::{Duration, SeedSequence, SimTime};
+use rbr_stats::linear_slope;
+
+use crate::report::{Cell, TypedTable};
+use crate::scale::Scale;
+
+use super::{framework, summarize_cells, Experiment};
+
+/// One scheme of the phase diagram.
+#[derive(Clone, Debug)]
+pub struct SchemeSpec {
+    /// Display label.
+    pub label: String,
+    /// Copies per job.
+    pub d: usize,
+    /// When losers are cancelled.
+    pub cancel: CancelMode,
+    /// How the copies' service times relate.
+    pub copies: CopyModel,
+    /// Use the single-submit baseline protocol (forces `d = 1`).
+    pub single: bool,
+}
+
+/// Parameters of the stability sweep.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Homogeneous servers `K`.
+    pub servers: usize,
+    /// Copies per job for the redundant schemes.
+    pub d: usize,
+    /// Shared-component weight of the correlated scheme.
+    pub rho: f64,
+    /// Mean service time in seconds.
+    pub service_mean: f64,
+    /// Submission window per probe run.
+    pub window: Duration,
+    /// Paired replications per probe load.
+    pub reps: usize,
+    /// Normalized-load bisection bracket (stable, unstable).
+    pub bracket: (f64, f64),
+    /// Bisection refinements after the bracket check (resolution =
+    /// bracket width / 2^refinements).
+    pub refinements: usize,
+    /// Queue-backlog samples per run for the slope fit.
+    pub samples: usize,
+    /// Instability threshold: mean backlog slope > `slope_frac` × the
+    /// service capacity `K/μ` (jobs per second).
+    pub slope_frac: f64,
+    /// Normalized loads of the diagnostic slope-grid table.
+    pub grid: Vec<f64>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Full fidelity.
+    pub fn paper() -> Self {
+        Config::at_scale(Scale::Paper)
+    }
+
+    /// Reduced fidelity. The window sets how far past the transient the
+    /// slope fit sees, so it grows with scale while the cluster stays
+    /// small: stability is a per-server property, not a fleet one.
+    pub fn at_scale(scale: Scale) -> Self {
+        Config {
+            servers: 3,
+            d: 2,
+            rho: 0.5,
+            service_mean: 10.0,
+            window: match scale {
+                Scale::Smoke => Duration::from_secs(1_800.0),
+                Scale::Quick => Duration::from_hours(2),
+                Scale::Paper => Duration::from_hours(6),
+            },
+            reps: match scale {
+                Scale::Smoke => 2,
+                Scale::Quick => 4,
+                Scale::Paper => 8,
+            },
+            bracket: (0.25, 1.5),
+            refinements: match scale {
+                Scale::Smoke => 5,
+                Scale::Quick => 6,
+                Scale::Paper => 7,
+            },
+            samples: 32,
+            slope_frac: 0.02,
+            grid: vec![0.4, 0.7, 0.9, 1.2],
+            seed: 90,
+        }
+    }
+
+    /// The schemes of the phase diagram, baseline first.
+    pub fn schemes(&self) -> Vec<SchemeSpec> {
+        vec![
+            SchemeSpec {
+                label: "single".to_string(),
+                d: 1,
+                cancel: CancelMode::OnStart,
+                copies: CopyModel::Iid,
+                single: true,
+            },
+            SchemeSpec {
+                label: format!("d={} on-start", self.d),
+                d: self.d,
+                cancel: CancelMode::OnStart,
+                copies: CopyModel::Iid,
+                single: false,
+            },
+            SchemeSpec {
+                label: format!("d={} on-completion iid", self.d),
+                d: self.d,
+                cancel: CancelMode::OnCompletion,
+                copies: CopyModel::Iid,
+                single: false,
+            },
+            SchemeSpec {
+                label: format!("d={} on-completion corr", self.d),
+                d: self.d,
+                cancel: CancelMode::OnCompletion,
+                copies: CopyModel::Correlated { rho: self.rho },
+                single: false,
+            },
+            SchemeSpec {
+                label: format!("d={} on-completion identical", self.d),
+                d: self.d,
+                cancel: CancelMode::OnCompletion,
+                copies: CopyModel::Identical,
+                single: false,
+            },
+        ]
+    }
+
+    fn cell_config(&self, spec: &SchemeSpec) -> RedundancyConfig {
+        let mut cfg = RedundancyConfig::new(self.servers, spec.d);
+        cfg.cancel = spec.cancel;
+        cfg.copies = spec.copies;
+        cfg.service_mean = self.service_mean;
+        cfg.window = self.window;
+        cfg
+    }
+}
+
+/// Backlog slope of one finished run, in jobs per second: a least-squares
+/// fit of `pending_at` over evenly spaced sample times covering the last
+/// three quarters of the submission window (the first quarter is burnt as
+/// transient).
+fn backlog_slope(run: &RunResult, window: Duration, samples: usize) -> f64 {
+    let w = window.as_secs();
+    let t0 = 0.25 * w;
+    let pts: Vec<(f64, f64)> = (0..samples)
+        .map(|i| {
+            let t = t0 + (w - t0) * i as f64 / (samples.max(2) - 1) as f64;
+            let at = SimTime::ZERO + Duration::from_secs(t);
+            (t, run.pending_at(at) as f64)
+        })
+        .collect();
+    linear_slope(&pts)
+}
+
+/// One probe: mean backlog slope (jobs/s), mean waste fraction, and mean
+/// end-of-window backlog over paired replications at a normalized load.
+fn probe(config: &Config, spec: &SchemeSpec, load: f64) -> (f64, f64, f64) {
+    let cell = config.cell_config(spec).with_load(load);
+    let seed = SeedSequence::new(config.seed);
+    let window = config.window;
+    let samples = config.samples;
+    let [slope, waste, backlog] = summarize_cells::<3>(config.reps, |rep| {
+        let run = if spec.single {
+            redundancy::run_single(&cell, seed.child(rep as u64))
+        } else {
+            redundancy::run(&cell, seed.child(rep as u64))
+        };
+        framework::record_sim(&run);
+        [
+            backlog_slope(&run, window, samples),
+            run.waste_fraction(),
+            run.pending_at(SimTime::ZERO + window) as f64,
+        ]
+    });
+    (slope.mean(), waste.mean(), backlog.mean())
+}
+
+/// Whether a probe classifies as unstable.
+fn unstable(config: &Config, spec: &SchemeSpec, load: f64) -> bool {
+    let capacity = config.servers as f64 / config.service_mean;
+    probe(config, spec, load).0 > config.slope_frac * capacity
+}
+
+/// The empirical threshold for one scheme: a bracket check, then
+/// [`Config::refinements`] bisection steps on the normalized load.
+/// Returns `(λ*, bracket_ok)`; when the bracket does not actually
+/// straddle the threshold the nearer endpoint is reported with
+/// `bracket_ok = false`.
+pub fn lambda_star(config: &Config, spec: &SchemeSpec) -> (f64, bool) {
+    let (mut lo, mut hi) = config.bracket;
+    if unstable(config, spec, lo) {
+        return (lo, false);
+    }
+    if !unstable(config, spec, hi) {
+        return (hi, false);
+    }
+    for _ in 0..config.refinements {
+        let mid = 0.5 * (lo + hi);
+        if unstable(config, spec, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    (0.5 * (lo + hi), true)
+}
+
+/// One row of the phase diagram.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// The scheme.
+    pub spec: SchemeSpec,
+    /// Empirical threshold, as a fraction of the capacity `Kμ`.
+    pub lambda_star: f64,
+    /// Whether the bracket straddled the threshold.
+    pub bracket_ok: bool,
+}
+
+/// One row of the diagnostic slope grid.
+#[derive(Clone, Debug)]
+pub struct GridRow {
+    /// Scheme label.
+    pub label: String,
+    /// Normalized load probed.
+    pub load: f64,
+    /// Mean backlog slope, jobs per hour.
+    pub slope_per_hour: f64,
+    /// Mean backlog at the end of the submission window.
+    pub end_backlog: f64,
+    /// Mean wasted-work fraction.
+    pub waste_fraction: f64,
+}
+
+/// The sweep outcome.
+#[derive(Clone, Debug)]
+pub struct Output {
+    /// λ* per scheme, in [`Config::schemes`] order (baseline first).
+    pub cells: Vec<CellOutcome>,
+    /// The slope grid behind the verdicts.
+    pub grid: Vec<GridRow>,
+}
+
+impl Output {
+    /// λ* of the scheme whose label contains `needle`.
+    pub fn lambda_of(&self, needle: &str) -> f64 {
+        self.cells
+            .iter()
+            .find(|c| c.spec.label.contains(needle))
+            .map(|c| c.lambda_star)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+/// Runs the sweep: a bisection per scheme, then the diagnostic grid.
+pub fn run(config: &Config) -> Output {
+    let cells = config
+        .schemes()
+        .into_iter()
+        .map(|spec| {
+            let (lambda_star, bracket_ok) = lambda_star(config, &spec);
+            CellOutcome {
+                spec,
+                lambda_star,
+                bracket_ok,
+            }
+        })
+        .collect();
+    let mut grid = Vec::new();
+    for spec in config.schemes() {
+        for &load in &config.grid {
+            let (slope, waste, backlog) = probe(config, &spec, load);
+            grid.push(GridRow {
+                label: spec.label.clone(),
+                load,
+                slope_per_hour: slope * 3_600.0,
+                end_backlog: backlog,
+                waste_fraction: waste,
+            });
+        }
+    }
+    Output { cells, grid }
+}
+
+fn cancel_label(cancel: CancelMode) -> &'static str {
+    match cancel {
+        CancelMode::OnStart => "on-start",
+        CancelMode::OnCompletion => "on-completion",
+    }
+}
+
+/// The phase diagram: λ* per scheme.
+pub fn phase_table(config: &Config, out: &Output) -> TypedTable {
+    let mut t = TypedTable::new(
+        format!(
+            "stability frontier — empirical λ*/Kμ per scheme (K = {}, exp service)",
+            config.servers
+        ),
+        vec!["scheme", "d", "cancel", "copies", "λ*/Kμ", "bracketed"],
+    );
+    for cell in &out.cells {
+        t.push(vec![
+            Cell::text(cell.spec.label.as_str()),
+            Cell::int(cell.spec.d as i64),
+            Cell::text(cancel_label(cell.spec.cancel)),
+            Cell::text(cell.spec.copies.label()),
+            Cell::float(cell.lambda_star, 3),
+            Cell::text(if cell.bracket_ok { "yes" } else { "no" }),
+        ]);
+    }
+    t
+}
+
+/// The slope grid behind the phase diagram.
+pub fn grid_table(out: &Output) -> TypedTable {
+    let mut t = TypedTable::new(
+        "queue-backlog slope vs offered load (instability diagnostics)",
+        vec![
+            "scheme",
+            "load/Kμ",
+            "slope (jobs/h)",
+            "end backlog",
+            "waste frac",
+        ],
+    );
+    for row in &out.grid {
+        t.push(vec![
+            Cell::text(row.label.as_str()),
+            Cell::float(row.load, 2),
+            Cell::float(row.slope_per_hour, 1),
+            Cell::float(row.end_backlog, 1),
+            Cell::percent(row.waste_fraction, 1),
+        ]);
+    }
+    t
+}
+
+/// Renders both tables.
+pub fn render(config: &Config, out: &Output) -> String {
+    format!(
+        "{}\n{}",
+        phase_table(config, out).to_text(),
+        grid_table(out).to_text()
+    )
+}
+
+/// The stability sweep's registry entry.
+pub struct Stability;
+
+impl Experiment for Stability {
+    fn name(&self) -> &'static str {
+        "stability"
+    }
+
+    fn description(&self) -> &'static str {
+        "beyond the paper: empirical stability thresholds λ* for redundancy-d \
+         (cancel-on-start vs -completion × iid/correlated/identical copies)"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "beyond"
+    }
+
+    fn default_seed(&self) -> u64 {
+        90
+    }
+
+    fn replications(&self, scale: Scale) -> usize {
+        Config::at_scale(scale).reps
+    }
+
+    fn tables(&self, scale: Scale, seed: u64, reps: Option<usize>) -> Vec<TypedTable> {
+        let mut config = Config::at_scale(scale);
+        config.seed = seed;
+        if let Some(r) = reps {
+            config.reps = r;
+        }
+        let out = run(&config);
+        vec![phase_table(&config, &out), grid_table(&out)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbr_exec::{with_pool, Pool};
+
+    /// A cheap config: single-refinement bisections on a short window.
+    fn tiny() -> Config {
+        let mut cfg = Config::at_scale(Scale::Smoke);
+        cfg.window = Duration::from_secs(1_200.0);
+        cfg.reps = 2;
+        cfg.refinements = 4;
+        cfg.grid = vec![0.5, 1.2];
+        cfg
+    }
+
+    #[test]
+    fn bisection_finds_the_mm1_threshold() {
+        // K FCFS servers fed d = 1 jobs with exponential service: the
+        // closed-form stability edge is λ = Kμ, i.e. 1.0 normalized.
+        let cfg = tiny();
+        let spec = &cfg.schemes()[0];
+        let (ls, ok) = lambda_star(&cfg, spec);
+        assert!(ok, "bracket must straddle the M/M/K threshold");
+        assert!(
+            (ls - 1.0).abs() < 0.2,
+            "single-submit λ* should be ≈1.0 normalized, got {ls}"
+        );
+    }
+
+    #[test]
+    fn slope_grid_orders_loads() {
+        let cfg = tiny();
+        let spec = &cfg.schemes()[0];
+        let (stable_slope, ..) = probe(&cfg, spec, 0.4);
+        let (unstable_slope, _, backlog) = probe(&cfg, spec, 1.4);
+        assert!(unstable_slope > stable_slope);
+        assert!(
+            backlog > 0.0,
+            "overload must leave an end-of-window backlog"
+        );
+    }
+
+    #[test]
+    fn headline_identical_shrinks_and_iid_does_not() {
+        let cfg = tiny();
+        let out = run(&cfg);
+        let ident = out.lambda_of("identical");
+        let iid = out.lambda_of("on-completion iid");
+        assert!(
+            ident < iid,
+            "identical copies must shrink the stability region: λ*_ident = {ident}, λ*_iid = {iid}"
+        );
+        for cell in &out.cells {
+            assert!(cell.lambda_star.is_finite());
+        }
+    }
+
+    #[test]
+    fn table_is_byte_identical_across_job_counts() {
+        std::env::set_var("RBR_FIXED_WALL_TIME", "0");
+        let cfg = tiny();
+        let serial = {
+            let pool = Pool::new(1);
+            with_pool(&pool, || {
+                let out = run(&cfg);
+                render(&cfg, &out)
+            })
+        };
+        let parallel = {
+            let pool = Pool::new(2);
+            with_pool(&pool, || {
+                let out = run(&cfg);
+                render(&cfg, &out)
+            })
+        };
+        assert_eq!(serial, parallel, "--jobs must never change bytes");
+    }
+}

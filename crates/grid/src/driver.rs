@@ -115,6 +115,27 @@ use rbr_simcore::{Duration, Engine, SimTime};
 use crate::observe::{observer_from_factory, ObserverAdapter, RunObserver};
 use crate::record::{JobRecord, RunResult};
 
+/// When a job's losing copies are cancelled.
+///
+/// The paper's placeholder-scheduling protocol cancels the instant one
+/// copy starts; the post-2006 redundancy-d literature (Gardner et al.,
+/// the Anton/Ayesta/Jonckheere/Verloop survey) studies the harsher
+/// variant where every copy occupies its server until the first copy
+/// *completes* — duplicated service becomes real work, which is exactly
+/// what shrinks the stability region for identical copies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CancelMode {
+    /// Cancel the losers the instant one copy is granted nodes (the
+    /// zero-latency callback of placeholder scheduling; the paper's
+    /// protocol and the default for every existing protocol).
+    #[default]
+    OnStart,
+    /// Let every granted copy execute; the first *completion* wins the
+    /// race, queued losers are cancelled and running losers are killed
+    /// (their partial work is accounted as waste).
+    OnCompletion,
+}
+
 /// One planned copy of a job: where it goes and what it asks for.
 ///
 /// The multi-cluster variant plans identical copies on different
@@ -160,6 +181,14 @@ pub trait SubmissionProtocol {
 
     /// The job's home target, recorded in its [`JobRecord`].
     fn home(&self, job: usize) -> usize;
+
+    /// When this protocol's losing copies are cancelled. Defaults to
+    /// [`CancelMode::OnStart`] — the paper's zero-latency callback —
+    /// which keeps every pre-existing protocol bit-identical. Queried
+    /// once at driver construction.
+    fn cancel_mode(&self) -> CancelMode {
+        CancelMode::OnStart
+    }
 
     /// Plans the copies job `job` submits on arrival by appending them to
     /// `out` in submission order (`out` is a driver-owned scratch buffer,
@@ -305,6 +334,9 @@ pub struct SimDriver<P: SubmissionProtocol> {
     scratch: Vec<RequestId>,
     worklist: VecDeque<RequestId>,
     collect_predictions: bool,
+    /// True when the protocol races to first *completion*
+    /// ([`CancelMode::OnCompletion`]); cached at construction.
+    cancel_on_completion: bool,
     /// Fault sampler on its own seed stream; `None` runs the original
     /// perfect-middleware protocol.
     faults: Option<FaultModel>,
@@ -374,6 +406,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             scratch: Vec::new(),
             worklist: VecDeque::new(),
             collect_predictions,
+            cancel_on_completion: protocol.cancel_mode() == CancelMode::OnCompletion,
             faults,
             outage_until: vec![SimTime::ZERO; n_targets],
             dead: Vec::new(),
@@ -490,6 +523,11 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             self.dispatch_faulty_submits(now, j);
             return;
         }
+        if self.cancel_on_completion {
+            // Completion race: every copy is dispatched and may execute.
+            self.dispatch_racing_submits(now, j);
+            return;
+        }
 
         self.states[j].req_first = self.reqs.len() as u64;
         for copy in 0..self.states[j].plan_len as usize {
@@ -534,6 +572,10 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             self.handle_complete_faulty(now, req);
             return;
         }
+        if self.cancel_on_completion {
+            self.handle_complete_racing(now, req);
+            return;
+        }
         let rid = RequestId(req);
         let j = self.reqs[req as usize].job as usize;
         let plan = self.plan_of(rid);
@@ -566,6 +608,173 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             .complete(now, plan.target, rid, &mut self.scratch);
         self.worklist.extend(self.scratch.drain(..));
         self.commit_starts(now);
+    }
+
+    /// Perfect middleware, [`CancelMode::OnCompletion`]: submits every
+    /// copy of job `j`. Unlike the on-start race there is no
+    /// short-circuit — a copy that is granted nodes executes, so all
+    /// copies stay live until the first completion. Copy states live in
+    /// the shared arena (as in faulty runs) because per-copy phases now
+    /// matter even with perfect messaging.
+    fn dispatch_racing_submits(&mut self, now: SimTime, j: usize) {
+        debug_assert_eq!(
+            self.copy_arena.len(),
+            self.states[j].plan_first as usize,
+            "copy arena must share the plan arena's offsets"
+        );
+        self.states[j].req_first = self.reqs.len() as u64;
+        for copy in 0..self.states[j].plan_len as usize {
+            let plan = self.plan(j, copy);
+            let rid = RequestId(self.reqs.len() as u64);
+            self.reqs.push(ReqInfo {
+                job: j as u32,
+                copy: copy as u32,
+            });
+            self.dead.push(false);
+            self.copy_arena.push(CopyState {
+                rid: Some(rid),
+                phase: CopyPhase::Queued,
+            });
+            let req = Request::new(rid, plan.nodes, plan.estimate, now);
+            self.result.submits += 1;
+            self.scratch.clear();
+            self.scheds.submit(now, plan.target, req, &mut self.scratch);
+            self.states[j].req_count += 1;
+            self.worklist.extend(self.scratch.drain(..));
+            if self.collect_predictions {
+                let wait = self
+                    .scheds
+                    .predicted_start(now, plan.target, rid)
+                    .map(|s| s.since(now))
+                    .expect("request just submitted must be known");
+                let best = match self.states[j].predicted_wait {
+                    Some(prev) => prev.min(wait),
+                    None => wait,
+                };
+                self.states[j].predicted_wait = Some(best);
+            }
+            self.note_queue(plan.target);
+        }
+        self.commit_starts(now);
+    }
+
+    /// Perfect middleware, [`CancelMode::OnCompletion`]: the first copy
+    /// of a job to finish wins; queued losers are cancelled, running
+    /// losers are killed and their partial work accounted as waste.
+    fn handle_complete_racing(&mut self, now: SimTime, req: u64) {
+        if self.dead[req as usize] {
+            // A loser killed at the winner's completion; its engine
+            // event is stale.
+            return;
+        }
+        let ReqInfo { job, copy } = self.reqs[req as usize];
+        let (j, winner) = (job as usize, copy as usize);
+        let plan = self.plan(j, winner);
+        let CopyPhase::Running { start } = self.copy_state(j, winner).phase else {
+            unreachable!(
+                "completing copy must be running, was {:?}",
+                self.copy_state(j, winner).phase
+            )
+        };
+        debug_assert!(!self.states[j].done, "job {j} completed twice");
+        self.copy_mut(j, winner).phase = CopyPhase::Dead;
+        self.states[j].done = true;
+        let rec = JobRecord {
+            job: j,
+            home: self.protocol.home(j),
+            ran_on: plan.target,
+            nodes: plan.nodes,
+            arrival: self.protocol.record_arrival(j),
+            start,
+            completion: now,
+            runtime: plan.runtime,
+            redundant: self.states[j].redundant,
+            copies: self.states[j].req_count,
+            predicted_wait: self.states[j].predicted_wait,
+        };
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().on_job_record(&rec);
+        }
+        self.records[j] = Some(rec);
+        self.scratch.clear();
+        self.scheds
+            .complete(now, plan.target, RequestId(req), &mut self.scratch);
+        self.worklist.extend(self.scratch.drain(..));
+        self.note_queue(plan.target);
+
+        // The completion callback: cancel every surviving loser.
+        for loser in 0..self.states[j].plan_len as usize {
+            if loser == winner {
+                continue;
+            }
+            let cs = self.copy_state(j, loser);
+            match cs.phase {
+                CopyPhase::Queued => {
+                    let rid = cs.rid.expect("queued copy has a request id");
+                    let target = self.plan(j, loser).target;
+                    self.scratch.clear();
+                    if self.scheds.cancel(now, target, rid, &mut self.scratch) {
+                        self.result.cancels += 1;
+                        self.copy_mut(j, loser).phase = CopyPhase::Dead;
+                    }
+                    // A false return means the grant raced this cancel:
+                    // the copy is already in the worklist and will be
+                    // revoked there (the job is done).
+                    self.worklist.extend(self.scratch.drain(..));
+                    self.note_queue(target);
+                }
+                CopyPhase::Running { start } => {
+                    // Kill the running loser; its partial work is wasted.
+                    let rid = cs.rid.expect("running copy has a request id");
+                    let loser_plan = self.plan(j, loser);
+                    self.result.cancels += 1;
+                    self.result.wasted_node_secs +=
+                        loser_plan.nodes as f64 * now.since(start).as_secs();
+                    self.dead[rid.0 as usize] = true;
+                    self.copy_mut(j, loser).phase = CopyPhase::Dead;
+                    self.scratch.clear();
+                    self.scheds
+                        .complete(now, loser_plan.target, rid, &mut self.scratch);
+                    self.worklist.extend(self.scratch.drain(..));
+                    self.note_queue(loser_plan.target);
+                }
+                CopyPhase::Dead => {}
+                phase => unreachable!("perfect racing copy in phase {phase:?}"),
+            }
+        }
+        self.commit_starts(now);
+    }
+
+    /// Start worklist under the perfect-middleware completion race: every
+    /// grant executes (no sibling cancellation, no zombie accounting —
+    /// concurrent executions are the protocol), except grants that raced
+    /// the winner's completion in the same instant, which are revoked.
+    fn commit_starts_racing(&mut self, now: SimTime) {
+        while let Some(rid) = self.worklist.pop_front() {
+            let ReqInfo { job, copy } = self.reqs[rid.0 as usize];
+            let (j, copy) = (job as usize, copy as usize);
+            let plan = self.plan(j, copy);
+            debug_assert!(!self.dead[rid.0 as usize], "dead request started");
+            debug_assert_eq!(self.copy_state(j, copy).phase, CopyPhase::Queued);
+            if self.states[j].done {
+                // Granted in the same instant the winner completed (the
+                // cancel saw the grant already issued): revoke.
+                self.result.aborts += 1;
+                self.copy_mut(j, copy).phase = CopyPhase::Dead;
+                self.scratch.clear();
+                self.scheds.abort(now, plan.target, rid, &mut self.scratch);
+                self.worklist.extend(self.scratch.drain(..));
+                self.note_queue(plan.target);
+                continue;
+            }
+            self.copy_mut(j, copy).phase = CopyPhase::Running { start: now };
+            if self.states[j].started.is_none() {
+                self.states[j].started = Some((plan.target, now));
+            }
+            self.engine
+                .schedule(now + plan.runtime, Event::Complete { req: rid.0 });
+            self.note_queue(plan.target);
+        }
     }
 
     /// Faulty middleware: turns each copy of job `j` into a submit
@@ -768,6 +977,12 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                 obs.borrow_mut().on_job_record(&rec);
             }
             self.records[j] = Some(rec);
+            if self.cancel_on_completion {
+                // The completion race's cancellation callback: losers
+                // are told to stand down only now, via the same lossy
+                // message layer as everything else.
+                self.send_cancels(now, j, copy);
+            }
         }
         self.note_queue(plan.target);
         self.commit_starts(now);
@@ -943,7 +1158,19 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             self.copy_mut(j, copy).phase = CopyPhase::Running { start: now };
             self.engine
                 .schedule(now + plan.runtime, Event::Complete { req: rid.0 });
-            if self.states[j].started.is_none() && !self.states[j].done {
+            if self.cancel_on_completion {
+                // Completion race: concurrent executions are the
+                // protocol, not zombies — cancels go out when the first
+                // copy *finishes* (handle_complete_faulty). A start after
+                // the job is done means a cancel was late or lost: that
+                // execution is a zombie as usual.
+                if self.states[j].done {
+                    self.result.zombie_starts += 1;
+                } else if self.states[j].started.is_none() {
+                    self.states[j].started = Some((plan.target, now));
+                    self.states[j].winner = Some(copy);
+                }
+            } else if self.states[j].started.is_none() && !self.states[j].done {
                 self.states[j].started = Some((plan.target, now));
                 self.states[j].winner = Some(copy);
                 self.send_cancels(now, j, copy);
@@ -960,6 +1187,10 @@ impl<P: SubmissionProtocol> SimDriver<P> {
     fn commit_starts(&mut self, now: SimTime) {
         if self.faults.is_some() {
             self.commit_starts_faulty(now);
+            return;
+        }
+        if self.cancel_on_completion {
+            self.commit_starts_racing(now);
             return;
         }
         while let Some(rid) = self.worklist.pop_front() {

@@ -32,16 +32,18 @@ pub mod dual_queue;
 pub mod moldable;
 pub mod observe;
 pub mod record;
+pub mod redundancy;
 pub mod scheme;
 pub mod select;
 pub mod sim;
 
 pub use batch::BatchedGridSim;
 pub use config::{ClusterSpec, GridConfig};
-pub use driver::{CopyPlan, SimDriver, SubmissionProtocol};
+pub use driver::{CancelMode, CopyPlan, SimDriver, SubmissionProtocol};
 pub use observe::{clear_observer_factory, install_observer_factory, RunObserver};
 pub use rbr_faults::{BatchSpec, Delay, FaultSpec, Outage};
 pub use record::{JobClass, JobRecord, RunResult};
+pub use redundancy::{CopyModel, RedundancyConfig};
 pub use scheme::Scheme;
 pub use select::SelectionPolicy;
 pub use sim::GridSim;

@@ -1,0 +1,515 @@
+//! Redundancy-d over homogeneous servers: the post-2006 stability
+//! model, as a [`SubmissionProtocol`] over the shared [`SimDriver`].
+//!
+//! The source paper shows redundant batch requests are harmful
+//! qualitatively; the follow-on literature (Gardner et al.'s
+//! redundancy-d, Shah/Lee/Ramchandran's "When Do Redundant Requests
+//! Reduce Latency?", and the Anton/Ayesta/Jonckheere/Verloop stability
+//! survey) makes that quantitative with a cleaner queueing model: jobs
+//! arrive Poisson(λ) at a dispatcher, each sends a copy to `d` of `K`
+//! homogeneous FCFS servers, and the first copy to *complete* wins while
+//! the losers are cancelled ([`CancelMode::OnCompletion`]). Whether
+//! redundancy enlarges or shrinks the stability region then hinges on
+//! how the copies' service times relate — the [`CopyModel`] axis:
+//!
+//! * [`CopyModel::Iid`] — each copy draws its own exponential service
+//!   time. Racing copies genuinely hedge (the winner's service is the
+//!   *minimum* of the started copies), and the stability region stays at
+//!   λ < Kμ — redundancy can only help.
+//! * [`CopyModel::Identical`] — every copy carries the same draw. The
+//!   race hedges nothing: losers burn full duplicate service, and the
+//!   stability region shrinks toward λ < Kμ/d.
+//! * [`CopyModel::Correlated`] — `X_i = ρ·S + (1−ρ)·E_i`, a shared plus
+//!   an independent component that interpolates between the two (the
+//!   mean is ρ-invariant, so offered load is comparable across ρ).
+//!
+//! Every random stream lives on its own [`SeedSequence`] child —
+//! arrivals, the shared draw, the independent draws, the d-of-K server
+//! selection — so switching cancel mode or copy model at a fixed seed
+//! never shifts any other stream: the cells of a stability sweep are
+//! exactly paired, and each mode is bit-deterministic.
+//!
+//! [`run_single`] is the no-redundancy baseline (one copy to one
+//! uniformly random server) against which `d = 1` is locked bitwise.
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use rbr_dist::{Exponential, Sample as _};
+use rbr_faults::{FaultModel, FaultSpec};
+use rbr_sched::{Algorithm, ClusterSet, SchedulerSet};
+use rbr_simcore::{Duration, SeedSequence, SimTime};
+
+use crate::driver::{CancelMode, CopyPlan, SimDriver, SubmissionProtocol};
+use crate::record::RunResult;
+
+/// How a job's `d` copies' service times relate to each other.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CopyModel {
+    /// Every copy carries the same service draw: duplicated work, the
+    /// survey's stability-shrinking regime.
+    Identical,
+    /// Every copy draws independently: racing genuinely hedges.
+    Iid,
+    /// `X_i = ρ·S + (1−ρ)·E_i`: a shared component `S` plus an
+    /// independent component `E_i`, both exponential with the configured
+    /// mean, so the copy mean is invariant in `ρ`. `ρ = 0` degenerates
+    /// to [`CopyModel::Iid`], `ρ = 1` to [`CopyModel::Identical`].
+    Correlated {
+        /// Weight of the shared component, in `[0, 1]`.
+        rho: f64,
+    },
+}
+
+impl CopyModel {
+    /// Weight of the shared service component.
+    fn shared_weight(self) -> f64 {
+        match self {
+            CopyModel::Identical => 1.0,
+            CopyModel::Iid => 0.0,
+            CopyModel::Correlated { rho } => rho,
+        }
+    }
+
+    /// Short display label (`identical` / `iid` / `corr(0.50)`).
+    pub fn label(self) -> String {
+        match self {
+            CopyModel::Identical => "identical".to_string(),
+            CopyModel::Iid => "iid".to_string(),
+            CopyModel::Correlated { rho } => format!("corr({rho:.2})"),
+        }
+    }
+}
+
+/// Configuration of a redundancy-d run.
+#[derive(Clone, Debug)]
+pub struct RedundancyConfig {
+    /// Number of homogeneous servers `K`.
+    pub servers: usize,
+    /// Nodes per server (1 = classic single-server queues).
+    pub server_nodes: u32,
+    /// Copies per job `d` (1 ≤ d ≤ K); each goes to a distinct server.
+    pub d: usize,
+    /// When losing copies are cancelled.
+    pub cancel: CancelMode,
+    /// How the copies' service times relate.
+    pub copies: CopyModel,
+    /// Aggregate Poisson arrival rate λ, jobs per second.
+    pub arrival_rate: f64,
+    /// Mean service time `1/μ` in seconds (exponential).
+    pub service_mean: f64,
+    /// Submission window; arrivals stop after it, the run drains.
+    pub window: Duration,
+    /// Per-server scheduling discipline (FCFS for the queueing model).
+    pub algorithm: Algorithm,
+    /// Middleware faults; default (disabled) runs the perfect path.
+    pub faults: FaultSpec,
+}
+
+impl RedundancyConfig {
+    /// A `d`-of-`servers` setup at 70 % normalized load: FCFS servers,
+    /// one node each, 60 s mean service, one-hour window, completion-
+    /// cancelled i.i.d. copies.
+    pub fn new(servers: usize, d: usize) -> Self {
+        let mut cfg = RedundancyConfig {
+            servers,
+            server_nodes: 1,
+            d,
+            cancel: CancelMode::OnCompletion,
+            copies: CopyModel::Iid,
+            arrival_rate: 0.0,
+            service_mean: 60.0,
+            window: Duration::from_hours(1),
+            algorithm: Algorithm::Fcfs,
+            faults: FaultSpec::default(),
+        };
+        cfg.arrival_rate = 0.7 * cfg.capacity_rate();
+        cfg
+    }
+
+    /// Total service capacity `K·μ` in jobs per second — the normalizer
+    /// for offered load (λ/Kμ = 1 is the no-redundancy stability edge).
+    pub fn capacity_rate(&self) -> f64 {
+        self.servers as f64 / self.service_mean
+    }
+
+    /// Sets the arrival rate to `load` × the capacity rate.
+    pub fn with_load(mut self, load: f64) -> Self {
+        assert!(load.is_finite() && load > 0.0, "load must be positive");
+        self.arrival_rate = load * self.capacity_rate();
+        self
+    }
+
+    /// Panics unless the configuration is sane.
+    pub fn validate(&self) {
+        assert!(self.servers >= 1, "need at least one server");
+        assert!(self.server_nodes >= 1, "servers need at least one node");
+        assert!(
+            (1..=self.servers).contains(&self.d),
+            "d must satisfy 1 <= d <= K (d = {}, K = {})",
+            self.d,
+            self.servers
+        );
+        assert!(
+            self.arrival_rate.is_finite() && self.arrival_rate > 0.0,
+            "arrival rate must be positive"
+        );
+        assert!(
+            self.service_mean.is_finite() && self.service_mean > 0.0,
+            "service mean must be positive"
+        );
+        assert!(!self.window.is_zero(), "window must be positive");
+        if let CopyModel::Correlated { rho } = self.copies {
+            assert!(
+                (0.0..=1.0).contains(&rho),
+                "correlation must be in [0, 1], got {rho}"
+            );
+        }
+        self.faults.validate(self.servers);
+    }
+}
+
+/// The pre-generated draw tables, job-major: job `j`'s copy `i` targets
+/// `targets[j·d + i]` with runtime `runtimes[j·d + i]`.
+struct JobTable {
+    arrivals: Vec<SimTime>,
+    targets: Vec<u32>,
+    runtimes: Vec<Duration>,
+}
+
+/// Generates every draw of the run up front on dedicated seed children
+/// (0 arrivals, 1 shared service, 2 independent service, 3 selection),
+/// so the protocol's `place_into` touches no randomness at all and the
+/// four streams cannot shift each other. The interarrival sampler
+/// inverts the *same* uniforms at every rate, so two loads at one seed
+/// see time-scaled versions of one arrival process — the λ sweep is
+/// paired too.
+fn generate(config: &RedundancyConfig, seed: &SeedSequence) -> JobTable {
+    let mut arrival_rng = seed.child(0).rng();
+    let mut shared_rng = seed.child(1).rng();
+    let mut indep_rng = seed.child(2).rng();
+    let mut select_rng = seed.child(3).rng();
+    let interarrival = Exponential::new(config.arrival_rate);
+    let service = Exponential::with_mean(config.service_mean);
+    let w = config.copies.shared_weight();
+    let k = config.servers;
+    let mut table = JobTable {
+        arrivals: Vec::new(),
+        targets: Vec::new(),
+        runtimes: Vec::new(),
+    };
+    let mut pick: Vec<u32> = Vec::with_capacity(k);
+    let mut t = SimTime::ZERO;
+    loop {
+        t += Duration::from_secs(interarrival.sample(&mut arrival_rng));
+        if t.since(SimTime::ZERO) >= config.window {
+            return table;
+        }
+        table.arrivals.push(t);
+        let shared = service.sample(&mut shared_rng);
+        for _ in 0..config.d {
+            // The independent draw is consumed even at w = 1, so every
+            // copy model sees identical streams at a fixed seed.
+            let indep = service.sample(&mut indep_rng);
+            let secs = w * shared + (1.0 - w) * indep;
+            table
+                .runtimes
+                .push(Duration::from_secs(secs).max(Duration::from_micros(1)));
+        }
+        // d distinct servers, uniformly, via a partial Fisher–Yates over
+        // a fresh 0..K — one swap (one draw) per copy, independent of
+        // earlier jobs' picks.
+        pick.clear();
+        pick.extend(0..k as u32);
+        for i in 0..config.d {
+            let r = i + (select_rng.next_u64() % (k - i) as u64) as usize;
+            pick.swap(i, r);
+            table.targets.push(pick[i]);
+        }
+    }
+}
+
+/// The redundancy-d placement policy: `d` pre-drawn copies per job, each
+/// to its own server, racing under the configured [`CancelMode`].
+struct RedundancyD {
+    table: JobTable,
+    d: usize,
+    cancel: CancelMode,
+}
+
+impl SubmissionProtocol for RedundancyD {
+    fn name(&self) -> &'static str {
+        "redundancy-d"
+    }
+
+    fn n_jobs(&self) -> usize {
+        self.table.arrivals.len()
+    }
+
+    fn arrival(&self, job: usize) -> SimTime {
+        self.table.arrivals[job]
+    }
+
+    fn home(&self, job: usize) -> usize {
+        self.table.targets[job * self.d] as usize
+    }
+
+    fn cancel_mode(&self) -> CancelMode {
+        self.cancel
+    }
+
+    fn place_into(
+        &mut self,
+        job: usize,
+        _now: SimTime,
+        _rng: &mut StdRng,
+        _scheds: &dyn SchedulerSet,
+        out: &mut Vec<CopyPlan>,
+    ) {
+        for i in 0..self.d {
+            let idx = job * self.d + i;
+            let runtime = self.table.runtimes[idx];
+            out.push(CopyPlan {
+                target: self.table.targets[idx] as usize,
+                nodes: 1,
+                estimate: runtime,
+                runtime,
+            });
+        }
+    }
+}
+
+/// The no-redundancy baseline: one copy to one uniformly random server,
+/// cancelled on start like every pre-existing protocol (with a single
+/// copy the mode is vacuous — `d = 1` runs of [`run`] are locked bitwise
+/// against this protocol in the proptest suite).
+struct SingleSubmit {
+    table: JobTable,
+}
+
+impl SubmissionProtocol for SingleSubmit {
+    fn name(&self) -> &'static str {
+        "single-submit"
+    }
+
+    fn n_jobs(&self) -> usize {
+        self.table.arrivals.len()
+    }
+
+    fn arrival(&self, job: usize) -> SimTime {
+        self.table.arrivals[job]
+    }
+
+    fn home(&self, job: usize) -> usize {
+        self.table.targets[job] as usize
+    }
+
+    fn place_into(
+        &mut self,
+        job: usize,
+        _now: SimTime,
+        _rng: &mut StdRng,
+        _scheds: &dyn SchedulerSet,
+        out: &mut Vec<CopyPlan>,
+    ) {
+        let runtime = self.table.runtimes[job];
+        out.push(CopyPlan {
+            target: self.table.targets[job] as usize,
+            nodes: 1,
+            estimate: runtime,
+            runtime,
+        });
+    }
+}
+
+fn drive<P: SubmissionProtocol>(
+    config: &RedundancyConfig,
+    protocol: P,
+    seed: &SeedSequence,
+) -> RunResult {
+    let nodes = vec![config.server_nodes; config.servers];
+    let scheds = ClusterSet::new(config.algorithm, Duration::ZERO, &nodes);
+    // Streams 0–3 belong to generation; 4 is the driver rng (unused by
+    // these table-driven protocols, reserved for parity with the other
+    // protocols), 5 the fault sampler.
+    let faults = if config.faults.is_disabled() {
+        None
+    } else {
+        Some(FaultModel::new(config.faults.clone(), seed.child(5)))
+    };
+    SimDriver::new(
+        protocol,
+        Box::new(scheds),
+        seed.child(4).rng(),
+        faults,
+        false,
+    )
+    .run()
+}
+
+/// Runs the redundancy-d protocol.
+pub fn run(config: &RedundancyConfig, seed: SeedSequence) -> RunResult {
+    config.validate();
+    let table = generate(config, &seed);
+    let protocol = RedundancyD {
+        table,
+        d: config.d,
+        cancel: config.cancel,
+    };
+    drive(config, protocol, &seed)
+}
+
+/// Runs the no-redundancy baseline on the same draws: `config.d` is
+/// overridden to 1, everything else (seed streams included) applies
+/// unchanged, so the baseline is exactly the `d = 1` member of the
+/// paired family.
+pub fn run_single(config: &RedundancyConfig, seed: SeedSequence) -> RunResult {
+    let mut cfg = config.clone();
+    cfg.d = 1;
+    cfg.validate();
+    let table = generate(&cfg, &seed);
+    let protocol = SingleSubmit { table };
+    drive(&cfg, protocol, &seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> RedundancyConfig {
+        let mut cfg = RedundancyConfig::new(3, 2).with_load(0.6);
+        cfg.window = Duration::from_secs(1_800.0);
+        cfg
+    }
+
+    #[test]
+    fn generation_is_paired_across_modes() {
+        let seed = SeedSequence::new(9);
+        let iid = base();
+        let mut ident = base();
+        ident.copies = CopyModel::Identical;
+        let mut on_start = base();
+        on_start.cancel = CancelMode::OnStart;
+        let a = generate(&iid, &seed);
+        let b = generate(&ident, &seed);
+        let c = generate(&on_start, &seed);
+        assert_eq!(a.arrivals, b.arrivals, "arrivals must not shift");
+        assert_eq!(a.targets, b.targets, "selection must not shift");
+        assert_eq!(a.arrivals, c.arrivals);
+        assert_eq!(a.runtimes, c.runtimes, "cancel mode is not a draw");
+        assert!(!a.arrivals.is_empty());
+    }
+
+    #[test]
+    fn copy_models_interpolate() {
+        let seed = SeedSequence::new(10);
+        let mut cfg = base();
+        cfg.copies = CopyModel::Identical;
+        let ident = generate(&cfg, &seed);
+        for pair in ident.runtimes.chunks(2) {
+            assert_eq!(pair[0], pair[1], "identical copies must share a draw");
+        }
+        cfg.copies = CopyModel::Correlated { rho: 1.0 };
+        assert_eq!(generate(&cfg, &seed).runtimes, ident.runtimes);
+        cfg.copies = CopyModel::Iid;
+        let iid = generate(&cfg, &seed);
+        assert_ne!(iid.runtimes, ident.runtimes);
+        cfg.copies = CopyModel::Correlated { rho: 0.0 };
+        assert_eq!(generate(&cfg, &seed).runtimes, iid.runtimes);
+    }
+
+    #[test]
+    fn selection_picks_distinct_servers() {
+        let cfg = RedundancyConfig::new(4, 3).with_load(0.5);
+        let table = generate(&cfg, &SeedSequence::new(11));
+        for copies in table.targets.chunks(3) {
+            assert!(copies.iter().all(|&t| (t as usize) < 4));
+            let mut sorted = copies.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "copies must go to distinct servers");
+        }
+    }
+
+    #[test]
+    fn on_start_race_never_wastes() {
+        let mut cfg = base();
+        cfg.cancel = CancelMode::OnStart;
+        let run = run(&cfg, SeedSequence::new(12));
+        assert!(!run.records.is_empty());
+        assert_eq!(run.wasted_node_secs, 0.0);
+        assert_eq!(run.zombie_starts, 0);
+        assert_eq!(
+            run.submits,
+            run.records.len() as u64 + run.cancels + run.aborts
+        );
+    }
+
+    #[test]
+    fn completion_race_wastes_loser_work() {
+        let cfg = base().with_load(0.8);
+        let result = run(&cfg, SeedSequence::new(13));
+        assert!(!result.records.is_empty());
+        // Some loser must have been granted nodes before its winner
+        // finished at this load.
+        assert!(result.wasted_node_secs > 0.0);
+        assert_eq!(result.zombie_starts, 0, "perfect middleware");
+        assert_eq!(
+            result.submits,
+            result.records.len() as u64 + result.cancels + result.aborts
+        );
+        for r in &result.records {
+            assert_eq!(r.completion, r.start + r.runtime);
+            assert!(r.redundant);
+            assert_eq!(r.copies, 2);
+        }
+    }
+
+    #[test]
+    fn d1_matches_single_submit_bitwise() {
+        let mut cfg = base();
+        cfg.d = 1;
+        for cancel in [CancelMode::OnStart, CancelMode::OnCompletion] {
+            cfg.cancel = cancel;
+            let a = run(&cfg, SeedSequence::new(14));
+            let b = run_single(&cfg, SeedSequence::new(14));
+            assert_eq!(a.records, b.records, "{cancel:?}");
+            assert_eq!(a.submits, b.submits);
+            assert_eq!(a.cancels, b.cancels);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.max_queue_len, b.max_queue_len);
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical_under_faults() {
+        let mut cfg = base();
+        cfg.faults = FaultSpec {
+            cancel_loss: 0.3,
+            submit_delay: crate::Delay::Fixed(Duration::from_secs(1.0)),
+            ..FaultSpec::default()
+        };
+        let a = run(&cfg, SeedSequence::new(15));
+        let b = run(&cfg, SeedSequence::new(15));
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.wasted_node_secs.to_bits(), b.wasted_node_secs.to_bits());
+        assert_eq!(a.lost_cancels, b.lost_cancels);
+    }
+
+    #[test]
+    fn identical_copies_waste_more_than_iid_on_aggregate() {
+        let mut total_ident = 0.0;
+        let mut total_iid = 0.0;
+        for rep in 0..8u64 {
+            let seed = SeedSequence::new(16).child(rep);
+            let mut cfg = base().with_load(0.7);
+            cfg.copies = CopyModel::Identical;
+            total_ident += run(&cfg, seed).wasted_node_secs;
+            cfg.copies = CopyModel::Iid;
+            total_iid += run(&cfg, seed).wasted_node_secs;
+        }
+        assert!(
+            total_ident > total_iid,
+            "identical {total_ident} vs iid {total_iid}"
+        );
+    }
+}

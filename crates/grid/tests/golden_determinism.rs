@@ -151,6 +151,39 @@ fn moldable_matches_recorded_golden() {
     }
 }
 
+/// The redundancy-d family locked down across its axes: the single-submit
+/// baseline, the cancel-on-start race, and the cancel-on-completion race
+/// under i.i.d. and identical copies (the completion race exercises the
+/// running-loser kill and waste accounting, so `wasted_bits` is part of
+/// the lock).
+#[test]
+fn redundancy_matches_recorded_golden() {
+    use rbr_grid::redundancy::{self, CopyModel, RedundancyConfig};
+    use rbr_grid::CancelMode;
+    let base = || {
+        let mut cfg = RedundancyConfig::new(3, 2).with_load(0.8);
+        cfg.service_mean = 30.0;
+        cfg.window = Duration::from_secs(1_200.0);
+        cfg
+    };
+    check_golden_runs("redundancy_single", |seed| {
+        redundancy::run_single(&base(), SeedSequence::new(seed))
+    });
+    check_golden_runs("redundancy_start", |seed| {
+        let mut cfg = base();
+        cfg.cancel = CancelMode::OnStart;
+        redundancy::run(&cfg, SeedSequence::new(seed))
+    });
+    check_golden_runs("redundancy_comp", |seed| {
+        redundancy::run(&base(), SeedSequence::new(seed))
+    });
+    check_golden_runs("redundancy_comp_ident", |seed| {
+        let mut cfg = base();
+        cfg.copies = CopyModel::Identical;
+        redundancy::run(&cfg, SeedSequence::new(seed))
+    });
+}
+
 /// Same seed twice → identical digest, for every seed in a small sweep.
 #[test]
 fn multicluster_same_seed_is_bit_identical() {

@@ -7,7 +7,8 @@
 use proptest::prelude::*;
 use rbr_grid::dual_queue::{self, DualQueueConfig};
 use rbr_grid::moldable::{self, MoldableConfig, ShapePolicy};
-use rbr_grid::{GridConfig, GridSim, RunResult, Scheme};
+use rbr_grid::redundancy::{self, CopyModel, RedundancyConfig};
+use rbr_grid::{CancelMode, GridConfig, GridSim, RunResult, Scheme};
 use rbr_simcore::{Duration, SeedSequence};
 
 /// The invariants every protocol inherits from the shared driver.
@@ -86,4 +87,115 @@ proptest! {
         prop_assert!(!result.run.records.is_empty());
         check_invariants(&result.run);
     }
+
+    /// Cancel-on-start redundancy-d inherits the full driver contract:
+    /// exactly one copy does useful work, and the start race never
+    /// leaves zombies or waste.
+    #[test]
+    fn redundancy_on_start_invariants(
+        seed in 0u64..1_000_000,
+        d in 1usize..=3,
+        load in 0.3f64..=1.2,
+    ) {
+        let mut cfg = redundancy_cfg(d, load);
+        cfg.cancel = CancelMode::OnStart;
+        let run = redundancy::run(&cfg, SeedSequence::new(seed));
+        prop_assert!(!run.records.is_empty());
+        check_invariants(&run);
+    }
+
+    /// The completion race relaxes exactly one clause of the contract:
+    /// started losers burn node-time until the winner finishes, so waste
+    /// may be positive — but every other invariant holds, every copy is
+    /// dispatched, and still exactly one copy completes useful work per
+    /// job.
+    #[test]
+    fn redundancy_on_completion_invariants(
+        seed in 0u64..1_000_000,
+        d in 1usize..=3,
+        load in 0.3f64..=1.2,
+        model in 0usize..3,
+    ) {
+        let mut cfg = redundancy_cfg(d, load);
+        cfg.copies = match model {
+            0 => CopyModel::Iid,
+            1 => CopyModel::Identical,
+            _ => CopyModel::Correlated { rho: 0.5 },
+        };
+        let run = redundancy::run(&cfg, SeedSequence::new(seed));
+        prop_assert!(!run.records.is_empty());
+        let n_targets = run.max_queue_len.len();
+        for (i, r) in run.records.iter().enumerate() {
+            prop_assert_eq!(r.job, i);
+            prop_assert!(r.ran_on < n_targets);
+            prop_assert!(r.start >= r.arrival);
+            prop_assert_eq!(r.completion, r.start + r.runtime);
+            // Every copy is dispatched up front in the completion race.
+            prop_assert_eq!(r.copies as usize, d);
+            prop_assert!(r.copies == 1 || r.redundant);
+            prop_assert!(run.makespan >= r.completion);
+        }
+        prop_assert_eq!(run.zombie_starts, 0, "perfect middleware");
+        prop_assert!(run.wasted_node_secs >= 0.0);
+        if d == 1 {
+            prop_assert_eq!(run.wasted_node_secs, 0.0, "no loser to burn");
+        }
+        prop_assert_eq!(
+            run.submits,
+            run.records.len() as u64 + run.cancels + run.aborts
+        );
+    }
+
+    /// `d = 1` degenerates to the single-submit baseline bitwise, under
+    /// either cancel mode: same records, same counters.
+    #[test]
+    fn redundancy_d1_is_single_submit(seed in 0u64..1_000_000, comp in 0usize..2) {
+        let mut cfg = redundancy_cfg(1, 0.8);
+        cfg.cancel = if comp == 1 { CancelMode::OnCompletion } else { CancelMode::OnStart };
+        let a = redundancy::run(&cfg, SeedSequence::new(seed));
+        let b = redundancy::run_single(&cfg, SeedSequence::new(seed));
+        prop_assert_eq!(&a.records, &b.records);
+        prop_assert_eq!(a.submits, b.submits);
+        prop_assert_eq!(a.cancels, b.cancels);
+        prop_assert_eq!(a.aborts, b.aborts);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(&a.max_queue_len, &b.max_queue_len);
+        prop_assert_eq!(a.wasted_node_secs.to_bits(), b.wasted_node_secs.to_bits());
+    }
+
+    /// The survey's mechanism, observable in the waste ledger: identical
+    /// copies duplicate full work while i.i.d. copies hedge, so at equal
+    /// seeds the identical completion race wastes at least as much
+    /// node-time in aggregate (summed over a few paired replications to
+    /// keep the claim about the mechanism, not one draw).
+    #[test]
+    fn identical_copies_waste_at_least_iid(seed in 0u64..1_000_000) {
+        let mut ident_total = 0.0;
+        let mut iid_total = 0.0;
+        for rep in 0..4u64 {
+            let child = SeedSequence::new(seed).child(rep);
+            let mut cfg = redundancy_cfg(2, 0.7);
+            cfg.copies = CopyModel::Identical;
+            ident_total += redundancy::run(&cfg, child).wasted_node_secs;
+            cfg.copies = CopyModel::Iid;
+            iid_total += redundancy::run(&cfg, child).wasted_node_secs;
+        }
+        prop_assert!(
+            ident_total >= iid_total,
+            "identical copies must waste at least as much as iid: {} < {}",
+            ident_total,
+            iid_total
+        );
+    }
+}
+
+/// A small redundancy-d workload: 3 servers, 30 s mean service, a
+/// 20-minute window, completion-cancelled i.i.d. copies unless the test
+/// overrides an axis.
+fn redundancy_cfg(d: usize, load: f64) -> RedundancyConfig {
+    let mut cfg = RedundancyConfig::new(3, d).with_load(load);
+    cfg.service_mean = 30.0;
+    cfg.window = Duration::from_secs(1_200.0);
+    cfg
 }

@@ -13,12 +13,15 @@
 //! * [`WasteAccount`] — useful vs wasted node-seconds under faulty
 //!   middleware, mergeable across replications.
 //! * [`jain_index`] — Jain's fairness index over per-cluster loads.
+//! * [`trend`] — least-squares slope over windowed samples, the
+//!   queue-growth instability detector behind the λ* bisection.
 
 pub mod fairness;
 pub mod histogram;
 pub mod percentile;
 pub mod relative;
 pub mod summary;
+pub mod trend;
 pub mod waste;
 
 pub use fairness::jain_index;
@@ -26,4 +29,5 @@ pub use histogram::Histogram;
 pub use percentile::Percentiles;
 pub use relative::{mean_relative, RelativeSeries};
 pub use summary::Summary;
+pub use trend::{is_growing, linear_slope};
 pub use waste::WasteAccount;

@@ -1,0 +1,92 @@
+//! Least-squares trend over a sampled time series — the instability
+//! detector behind the `stability` experiment's λ* bisection.
+//!
+//! A queue is classified as *growing* when the fitted slope of its
+//! windowed queue-length samples exceeds a threshold expressed in jobs
+//! per second. For a stable queue the samples fluctuate around a finite
+//! mean and the fitted slope hovers near zero; past the stability edge
+//! the backlog grows linearly at rate λ − (served rate), so a slope
+//! threshold scaled to a small fraction of λ separates the phases
+//! crisply once the sample window outlives the transient.
+
+/// Least-squares slope of `y` over `x` for `(x, y)` samples, in units of
+/// `y` per unit `x`. Returns `0.0` for degenerate inputs (fewer than two
+/// samples, or all `x` equal) — a series that cannot exhibit a trend is
+/// treated as flat.
+pub fn linear_slope(samples: &[(f64, f64)]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let n = samples.len() as f64;
+    let mean_x = samples.iter().map(|&(x, _)| x).sum::<f64>() / n;
+    let mean_y = samples.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for &(x, y) in samples {
+        let dx = x - mean_x;
+        sxx += dx * dx;
+        sxy += dx * (y - mean_y);
+    }
+    if sxx <= 0.0 {
+        return 0.0;
+    }
+    sxy / sxx
+}
+
+/// Whether a sampled queue-length series is growing: its fitted slope
+/// exceeds `threshold` (jobs per second; pass a small fraction of the
+/// offered λ so the verdict scales with the workload).
+pub fn is_growing(samples: &[(f64, f64)], threshold: f64) -> bool {
+    linear_slope(samples) > threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovers_its_slope() {
+        let samples: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64, 3.0 + 0.25 * i as f64))
+            .collect();
+        assert!((linear_slope(&samples) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_series_are_flat() {
+        assert_eq!(linear_slope(&[]), 0.0);
+        assert_eq!(linear_slope(&[(1.0, 5.0)]), 0.0);
+        assert_eq!(linear_slope(&[(2.0, 1.0), (2.0, 9.0)]), 0.0);
+    }
+
+    #[test]
+    fn classifies_stable_vs_growing_queue_traces() {
+        // A stable queue: bounded oscillation around a mean of ~3 jobs.
+        let stable: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let t = i as f64 * 10.0;
+                (t, 3.0 + 2.0 * (i as f64 * 0.7).sin())
+            })
+            .collect();
+        // An unstable queue at λ = 0.1/s with 20% excess arrival rate:
+        // backlog grows at 0.02 jobs/s plus the same oscillation.
+        let growing: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let t = i as f64 * 10.0;
+                (t, 3.0 + 0.02 * t + 2.0 * (i as f64 * 0.7).sin())
+            })
+            .collect();
+        let threshold = 0.05 * 0.1; // slope_frac · λ
+        assert!(!is_growing(&stable, threshold));
+        assert!(is_growing(&growing, threshold));
+    }
+
+    #[test]
+    fn negative_trends_are_not_growth() {
+        let draining: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64, 100.0 - 2.0 * i as f64))
+            .collect();
+        assert!(!is_growing(&draining, 0.001));
+        assert!(linear_slope(&draining) < 0.0);
+    }
+}
