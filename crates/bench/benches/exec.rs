@@ -207,6 +207,29 @@ fn record_speedup(wide: &str) {
     let (jobs2_secs, _) = time_campaign(&Pool::new(2), &plan);
     let (jobs4_secs, _) = time_campaign(&Pool::new(4), &plan);
 
+    // The observability tax: the same serial campaign with the metrics
+    // registry enabled and a trace sink attached. The acceptance bar is
+    // obs_overhead <= 0.05 (5%); the disabled path costs nothing by
+    // construction (a relaxed load per call site), which the zero-alloc
+    // test in rbr-obs pins.
+    let obs_enabled_secs = {
+        let trace_path =
+            std::env::temp_dir().join(format!("rbr-bench-obs-trace-{}.jsonl", std::process::id()));
+        rbr_obs::trace::start_file(&trace_path).expect("attach trace sink");
+        rbr_obs::metrics::set_enabled(true);
+        let pool = Pool::new(1);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let (secs, _) = time_campaign(&pool, &plan);
+            best = best.min(secs);
+        }
+        rbr_obs::metrics::set_enabled(false);
+        rbr_obs::trace::stop().expect("detach trace sink");
+        let _ = std::fs::remove_file(&trace_path);
+        best
+    };
+    let obs_overhead = obs_enabled_secs / serial_secs.max(1e-9) - 1.0;
+
     // Quick-scale trajectory (ROADMAP item 1): one 4-lane pass over the
     // full registry at quick fidelity. ~100x the smoke cost, so it only
     // runs when CI (or a curious dev) opts in via RBR_BENCH_QUICK=1.
@@ -230,6 +253,8 @@ fn record_speedup(wide: &str) {
          \"pr5_baseline_serial_secs\":{PR5_BASELINE_SERIAL_SECS:.3},\
          \"serial_secs\":{serial_secs:.3},\
          \"speedup_vs_pr5_serial\":{:.3},\
+         \"obs_enabled_secs\":{obs_enabled_secs:.3},\
+         \"obs_overhead\":{obs_overhead:.3},\
          \"jobs2_secs\":{jobs2_secs:.3},\"jobs4_secs\":{jobs4_secs:.3},\
          \"parallel_speedup_jobs2\":{:.3},\"parallel_speedup_jobs4\":{:.3},\
          \"quick_jobs4_secs\":{quick_jobs4_secs},{wide}}}\n",

@@ -18,6 +18,8 @@
 //! rbr audit <name|all> [options]    run experiments under the invariant
 //!     --scale smoke|quick|paper     auditor and report any violations
 //!     --seed N                      (default scale: smoke)
+//! rbr obs trace <file>              fold a trace into a phase breakdown
+//! rbr obs metrics <file> [--format] render a metrics snapshot
 //! rbr capacity [--iat SECS]        the Section 4 capacity arithmetic
 //! rbr swf-export <path> [--hours H] export a synthetic SWF trace
 //! rbr throughput                   native scheduler submit/cancel rates
@@ -33,6 +35,12 @@
 //!     --rate M                      arrival-rate multiple (default 1.0)
 //!     --seed N                      workload seed (default 2006)
 //! ```
+//!
+//! `run`, `audit`, and `serve` additionally accept the observability
+//! flags `--trace FILE` (append JSONL trace records from `rbr-obs`) and
+//! `--metrics FILE` (enable the metrics registry and write a JSON
+//! snapshot at exit). Both are side channels: reports, admission logs,
+//! and exit codes are byte-identical with or without them.
 //!
 //! Every experiment — name, description, seed, tables — comes from
 //! [`Registry::standard`]; the CLI holds no experiment list of its own.
@@ -113,6 +121,13 @@ fn main() -> ExitCode {
             throughput();
             ExitCode::SUCCESS
         }
+        Some("obs") => match obs_command(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("serve") => match serve_command(&args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -144,6 +159,8 @@ fn main() -> ExitCode {
                  audit <name|all> [options]     run experiments under the invariant auditor\n    \
                  --scale smoke|quick|paper    fidelity (default: smoke)\n    \
                  --seed N                     override the master seed\n  \
+                 obs trace <file>               fold a --trace file into a phase breakdown\n  \
+                 obs metrics <file> [--format]  render a --metrics snapshot (text|csv|json)\n  \
                  capacity [--iat SECS]          Section 4 capacity arithmetic\n  \
                  swf-export <path> [--hours H]  export a synthetic SWF trace\n  \
                  throughput                     native scheduler throughput sweep\n  \
@@ -157,7 +174,10 @@ fn main() -> ExitCode {
                  --addr HOST:PORT             server address (default 127.0.0.1:7206)\n    \
                  --jobs N                     jobs to replay (default 1000)\n    \
                  --rate M                     arrival-rate multiple (default 1.0)\n    \
-                 --seed N                     workload seed (default 2006)"
+                 --seed N                     workload seed (default 2006)\n\n\
+                 run, audit, and serve also accept --trace FILE (JSONL trace records)\n\
+                 and --metrics FILE (JSON metrics snapshot at exit); both are side\n\
+                 channels that never change reports or exit codes."
             );
             ExitCode::SUCCESS
         }
@@ -173,6 +193,7 @@ fn main() -> ExitCode {
 /// engine: each experiment is a cell, journalled under `--out`/`--resume`
 /// and executed across `--jobs` lanes with a fixed merge order.
 fn run_command(name: &str, args: &[String]) -> Result<(), String> {
+    let obs_metrics = obs_setup(args)?;
     let scale = parse_scale(args)?;
     let format = parse_format(args)?;
     let seed = parse_seed(args)?;
@@ -280,18 +301,24 @@ fn run_command(name: &str, args: &[String]) -> Result<(), String> {
         );
     }
     if after.jobs > 1 {
-        let busy = after
-            .since(&before)
-            .iter()
-            .map(|b| format!("{:.0}%", b * 100.0))
-            .collect::<Vec<_>>()
-            .join(" ");
+        after.publish();
+        let busy = after.since(&before);
         eprintln!(
-            "pool: {} lanes, {} cell(s) executed, {} replayed; worker busy [{busy}]",
+            "pool: {} lanes, {} cell(s) executed, {} replayed",
             after.jobs, stats.executed, stats.replayed
         );
+        for (w, frac) in busy.iter().enumerate() {
+            let cells = after.cells_executed.get(w).copied().unwrap_or(0)
+                - before.cells_executed.get(w).copied().unwrap_or(0);
+            let stolen = after.cells_stolen.get(w).copied().unwrap_or(0)
+                - before.cells_stolen.get(w).copied().unwrap_or(0);
+            eprintln!(
+                "  worker {w}: {:3.0}% busy, {cells} cell(s), {stolen} stolen",
+                frac * 100.0
+            );
+        }
     }
-    Ok(())
+    obs_finish(obs_metrics)
 }
 
 /// Resolves `--out`/`--resume` into the campaign directory and whether
@@ -322,6 +349,7 @@ fn campaign_dir(args: &[String]) -> Result<(Option<PathBuf>, bool), String> {
 /// scale: the auditor checks every scheduling decision, so the cheapest
 /// fidelity already exercises every invariant.
 fn audit_command(name: &str, args: &[String]) -> Result<(), String> {
+    let obs_metrics = obs_setup(args)?;
     let scale = match flag_value(args, "--scale") {
         None => Scale::Smoke,
         Some(s) => {
@@ -363,6 +391,7 @@ fn audit_command(name: &str, args: &[String]) -> Result<(), String> {
         }
     }
     rbr_audit::sink::uninstall();
+    obs_finish(obs_metrics)?;
     if total_violations > 0 {
         Err(format!(
             "{total_violations} invariant violation(s) detected"
@@ -431,6 +460,63 @@ fn parse_flag_value(args: &[String], flag: &str) -> Option<f64> {
     flag_value(args, flag).and_then(|v| v.parse().ok())
 }
 
+/// Resolves the shared observability flags: `--trace FILE` attaches the
+/// JSONL trace sink, `--metrics FILE` enables the metrics registry.
+/// Returns the metrics path for [`obs_finish`] to snapshot into.
+fn obs_setup(args: &[String]) -> Result<Option<PathBuf>, String> {
+    if let Some(path) = flag_value(args, "--trace") {
+        rbr_obs::trace::start_file(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open trace file {path}: {e}"))?;
+    }
+    let metrics = flag_value(args, "--metrics").map(PathBuf::from);
+    if metrics.is_some() {
+        rbr_obs::metrics::set_enabled(true);
+    }
+    Ok(metrics)
+}
+
+/// Detaches the trace sink and writes the metrics snapshot (as JSON,
+/// the format `rbr obs metrics` reads back) if `--metrics` was given.
+fn obs_finish(metrics: Option<PathBuf>) -> Result<(), String> {
+    rbr_obs::trace::stop().map_err(|e| format!("cannot flush trace: {e}"))?;
+    if let Some(path) = metrics {
+        let snap = rbr_obs::metrics::snapshot();
+        std::fs::write(&path, snap.render_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        progress_line(format!("wrote metrics snapshot to {}", path.display()));
+    }
+    Ok(())
+}
+
+/// `rbr obs trace <file>` folds a trace into a per-phase time
+/// breakdown; `rbr obs metrics <file> [--format F]` renders a snapshot.
+fn obs_command(args: &[String]) -> Result<(), String> {
+    let usage = "usage: rbr obs trace <file> | rbr obs metrics <file> [--format text|csv|json]";
+    let mut it = args.iter().skip(1);
+    match (it.next().map(String::as_str), it.next()) {
+        (Some("trace"), Some(path)) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let summary = rbr_obs::report::fold_trace(std::io::BufReader::new(file))
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            print!("{}", summary.render());
+            Ok(())
+        }
+        (Some("metrics"), Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let snap = rbr_obs::report::parse_snapshot(&text)
+                .map_err(|e| format!("{path} is not a metrics snapshot: {e}"))?;
+            match parse_format(args)? {
+                Format::Text => print!("{}", snap.render_text()),
+                Format::Csv => print!("{}", snap.render_csv()),
+                Format::Json => print!("{}", snap.render_json()),
+            }
+            Ok(())
+        }
+        _ => Err(usage.to_string()),
+    }
+}
+
 /// Emits one progress line as a single `write` syscall on the locked
 /// stderr handle. `eprintln!` renders its format arguments piecewise,
 /// so concurrent writers (campaign lanes, a piped `rbr serve`) can
@@ -443,6 +529,7 @@ fn progress_line(line: String) {
 
 /// Runs the batching metascheduler service until a client drains it.
 fn serve_command(args: &[String]) -> Result<(), String> {
+    let obs_metrics = obs_setup(args)?;
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7206");
     let batch = match flag_value(args, "--batch") {
         None => 8u32,
@@ -481,7 +568,15 @@ fn serve_command(args: &[String]) -> Result<(), String> {
          {:.3} copies/s budget)",
         rbr_serve::AdmissionController::new(config.admission.clone()).rate()
     ));
-    let stats = rbr_serve::serve(listener, &config)?;
+    // A drain-leak error must still flush the trace and snapshot (the
+    // leak count lives in the `serve.drain_leaks` metric).
+    let stats = match rbr_serve::serve(listener, &config) {
+        Ok(stats) => stats,
+        Err(e) => {
+            obs_finish(obs_metrics)?;
+            return Err(e);
+        }
+    };
     progress_line(format!(
         "drained: {} submit(s), {} cancel(s), {} ack(s), {} transaction(s), {} shed",
         stats.submits, stats.cancels, stats.acks, stats.transactions, stats.shed
@@ -494,7 +589,7 @@ fn serve_command(args: &[String]) -> Result<(), String> {
             progress_line(format!("wrote admission log to {path}"));
         }
     }
-    Ok(())
+    obs_finish(obs_metrics)
 }
 
 /// Replays a Lublin arrival stream against a running service.

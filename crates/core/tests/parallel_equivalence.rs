@@ -6,6 +6,11 @@
 //! so the test pins it with `RBR_FIXED_WALL_TIME` — the same override the
 //! CI determinism gate uses. Everything else (tables, sim accounting)
 //! must come out identical however the cells interleave.
+//!
+//! A second pass re-proves the gate with the `rbr-obs` metrics registry
+//! enabled and a trace sink attached: observability is a side channel,
+//! so 1-vs-2-lane reports must stay byte-identical — and identical to
+//! the obs-off baseline.
 
 use rbr::experiments::Registry;
 use rbr::report::Format;
@@ -22,6 +27,7 @@ fn every_experiment_is_byte_identical_across_job_counts() {
     let registry = Registry::standard();
     let serial = Pool::new(1);
     let parallel = Pool::new(4);
+    let mut baseline = std::collections::BTreeMap::new();
     for exp in registry.iter() {
         let seed = exp.default_seed();
         let a = with_pool(&serial, || {
@@ -37,5 +43,43 @@ fn every_experiment_is_byte_identical_across_job_counts() {
             "{}: RBR_FIXED_WALL_TIME override missing from {a}",
             exp.name()
         );
+        baseline.insert(exp.name().to_string(), a);
     }
+
+    // Second pass — the same gate with observability fully enabled
+    // (metrics registry on, trace sink attached): 1 vs 2 lanes must
+    // stay byte-identical, and must match the obs-off baseline too.
+    // Same test function on purpose: the env override above is
+    // process-global, so this file holds exactly one test.
+    let trace_path = std::env::temp_dir().join(format!(
+        "rbr-parallel-equivalence-trace-{}.jsonl",
+        std::process::id()
+    ));
+    rbr_obs::metrics::set_enabled(true);
+    rbr_obs::trace::start_file(&trace_path).expect("attach trace sink");
+    let two = Pool::new(2);
+    for exp in registry.iter() {
+        let seed = exp.default_seed();
+        let a = with_pool(&serial, || {
+            exp.run_with(Scale::Smoke, seed, None).render(Format::Json)
+        });
+        let b = with_pool(&two, || {
+            exp.run_with(Scale::Smoke, seed, None).render(Format::Json)
+        });
+        assert_eq!(
+            a,
+            b,
+            "{}: serial and 2-lane reports diverged with obs enabled",
+            exp.name()
+        );
+        assert_eq!(
+            Some(&a),
+            baseline.get(exp.name()),
+            "{}: enabling observability changed report bytes",
+            exp.name()
+        );
+    }
+    rbr_obs::trace::stop().expect("detach trace sink");
+    rbr_obs::metrics::set_enabled(false);
+    let _ = std::fs::remove_file(&trace_path);
 }

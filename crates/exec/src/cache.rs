@@ -25,9 +25,24 @@
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use crate::hash;
 use crate::journal::{write_json_string, Record};
+
+/// Registry handles for cache traffic (registered once each; per-call
+/// cost is a relaxed load while metrics are off).
+fn cache_counter(which: &'static str) -> &'static rbr_obs::Counter {
+    static HITS: OnceLock<rbr_obs::Counter> = OnceLock::new();
+    static MISSES: OnceLock<rbr_obs::Counter> = OnceLock::new();
+    static STORES: OnceLock<rbr_obs::Counter> = OnceLock::new();
+    let (slot, name) = match which {
+        "hits" => (&HITS, "exec.cache.hits"),
+        "misses" => (&MISSES, "exec.cache.misses"),
+        _ => (&STORES, "exec.cache.stores"),
+    };
+    slot.get_or_init(|| rbr_obs::metrics::counter(name))
+}
 
 /// A handle on a shared cell-cache directory.
 pub struct CellCache {
@@ -62,6 +77,12 @@ impl CellCache {
     /// Looks up the cell `(manifest, key)`. Returns the stored record on
     /// a verified hit; any mismatch, corruption, or absence is a miss.
     pub fn lookup(&self, manifest: &str, key: &str) -> Option<Record> {
+        let found = self.lookup_inner(manifest, key);
+        cache_counter(if found.is_some() { "hits" } else { "misses" }).inc();
+        found
+    }
+
+    fn lookup_inner(&self, manifest: &str, key: &str) -> Option<Record> {
         let path = self.entry_path(&Self::content_key(manifest, key));
         let bytes = std::fs::read(&path).ok()?;
         let mut lines = bytes.split(|b| *b == b'\n');
@@ -105,7 +126,10 @@ impl CellCache {
             .and_then(|()| file.flush())
             .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
         drop(file);
-        std::fs::rename(&tmp, &path).map_err(|e| format!("cannot publish {}: {e}", path.display()))
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("cannot publish {}: {e}", path.display()))?;
+        cache_counter("stores").inc();
+        Ok(())
     }
 }
 

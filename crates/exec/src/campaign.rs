@@ -347,6 +347,19 @@ where
     let meter_ref = &meter;
 
     // Delivery-side state, owned by the fold's in-order sink.
+    let trace_on = rbr_obs::trace::enabled();
+    let mut fold_secs = 0.0f64;
+    /// Accumulates elapsed wall time into `acc` on scope exit (also on
+    /// the sink's early returns).
+    struct PhaseGuard<'a> {
+        acc: &'a mut f64,
+        t0: Instant,
+    }
+    impl Drop for PhaseGuard<'_> {
+        fn drop(&mut self) {
+            *self.acc += self.t0.elapsed().as_secs_f64();
+        }
+    }
     let mut sink = sink;
     let mut error: Option<String> = None;
     let mut stats = CampaignStats {
@@ -416,6 +429,10 @@ where
             }
         },
         |i, state: CellState| {
+            let _fold_t = trace_on.then(|| PhaseGuard {
+                acc: &mut fold_secs,
+                t0: Instant::now(),
+            });
             if error.is_some() {
                 return;
             }
@@ -472,10 +489,18 @@ where
         },
     );
 
+    if trace_on {
+        rbr_obs::trace::phase("exec.campaign", "fold", fold_secs);
+    }
     if let Some(e) = error {
         return Err(e);
     }
     stats.complete = stats.delivered == total;
+    if rbr_obs::metrics::enabled() {
+        rbr_obs::metrics::counter("exec.campaign.cells_executed").add(stats.executed as u64);
+        rbr_obs::metrics::counter("exec.campaign.cells_replayed").add(stats.replayed as u64);
+        rbr_obs::metrics::counter("exec.campaign.cells_delivered").add(stats.delivered as u64);
+    }
     if stats.complete {
         if let Some(journal) = &journal {
             // Seal the final partial segment so a future --resume

@@ -44,9 +44,22 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use crate::hash;
+
+/// Registry handle for successful cell appends (registered once; the
+/// per-append cost is a relaxed load when metrics are off).
+fn appends_counter() -> &'static rbr_obs::Counter {
+    static C: OnceLock<rbr_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| rbr_obs::metrics::counter("exec.journal.appends"))
+}
+
+/// Registry handle for sealed index blocks.
+fn seals_counter() -> &'static rbr_obs::Counter {
+    static C: OnceLock<rbr_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| rbr_obs::metrics::counter("exec.journal.seals"))
+}
 
 /// File name of the legacy single-file journal inside a campaign
 /// directory (still loadable; new journals are segmented).
@@ -397,7 +410,7 @@ impl Journal {
         line.push_str(",\"payload\":");
         write_json_string(&mut line, &record.payload);
         line.push_str("}\n");
-        match &mut self.store {
+        let appended = match &mut self.store {
             Store::Legacy { file, path } => file
                 .write_all(line.as_bytes())
                 .and_then(|()| file.flush())
@@ -425,7 +438,11 @@ impl Journal {
                 seg.seg_records += 1;
                 Ok(())
             }
+        };
+        if appended.is_ok() {
+            appends_counter().inc();
         }
+        appended
     }
 
     /// Seals the final (partial) segment of a completed campaign into
@@ -485,6 +502,7 @@ impl Segmented {
             .and_then(|()| self.index.flush())
             .map_err(|e| format!("cannot append to {}: {e}", idx_path.display()))?;
         self.pending.clear();
+        seals_counter().inc();
         Ok(())
     }
 

@@ -83,6 +83,9 @@ struct Shared {
     busy_ns: Vec<AtomicU64>,
     /// Cells each worker executed.
     executed: Vec<AtomicU64>,
+    /// Cells each worker claimed from a *sibling's* deque (true steals;
+    /// own-deque pops and injector claims are not steals).
+    stolen: Vec<AtomicU64>,
     created: Instant,
 }
 
@@ -96,6 +99,7 @@ impl Shared {
             shutdown: AtomicBool::new(false),
             busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             created: Instant::now(),
         }
     }
@@ -132,6 +136,7 @@ impl Shared {
         for step in 1..n {
             let victim = (w + step) % n;
             if let Some(t) = self.locals[victim].lock().unwrap().pop_front() {
+                self.stolen[w].fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
         }
@@ -554,6 +559,12 @@ impl Pool {
                 .iter()
                 .map(|e| e.load(Ordering::Relaxed))
                 .collect(),
+            cells_stolen: self
+                .shared
+                .stolen
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -581,6 +592,8 @@ pub struct PoolMetrics {
     pub busy_secs: Vec<f64>,
     /// Cells each worker executed.
     pub cells_executed: Vec<u64>,
+    /// Cells each worker claimed from a sibling's deque.
+    pub cells_stolen: Vec<u64>,
 }
 
 impl PoolMetrics {
@@ -592,6 +605,26 @@ impl PoolMetrics {
             .zip(&earlier.busy_secs)
             .map(|(now, then)| ((now - then) / window).clamp(0.0, 1.0))
             .collect()
+    }
+
+    /// Publishes this snapshot into the observability registry
+    /// (per-worker busy seconds / cells / steals as gauges — a snapshot
+    /// replaces the previous one). No-op while metrics are disabled.
+    pub fn publish(&self) {
+        if !rbr_obs::metrics::enabled() {
+            return;
+        }
+        rbr_obs::metrics::gauge("exec.pool.jobs").set(self.jobs as f64);
+        rbr_obs::metrics::gauge("exec.pool.elapsed_secs").set(self.elapsed_secs);
+        for (w, busy) in self.busy_secs.iter().enumerate() {
+            rbr_obs::metrics::gauge(&format!("exec.pool.worker{w}.busy_secs")).set(*busy);
+        }
+        for (w, cells) in self.cells_executed.iter().enumerate() {
+            rbr_obs::metrics::gauge(&format!("exec.pool.worker{w}.cells")).set(*cells as f64);
+        }
+        for (w, stolen) in self.cells_stolen.iter().enumerate() {
+            rbr_obs::metrics::gauge(&format!("exec.pool.worker{w}.stolen")).set(*stolen as f64);
+        }
     }
 }
 

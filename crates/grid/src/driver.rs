@@ -106,6 +106,7 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rbr_faults::FaultModel;
@@ -354,6 +355,41 @@ pub struct SimDriver<P: SubmissionProtocol> {
     cancel_serial: u64,
     /// Run-level observer (the invariant auditor); `None` in normal runs.
     observer: Option<Rc<RefCell<dyn RunObserver>>>,
+    /// True when a trace sink was attached at construction; cached so
+    /// the event loop pays one branch, not a relaxed load, per check.
+    /// Phase timers and the queue-depth series only exist when set.
+    obs_trace: bool,
+    /// Wall seconds spent inside [`SubmissionProtocol::place_into`]
+    /// (only accumulated when `obs_trace`, on one submission in
+    /// [`PHASE_SAMPLE_EVERY`]).
+    obs_protocol_secs: f64,
+    /// Submissions seen so far, for the placement timer's sampling
+    /// stride (only maintained when `obs_trace`).
+    obs_place_tick: u64,
+}
+
+/// Events between two samples of the per-target queue-depth trace
+/// series (tracing only) — coarse enough to keep a smoke trace in the
+/// tens of kilobytes, fine enough to see a queue-growth trajectory.
+const QUEUE_SAMPLE_EVERY: u64 = 256;
+
+/// Phase timers read the wall clock on one iteration (or submission)
+/// in this many, and [`SimDriver::flush_obs`] scales the accumulated
+/// seconds back up. Timing every event costs ~45% of the event loop in
+/// `Instant::now` calls; sampling keeps the traced run within the
+/// BENCH_exec.json `obs_overhead` budget while the per-phase shares —
+/// what the breakdown is for — stay statistically faithful. The stride
+/// is keyed to deterministic counters, never to time.
+const PHASE_SAMPLE_EVERY: u64 = 16;
+
+/// Wall-clock phase accumulators for the event loop; allocated only
+/// when a trace sink is attached.
+#[derive(Default)]
+struct PhaseTimers {
+    /// Seconds inside `Engine::pop` (event-queue operations).
+    queue_ops: f64,
+    /// Seconds inside event handlers (protocol + placement).
+    handler: f64,
 }
 
 impl<P: SubmissionProtocol> SimDriver<P> {
@@ -413,6 +449,9 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             cancel_buf: Vec::new(),
             cancel_serial: 0,
             observer: None,
+            obs_trace: rbr_obs::trace::enabled(),
+            obs_protocol_secs: 0.0,
+            obs_place_tick: 0,
             protocol,
         };
         if let Some(obs) = observer_from_factory() {
@@ -436,7 +475,25 @@ impl<P: SubmissionProtocol> SimDriver<P> {
     /// Panics if any job fails to start or complete — that would be a
     /// scheduler bug, not a valid outcome.
     pub fn run(mut self) -> RunResult {
-        while let Some((now, event)) = self.engine.pop() {
+        let mut timers = self.obs_trace.then(PhaseTimers::default);
+        let mut tick: u64 = 0;
+        loop {
+            // With a trace attached, one iteration in PHASE_SAMPLE_EVERY
+            // times the pop and the handler separately, splitting the
+            // loop into queue-ops vs handler wall time; detached, the
+            // loop is the original code path.
+            let sampled = timers.is_some() && tick.is_multiple_of(PHASE_SAMPLE_EVERY);
+            tick += 1;
+            let popped = if sampled {
+                let timers = timers.as_mut().expect("sampled implies timers");
+                let t0 = Instant::now();
+                let popped = self.engine.pop();
+                timers.queue_ops += t0.elapsed().as_secs_f64();
+                popped
+            } else {
+                self.engine.pop()
+            };
+            let Some((now, event)) = popped else { break };
             if let Some(obs) = &self.observer {
                 let kind = match event {
                     Event::Submit(_) => "submit",
@@ -448,6 +505,7 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                 };
                 obs.borrow_mut().on_event(now, kind);
             }
+            let handler_t0 = sampled.then(Instant::now);
             match event {
                 Event::Submit(j) => self.handle_submit(now, j),
                 Event::Complete { req } => self.handle_complete(now, req),
@@ -457,6 +515,12 @@ impl<P: SubmissionProtocol> SimDriver<P> {
                     self.handle_outage_down(now, cluster, recover)
                 }
                 Event::CancelFlush { serial } => self.handle_cancel_flush(now, serial),
+            }
+            if let (Some(timers), Some(t0)) = (timers.as_mut(), handler_t0) {
+                timers.handler += t0.elapsed().as_secs_f64();
+            }
+            if self.obs_trace && self.engine.processed().is_multiple_of(QUEUE_SAMPLE_EVERY) {
+                self.sample_queue_depths(now);
             }
         }
         self.result.events = self.engine.processed();
@@ -470,7 +534,76 @@ impl<P: SubmissionProtocol> SimDriver<P> {
         if let Some(obs) = &self.observer {
             obs.borrow_mut().on_run_end(&self.result);
         }
+        self.flush_obs(timers);
         self.result
+    }
+
+    /// Emits one `grid.queue_depth` trace record per target at the
+    /// current virtual instant (tracing only; sampled every
+    /// [`QUEUE_SAMPLE_EVERY`] events by the caller).
+    fn sample_queue_depths(&self, now: SimTime) {
+        for c in 0..self.scheds.n_targets() {
+            rbr_obs::trace::event(
+                rbr_obs::Clock::Sim,
+                now.as_secs(),
+                "grid.queue_depth",
+                &[
+                    ("target", rbr_obs::trace::Field::U64(c as u64)),
+                    (
+                        "depth",
+                        rbr_obs::trace::Field::U64(self.scheds.queue_len(c) as u64),
+                    ),
+                ],
+            );
+        }
+    }
+
+    /// End-of-run observability flush: phase records to the trace and
+    /// per-protocol run counters to the metrics registry. Runs once per
+    /// simulation; both sinks are pure side channels, so results are
+    /// unaffected (names are formatted here, never on the hot path).
+    fn flush_obs(&self, timers: Option<PhaseTimers>) {
+        if let Some(timers) = timers {
+            // Scale the sampled accumulators back to whole-run seconds.
+            let scale = PHASE_SAMPLE_EVERY as f64;
+            let queue_ops = timers.queue_ops * scale;
+            let handler = timers.handler * scale;
+            let protocol = self.obs_protocol_secs * scale;
+            let placement = (handler - protocol).max(0.0);
+            rbr_obs::trace::phase("grid.run", "queue-ops", queue_ops);
+            rbr_obs::trace::phase("grid.run", "protocol", protocol);
+            rbr_obs::trace::phase("grid.run", "placement", placement);
+        }
+        if !rbr_obs::metrics::enabled() {
+            return;
+        }
+        let name = self.protocol.name();
+        let count = |metric: &str, n: u64| {
+            rbr_obs::metrics::counter(&format!("grid.{name}.{metric}")).add(n);
+        };
+        count("runs", 1);
+        count("events", self.result.events);
+        count("submits", self.result.submits);
+        count("cancels", self.result.cancels);
+        count("aborts", self.result.aborts);
+        count("zombie_starts", self.result.zombie_starts);
+        count("lost_submits", self.result.lost_submits);
+        count("lost_cancels", self.result.lost_cancels);
+        count("outage_kills", self.result.outage_kills);
+        count("cancel_batches", self.result.cancel_batches);
+        rbr_obs::metrics::gauge(&format!("grid.{name}.wasted_node_secs"))
+            .add(self.result.wasted_node_secs);
+        let depth_hwm = rbr_obs::metrics::histogram("grid.cluster_queue_hwm");
+        for &hwm in &self.result.max_queue_len {
+            depth_hwm.observe(hwm as u64);
+        }
+        let qs = self.engine.queue_stats();
+        let sim = rbr_obs::metrics::counter("sim.queue.pushes");
+        sim.add(qs.pushes);
+        rbr_obs::metrics::counter("sim.queue.pops").add(qs.pops);
+        rbr_obs::metrics::counter("sim.queue.resizes").add(qs.resizes);
+        rbr_obs::metrics::counter("sim.queue.lap_rebuilds").add(qs.lap_rebuilds);
+        rbr_obs::metrics::histogram("sim.queue.depth_hwm").observe(qs.depth_hwm);
     }
 
     /// The protocol driving this run.
@@ -501,6 +634,13 @@ impl<P: SubmissionProtocol> SimDriver<P> {
 
     fn handle_submit(&mut self, now: SimTime, j: usize) {
         self.plan_buf.clear();
+        let place_t0 = if self.obs_trace {
+            let sampled = self.obs_place_tick.is_multiple_of(PHASE_SAMPLE_EVERY);
+            self.obs_place_tick += 1;
+            sampled.then(Instant::now)
+        } else {
+            None
+        };
         self.protocol.place_into(
             j,
             now,
@@ -508,6 +648,9 @@ impl<P: SubmissionProtocol> SimDriver<P> {
             self.scheds.as_ref(),
             &mut self.plan_buf,
         );
+        if let Some(t0) = place_t0 {
+            self.obs_protocol_secs += t0.elapsed().as_secs_f64();
+        }
         debug_assert!(
             !self.plan_buf.is_empty(),
             "a job must submit at least one copy"

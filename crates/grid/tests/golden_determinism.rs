@@ -184,6 +184,38 @@ fn redundancy_matches_recorded_golden() {
     });
 }
 
+/// The observability contract, end-to-end: with the metrics registry
+/// enabled AND a trace sink attached, every golden digest for seeds
+/// 0–3 must still match byte-for-byte. Tracing and metrics write only
+/// to side channels (registry atomics, the trace file) — they never
+/// touch the rng, the event order, or the result — so turning them on
+/// cannot move a single bit of the locked-down output.
+#[test]
+fn goldens_hold_with_observability_enabled() {
+    let trace_path =
+        std::env::temp_dir().join(format!("rbr-golden-obs-trace-{}.jsonl", std::process::id()));
+    rbr_obs::metrics::set_enabled(true);
+    rbr_obs::trace::start_file(&trace_path).expect("attach trace sink");
+    check_golden("all3", all3);
+    check_golden("cbf2", cbf2);
+    rbr_obs::trace::stop().expect("detach trace sink");
+    rbr_obs::metrics::set_enabled(false);
+    // The side channels must actually have been exercised.
+    let trace = fs::read_to_string(&trace_path).expect("trace file written");
+    assert!(
+        trace.lines().any(|l| l.contains("\"scope\":\"grid.run\"")),
+        "traced runs must emit grid.run phase records"
+    );
+    let snap = rbr_obs::metrics::snapshot();
+    assert!(
+        snap.entries
+            .iter()
+            .any(|(name, _)| name == "sim.queue.pushes"),
+        "metered runs must publish sim queue stats"
+    );
+    let _ = fs::remove_file(&trace_path);
+}
+
 /// Same seed twice → identical digest, for every seed in a small sweep.
 #[test]
 fn multicluster_same_seed_is_bit_identical() {

@@ -1,0 +1,91 @@
+//! The zero-cost contract, enforced by a counting allocator: once a
+//! metric handle exists, updating it never allocates — not with the
+//! registry disabled (the default: one relaxed load and an untaken
+//! branch) and not with it enabled (plain atomic updates on the
+//! handle's interior). Detached trace emits are equally allocation-free.
+//!
+//! Registration (`counter()`/`gauge()`/`histogram()`) is allowed to
+//! allocate — it interns the name and takes the registry lock — which
+//! is why the instrumented hot paths in grid/exec/serve all resolve
+//! their handles once, up front.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocation count attributable to `f` (this binary holds exactly one
+/// test, so no other thread is allocating concurrently).
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn handle_updates_and_detached_emits_never_allocate() {
+    // Registration allocates; do it before counting.
+    let c = rbr_obs::metrics::counter("zero_alloc.counter");
+    let g = rbr_obs::metrics::gauge("zero_alloc.gauge");
+    let h = rbr_obs::metrics::histogram("zero_alloc.histogram");
+
+    let hammer = |c: &rbr_obs::Counter, g: &rbr_obs::Gauge, h: &rbr_obs::Histogram| {
+        for i in 0..1_000u64 {
+            c.inc();
+            c.add(3);
+            g.set(i as f64);
+            g.add(0.5);
+            g.max(i as f64);
+            h.observe(i);
+        }
+    };
+
+    // Disabled — the default state every simulation runs in.
+    rbr_obs::metrics::set_enabled(false);
+    assert_eq!(
+        allocs_during(|| hammer(&c, &g, &h)),
+        0,
+        "disabled metric updates must not allocate"
+    );
+
+    // Enabled — updates are atomic ops on the handle's interior.
+    rbr_obs::metrics::set_enabled(true);
+    let n = allocs_during(|| hammer(&c, &g, &h));
+    rbr_obs::metrics::set_enabled(false);
+    assert_eq!(n, 0, "enabled metric updates must not allocate");
+
+    // Detached trace emits are a relaxed load and an untaken branch.
+    assert!(!rbr_obs::trace::enabled());
+    assert_eq!(
+        allocs_during(|| {
+            for _ in 0..1_000 {
+                rbr_obs::trace::event(
+                    rbr_obs::Clock::Sim,
+                    1.5,
+                    "zero_alloc.event",
+                    &[("k", rbr_obs::trace::Field::U64(7))],
+                );
+                rbr_obs::trace::phase("zero_alloc", "phase", 0.25);
+                assert!(rbr_obs::trace::span("zero_alloc.span").is_none());
+            }
+        }),
+        0,
+        "detached trace emits must not allocate"
+    );
+}

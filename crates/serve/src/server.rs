@@ -65,6 +65,43 @@ pub struct ServerStats {
     pub admission_log: Vec<String>,
 }
 
+/// Registry handles and trace flags, resolved once per [`serve`] call
+/// so the poll loop never touches the registry lock. Registration is
+/// harmless while metrics are disabled; every update is then one
+/// relaxed load and an untaken branch.
+struct ObsHandles {
+    submits: rbr_obs::Counter,
+    cancels: rbr_obs::Counter,
+    acks: rbr_obs::Counter,
+    transactions: rbr_obs::Counter,
+    shed: rbr_obs::Counter,
+    throttles: rbr_obs::Counter,
+    drain_leaks: rbr_obs::Counter,
+    batch_fill: rbr_obs::Histogram,
+    trace_on: bool,
+    trace_clock: rbr_obs::Clock,
+}
+
+impl ObsHandles {
+    fn new(mode: ClockMode) -> ObsHandles {
+        ObsHandles {
+            submits: rbr_obs::metrics::counter("serve.submits"),
+            cancels: rbr_obs::metrics::counter("serve.cancels"),
+            acks: rbr_obs::metrics::counter("serve.acks"),
+            transactions: rbr_obs::metrics::counter("serve.transactions"),
+            shed: rbr_obs::metrics::counter("serve.shed"),
+            throttles: rbr_obs::metrics::counter("serve.backpressure_throttles"),
+            drain_leaks: rbr_obs::metrics::counter("serve.drain_leaks"),
+            batch_fill: rbr_obs::metrics::histogram("serve.batch_fill"),
+            trace_on: rbr_obs::trace::enabled(),
+            trace_clock: match mode {
+                ClockMode::Virtual => rbr_obs::Clock::Sim,
+                ClockMode::Wall => rbr_obs::Clock::Wall,
+            },
+        }
+    }
+}
+
 struct Conn {
     stream: TcpStream,
     reader: FrameReader,
@@ -114,7 +151,10 @@ pub fn serve(listener: TcpListener, config: &ServerConfig) -> Result<ServerStats
     let mut admission = AdmissionController::new(config.admission.clone());
     let mut conns: Vec<Conn> = Vec::new();
     let mut stats = ServerStats::default();
-    let mut acks_owed: u64 = 0;
+    let obs = ObsHandles::new(config.clock);
+    // Every op owes exactly one ack until its transaction delivers; the
+    // drain leak detector names whatever is still here.
+    let mut acks_owed: Vec<(usize, u64)> = Vec::new();
     let mut drain_requested_by: Option<usize> = None;
     let mut rbuf = [0u8; 16 * 1024];
 
@@ -169,6 +209,7 @@ pub fn serve(listener: TcpListener, config: &ServerConfig) -> Result<ServerStats
                             &mut stats,
                             &mut acks_owed,
                             &mut drain_requested_by,
+                            &obs,
                         );
                     }
                 }
@@ -184,7 +225,14 @@ pub fn serve(listener: TcpListener, config: &ServerConfig) -> Result<ServerStats
         // arrival timestamps inside handle_request).
         if clock.mode() == ClockMode::Wall {
             if let Some(txn) = batcher.poll_deadline(clock.now_secs()) {
-                deliver(txn, &mut conns, &mut stats, &mut acks_owed);
+                deliver(
+                    txn,
+                    clock.now_secs(),
+                    &mut conns,
+                    &mut stats,
+                    &mut acks_owed,
+                    &obs,
+                );
             }
         }
 
@@ -213,10 +261,9 @@ pub fn serve(listener: TcpListener, config: &ServerConfig) -> Result<ServerStats
                 }
             }
             let lost: usize = conns.iter().map(|c| c.wbuf.len()).sum();
-            if acks_owed > 0 || lost > 0 {
-                return Err(format!(
-                    "drain leaked {acks_owed} unacked op(s) and {lost} unwritten byte(s)"
-                ));
+            if let Some(report) = leak_report(&acks_owed, lost) {
+                obs.drain_leaks.add(acks_owed.len() as u64);
+                return Err(report);
             }
             return Ok(stats);
         }
@@ -236,8 +283,9 @@ fn handle_request(
     admission: &mut AdmissionController,
     conns: &mut [Conn],
     stats: &mut ServerStats,
-    acks_owed: &mut u64,
+    acks_owed: &mut Vec<(usize, u64)>,
     drain_requested_by: &mut Option<usize>,
+    obs: &ObsHandles,
 ) {
     match req {
         Request::Submit {
@@ -251,14 +299,17 @@ fn handle_request(
             // pass uses.
             clock.advance_to(arrival_secs);
             if let Some(txn) = batcher.poll_deadline(clock.now_secs()) {
-                deliver(txn, conns, stats, acks_owed);
+                deliver(txn, clock.now_secs(), conns, stats, acks_owed, obs);
             }
             stats.submits += 1;
+            obs.submits.inc();
             let decision = admission.decide(id, clock.now_secs(), nodes, runtime_secs);
             stats.admission_log.push(decision.log_line());
             if decision.verdict == Verdict::Shed {
                 stats.shed += 1;
                 stats.acks += 1;
+                obs.shed.inc();
+                obs.acks.inc();
                 conns[ci].queue(&Response::Ack {
                     id,
                     redundancy: 0,
@@ -267,7 +318,7 @@ fn handle_request(
                 });
                 return;
             }
-            *acks_owed += 1;
+            acks_owed.push((ci, id));
             let flushed = batcher.push(
                 PendingOp {
                     conn: ci,
@@ -279,16 +330,17 @@ fn handle_request(
                 clock.now_secs(),
             );
             if let Some(txn) = flushed {
-                deliver(txn, conns, stats, acks_owed);
+                deliver(txn, clock.now_secs(), conns, stats, acks_owed, obs);
             }
         }
         Request::Cancel { id, arrival_secs } => {
             clock.advance_to(arrival_secs);
             if let Some(txn) = batcher.poll_deadline(clock.now_secs()) {
-                deliver(txn, conns, stats, acks_owed);
+                deliver(txn, clock.now_secs(), conns, stats, acks_owed, obs);
             }
             stats.cancels += 1;
-            *acks_owed += 1;
+            obs.cancels.inc();
+            acks_owed.push((ci, id));
             let flushed = batcher.push(
                 PendingOp {
                     conn: ci,
@@ -300,21 +352,63 @@ fn handle_request(
                 clock.now_secs(),
             );
             if let Some(txn) = flushed {
-                deliver(txn, conns, stats, acks_owed);
+                deliver(txn, clock.now_secs(), conns, stats, acks_owed, obs);
             }
         }
         Request::Drain => {
             if let Some(txn) = batcher.flush() {
-                deliver(txn, conns, stats, acks_owed);
+                deliver(txn, clock.now_secs(), conns, stats, acks_owed, obs);
             }
             *drain_requested_by = Some(ci);
         }
     }
 }
 
+/// Builds the drain-leak error, naming every op still owed an ack by
+/// its connection and job id so the offender is identifiable from the
+/// exit message alone. `None` means the drain was clean.
+fn leak_report(acks_owed: &[(usize, u64)], lost_bytes: usize) -> Option<String> {
+    if acks_owed.is_empty() && lost_bytes == 0 {
+        return None;
+    }
+    let offenders = if acks_owed.is_empty() {
+        "none".to_string()
+    } else {
+        acks_owed
+            .iter()
+            .map(|(conn, id)| format!("conn {conn} job {id}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    Some(format!(
+        "drain leaked {} unacked op(s) [{offenders}] and {lost_bytes} unwritten byte(s)",
+        acks_owed.len()
+    ))
+}
+
 /// Turns a flushed transaction into acks on the owning connections.
-fn deliver(txn: Transaction, conns: &mut [Conn], stats: &mut ServerStats, acks_owed: &mut u64) {
+fn deliver(
+    txn: Transaction,
+    now: f64,
+    conns: &mut [Conn],
+    stats: &mut ServerStats,
+    acks_owed: &mut Vec<(usize, u64)>,
+    obs: &ObsHandles,
+) {
     stats.transactions += 1;
+    obs.transactions.inc();
+    obs.batch_fill.observe(txn.ops.len() as u64);
+    if obs.trace_on {
+        rbr_obs::trace::event(
+            obs.trace_clock,
+            now,
+            "serve.txn",
+            &[
+                ("txn", rbr_obs::trace::Field::U64(txn.txn)),
+                ("ops", rbr_obs::trace::Field::U64(txn.ops.len() as u64)),
+            ],
+        );
+    }
     for op in &txn.ops {
         let resp = match op.kind {
             OpKind::Submit => Response::Ack {
@@ -329,10 +423,20 @@ fn deliver(txn: Transaction, conns: &mut [Conn], stats: &mut ServerStats, acks_o
             },
         };
         stats.acks += 1;
-        *acks_owed = acks_owed.saturating_sub(1);
+        obs.acks.inc();
+        if let Some(pos) = acks_owed
+            .iter()
+            .position(|&(conn, id)| conn == op.conn && id == op.id)
+        {
+            acks_owed.remove(pos);
+        }
         if let Some(conn) = conns.get_mut(op.conn) {
             if conn.open {
+                let was_throttled = conn.throttled();
                 conn.queue(&resp);
+                if !was_throttled && conn.throttled() {
+                    obs.throttles.inc();
+                }
             }
         }
     }
@@ -371,6 +475,22 @@ mod tests {
             assert!(n > 0, "server hung up early");
             reader.extend(&buf[..n]);
         }
+    }
+
+    #[test]
+    fn leak_report_names_each_offending_op() {
+        assert_eq!(leak_report(&[], 0), None);
+        let report = leak_report(&[(0, 7), (2, 9)], 0).expect("two leaks");
+        assert_eq!(
+            report,
+            "drain leaked 2 unacked op(s) [conn 0 job 7, conn 2 job 9] and 0 unwritten byte(s)"
+        );
+        // Lost bytes alone still fail the drain, with no ops to name.
+        let report = leak_report(&[], 33).expect("lost bytes");
+        assert_eq!(
+            report,
+            "drain leaked 0 unacked op(s) [none] and 33 unwritten byte(s)"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! events are popped. The domain layers (schedulers, grid, middleware)
 //! drive their own event loops on top of this.
 
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, QueueStats};
 use crate::time::{Duration, SimTime};
 
 /// A discrete-event simulation engine carrying events of type `E`.
@@ -44,6 +44,13 @@ impl<E> Engine<E> {
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Lifetime statistics of the pending-event set (pushes, pops,
+    /// depth high-water mark, calendar rebuilds) — read by the
+    /// observability layer at the end of a run.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Schedules `event` at absolute instant `at`.

@@ -35,6 +35,6 @@ pub mod rng;
 pub mod time;
 
 pub use engine::Engine;
-pub use queue::{with_queue_kind, EventQueue, QueueKind};
+pub use queue::{with_queue_kind, EventQueue, QueueKind, QueueStats};
 pub use rng::{derive_seed, stream_rng, unit, SeedSequence};
 pub use time::{Duration, SimTime};

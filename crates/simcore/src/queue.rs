@@ -116,6 +116,12 @@ struct Calendar<E> {
     /// this day's start (`cursor_end - width`), or a push has reset the
     /// cursor to cover it.
     cursor_end: u64,
+    /// Lifetime count of [`Calendar::resize`] calls (growth, shrink,
+    /// and lap rebuilds).
+    resizes: u64,
+    /// Lifetime count of full-empty-lap rebuilds in [`Calendar::pop`]
+    /// (each also counts as a resize).
+    lap_rebuilds: u64,
 }
 
 impl<E> Calendar<E> {
@@ -126,6 +132,8 @@ impl<E> Calendar<E> {
             len: 0,
             cursor: 0,
             cursor_end: 1,
+            resizes: 0,
+            lap_rebuilds: 0,
         }
     }
 
@@ -222,6 +230,7 @@ impl<E> Calendar<E> {
         // its day is then a guaranteed hit, and subsequent pops are
         // local again until the span drifts another lap. The rebuild is
         // O(len), amortized over the pops that emptied the lap.
+        self.lap_rebuilds += 1;
         self.resize(self.buckets.len());
         let bucket = self.cursor;
         let idx = self
@@ -252,6 +261,7 @@ impl<E> Calendar<E> {
     /// so a day comfortably holds a couple of events), then re-anchors
     /// the cursor at the earliest live event.
     fn resize(&mut self, nbuckets: usize) {
+        self.resizes += 1;
         let entries: Vec<Entry<E>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
         if entries.is_empty() {
             self.buckets = (0..MIN_BUCKETS).map(|_| Vec::new()).collect();
@@ -294,6 +304,25 @@ enum Pending<E> {
     Heap(BinaryHeap<Entry<E>>),
 }
 
+/// Lifetime statistics of an [`EventQueue`] — always maintained (plain
+/// integer bumps on fields the hot path already touches; no atomics, no
+/// allocation) and read out once per run by the observability layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub pushes: u64,
+    /// Events ever delivered.
+    pub pops: u64,
+    /// High-water mark of pending events.
+    pub depth_hwm: u64,
+    /// Calendar rebuilds (growth, shrink, and lap rebuilds); 0 for the
+    /// heap implementation.
+    pub resizes: u64,
+    /// Calendar full-empty-lap rebuilds (stale-width recovery, a subset
+    /// of `resizes`); 0 for the heap implementation.
+    pub lap_rebuilds: u64,
+}
+
 /// A time-ordered queue of events of type `E`.
 ///
 /// Events scheduled for the same instant are delivered in the order they
@@ -302,6 +331,8 @@ enum Pending<E> {
 pub struct EventQueue<E> {
     pending: Pending<E>,
     next_seq: u64,
+    pops: u64,
+    depth_hwm: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -335,6 +366,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             pending,
             next_seq: 0,
+            pops: 0,
+            depth_hwm: 0,
         }
     }
 
@@ -354,14 +387,22 @@ impl<E> EventQueue<E> {
             Pending::Calendar(c) => c.push(time, seq, payload),
             Pending::Heap(h) => h.push(Entry { time, seq, payload }),
         }
+        let depth = self.len() as u64;
+        if depth > self.depth_hwm {
+            self.depth_hwm = depth;
+        }
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        match &mut self.pending {
+        let popped = match &mut self.pending {
             Pending::Calendar(c) => c.pop(),
             Pending::Heap(h) => h.pop().map(|e| (e.time, e.payload)),
+        };
+        if popped.is_some() {
+            self.pops += 1;
         }
+        popped
     }
 
     /// The timestamp of the earliest pending event, if any.
@@ -383,6 +424,22 @@ impl<E> EventQueue<E> {
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lifetime statistics: pushes, pops, depth high-water mark, and
+    /// (for the calendar) rebuild counts.
+    pub fn stats(&self) -> QueueStats {
+        let (resizes, lap_rebuilds) = match &self.pending {
+            Pending::Calendar(c) => (c.resizes, c.lap_rebuilds),
+            Pending::Heap(_) => (0, 0),
+        };
+        QueueStats {
+            pushes: self.next_seq,
+            pops: self.pops,
+            depth_hwm: self.depth_hwm,
+            resizes,
+            lap_rebuilds,
+        }
     }
 
     /// Discards all pending events.
@@ -536,6 +593,43 @@ mod tests {
             .map(|(t, _)| t.as_micros())
             .collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn stats_track_churn_and_high_water() {
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            for i in 0..8u64 {
+                q.push(SimTime::from_micros(i * 10), i);
+            }
+            for _ in 0..3 {
+                q.pop();
+            }
+            q.push(SimTime::from_micros(1_000), 99);
+            let stats = q.stats();
+            assert_eq!(stats.pushes, 9, "{kind:?}");
+            assert_eq!(stats.pops, 3, "{kind:?}");
+            assert_eq!(stats.depth_hwm, 8, "{kind:?}");
+            if kind == QueueKind::Heap {
+                assert_eq!(stats.resizes, 0);
+                assert_eq!(stats.lap_rebuilds, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_calendar_lap_rebuilds() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        q.push(SimTime::from_micros(3), "near");
+        q.push(SimTime::from_micros(u64::MAX - 1), "far");
+        q.pop();
+        q.pop();
+        let stats = q.stats();
+        assert!(
+            stats.lap_rebuilds >= 1,
+            "sparse span must trigger a lap rebuild: {stats:?}"
+        );
+        assert!(stats.resizes >= stats.lap_rebuilds);
     }
 
     /// Interleaved monotone pop/push churn at steady occupancy — the
